@@ -1,0 +1,75 @@
+//! Criterion micro-benchmarks of the wire codec hot paths: pre-prepare
+//! encode/decode at a few batch shapes, and request digests.
+
+use bft_core::messages::{batch_digest, AuthTag, BatchEntry, Msg, PrePrepare, Request};
+use bft_core::wire::Wire;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn request(op_len: usize) -> Request {
+    Request {
+        client: 7,
+        timestamp: 3,
+        op: vec![0xab; op_len],
+        read_only: false,
+        replier: 1,
+        auth: AuthTag::None,
+    }
+}
+
+fn pre_prepare(batch: usize, op_len: usize) -> Msg {
+    let entries: Vec<BatchEntry> = (0..batch)
+        .map(|i| {
+            let mut r = request(op_len);
+            r.timestamp = i as u64;
+            BatchEntry::Full(r)
+        })
+        .collect();
+    let d = batch_digest(&entries);
+    Msg::PrePrepare(PrePrepare {
+        view: 1,
+        seq: 42,
+        entries,
+        batch_digest: d,
+        piggy_commits: vec![],
+    })
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let mut g = c.benchmark_group("encode_pre_prepare");
+    for (batch, op_len) in [(1usize, 64usize), (16, 64), (64, 64), (8, 1024)] {
+        let msg = pre_prepare(batch, op_len);
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{batch}x{op_len}")),
+            &msg,
+            |b, m| b.iter(|| std::hint::black_box(m).to_bytes()),
+        );
+    }
+    g.finish();
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let mut g = c.benchmark_group("decode_pre_prepare");
+    for (batch, op_len) in [(1usize, 64usize), (64, 64)] {
+        let bytes = pre_prepare(batch, op_len).to_bytes();
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{batch}x{op_len}")),
+            &bytes,
+            |b, bs| b.iter(|| Msg::from_bytes(std::hint::black_box(bs)).expect("decodes")),
+        );
+    }
+    g.finish();
+}
+
+fn bench_request_digest(c: &mut Criterion) {
+    let req = request(4096);
+    c.bench_function("request_digest_4k", |b| {
+        b.iter(|| std::hint::black_box(&req).digest())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_encode, bench_decode, bench_request_digest
+}
+criterion_main!(benches);

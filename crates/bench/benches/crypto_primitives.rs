@@ -1,0 +1,63 @@
+//! Criterion micro-benchmarks of the crypto substrate: the host-side cost
+//! of the primitives whose *simulated* cost the CPU model charges. The
+//! relative shape (MAC ≪ digest ≪ RSA) is the paper's core argument.
+
+use bft_crypto::keychain::KeyChain;
+use bft_crypto::rsa::KeyPair;
+use bft_crypto::umac::MacKey;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_md5(c: &mut Criterion) {
+    let mut g = c.benchmark_group("md5");
+    for size in [64usize, 1024, 4096] {
+        let data = vec![0xa5u8; size];
+        g.bench_with_input(BenchmarkId::from_parameter(size), &data, |b, d| {
+            b.iter(|| bft_crypto::digest(std::hint::black_box(d)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_umac(c: &mut Criterion) {
+    let key = MacKey::from_bytes([7; 16]);
+    let mut g = c.benchmark_group("umac");
+    for size in [64usize, 1024, 4096] {
+        let data = vec![0x5au8; size];
+        g.bench_with_input(BenchmarkId::from_parameter(size), &data, |b, d| {
+            b.iter(|| key.mac(std::hint::black_box(d), 42))
+        });
+    }
+    g.finish();
+}
+
+fn bench_authenticator(c: &mut Criterion) {
+    let mut kc = KeyChain::new(0, 4, 1);
+    let digest = *bft_crypto::digest(b"message").as_bytes();
+    c.bench_function("authenticator_4_replicas", |b| {
+        b.iter(|| kc.authenticate(std::hint::black_box(&digest)))
+    });
+}
+
+fn bench_rsa(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let kp = KeyPair::generate(&mut rng, 256);
+    c.bench_function("rsa256_sign", |b| {
+        b.iter(|| kp.sign(std::hint::black_box(b"new-key message")))
+    });
+    let sig = kp.sign(b"new-key message");
+    c.bench_function("rsa256_verify", |b| {
+        b.iter(|| {
+            kp.public()
+                .verify(std::hint::black_box(b"new-key message"), &sig)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_md5, bench_umac, bench_authenticator, bench_rsa
+}
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Figure 2: latency (and slowdown vs NO-REP) as the operation *result*
+//! size grows, with the argument fixed at 8 B. Four replicas, one client.
+//!
+//! Paper claims: BFT is several times slower than NO-REP for tiny
+//! operations, but the slowdown "decreases quickly as the operation
+//! argument or result sizes increase", approaching an asymptote of 1.26;
+//! the read-only optimization's absolute benefit is constant, so its
+//! relative benefit vanishes with size.
+
+use bft_bench::{figure_header, observe, ratio, table_header, table_row, us};
+use bft_core::config::Config;
+use bft_workloads::harness::{bft_latency, norep_latency, OpShape};
+
+fn main() {
+    figure_header(
+        "Figure 2",
+        "latency vs result size (arg = 8 B, 4 replicas, 1 client)",
+        "slowdown starts high, falls toward ~1.26 as result size grows; RO < RW",
+    );
+    table_header(&[
+        "result B", "BFT RW", "BFT RO", "NO-REP", "slow RW", "slow RO",
+    ]);
+    let samples = 60;
+    let mut first_rw = 0.0;
+    let mut last_rw = f64::MAX;
+    for result in [0usize, 256, 1024, 2048, 4096, 6144, 8192] {
+        let rw = bft_latency(Config::new(1), OpShape::rw(8, result), samples);
+        let ro = bft_latency(Config::new(1), OpShape::ro(8, result), samples);
+        let nr = norep_latency(OpShape::rw(8, result), samples);
+        let slow_rw = rw.mean / nr.mean;
+        let slow_ro = ro.mean / nr.mean;
+        if result == 0 {
+            first_rw = slow_rw;
+        }
+        last_rw = slow_rw;
+        table_row(&[
+            result.to_string(),
+            us(rw.mean),
+            us(ro.mean),
+            us(nr.mean),
+            ratio(slow_rw),
+            ratio(slow_ro),
+        ]);
+    }
+    observe(&format!(
+        "slowdown falls from {} at 0 B to {} at 8 KB (paper asymptote 1.26)",
+        ratio(first_rw),
+        ratio(last_rw)
+    ));
+    assert!(last_rw < first_rw, "slowdown must decrease with size");
+    assert!(
+        last_rw < 2.0,
+        "large-result slowdown must approach the asymptote"
+    );
+}

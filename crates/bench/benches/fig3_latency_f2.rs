@@ -1,0 +1,51 @@
+//! Figure 3: latency with f = 2 (7 replicas) vs f = 1 (4 replicas) as the
+//! argument size grows.
+//!
+//! Paper claims: "the slowdown caused by increasing the number of replicas
+//! to seven is low. The maximum slowdown is 30% for the read-write
+//! operation and 26% for the read-only operation. Furthermore, the
+//! slowdown decreases quickly as the argument or result size increases."
+
+use bft_bench::{figure_header, observe, ratio, table_header, table_row, us};
+use bft_core::config::Config;
+use bft_workloads::harness::{bft_latency, OpShape};
+
+fn main() {
+    figure_header(
+        "Figure 3",
+        "latency vs argument size, f = 1 (4 replicas) vs f = 2 (7 replicas)",
+        "f=2 costs at most ~30% (RW) / ~26% (RO), shrinking as sizes grow",
+    );
+    table_header(&[
+        "arg B", "RW f=1", "RW f=2", "RW f2/f1", "RO f=1", "RO f=2", "RO f2/f1",
+    ]);
+    let samples = 60;
+    let mut max_rw: f64 = 0.0;
+    let mut last_rw = 0.0;
+    for arg in [0usize, 256, 1024, 2048, 4096, 8192] {
+        let rw1 = bft_latency(Config::new(1), OpShape::rw(arg, 8), samples);
+        let rw2 = bft_latency(Config::new(2), OpShape::rw(arg, 8), samples);
+        let ro1 = bft_latency(Config::new(1), OpShape::ro(arg, 8), samples);
+        let ro2 = bft_latency(Config::new(2), OpShape::ro(arg, 8), samples);
+        let r_rw = rw2.mean / rw1.mean;
+        let r_ro = ro2.mean / ro1.mean;
+        max_rw = max_rw.max(r_rw);
+        last_rw = r_rw;
+        table_row(&[
+            arg.to_string(),
+            us(rw1.mean),
+            us(rw2.mean),
+            ratio(r_rw),
+            us(ro1.mean),
+            us(ro2.mean),
+            ratio(r_ro),
+        ]);
+    }
+    observe(&format!(
+        "max f=2 slowdown {} (paper ~1.30), falling to {} at 8 KB",
+        ratio(max_rw),
+        ratio(last_rw)
+    ));
+    assert!(max_rw < 1.6, "f=2 must stay cheap");
+    assert!(last_rw < max_rw, "slowdown must shrink with size");
+}

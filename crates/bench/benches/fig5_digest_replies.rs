@@ -1,0 +1,65 @@
+//! Figure 5: the digest-replies optimization — BFT vs BFT-NDR (no digest
+//! replies).
+//!
+//! Paper claims: the optimization "reduces the latency to invoke
+//! operations with large results significantly" and "BFT achieves a
+//! throughput up to 3 times better than BFT-NDR", whose bottleneck is the
+//! link bandwidth (at most ~3000 ops/s for 4 KB results).
+
+use bft_bench::{figure_header, observe, ops, ratio, table_header, table_row, us};
+use bft_core::config::Config;
+use bft_workloads::harness::{bft_latency, bft_throughput, OpShape};
+
+fn ndr_config() -> Config {
+    let mut cfg = Config::new(1);
+    cfg.opts.digest_replies = false;
+    cfg
+}
+
+fn main() {
+    figure_header(
+        "Figure 5 (left)",
+        "latency vs result size, BFT vs BFT-NDR (arg = 8 B)",
+        "digest replies cut large-result latency; the gap grows with size",
+    );
+    table_header(&["result B", "BFT", "BFT-NDR", "NDR/BFT"]);
+    let samples = 60;
+    for result in [0usize, 1024, 4096, 8192] {
+        let bft = bft_latency(Config::new(1), OpShape::rw(8, result), samples);
+        let ndr = bft_latency(ndr_config(), OpShape::rw(8, result), samples);
+        table_row(&[
+            result.to_string(),
+            us(bft.mean),
+            us(ndr.mean),
+            ratio(ndr.mean / bft.mean),
+        ]);
+    }
+
+    figure_header(
+        "Figure 5 (right)",
+        "throughput for operation 0/4 vs clients, BFT vs BFT-NDR",
+        "BFT-NDR link-capped at ~3000 ops/s; BFT up to 3x better",
+    );
+    table_header(&["clients", "BFT", "BFT-NDR", "BFT/NDR"]);
+    let mut best = 0.0f64;
+    for c in [10u32, 30, 50, 100, 200] {
+        let bft = bft_throughput(Config::new(1), c, OpShape::rw(0, 4096));
+        let ndr = bft_throughput(ndr_config(), c, OpShape::rw(0, 4096));
+        let r = bft.ops_per_sec / ndr.ops_per_sec;
+        best = best.max(r);
+        table_row(&[
+            c.to_string(),
+            ops(bft.ops_per_sec),
+            ops(ndr.ops_per_sec),
+            ratio(r),
+        ]);
+    }
+    observe(&format!(
+        "BFT up to {} better than BFT-NDR (paper: up to 3x)",
+        ratio(best)
+    ));
+    assert!(
+        best > 1.5,
+        "digest replies must lift 0/4 throughput substantially"
+    );
+}

@@ -1,0 +1,60 @@
+//! Figure 6: the request-batching optimization — 0/0 read-write
+//! throughput with and without batching.
+//!
+//! Paper claims: "the throughput without batching grows with the number of
+//! clients ... but the replicas' CPUs saturate for a small number of
+//! clients because processing each of these requests requires a full
+//! instance of the protocol. Our batching mechanism reduces both CPU and
+//! network overhead under load without increasing the latency to process
+//! requests in an unloaded system."
+
+use bft_bench::{figure_header, observe, ops, ratio, table_header, table_row, us};
+use bft_core::config::Config;
+use bft_workloads::harness::{bft_latency, bft_throughput, OpShape};
+
+fn no_batch() -> Config {
+    let mut cfg = Config::new(1);
+    cfg.opts.batching = false;
+    cfg
+}
+
+fn main() {
+    figure_header(
+        "Figure 6",
+        "throughput for operation 0/0 (read-write) vs clients, batching on/off",
+        "without batching the CPUs saturate early; batching keeps scaling",
+    );
+    table_header(&["clients", "batched", "unbatched", "gain"]);
+    let mut batched_peak = 0.0f64;
+    let mut unbatched_peak = 0.0f64;
+    for c in [1u32, 5, 10, 20, 50, 100, 200] {
+        let with = bft_throughput(Config::new(1), c, OpShape::rw(0, 0));
+        let without = bft_throughput(no_batch(), c, OpShape::rw(0, 0));
+        batched_peak = batched_peak.max(with.ops_per_sec);
+        unbatched_peak = unbatched_peak.max(without.ops_per_sec);
+        table_row(&[
+            c.to_string(),
+            ops(with.ops_per_sec),
+            ops(without.ops_per_sec),
+            ratio(with.ops_per_sec / without.ops_per_sec),
+        ]);
+    }
+    // Unloaded latency must not suffer.
+    let lat_with = bft_latency(Config::new(1), OpShape::rw(0, 0), 50);
+    let lat_without = bft_latency(no_batch(), OpShape::rw(0, 0), 50);
+    observe(&format!(
+        "peaks: batched {} vs unbatched {}; unloaded latency {} vs {} (batching must not hurt)",
+        ops(batched_peak),
+        ops(unbatched_peak),
+        us(lat_with.mean),
+        us(lat_without.mean)
+    ));
+    assert!(
+        batched_peak > 1.5 * unbatched_peak,
+        "batching must raise saturation throughput"
+    );
+    assert!(
+        lat_with.mean < 1.15 * lat_without.mean,
+        "batching must not add unloaded latency"
+    );
+}

@@ -1,0 +1,69 @@
+//! Figure 7: the separate-request-transmission optimization.
+//!
+//! Paper claims: "Separating request transmission reduces latency by up to
+//! 40% because the request is sent only once and the primary and the
+//! backups compute the request's digest in parallel. The other benefit is
+//! improved throughput for large requests because it enables more requests
+//! per batch."
+
+use bft_bench::{figure_header, observe, ops, ratio, table_header, table_row, us};
+use bft_core::config::Config;
+use bft_workloads::harness::{bft_latency, bft_throughput, OpShape};
+
+fn no_srt() -> Config {
+    let mut cfg = Config::new(1);
+    cfg.opts.separate_request_transmission = false;
+    cfg
+}
+
+fn main() {
+    figure_header(
+        "Figure 7 (left)",
+        "latency vs argument size, SRT on/off (result = 8 B)",
+        "SRT cuts large-request latency by up to ~40%",
+    );
+    table_header(&["arg B", "SRT", "NO-SRT", "saving"]);
+    let samples = 60;
+    let mut best_saving = 0.0f64;
+    for arg in [0usize, 1024, 4096, 8192] {
+        let srt = bft_latency(Config::new(1), OpShape::rw(arg, 8), samples);
+        let nosrt = bft_latency(no_srt(), OpShape::rw(arg, 8), samples);
+        let saving = 1.0 - srt.mean / nosrt.mean;
+        best_saving = best_saving.max(saving);
+        table_row(&[
+            arg.to_string(),
+            us(srt.mean),
+            us(nosrt.mean),
+            format!("{:.0}%", saving * 100.0),
+        ]);
+    }
+
+    figure_header(
+        "Figure 7 (right)",
+        "throughput for operation 4/0 vs clients, SRT on/off",
+        "SRT improves large-request throughput (more requests per batch)",
+    );
+    table_header(&["clients", "SRT", "NO-SRT", "gain"]);
+    let mut srt_peak = 0.0f64;
+    let mut nosrt_peak = 0.0f64;
+    for c in [10u32, 30, 50, 100] {
+        let with = bft_throughput(Config::new(1), c, OpShape::rw(4096, 0));
+        let without = bft_throughput(no_srt(), c, OpShape::rw(4096, 0));
+        srt_peak = srt_peak.max(with.ops_per_sec);
+        nosrt_peak = nosrt_peak.max(without.ops_per_sec);
+        table_row(&[
+            c.to_string(),
+            ops(with.ops_per_sec),
+            ops(without.ops_per_sec),
+            ratio(with.ops_per_sec / without.ops_per_sec),
+        ]);
+    }
+    observe(&format!(
+        "best latency saving {:.0}% (paper: up to 40%); 4/0 peaks {} vs {}",
+        best_saving * 100.0,
+        ops(srt_peak),
+        ops(nosrt_peak)
+    ));
+    assert!(best_saving > 0.15, "SRT must cut large-request latency");
+    assert!(srt_peak > nosrt_peak, "SRT must raise 4/0 throughput");
+}

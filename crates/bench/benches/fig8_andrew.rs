@@ -1,0 +1,64 @@
+//! Figure 8: the scaled Andrew benchmark — elapsed time for BFS, NO-REP
+//! and NFS-STD at n = 100 and n = 500.
+//!
+//! Paper claims: "BFS takes only 14% more time to run Andrew100 and 22%
+//! more time to run Andrew500" than NO-REP, and "only 15% longer to
+//! complete Andrew100 and 24% longer to complete Andrew500" than NFS-STD.
+//!
+//! Andrew500 is a long simulation; set `ANDREW500=0` to skip it.
+
+use bft_bench::{figure_header, observe, ratio, secs, table_header, table_row};
+use bft_core::config::Config;
+use bft_fs::client::NfsClientConfig;
+use bft_fs::disk::ServerMode;
+use bft_workloads::andrew::{andrew_script, AndrewTimings};
+use bft_workloads::harness::{run_bfs, run_direct_fs};
+
+fn main() {
+    let run500 = std::env::var("ANDREW500").map_or(true, |v| v != "0");
+    let timings = AndrewTimings::default();
+    let client_cfg = NfsClientConfig::default();
+    let mut scales = vec![100u32];
+    if run500 {
+        scales.push(500);
+    }
+    figure_header(
+        "Figure 8",
+        "modified Andrew benchmark elapsed time (log scale in the paper)",
+        "BFS ~14%/22% slower than NO-REP and ~15%/24% slower than NFS-STD (n=100/500)",
+    );
+    table_header(&[
+        "benchmark",
+        "BFS",
+        "NO-REP",
+        "NFS-STD",
+        "BFS/NOREP",
+        "BFS/NFSSTD",
+    ]);
+    for copies in scales {
+        let script = andrew_script(copies, timings);
+        let bfs = run_bfs(Config::new(1), script.clone(), client_cfg);
+        let norep = run_direct_fs(ServerMode::NoRep, script.clone(), client_cfg);
+        let nfsstd = run_direct_fs(ServerMode::NfsStd, script, client_cfg);
+        let vs_norep = bfs.elapsed_secs() / norep.elapsed_secs();
+        let vs_nfsstd = bfs.elapsed_secs() / nfsstd.elapsed_secs();
+        table_row(&[
+            format!("Andrew{copies}"),
+            secs(bfs.elapsed_secs()),
+            secs(norep.elapsed_secs()),
+            secs(nfsstd.elapsed_secs()),
+            ratio(vs_norep),
+            ratio(vs_nfsstd),
+        ]);
+        observe(&format!(
+            "Andrew{copies}: BFS {:.0}% slower than NO-REP (paper {}%), {:.0}% slower than NFS-STD (paper {}%); {} RPCs",
+            (vs_norep - 1.0) * 100.0,
+            if copies == 100 { 14 } else { 22 },
+            (vs_nfsstd - 1.0) * 100.0,
+            if copies == 100 { 15 } else { 24 },
+            bfs.rpcs
+        ));
+        assert!(vs_norep > 1.0, "replication must cost something");
+        assert!(vs_norep < 1.6, "Andrew overhead must stay low (paper <25%)");
+    }
+}

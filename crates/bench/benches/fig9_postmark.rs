@@ -1,0 +1,51 @@
+//! Figure 9: PostMark throughput (transactions/second) for BFS, NO-REP
+//! and NFS-STD.
+//!
+//! Paper claims: "BFS's throughput is 47% lower than NO-REP's ... What is
+//! interesting is that BFS's throughput is only 13% lower than NFS-STD's.
+//! The higher overhead is offset by an increase in the number of disk
+//! accesses performed by NFS-STD in this workload."
+
+use bft_bench::{figure_header, observe, ops, ratio, table_header, table_row};
+use bft_core::config::Config;
+use bft_fs::client::NfsClientConfig;
+use bft_fs::disk::ServerMode;
+use bft_workloads::harness::{run_bfs, run_direct_fs};
+use bft_workloads::postmark::{postmark_script, PostmarkConfig};
+
+fn main() {
+    figure_header(
+        "Figure 9",
+        "PostMark transactions per second",
+        "BFS ~47% below NO-REP but only ~13% below NFS-STD (whose metadata hits the disk)",
+    );
+    let cfg = PostmarkConfig::default();
+    let client_cfg = NfsClientConfig::default();
+    let script = postmark_script(cfg);
+    let bfs = run_bfs(Config::new(1), script.clone(), client_cfg);
+    let norep = run_direct_fs(ServerMode::NoRep, script.clone(), client_cfg);
+    let nfsstd = run_direct_fs(ServerMode::NfsStd, script, client_cfg);
+    table_header(&["system", "txn/s", "vs NO-REP"]);
+    for (name, run) in [("BFS", &bfs), ("NO-REP", &norep), ("NFS-STD", &nfsstd)] {
+        table_row(&[
+            name.to_owned(),
+            ops(run.marks_per_sec()),
+            ratio(run.marks_per_sec() / norep.marks_per_sec()),
+        ]);
+    }
+    let below_norep = 1.0 - bfs.marks_per_sec() / norep.marks_per_sec();
+    let below_nfsstd = 1.0 - bfs.marks_per_sec() / nfsstd.marks_per_sec();
+    observe(&format!(
+        "BFS {:.0}% below NO-REP (paper 47%), {:.0}% below NFS-STD (paper 13%)",
+        below_norep * 100.0,
+        below_nfsstd * 100.0
+    ));
+    assert!(
+        below_norep > 0.2,
+        "little client compute → high relative overhead"
+    );
+    assert!(
+        below_nfsstd < below_norep,
+        "NFS-STD's disk traffic must close most of the gap"
+    );
+}

@@ -1,0 +1,63 @@
+//! Section 4.4 (text): piggybacked commits.
+//!
+//! Paper claims: piggybacking has "a negligible impact on latency because
+//! the commit phase is performed in the background (thanks to tentative
+//! execution). It also has a small impact on throughput except when the
+//! number of concurrent clients is small: it improves the throughput of
+//! operation 0/0 by 33% with 5 clients but only by 3% with 200 clients."
+
+use bft_bench::{figure_header, observe, ops, ratio, table_header, table_row, us};
+use bft_core::config::Config;
+use bft_workloads::harness::{bft_latency, bft_throughput, OpShape};
+
+fn piggyback() -> Config {
+    let mut cfg = Config::new(1);
+    cfg.opts.piggyback_commits = true;
+    cfg
+}
+
+fn main() {
+    figure_header(
+        "Section 4.4",
+        "piggybacked commits: 0/0 throughput at few vs many clients",
+        "helps most with few clients (+33% at 5), little at 200 (+3%)",
+    );
+    table_header(&["clients", "piggyback", "explicit", "gain"]);
+    let mut gain_small = 0.0;
+    let mut gain_large = 0.0;
+    for c in [5u32, 20, 50, 200] {
+        let on = bft_throughput(piggyback(), c, OpShape::rw(0, 0));
+        let off = bft_throughput(Config::new(1), c, OpShape::rw(0, 0));
+        let gain = on.ops_per_sec / off.ops_per_sec;
+        if c == 5 {
+            gain_small = gain;
+        }
+        if c == 200 {
+            gain_large = gain;
+        }
+        table_row(&[
+            c.to_string(),
+            ops(on.ops_per_sec),
+            ops(off.ops_per_sec),
+            ratio(gain),
+        ]);
+    }
+    let lat_on = bft_latency(piggyback(), OpShape::rw(0, 0), 50);
+    let lat_off = bft_latency(Config::new(1), OpShape::rw(0, 0), 50);
+    observe(&format!(
+        "gain at 5 clients {} (paper 1.33x) vs 200 clients {} (paper 1.03x); latency {} vs {} (negligible)",
+        ratio(gain_small),
+        ratio(gain_large),
+        us(lat_on.mean),
+        us(lat_off.mean)
+    ));
+    assert!(
+        gain_small > gain_large,
+        "benefit must shrink as batching amortizes commits"
+    );
+    let lat_delta = (lat_on.mean - lat_off.mean).abs() / lat_off.mean;
+    assert!(
+        lat_delta < 0.10,
+        "piggybacking must not change unloaded latency"
+    );
+}

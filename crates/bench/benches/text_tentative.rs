@@ -1,0 +1,59 @@
+//! Section 4.4 (text): the tentative-execution optimization.
+//!
+//! Paper claims: "The optimization reduces latency by up to 27% with small
+//! argument and result sizes but its benefit decreases quickly when sizes
+//! increase. The impact of the tentative execution optimization on
+//! throughput is insignificant."
+
+use bft_bench::{figure_header, observe, ops, table_header, table_row, us};
+use bft_core::config::Config;
+use bft_workloads::harness::{bft_latency, bft_throughput, OpShape};
+
+fn no_tentative() -> Config {
+    let mut cfg = Config::new(1);
+    cfg.opts.tentative_execution = false;
+    cfg
+}
+
+fn main() {
+    figure_header(
+        "Section 4.4",
+        "tentative execution: latency by size, and 0/0 throughput",
+        "up to ~27% lower latency at small sizes, fading with size; throughput unchanged",
+    );
+    table_header(&["size B", "TE on", "TE off", "saving"]);
+    let samples = 60;
+    let mut small_saving = 0.0;
+    let mut large_saving = 0.0;
+    for (arg, result) in [(0usize, 0usize), (1024, 0), (4096, 0), (8192, 0)] {
+        let on = bft_latency(Config::new(1), OpShape::rw(arg, result), samples);
+        let off = bft_latency(no_tentative(), OpShape::rw(arg, result), samples);
+        let saving = 1.0 - on.mean / off.mean;
+        if arg == 0 {
+            small_saving = saving;
+        }
+        large_saving = saving;
+        table_row(&[
+            arg.to_string(),
+            us(on.mean),
+            us(off.mean),
+            format!("{:.0}%", saving * 100.0),
+        ]);
+    }
+    let thr_on = bft_throughput(Config::new(1), 100, OpShape::rw(0, 0));
+    let thr_off = bft_throughput(no_tentative(), 100, OpShape::rw(0, 0));
+    observe(&format!(
+        "small-op saving {:.0}% (paper ~27%), 8 KB saving {:.0}%; 0/0 throughput {} vs {} (insignificant change)",
+        small_saving * 100.0,
+        large_saving * 100.0,
+        ops(thr_on.ops_per_sec),
+        ops(thr_off.ops_per_sec),
+    ));
+    assert!(
+        small_saving > 0.10,
+        "tentative execution must cut small-op latency"
+    );
+    assert!(large_saving < small_saving, "benefit must fade with size");
+    let thr_delta = (thr_on.ops_per_sec - thr_off.ops_per_sec).abs() / thr_off.ops_per_sec;
+    assert!(thr_delta < 0.25, "throughput impact should be modest");
+}

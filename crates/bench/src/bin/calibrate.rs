@@ -1,0 +1,53 @@
+//! Calibration probe: prints the key latency/throughput numbers next to
+//! the paper's values so the cost model can be tuned. Not part of the
+//! figure suite.
+
+use bft_core::config::Config;
+use bft_workloads::harness::*;
+
+fn main() {
+    println!("== latency (4 replicas, 1 client, arg 8B) ==");
+    for result in [0usize, 1024, 4096, 8192] {
+        let rw = bft_latency(Config::new(1), OpShape::rw(8, result), 50);
+        let ro = bft_latency(Config::new(1), OpShape::ro(8, result), 50);
+        let nr = norep_latency(OpShape::rw(8, result), 50);
+        println!(
+            "result={result:>5}B  BFT-RW={:>7.0}us  BFT-RO={:>7.0}us  NO-REP={:>7.0}us  slowdownRW={:.2} slowdownRO={:.2}",
+            rw.mean / 1e3,
+            ro.mean / 1e3,
+            nr.mean / 1e3,
+            rw.mean / nr.mean,
+            ro.mean / nr.mean,
+        );
+    }
+    println!("== latency vs arg size ==");
+    for arg in [0usize, 1024, 4096, 8192] {
+        let f1 = bft_latency(Config::new(1), OpShape::rw(arg, 8), 50);
+        let f2 = bft_latency(Config::new(2), OpShape::rw(arg, 8), 50);
+        let nr = norep_latency(OpShape::rw(arg, 8), 50);
+        println!(
+            "arg={arg:>5}B  f1={:>7.0}us  f2={:>7.0}us  f2/f1={:.2}  slowdown_f1={:.2}",
+            f1.mean / 1e3,
+            f2.mean / 1e3,
+            f2.mean / f1.mean,
+            f1.mean / nr.mean,
+        );
+    }
+    println!("== throughput (clients sweep) ==");
+    for (a, b) in [(0usize, 0usize), (0, 4096), (4096, 0)] {
+        for clients in [10u32, 50, 100, 200] {
+            let rw = bft_throughput(Config::new(1), clients, OpShape::rw(a, b));
+            let ro = bft_throughput(Config::new(1), clients, OpShape::ro(a, b));
+            let nr = norep_throughput(clients, OpShape::rw(a, b));
+            println!(
+                "op {}/{} clients={clients:>3}  BFT-RW={:>7.0}  BFT-RO={:>7.0}  NO-REP={:>7.0} (drops {})",
+                a / 1024,
+                b / 1024,
+                rw.ops_per_sec,
+                ro.ops_per_sec,
+                nr.ops_per_sec,
+                nr.drops
+            );
+        }
+    }
+}

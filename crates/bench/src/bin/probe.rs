@@ -1,0 +1,45 @@
+//! Diagnostic probe for a single throughput configuration: dumps all
+//! metrics counters to find where a workload's capacity goes.
+
+use bft_core::cluster::Cluster;
+use bft_core::config::Config;
+use bft_sim::{dur, NetConfig};
+use bft_workloads::micro::{MicroDriver, SimpleService};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let clients: u32 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(30);
+    let arg: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(4096);
+    let result: usize = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(0);
+
+    let mut cluster = Cluster::new(7, NetConfig::SWITCHED_100MBPS, Config::new(1), |_| {
+        SimpleService
+    });
+    for _ in 0..clients {
+        cluster.add_client(MicroDriver::new(arg, result, false));
+    }
+    cluster.run_for(dur::secs(2));
+    println!("--- after warmup (2s) ---");
+    for (k, v) in cluster.sim.metrics().counters_sorted() {
+        println!("{k:>40} {v}");
+    }
+    for r in 0..4 {
+        println!("replica {r}: {:?}", cluster.replica::<SimpleService>(r));
+    }
+    cluster.sim.metrics_mut().reset();
+    cluster.run_for(dur::secs(2));
+    println!("--- measurement window (2s) ---");
+    for (k, v) in cluster.sim.metrics().counters_sorted() {
+        println!("{k:>40} {v}");
+    }
+    let lat = cluster.sim.metrics().summary("client.latency");
+    println!(
+        "ops/s = {:.0}, latency mean {:.1}ms p99 {:.1}ms",
+        cluster.sim.metrics().counter("client.ops_completed") as f64 / 2.0,
+        lat.mean / 1e6,
+        lat.p99 as f64 / 1e6
+    );
+    for r in 0..4 {
+        println!("replica {r}: {:?}", cluster.replica::<SimpleService>(r));
+    }
+}

@@ -1,0 +1,286 @@
+//! Checkpoint management: periodic state digests, stability proofs, and
+//! garbage-collection triggers.
+//!
+//! Every `K` sequence numbers a replica snapshots its state and, once the
+//! checkpoint's batch commits, multicasts a CHECKPOINT message. When it
+//! holds `2f+1` matching claims for a sequence number, that checkpoint is
+//! *stable*: the log below it can be discarded and the low water mark
+//! advances. The stable snapshot also serves state transfer.
+
+use crate::messages::Checkpoint;
+use crate::types::{Quorums, ReplicaId, SeqNum};
+use bft_crypto::md5::Digest;
+use std::collections::{BTreeMap, HashMap};
+
+/// A checkpoint this replica produced locally.
+#[derive(Debug, Clone)]
+pub struct OwnCheckpoint {
+    /// State digest at the checkpoint.
+    pub digest: Digest,
+    /// Serialized state (kept for rollback-free state transfer).
+    pub snapshot: Vec<u8>,
+    /// Whether the CHECKPOINT message has been multicast yet (it is held
+    /// until the checkpoint's batch commits).
+    pub announced: bool,
+}
+
+/// A newly stable checkpoint, returned by [`CheckpointSet::add_claim`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NewlyStable {
+    /// The stable sequence number.
+    pub seq: SeqNum,
+    /// The agreed state digest.
+    pub digest: Digest,
+}
+
+/// All checkpoint state for one replica.
+#[derive(Debug, Clone)]
+pub struct CheckpointSet {
+    quorums: Quorums,
+    /// Locally produced checkpoints, by sequence number.
+    own: BTreeMap<SeqNum, OwnCheckpoint>,
+    /// Claims received (including our own announcements).
+    claims: BTreeMap<SeqNum, HashMap<ReplicaId, Digest>>,
+    stable_seq: SeqNum,
+    stable_digest: Digest,
+}
+
+impl CheckpointSet {
+    /// Creates the checkpoint state with the genesis checkpoint (sequence
+    /// 0) already stable at `genesis_digest`.
+    pub fn new(
+        quorums: Quorums,
+        genesis_digest: Digest,
+        genesis_snapshot: Vec<u8>,
+    ) -> CheckpointSet {
+        let mut own = BTreeMap::new();
+        own.insert(
+            0,
+            OwnCheckpoint {
+                digest: genesis_digest,
+                snapshot: genesis_snapshot,
+                announced: true,
+            },
+        );
+        CheckpointSet {
+            quorums,
+            own,
+            claims: BTreeMap::new(),
+            stable_seq: 0,
+            stable_digest: genesis_digest,
+        }
+    }
+
+    /// The last stable checkpoint sequence number.
+    pub fn stable_seq(&self) -> SeqNum {
+        self.stable_seq
+    }
+
+    /// The last stable checkpoint digest.
+    pub fn stable_digest(&self) -> Digest {
+        self.stable_digest
+    }
+
+    /// Records a locally produced checkpoint (not yet announced).
+    pub fn note_own(&mut self, seq: SeqNum, digest: Digest, snapshot: Vec<u8>) {
+        self.own.insert(
+            seq,
+            OwnCheckpoint {
+                digest,
+                snapshot,
+                announced: false,
+            },
+        );
+    }
+
+    /// Returns the local checkpoint at `seq`, if any.
+    pub fn own(&self, seq: SeqNum) -> Option<&OwnCheckpoint> {
+        self.own.get(&seq)
+    }
+
+    /// Marks the local checkpoint at `seq` as announced and returns its
+    /// digest, or `None` if there is no local checkpoint there.
+    pub fn mark_announced(&mut self, seq: SeqNum) -> Option<Digest> {
+        let cp = self.own.get_mut(&seq)?;
+        cp.announced = true;
+        Some(cp.digest)
+    }
+
+    /// Local checkpoints that are not yet announced and are at or below
+    /// `committed_seq` (their batches have committed).
+    pub fn announceable(&self, committed_seq: SeqNum) -> Vec<(SeqNum, Digest)> {
+        self.own
+            .iter()
+            .filter(|&(&s, cp)| !cp.announced && s <= committed_seq && s > 0)
+            .map(|(&s, cp)| (s, cp.digest))
+            .collect()
+    }
+
+    /// Records a CHECKPOINT claim. Returns the new stable checkpoint if
+    /// this claim completed a `2f+1` quorum above the current stable
+    /// sequence number.
+    pub fn add_claim(&mut self, cp: &Checkpoint) -> Option<NewlyStable> {
+        if cp.seq <= self.stable_seq {
+            return None;
+        }
+        let claims = self.claims.entry(cp.seq).or_default();
+        claims.insert(cp.replica, cp.state_digest);
+        // Count the most common digest at this sequence number.
+        let mut counts: HashMap<Digest, usize> = HashMap::new();
+        for &d in claims.values() {
+            *counts.entry(d).or_insert(0) += 1;
+        }
+        let (&digest, &count) = counts.iter().max_by_key(|&(_, &c)| c)?;
+        if count >= self.quorums.checkpoint_quorum() {
+            Some(NewlyStable {
+                seq: cp.seq,
+                digest,
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Installs a stable checkpoint: advances the stable marker and prunes
+    /// older checkpoints and claims. Returns `false` if `seq` is not newer
+    /// than the current stable checkpoint.
+    pub fn make_stable(&mut self, seq: SeqNum, digest: Digest) -> bool {
+        if seq <= self.stable_seq {
+            return false;
+        }
+        self.stable_seq = seq;
+        self.stable_digest = digest;
+        self.own = self.own.split_off(&seq);
+        self.claims = self.claims.split_off(&(seq + 1));
+        true
+    }
+
+    /// The snapshot of the stable checkpoint, if this replica has it
+    /// locally (it may not, right after state transfer was skipped).
+    pub fn stable_snapshot(&self) -> Option<&[u8]> {
+        self.own
+            .get(&self.stable_seq)
+            .map(|cp| cp.snapshot.as_slice())
+    }
+
+    /// Evidence that this replica has fallen behind: a claim quorum exists
+    /// for a sequence number greater than `horizon`. Returns the highest
+    /// such `(seq, digest)`.
+    pub fn quorum_beyond(&self, horizon: SeqNum) -> Option<NewlyStable> {
+        for (&seq, claims) in self.claims.iter().rev() {
+            if seq <= horizon {
+                break;
+            }
+            let mut counts: HashMap<Digest, usize> = HashMap::new();
+            for &d in claims.values() {
+                *counts.entry(d).or_insert(0) += 1;
+            }
+            if let Some((&digest, &count)) = counts.iter().max_by_key(|&(_, &c)| c) {
+                if count >= self.quorums.checkpoint_quorum() {
+                    return Some(NewlyStable { seq, digest });
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set() -> CheckpointSet {
+        CheckpointSet::new(Quorums::minimal(1), bft_crypto::digest(b"genesis"), vec![7])
+    }
+
+    fn claim(seq: SeqNum, replica: ReplicaId, tag: u8) -> Checkpoint {
+        Checkpoint {
+            seq,
+            state_digest: bft_crypto::digest(&[tag]),
+            replica,
+        }
+    }
+
+    #[test]
+    fn genesis_is_stable() {
+        let s = set();
+        assert_eq!(s.stable_seq(), 0);
+        assert_eq!(s.stable_snapshot(), Some([7u8].as_slice()));
+    }
+
+    #[test]
+    fn quorum_makes_stable() {
+        let mut s = set();
+        assert!(s.add_claim(&claim(128, 0, 1)).is_none());
+        assert!(s.add_claim(&claim(128, 1, 1)).is_none());
+        let stable = s.add_claim(&claim(128, 2, 1)).expect("2f+1 claims");
+        assert_eq!(stable.seq, 128);
+        assert!(s.make_stable(stable.seq, stable.digest));
+        assert_eq!(s.stable_seq(), 128);
+    }
+
+    #[test]
+    fn mismatched_digests_do_not_form_quorum() {
+        let mut s = set();
+        assert!(s.add_claim(&claim(128, 0, 1)).is_none());
+        assert!(s.add_claim(&claim(128, 1, 2)).is_none());
+        assert!(s.add_claim(&claim(128, 2, 3)).is_none());
+        // A fourth claim matching one of them still only makes 2 < 2f+1.
+        assert!(s.add_claim(&claim(128, 3, 1)).is_none());
+    }
+
+    #[test]
+    fn duplicate_claims_count_once() {
+        let mut s = set();
+        assert!(s.add_claim(&claim(128, 0, 1)).is_none());
+        assert!(s.add_claim(&claim(128, 0, 1)).is_none());
+        assert!(s.add_claim(&claim(128, 0, 1)).is_none());
+    }
+
+    #[test]
+    fn stale_claims_ignored() {
+        let mut s = set();
+        for r in 0..3 {
+            let res = s.add_claim(&claim(128, r, 1));
+            if r == 2 {
+                let st = res.expect("stable");
+                s.make_stable(st.seq, st.digest);
+            }
+        }
+        assert!(s.add_claim(&claim(100, 3, 9)).is_none(), "below stable");
+        assert!(!s.make_stable(100, bft_crypto::digest(b"x")));
+    }
+
+    #[test]
+    fn own_checkpoints_announceable_only_after_commit() {
+        let mut s = set();
+        s.note_own(128, bft_crypto::digest(&[1]), vec![1]);
+        s.note_own(256, bft_crypto::digest(&[2]), vec![2]);
+        assert_eq!(s.announceable(128).len(), 1);
+        assert_eq!(s.announceable(300).len(), 2);
+        s.mark_announced(128).expect("exists");
+        assert_eq!(s.announceable(300).len(), 1);
+    }
+
+    #[test]
+    fn make_stable_prunes_older_own_checkpoints() {
+        let mut s = set();
+        s.note_own(128, bft_crypto::digest(&[1]), vec![1]);
+        s.note_own(256, bft_crypto::digest(&[2]), vec![2]);
+        s.make_stable(256, bft_crypto::digest(&[2]));
+        assert!(s.own(128).is_none());
+        assert!(s.own(256).is_some());
+        assert_eq!(s.stable_snapshot(), Some([2u8].as_slice()));
+    }
+
+    #[test]
+    fn quorum_beyond_detects_lag() {
+        let mut s = set();
+        for r in 0..3 {
+            s.add_claim(&claim(512, r, 4));
+        }
+        let evidence = s.quorum_beyond(128).expect("quorum at 512");
+        assert_eq!(evidence.seq, 512);
+        assert!(s.quorum_beyond(512).is_none());
+    }
+}

@@ -1,0 +1,411 @@
+//! The BFT client: submits operations, collects reply quorums, and
+//! retransmits — with the digest-replies and read-only optimizations.
+//!
+//! Application behaviour (what to invoke and when) is supplied by a
+//! [`ClientDriver`]; the workload crates implement drivers for the paper's
+//! micro-benchmark, Andrew, and PostMark.
+
+use crate::config::Config;
+use crate::messages::{AuthTag, Msg, Packet, Reply, Request, REPLIER_ALL};
+use crate::types::{ClientId, ReplicaId, Timestamp, View};
+use crate::wire::Wire;
+use bft_crypto::keychain::KeyChain;
+use bft_crypto::md5::Digest;
+use bft_sim::{Context, Node, NodeId, SimTime, TimerId};
+use std::any::Any;
+use std::collections::HashMap;
+
+const TIMER_RETRY: u64 = 0;
+const DRIVER_TOKEN_BASE: u64 = 1_000;
+
+/// Application logic driving a [`Client`].
+pub trait ClientDriver: 'static {
+    /// Called once when the client starts; typically submits the first
+    /// operation.
+    fn on_start(&mut self, api: &mut ClientApi<'_, '_>);
+
+    /// Called when an operation completes with its result and measured
+    /// latency; typically submits the next operation (closed loop) or sets
+    /// a think-time timer.
+    fn on_complete(&mut self, api: &mut ClientApi<'_, '_>, result: &[u8], latency_ns: u64);
+
+    /// Called when a timer set via [`ClientApi::set_timer`] fires.
+    fn on_timer(&mut self, _api: &mut ClientApi<'_, '_>, _token: u64) {}
+}
+
+/// One in-flight operation.
+#[derive(Debug)]
+struct PendingOp {
+    timestamp: Timestamp,
+    op: Vec<u8>,
+    read_only: bool,
+    replier: ReplicaId,
+    sent_at: SimTime,
+    broadcast: bool,
+    retries: u32,
+    /// Per-replica (result digest, tentative) votes.
+    replies: HashMap<ReplicaId, (Digest, bool)>,
+    /// Full result bytes seen, by result digest.
+    full: HashMap<Digest, Vec<u8>>,
+}
+
+/// Client protocol state, separated from the driver so the two can be
+/// borrowed simultaneously.
+pub struct ClientCore {
+    cfg: Config,
+    id: ClientId,
+    keychain: KeyChain,
+    view_guess: View,
+    ts: Timestamp,
+    pending: Option<PendingOp>,
+    retry_timer: Option<TimerId>,
+    /// Exponentially weighted moving average of observed latency, driving
+    /// the adaptive retransmission timeout (ns).
+    latency_ewma: f64,
+    /// Completed operation count (also mirrored into the metrics).
+    pub completed_ops: u64,
+}
+
+impl ClientCore {
+    fn new(id: ClientId, cfg: Config) -> ClientCore {
+        cfg.validate();
+        assert!(id >= cfg.n(), "client ids must not collide with replicas");
+        let keychain = KeyChain::new(id, cfg.n(), cfg.f());
+        ClientCore {
+            cfg,
+            id,
+            keychain,
+            view_guess: 0,
+            ts: 0,
+            pending: None,
+            retry_timer: None,
+            latency_ewma: 0.0,
+            completed_ops: 0,
+        }
+    }
+
+    fn send_request(&mut self, ctx: &mut Context<'_, Packet>) {
+        let Some(p) = &self.pending else { return };
+        let req = Request {
+            client: self.id,
+            timestamp: p.timestamp,
+            op: p.op.clone(),
+            read_only: p.read_only,
+            replier: p.replier,
+            auth: AuthTag::None, // replaced below
+        };
+        let cost = &self.cfg.cost;
+        ctx.charge(cost.digest(req.op.len() + 21));
+        ctx.charge(cost.authenticator(self.cfg.n(), 16));
+        let d = req.digest();
+        let auth = AuthTag::Vector(self.keychain.authenticate(d.as_bytes()));
+        let req = Request { auth, ..req };
+        let multicast = p.read_only
+            || p.broadcast
+            || (self.cfg.opts.separate_request_transmission
+                && req.op.len() > self.cfg.inline_threshold);
+        let packet = Packet::unauthenticated(Msg::Request(req));
+        let wire = packet.wire_bytes();
+        ctx.charge(cost.send(wire));
+        if multicast {
+            let all: Vec<NodeId> = (0..self.cfg.n()).collect();
+            ctx.multicast(&all, packet, wire);
+        } else {
+            let primary = self.cfg.quorums.primary(self.view_guess);
+            ctx.send(primary, packet, wire);
+        }
+        // Adaptive retransmission: never retransmit before several times
+        // the recently observed latency — premature retransmissions under
+        // load amplify the congestion that delayed the reply.
+        let adaptive = (self.latency_ewma * 4.0) as u64;
+        let timeout = self.cfg.client_retry_timeout_ns.max(adaptive) << p.retries.min(4);
+        if let Some(t) = self.retry_timer.take() {
+            ctx.cancel_timer(t);
+        }
+        self.retry_timer = Some(ctx.set_timer(timeout, TIMER_RETRY));
+    }
+
+    fn submit_inner(&mut self, ctx: &mut Context<'_, Packet>, op: Vec<u8>, read_only: bool) {
+        assert!(
+            self.pending.is_none(),
+            "one outstanding operation per client"
+        );
+        self.ts += 1;
+        let replier = if self.cfg.opts.digest_replies {
+            ((self.ts as u32).wrapping_add(self.id)) % self.cfg.n()
+        } else {
+            REPLIER_ALL
+        };
+        self.pending = Some(PendingOp {
+            timestamp: self.ts,
+            op,
+            read_only: read_only && self.cfg.opts.read_only,
+            replier,
+            sent_at: ctx.now(),
+            broadcast: false,
+            retries: 0,
+            replies: HashMap::new(),
+            full: HashMap::new(),
+        });
+        self.send_request(ctx);
+    }
+
+    /// Checks whether a reply quorum has formed; returns the accepted
+    /// result if so.
+    fn check_complete(&mut self) -> Option<(Vec<u8>, SimTime)> {
+        let q = &self.cfg.quorums;
+        let p = self.pending.as_ref()?;
+        let mut committed: HashMap<Digest, usize> = HashMap::new();
+        let mut total: HashMap<Digest, usize> = HashMap::new();
+        for &(d, tentative) in p.replies.values() {
+            *total.entry(d).or_insert(0) += 1;
+            if !tentative {
+                *committed.entry(d).or_insert(0) += 1;
+            }
+        }
+        for (&d, &n_total) in &total {
+            let n_committed = committed.get(&d).copied().unwrap_or(0);
+            let quorum_ok =
+                n_committed >= q.reply_quorum() || n_total >= q.tentative_reply_quorum();
+            if quorum_ok {
+                if let Some(result) = p.full.get(&d) {
+                    let result = result.clone();
+                    let sent_at = p.sent_at;
+                    self.pending = None;
+                    return Some((result, sent_at));
+                }
+            }
+        }
+        None
+    }
+
+    fn handle_reply(
+        &mut self,
+        ctx: &mut Context<'_, Packet>,
+        from: NodeId,
+        reply: Reply,
+        auth: &AuthTag,
+        body_bytes_len: usize,
+    ) -> Option<(Vec<u8>, u64)> {
+        if from >= self.cfg.n() || reply.client != self.id {
+            return None;
+        }
+        let cost = self.cfg.cost;
+        ctx.charge(cost.digest(body_bytes_len));
+        let p = self.pending.as_ref()?;
+        if reply.timestamp != p.timestamp {
+            return None;
+        }
+        // Verify the point-to-point MAC.
+        let AuthTag::Mac(mac) = auth else { return None };
+        ctx.charge(cost.mac(16));
+        let mut body_buf = Vec::new();
+        Msg::Reply(reply.clone()).encode(&mut body_buf);
+        let d = bft_crypto::digest(&body_buf);
+        if !self.keychain.verify_from(from, d.as_bytes(), mac) {
+            ctx.metrics().incr("client.bad_reply_auth");
+            return None;
+        }
+        self.view_guess = self.view_guess.max(reply.view);
+        let result_digest = reply.body.result_digest();
+        let p = self.pending.as_mut()?;
+        if let crate::messages::ReplyBody::Full(bytes) = reply.body {
+            // The digest charged above (over the reply body) covers the
+            // result-hash work; no extra per-byte cost here.
+            p.full.insert(result_digest, bytes);
+        }
+        p.replies.insert(from, (result_digest, reply.tentative));
+        let (result, sent_at) = self.check_complete()?;
+        if let Some(t) = self.retry_timer.take() {
+            ctx.cancel_timer(t);
+        }
+        let latency = ctx.now().since(sent_at);
+        self.latency_ewma = if self.latency_ewma == 0.0 {
+            latency as f64
+        } else {
+            0.8 * self.latency_ewma + 0.2 * latency as f64
+        };
+        self.completed_ops += 1;
+        ctx.metrics().incr("client.ops_completed");
+        ctx.metrics().record("client.latency", latency);
+        Some((result, latency))
+    }
+
+    fn on_retry_timer(&mut self, ctx: &mut Context<'_, Packet>) {
+        self.retry_timer = None;
+        let Some(p) = &mut self.pending else { return };
+        p.retries += 1;
+        p.broadcast = true;
+        // A timed-out read-only operation is retransmitted as a regular
+        // read-write request (Section 3.1). Replies already collected stay
+        // valid — they are matched by timestamp and result digest.
+        p.read_only = false;
+        p.replier = REPLIER_ALL;
+        ctx.metrics().incr("client.retransmissions");
+        self.send_request(ctx);
+    }
+}
+
+/// What a [`ClientDriver`] can do: submit operations, set timers, read the
+/// clock and metrics.
+pub struct ClientApi<'a, 'b> {
+    core: &'a mut ClientCore,
+    ctx: &'a mut Context<'b, Packet>,
+}
+
+impl ClientApi<'_, '_> {
+    /// Submits an operation. `read_only` requests the single-round-trip
+    /// path (honored only when the optimization is enabled and the service
+    /// agrees the operation is read-only).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an operation is already outstanding (clients are
+    /// closed-loop).
+    pub fn submit(&mut self, op: Vec<u8>, read_only: bool) {
+        self.core.submit_inner(self.ctx, op, read_only);
+    }
+
+    /// True if an operation is in flight.
+    pub fn busy(&self) -> bool {
+        self.core.pending.is_some()
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.ctx.now()
+    }
+
+    /// This client's principal id.
+    pub fn client_id(&self) -> ClientId {
+        self.core.id
+    }
+
+    /// The protocol configuration.
+    pub fn config(&self) -> &Config {
+        &self.core.cfg
+    }
+
+    /// Sets a driver timer; it arrives at [`ClientDriver::on_timer`].
+    pub fn set_timer(&mut self, delay_ns: u64, token: u64) {
+        self.ctx.set_timer(delay_ns, DRIVER_TOKEN_BASE + token);
+    }
+
+    /// Charges simulated CPU time (client-side computation between
+    /// operations, which the paper notes reduces relative overhead).
+    pub fn charge(&mut self, ns: u64) {
+        self.ctx.charge(ns);
+    }
+
+    /// Shared metrics.
+    pub fn metrics(&mut self) -> &mut bft_sim::Metrics {
+        self.ctx.metrics()
+    }
+
+    /// The simulation RNG.
+    pub fn rng(&mut self) -> &mut rand::rngs::StdRng {
+        self.ctx.rng()
+    }
+}
+
+/// A BFT client node: protocol core plus an application driver.
+pub struct Client<D: ClientDriver> {
+    core: ClientCore,
+    driver: D,
+}
+
+impl<D: ClientDriver> Client<D> {
+    /// Creates a client with principal id `id` (which must equal the node
+    /// id it is registered under, and be `>= n`).
+    pub fn new(id: ClientId, cfg: Config, driver: D) -> Client<D> {
+        Client {
+            core: ClientCore::new(id, cfg),
+            driver,
+        }
+    }
+
+    /// Completed-operation count.
+    pub fn completed_ops(&self) -> u64 {
+        self.core.completed_ops
+    }
+
+    /// Access to the driver (e.g. to read workload statistics).
+    pub fn driver(&self) -> &D {
+        &self.driver
+    }
+
+    /// Mutable access to the driver.
+    pub fn driver_mut(&mut self) -> &mut D {
+        &mut self.driver
+    }
+}
+
+impl<D: ClientDriver> Node<Packet> for Client<D> {
+    fn on_start(&mut self, ctx: &mut Context<'_, Packet>) {
+        assert_eq!(
+            ctx.id(),
+            self.core.id,
+            "client node id must equal client id"
+        );
+        let mut api = ClientApi {
+            core: &mut self.core,
+            ctx,
+        };
+        self.driver.on_start(&mut api);
+    }
+
+    fn on_message(
+        &mut self,
+        ctx: &mut Context<'_, Packet>,
+        from: NodeId,
+        packet: Packet,
+        wire: usize,
+    ) {
+        ctx.charge(self.core.cfg.cost.recv(wire));
+        let Msg::Reply(reply) = packet.body else {
+            return;
+        };
+        let body_len = wire.saturating_sub(packet.auth.wire_bytes());
+        if let Some((result, latency)) =
+            self.core
+                .handle_reply(ctx, from, reply, &packet.auth, body_len)
+        {
+            let mut api = ClientApi {
+                core: &mut self.core,
+                ctx,
+            };
+            self.driver.on_complete(&mut api, &result, latency);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, Packet>, token: u64) {
+        if token == TIMER_RETRY {
+            self.core.on_retry_timer(ctx);
+        } else if token >= DRIVER_TOKEN_BASE {
+            let mut api = ClientApi {
+                core: &mut self.core,
+                ctx,
+            };
+            self.driver.on_timer(&mut api, token - DRIVER_TOKEN_BASE);
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+impl<D: ClientDriver> std::fmt::Debug for Client<D> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Client")
+            .field("id", &self.core.id)
+            .field("ts", &self.core.ts)
+            .field("busy", &self.core.pending.is_some())
+            .field("completed", &self.core.completed_ops)
+            .finish()
+    }
+}

@@ -1,0 +1,115 @@
+//! Convenience harness assembling a simulated BFT cluster: `n` replicas
+//! followed by any number of clients, with node ids equal to principal
+//! ids. Used by the test suite, the examples, and the benchmark drivers.
+
+use crate::client::{Client, ClientDriver};
+use crate::config::Config;
+use crate::messages::Packet;
+use crate::replica::Replica;
+use crate::service::Service;
+use crate::types::ClientId;
+use bft_sim::{NetConfig, NodeId, Simulation};
+
+/// A simulated BFT cluster under construction / test.
+pub struct Cluster {
+    /// The underlying simulation.
+    pub sim: Simulation<Packet>,
+    /// The shared configuration.
+    pub cfg: Config,
+    /// Node ids of the replicas (always `0..n`).
+    pub replicas: Vec<NodeId>,
+    /// Node ids of the clients (in registration order).
+    pub clients: Vec<NodeId>,
+}
+
+impl Cluster {
+    /// Creates a cluster with `n` replicas, each running a service built
+    /// by `make_service`.
+    pub fn new<S, F>(seed: u64, net: NetConfig, cfg: Config, mut make_service: F) -> Cluster
+    where
+        S: Service,
+        F: FnMut(u32) -> S,
+    {
+        cfg.validate();
+        let mut sim = Simulation::new(seed, net);
+        let mut replicas = Vec::with_capacity(cfg.n() as usize);
+        for i in 0..cfg.n() {
+            let id = sim.add_node(Box::new(Replica::new(i, cfg.clone(), make_service(i))));
+            assert_eq!(id, i, "replica node ids must equal replica ids");
+            replicas.push(id);
+        }
+        Cluster {
+            sim,
+            cfg,
+            replicas,
+            clients: Vec::new(),
+        }
+    }
+
+    /// Adds a client with the given driver; returns its id.
+    pub fn add_client<D: ClientDriver>(&mut self, driver: D) -> ClientId {
+        let id = self.sim.node_count() as ClientId;
+        let node = self
+            .sim
+            .add_node(Box::new(Client::new(id, self.cfg.clone(), driver)));
+        assert_eq!(node, id);
+        self.clients.push(id);
+        id
+    }
+
+    /// Borrows replica `i` downcast to its concrete service type.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the service type does not match.
+    pub fn replica<S: Service>(&self, i: u32) -> &Replica<S> {
+        self.sim.node_as::<Replica<S>>(i)
+    }
+
+    /// Mutably borrows replica `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the service type does not match.
+    pub fn replica_mut<S: Service>(&mut self, i: u32) -> &mut Replica<S> {
+        self.sim.node_as_mut::<Replica<S>>(i)
+    }
+
+    /// Borrows a client by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the driver type does not match.
+    pub fn client<D: ClientDriver>(&self, id: ClientId) -> &Client<D> {
+        self.sim.node_as::<Client<D>>(id)
+    }
+
+    /// Mutably borrows a client by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the driver type does not match.
+    pub fn client_mut<D: ClientDriver>(&mut self, id: ClientId) -> &mut Client<D> {
+        self.sim.node_as_mut::<Client<D>>(id)
+    }
+
+    /// Runs the simulation for `delta_ns` of simulated time.
+    pub fn run_for(&mut self, delta_ns: u64) {
+        self.sim.run_for(delta_ns);
+    }
+
+    /// Total completed client operations (from the metrics).
+    pub fn completed_ops(&self) -> u64 {
+        self.sim.metrics().counter("client.ops_completed")
+    }
+}
+
+impl std::fmt::Debug for Cluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cluster")
+            .field("replicas", &self.replicas.len())
+            .field("clients", &self.clients.len())
+            .field("now", &self.sim.now())
+            .finish()
+    }
+}

@@ -1,0 +1,210 @@
+//! Protocol configuration: group size, windows, and the optimization
+//! toggles the paper ablates in Section 4.4.
+
+use crate::types::Quorums;
+use bft_sim::cost::CostModel;
+use bft_sim::time::dur;
+
+/// The five normal-case optimizations from Section 3.1, plus piggybacked
+/// commits. Each benchmark figure toggles exactly one of these.
+#[derive(serde::Serialize, serde::Deserialize, Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Optimizations {
+    /// *Digest replies*: only the designated replica sends the full result;
+    /// the others send its digest.
+    pub digest_replies: bool,
+    /// *Tentative execution*: execute once prepared (4 message delays);
+    /// clients wait for `2f+1` matching tentative replies.
+    pub tentative_execution: bool,
+    /// *Read-only operations*: single round trip for side-effect-free ops.
+    pub read_only: bool,
+    /// *Request batching*: order a batch per protocol instance, with a
+    /// sliding window of concurrent instances.
+    pub batching: bool,
+    /// *Separate request transmission*: clients multicast requests larger
+    /// than the inline threshold; pre-prepares carry only digests.
+    pub separate_request_transmission: bool,
+    /// *Piggybacked commits*: commit announcements ride on the next
+    /// pre-prepare/prepare instead of separate messages. Off by default —
+    /// the paper notes this one was not part of the released library.
+    pub piggyback_commits: bool,
+}
+
+impl Optimizations {
+    /// Everything the released BFT library shipped with (all but
+    /// piggybacked commits).
+    pub const LIBRARY: Optimizations = Optimizations {
+        digest_replies: true,
+        tentative_execution: true,
+        read_only: true,
+        batching: true,
+        separate_request_transmission: true,
+        piggyback_commits: false,
+    };
+
+    /// No optimizations: the base three-phase protocol.
+    pub const NONE: Optimizations = Optimizations {
+        digest_replies: false,
+        tentative_execution: false,
+        read_only: false,
+        batching: false,
+        separate_request_transmission: false,
+        piggyback_commits: false,
+    };
+
+    /// All optimizations including piggybacked commits.
+    pub const ALL: Optimizations = Optimizations {
+        piggyback_commits: true,
+        ..Optimizations::LIBRARY
+    };
+}
+
+impl Default for Optimizations {
+    fn default() -> Self {
+        Optimizations::LIBRARY
+    }
+}
+
+/// Full protocol configuration shared by replicas and clients.
+#[derive(serde::Serialize, serde::Deserialize, Debug, Clone, PartialEq)]
+pub struct Config {
+    /// Group size and fault threshold.
+    pub quorums: Quorums,
+    /// Checkpoint period `K`: a checkpoint every `K` sequence numbers.
+    pub checkpoint_interval: u64,
+    /// Log window `L`: the high water mark is `h + L`. Must be a multiple
+    /// of `checkpoint_interval` and at least twice it.
+    pub log_window: u64,
+    /// Sliding window `W` of concurrently ordered batches (Section 3.1).
+    pub batch_window: u64,
+    /// Upper bound on the summed size of requests in one batch.
+    pub max_batch_bytes: usize,
+    /// Upper bound on requests per batch.
+    pub max_batch_requests: usize,
+    /// Requests whose operation exceeds this many bytes are not inlined in
+    /// pre-prepares when separate request transmission is on (255 B in the
+    /// paper).
+    pub inline_threshold: usize,
+    /// Optimization toggles.
+    pub opts: Optimizations,
+    /// CPU cost model for all principals.
+    pub cost: CostModel,
+    /// Backup timer: how long a request may stay un-executed before the
+    /// backup suspects the primary and starts a view change.
+    pub view_change_timeout_ns: u64,
+    /// Client retransmission timeout.
+    pub client_retry_timeout_ns: u64,
+    /// Period of the replica's retransmission sweep over stalled slots.
+    pub resend_interval_ns: u64,
+    /// How long pending piggybacked commits may wait for a carrier message
+    /// before being flushed as explicit commits.
+    pub piggyback_flush_ns: u64,
+    /// Period of session-key refresh (NEW-KEY announcements); 0 disables.
+    pub key_refresh_interval_ns: u64,
+    /// Period of proactive recovery per replica (staggered by replica id);
+    /// 0 disables. See Section 2 of the paper: proactive recovery bounds
+    /// the window of vulnerability.
+    pub proactive_recovery_interval_ns: u64,
+}
+
+impl Config {
+    /// The paper's default configuration for a group tolerating `f`
+    /// faults.
+    pub fn new(f: u32) -> Config {
+        Config {
+            quorums: Quorums::minimal(f),
+            checkpoint_interval: 128,
+            log_window: 256,
+            batch_window: 2,
+            max_batch_bytes: 8 * 1024,
+            max_batch_requests: 64,
+            inline_threshold: 255,
+            opts: Optimizations::LIBRARY,
+            cost: CostModel::PIII_600,
+            view_change_timeout_ns: dur::millis(2_000),
+            client_retry_timeout_ns: dur::millis(250),
+            resend_interval_ns: dur::millis(100),
+            piggyback_flush_ns: dur::micros(500),
+            key_refresh_interval_ns: 0,
+            proactive_recovery_interval_ns: 0,
+        }
+    }
+
+    /// Returns the configuration with different optimization toggles.
+    pub fn with_opts(mut self, opts: Optimizations) -> Config {
+        self.opts = opts;
+        self
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the log window is not a multiple of (or is too small
+    /// relative to) the checkpoint interval, or limits are zero.
+    pub fn validate(&self) {
+        assert!(self.checkpoint_interval > 0);
+        assert!(
+            self.log_window >= 2 * self.checkpoint_interval,
+            "log window must cover at least two checkpoint periods"
+        );
+        assert_eq!(
+            self.log_window % self.checkpoint_interval,
+            0,
+            "log window must be a multiple of the checkpoint interval"
+        );
+        assert!(self.batch_window >= 1);
+        assert!(self.max_batch_requests >= 1);
+        assert!(self.max_batch_bytes >= 1);
+    }
+
+    /// Number of replicas.
+    pub fn n(&self) -> u32 {
+        self.quorums.n
+    }
+
+    /// Fault threshold.
+    pub fn f(&self) -> u32 {
+        self.quorums.f
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config::new(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        Config::default().validate();
+        Config::new(2).validate();
+    }
+
+    #[test]
+    fn library_opts_match_paper() {
+        let o = Optimizations::LIBRARY;
+        assert!(o.digest_replies && o.tentative_execution && o.read_only);
+        assert!(o.batching && o.separate_request_transmission);
+        assert!(!o.piggyback_commits, "not part of the released library");
+    }
+
+    #[test]
+    #[should_panic(expected = "log window")]
+    fn bad_window_rejected() {
+        let c = Config {
+            log_window: 100,
+            ..Config::default()
+        };
+        c.validate();
+    }
+
+    #[test]
+    fn with_opts_replaces_toggles() {
+        let c = Config::default().with_opts(Optimizations::NONE);
+        assert!(!c.opts.batching);
+    }
+}

@@ -1,0 +1,341 @@
+//! The replica message log: per-sequence-number slots accumulating
+//! pre-prepare/prepare/commit certificates within the water marks.
+
+use crate::messages::{BatchEntry, Request, NULL_DIGEST};
+use crate::types::{Quorums, ReplicaId, SeqNum, View};
+use bft_crypto::md5::Digest;
+use std::collections::{BTreeMap, HashMap};
+
+/// Protocol state for one sequence number.
+#[derive(Debug, Clone, Default)]
+pub struct Slot {
+    /// View of the accepted pre-prepare.
+    pub view: View,
+    /// Batch digest from the accepted pre-prepare.
+    pub digest: Option<Digest>,
+    /// Resolved request bodies (present once every `Ref` entry has been
+    /// matched with a multicast request body).
+    pub requests: Option<Vec<Request>>,
+    /// The raw batch entries as proposed (served to fetchers).
+    pub raw_entries: Option<Vec<BatchEntry>>,
+    /// Prepares received, by sender, with the digest each vouched for.
+    pub prepares: HashMap<ReplicaId, Digest>,
+    /// Commits received, by sender.
+    pub commits: HashMap<ReplicaId, Digest>,
+    /// Whether this replica already multicast its prepare.
+    pub prepare_sent: bool,
+    /// Whether this replica already multicast (or queued) its commit.
+    pub commit_sent: bool,
+    /// Whether the batch has been executed tentatively.
+    pub executed_tentative: bool,
+    /// Whether the batch has been executed with a committed certificate.
+    pub executed_final: bool,
+    /// True for null batches installed by a new view.
+    pub is_null: bool,
+    /// Set when `f+1` peers asserted this batch committed (backfill); the
+    /// committed predicate then holds without local certificates.
+    pub force_committed: bool,
+}
+
+impl Slot {
+    /// True once a pre-prepare (or new-view equivalent) is accepted.
+    pub fn has_pre_prepare(&self) -> bool {
+        self.digest.is_some()
+    }
+
+    /// True once the request bodies needed for execution are available.
+    pub fn executable(&self) -> bool {
+        self.is_null || self.requests.is_some()
+    }
+
+    /// The *prepared* predicate: an accepted pre-prepare plus `2f`
+    /// matching prepares from replicas other than the view's primary.
+    pub fn prepared(&self, q: &Quorums) -> bool {
+        let Some(d) = self.digest else { return false };
+        let primary = q.primary(self.view);
+        let matching = self
+            .prepares
+            .iter()
+            .filter(|&(&r, &pd)| r != primary && pd == d)
+            .count();
+        matching >= q.prepare_quorum()
+    }
+
+    /// The *committed-local* predicate: prepared plus `2f+1` matching
+    /// commits (own commit included once sent).
+    pub fn committed(&self, q: &Quorums) -> bool {
+        let Some(d) = self.digest else { return false };
+        if self.force_committed {
+            return true;
+        }
+        if !self.prepared(q) {
+            return false;
+        }
+        let matching = self.commits.values().filter(|&&cd| cd == d).count();
+        matching >= q.commit_quorum()
+    }
+}
+
+/// The log: slots between the low water mark `h` (exclusive) and
+/// `h + L` (inclusive).
+#[derive(Debug, Clone)]
+pub struct Log {
+    slots: BTreeMap<SeqNum, Slot>,
+    low: SeqNum,
+    window: u64,
+}
+
+impl Log {
+    /// Creates an empty log with low water mark 0.
+    pub fn new(window: u64) -> Log {
+        Log {
+            slots: BTreeMap::new(),
+            low: 0,
+            window,
+        }
+    }
+
+    /// The low water mark `h` (the last stable checkpoint).
+    pub fn low(&self) -> SeqNum {
+        self.low
+    }
+
+    /// The high water mark `H = h + L`.
+    pub fn high(&self) -> SeqNum {
+        self.low + self.window
+    }
+
+    /// True if `seq` is within `(h, H]`.
+    pub fn in_window(&self, seq: SeqNum) -> bool {
+        seq > self.low && seq <= self.high()
+    }
+
+    /// The slot for `seq`, creating it if absent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seq` is outside the water marks.
+    pub fn slot_mut(&mut self, seq: SeqNum) -> &mut Slot {
+        assert!(
+            self.in_window(seq),
+            "seq {seq} outside ({}, {}]",
+            self.low,
+            self.high()
+        );
+        self.slots.entry(seq).or_default()
+    }
+
+    /// The slot for `seq` if it exists.
+    pub fn slot(&self, seq: SeqNum) -> Option<&Slot> {
+        self.slots.get(&seq)
+    }
+
+    /// Iterates over populated slots in sequence order.
+    pub fn iter(&self) -> impl Iterator<Item = (SeqNum, &Slot)> {
+        self.slots.iter().map(|(&s, slot)| (s, slot))
+    }
+
+    /// Advances the low water mark to a new stable checkpoint, discarding
+    /// everything at or below it.
+    pub fn collect_garbage(&mut self, new_low: SeqNum) {
+        if new_low <= self.low {
+            return;
+        }
+        self.low = new_low;
+        self.slots = self.slots.split_off(&(new_low + 1));
+    }
+
+    /// Summaries of prepared batches above the low water mark — the `P`
+    /// set for a view-change message.
+    pub fn prepared_infos(&self, q: &Quorums) -> Vec<crate::messages::PreparedInfo> {
+        self.slots
+            .iter()
+            .filter(|(_, slot)| slot.prepared(q) && slot.digest != Some(NULL_DIGEST))
+            .map(|(&seq, slot)| crate::messages::PreparedInfo {
+                seq,
+                view: slot.view,
+                batch_digest: slot.digest.expect("prepared implies digest"),
+            })
+            .collect()
+    }
+
+    /// Resets certificate state for a new view, preserving request bodies
+    /// (so the new primary can re-propose them and fetches can be served)
+    /// and execution flags.
+    pub fn reset_for_view(&mut self) {
+        for slot in self.slots.values_mut() {
+            slot.digest = None;
+            slot.prepares.clear();
+            slot.commits.clear();
+            slot.prepare_sent = false;
+            slot.commit_sent = false;
+            slot.force_committed = false;
+            // requests/raw_entries retained; executed_* retained.
+        }
+    }
+
+    /// Discards everything and restarts the window at `low` (proactive
+    /// recovery: the replica rebuilds its log from its stable checkpoint).
+    pub fn reset(&mut self, low: SeqNum) {
+        self.slots.clear();
+        self.low = low;
+    }
+
+    /// Number of populated slots (diagnostics).
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True if no slots are populated.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q() -> Quorums {
+        Quorums::minimal(1)
+    }
+
+    fn digest(tag: u8) -> Digest {
+        bft_crypto::digest(&[tag])
+    }
+
+    fn accepted_slot(view: View, d: Digest) -> Slot {
+        Slot {
+            view,
+            digest: Some(d),
+            requests: Some(vec![]),
+            ..Slot::default()
+        }
+    }
+
+    #[test]
+    fn prepared_needs_2f_matching_from_non_primary() {
+        let mut slot = accepted_slot(0, digest(1));
+        assert!(!slot.prepared(&q()));
+        // Primary of view 0 is replica 0; its prepare must not count.
+        slot.prepares.insert(0, digest(1));
+        slot.prepares.insert(1, digest(1));
+        assert!(!slot.prepared(&q()), "one backup prepare is not enough");
+        slot.prepares.insert(2, digest(1));
+        assert!(slot.prepared(&q()));
+    }
+
+    #[test]
+    fn mismatched_prepare_digests_do_not_count() {
+        let mut slot = accepted_slot(0, digest(1));
+        slot.prepares.insert(1, digest(2));
+        slot.prepares.insert(2, digest(2));
+        slot.prepares.insert(3, digest(2));
+        assert!(!slot.prepared(&q()), "prepares for a different digest");
+    }
+
+    #[test]
+    fn committed_needs_prepared_plus_quorum() {
+        let mut slot = accepted_slot(1, digest(1));
+        // Primary of view 1 is replica 1.
+        slot.prepares.insert(0, digest(1));
+        slot.prepares.insert(2, digest(1));
+        slot.commits.insert(0, digest(1));
+        slot.commits.insert(2, digest(1));
+        assert!(!slot.committed(&q()), "2 commits < 2f+1");
+        slot.commits.insert(3, digest(1));
+        assert!(slot.committed(&q()));
+    }
+
+    #[test]
+    fn commit_without_prepared_is_not_committed() {
+        let mut slot = accepted_slot(0, digest(1));
+        for r in 0..4 {
+            slot.commits.insert(r, digest(1));
+        }
+        assert!(!slot.committed(&q()), "no prepared certificate");
+    }
+
+    #[test]
+    fn window_bounds() {
+        let mut log = Log::new(256);
+        assert!(log.in_window(1));
+        assert!(log.in_window(256));
+        assert!(!log.in_window(0));
+        assert!(!log.in_window(257));
+        log.collect_garbage(128);
+        assert!(!log.in_window(128));
+        assert!(log.in_window(384));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn slot_outside_window_panics() {
+        let mut log = Log::new(256);
+        log.slot_mut(1000);
+    }
+
+    #[test]
+    fn gc_discards_old_slots() {
+        let mut log = Log::new(256);
+        log.slot_mut(1).digest = Some(digest(1));
+        log.slot_mut(128).digest = Some(digest(2));
+        log.slot_mut(129).digest = Some(digest(3));
+        log.collect_garbage(128);
+        assert!(log.slot(1).is_none());
+        assert!(log.slot(128).is_none());
+        assert!(log.slot(129).is_some());
+        // GC never regresses.
+        log.collect_garbage(1);
+        assert_eq!(log.low(), 128);
+    }
+
+    #[test]
+    fn prepared_infos_reports_p_set() {
+        let mut log = Log::new(256);
+        {
+            let s = log.slot_mut(5);
+            s.view = 0;
+            s.digest = Some(digest(7));
+            s.requests = Some(vec![]);
+            s.prepares.insert(1, digest(7));
+            s.prepares.insert(2, digest(7));
+        }
+        log.slot_mut(6).digest = Some(digest(8)); // not prepared
+        let infos = log.prepared_infos(&q());
+        assert_eq!(infos.len(), 1);
+        assert_eq!(infos[0].seq, 5);
+        assert_eq!(infos[0].batch_digest, digest(7));
+    }
+
+    #[test]
+    fn reset_for_view_clears_certificates_keeps_bodies() {
+        let mut log = Log::new(256);
+        {
+            let s = log.slot_mut(3);
+            s.digest = Some(digest(1));
+            s.raw_entries = Some(vec![]);
+            s.requests = Some(vec![]);
+            s.prepares.insert(1, digest(1));
+            s.prepare_sent = true;
+            s.executed_final = true;
+        }
+        log.reset_for_view();
+        let s = log.slot(3).expect("slot kept");
+        assert!(s.digest.is_none());
+        assert!(s.prepares.is_empty());
+        assert!(!s.prepare_sent);
+        assert!(s.requests.is_some(), "bodies survive view changes");
+        assert!(s.executed_final, "execution state survives");
+    }
+
+    #[test]
+    fn null_slot_is_executable_without_requests() {
+        let slot = Slot {
+            is_null: true,
+            digest: Some(NULL_DIGEST),
+            ..Slot::default()
+        };
+        assert!(slot.executable());
+    }
+}

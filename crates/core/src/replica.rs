@@ -1,0 +1,2029 @@
+//! The BFT replica: a [`bft_sim::Node`] implementing the full protocol —
+//! normal-case three-phase ordering with all the paper's optimizations,
+//! checkpoints and garbage collection, view changes, and state transfer.
+
+use crate::checkpoint::CheckpointSet;
+use crate::config::Config;
+use crate::log::Log;
+use crate::messages::*;
+use crate::service::Service;
+use crate::types::{ClientId, ReplicaId, SeqNum, Timestamp, View};
+use crate::viewchange::{compute_plan, validate_new_view, ViewChangeSet};
+use crate::wire::Wire;
+use bft_crypto::keychain::KeyChain;
+use bft_crypto::md5::{digest_parts, Digest};
+use bft_sim::{Context, Node, NodeId, TimerId};
+use std::any::Any;
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// Timer tokens.
+const TIMER_RESEND: u64 = 1;
+const TIMER_VIEW_CHANGE: u64 = 2;
+const TIMER_PIGGY: u64 = 3;
+const TIMER_KEY_REFRESH: u64 = 4;
+const TIMER_RECOVERY: u64 = 5;
+
+/// Fault-injection behaviours for testing. A correct deployment uses
+/// [`Behavior::Correct`]; the others make this replica Byzantine in a
+/// specific, reproducible way.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Behavior {
+    /// Follow the protocol.
+    #[default]
+    Correct,
+    /// Stop processing everything (fail-stop crash).
+    Crashed,
+    /// Process incoming messages but never send anything.
+    Silent,
+    /// As primary, send conflicting pre-prepares to different backups.
+    EquivocatingPrimary,
+    /// Send garbage authentication tags on every message.
+    CorruptAuth,
+    /// Execute correctly but reply with corrupted results.
+    WrongResult,
+    /// As the new primary of a view change, forge the NEW-VIEW `O` set.
+    BadNewView,
+    /// Serve corrupted snapshots to state-transfer requests.
+    CorruptStateData,
+}
+
+/// A cached last reply for one client (BFT's reply cache, part of the
+/// checkpointed state).
+#[derive(Debug, Clone)]
+struct CachedReply {
+    timestamp: Timestamp,
+    result: Vec<u8>,
+    result_digest: Digest,
+    tentative: bool,
+    view: View,
+}
+
+/// A read-only reply waiting for the committed prefix to catch up.
+#[derive(Debug, Clone)]
+struct WaitingRo {
+    client: ClientId,
+    reply: Reply,
+}
+
+/// The replica node.
+pub struct Replica<S: Service> {
+    cfg: Config,
+    id: ReplicaId,
+    keychain: KeyChain,
+    service: S,
+    log: Log,
+    checkpoints: CheckpointSet,
+    view: View,
+    /// Highest sequence number executed (including tentatively).
+    last_executed: SeqNum,
+    /// Highest sequence number executed with a committed certificate.
+    last_final: SeqNum,
+    /// Operations executed tentatively beyond `last_final` (≤ one batch).
+    tentative_ops: usize,
+    /// Reply-cache entries displaced by the current tentative batch, for
+    /// rollback.
+    tentative_cache_undo: Vec<(ClientId, Option<CachedReply>)>,
+    reply_cache: HashMap<ClientId, CachedReply>,
+    /// Primary: last assigned sequence number.
+    next_seq: SeqNum,
+    /// Primary: requests waiting for a batch slot.
+    pending_batch: VecDeque<Request>,
+    /// Identities already queued or proposed, to drop duplicates cheaply.
+    queued: HashSet<(ClientId, Timestamp)>,
+    /// Request bodies known by digest (separate request transmission and
+    /// recovery serving). Bounded by `store_order` eviction.
+    request_store: HashMap<Digest, Request>,
+    /// Insertion order of `request_store`, for capacity eviction.
+    store_order: VecDeque<Digest>,
+    /// Requests this backup believes are outstanding (drives the
+    /// view-change timer).
+    pending_requests: HashSet<(ClientId, Timestamp)>,
+    in_view_change: bool,
+    /// The view we are trying to move to while `in_view_change`.
+    pending_view: View,
+    vc_set: ViewChangeSet,
+    vc_timer: Option<TimerId>,
+    vc_timeout_ns: u64,
+    /// Pending piggybacked commit announcements.
+    piggy_queue: Vec<(SeqNum, Digest)>,
+    piggy_timer: Option<TimerId>,
+    /// In-flight state transfer: (checkpoint seq, expected digest, next
+    /// replica to try).
+    fetching: Option<(SeqNum, Digest, ReplicaId)>,
+    /// Earliest time the next blocked-execution body fetch may be sent.
+    next_body_fetch_ns: u64,
+    /// Set when execution advanced, so the view-change timer restarts —
+    /// a primary that makes progress is not suspected.
+    exec_progress: bool,
+    /// Backfill votes: which peers asserted each (seq, digest) committed.
+    backfill: HashMap<(SeqNum, Digest), HashSet<ReplicaId>>,
+    waiting_ro: Vec<WaitingRo>,
+    behavior: Behavior,
+}
+
+impl<S: Service> Replica<S> {
+    /// Creates replica `id` for the given configuration and service.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid or `id >= n`.
+    pub fn new(id: ReplicaId, cfg: Config, service: S) -> Replica<S> {
+        cfg.validate();
+        assert!(id < cfg.n(), "replica id out of range");
+        let keychain = KeyChain::new(id, cfg.n(), cfg.f());
+        let genesis_digest = Self::full_state_digest_of(&service, &HashMap::new());
+        let genesis_snapshot = Self::encode_snapshot_of(&service, &HashMap::new());
+        let checkpoints = CheckpointSet::new(cfg.quorums, genesis_digest, genesis_snapshot);
+        let vc_timeout_ns = cfg.view_change_timeout_ns;
+        let log = Log::new(cfg.log_window);
+        Replica {
+            cfg,
+            id,
+            keychain,
+            service,
+            log,
+            checkpoints,
+            view: 0,
+            last_executed: 0,
+            last_final: 0,
+            tentative_ops: 0,
+            tentative_cache_undo: Vec::new(),
+            reply_cache: HashMap::new(),
+            next_seq: 0,
+            pending_batch: VecDeque::new(),
+            queued: HashSet::new(),
+            request_store: HashMap::new(),
+            store_order: VecDeque::new(),
+            pending_requests: HashSet::new(),
+            in_view_change: false,
+            pending_view: 0,
+            vc_set: ViewChangeSet::new(),
+            vc_timer: None,
+            vc_timeout_ns,
+            piggy_queue: Vec::new(),
+            piggy_timer: None,
+            fetching: None,
+            next_body_fetch_ns: 0,
+            exec_progress: false,
+            backfill: HashMap::new(),
+            waiting_ro: Vec::new(),
+            behavior: Behavior::Correct,
+        }
+    }
+
+    /// Sets the fault-injection behaviour.
+    pub fn set_behavior(&mut self, behavior: Behavior) {
+        self.behavior = behavior;
+    }
+
+    /// Current view.
+    pub fn view(&self) -> View {
+        self.view
+    }
+
+    /// True if this replica is the primary of its current view.
+    pub fn is_primary(&self) -> bool {
+        self.cfg.quorums.primary(self.view) == self.id
+    }
+
+    /// Highest executed sequence number (including tentative execution).
+    pub fn last_executed(&self) -> SeqNum {
+        self.last_executed
+    }
+
+    /// Highest sequence number executed with a committed certificate.
+    pub fn last_committed_executed(&self) -> SeqNum {
+        self.last_final
+    }
+
+    /// The last stable checkpoint sequence number.
+    pub fn stable_checkpoint(&self) -> SeqNum {
+        self.checkpoints.stable_seq()
+    }
+
+    /// Read access to the replicated service.
+    pub fn service(&self) -> &S {
+        &self.service
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &Config {
+        &self.cfg
+    }
+
+    // ------------------------------------------------------------------
+    // Authentication and sending
+    // ------------------------------------------------------------------
+
+    fn others(&self) -> Vec<NodeId> {
+        self.cfg.quorums.others(self.id)
+    }
+
+    /// Remembers a request body for batch resolution and recovery
+    /// serving, with bounded memory.
+    fn store_request(&mut self, req: Request) {
+        const STORE_CAP: usize = 20_000;
+        let d = req.digest();
+        if self.request_store.insert(d, req).is_none() {
+            self.store_order.push_back(d);
+            while self.store_order.len() > STORE_CAP {
+                if let Some(old) = self.store_order.pop_front() {
+                    self.request_store.remove(&old);
+                }
+            }
+        }
+    }
+
+    fn maybe_corrupt(&self, auth: AuthTag) -> AuthTag {
+        if self.behavior != Behavior::CorruptAuth {
+            return auth;
+        }
+        match auth {
+            AuthTag::Mac(mut m) => {
+                m.tag[0] ^= 0xff;
+                AuthTag::Mac(m)
+            }
+            AuthTag::Vector(mut a) => {
+                for (_, m) in &mut a.entries {
+                    m.tag[0] ^= 0xff;
+                }
+                AuthTag::Vector(a)
+            }
+            AuthTag::None => AuthTag::None,
+        }
+    }
+
+    /// Multicasts `msg` to all other replicas with a MAC-vector
+    /// authenticator, charging digest + MAC + send costs.
+    fn multicast(&mut self, ctx: &mut Context<'_, Packet>, msg: Msg) {
+        if matches!(self.behavior, Behavior::Silent | Behavior::Crashed) {
+            return;
+        }
+        let body_bytes = msg.to_bytes();
+        let d = bft_crypto::digest(&body_bytes);
+        let cost = &self.cfg.cost;
+        ctx.charge(cost.digest(body_bytes.len()));
+        ctx.charge(cost.authenticator(self.cfg.n() - 1, 16));
+        let auth = AuthTag::Vector(self.keychain.authenticate(d.as_bytes()));
+        let auth = self.maybe_corrupt(auth);
+        let packet = Packet { body: msg, auth };
+        let wire = packet.wire_bytes();
+        ctx.charge(cost.send(wire));
+        ctx.multicast(&self.others(), packet, wire);
+    }
+
+    /// Sends `msg` point-to-point with a single MAC.
+    fn send_to(&mut self, ctx: &mut Context<'_, Packet>, dst: NodeId, msg: Msg) {
+        if matches!(self.behavior, Behavior::Silent | Behavior::Crashed) {
+            return;
+        }
+        let body_bytes = msg.to_bytes();
+        let d = bft_crypto::digest(&body_bytes);
+        let cost = &self.cfg.cost;
+        ctx.charge(cost.digest(body_bytes.len()));
+        ctx.charge(cost.mac(16));
+        let auth = AuthTag::Mac(self.keychain.mac_for(dst, d.as_bytes()));
+        let auth = self.maybe_corrupt(auth);
+        let packet = Packet { body: msg, auth };
+        let wire = packet.wire_bytes();
+        ctx.charge(cost.send(wire));
+        ctx.send(dst, packet, wire);
+    }
+
+    /// Verifies packet-level authentication from a replica or client.
+    fn verify_packet(
+        &mut self,
+        ctx: &mut Context<'_, Packet>,
+        from: NodeId,
+        packet: &Packet,
+    ) -> bool {
+        let body_bytes = packet.body.to_bytes();
+        let cost = &self.cfg.cost;
+        ctx.charge(cost.digest(body_bytes.len()));
+        let d = bft_crypto::digest(&body_bytes);
+        match &packet.auth {
+            AuthTag::None => {
+                // Only requests authenticate themselves.
+                matches!(packet.body, Msg::Request(_))
+            }
+            AuthTag::Mac(m) => {
+                ctx.charge(cost.mac(16));
+                self.keychain.verify_from(from, d.as_bytes(), m)
+            }
+            AuthTag::Vector(a) => {
+                ctx.charge(cost.mac(16));
+                self.keychain.verify_authenticator(from, d.as_bytes(), a)
+            }
+        }
+    }
+
+    /// Verifies a request's embedded authenticator.
+    fn verify_request(&mut self, ctx: &mut Context<'_, Packet>, req: &Request) -> bool {
+        let cost = &self.cfg.cost;
+        ctx.charge(cost.digest(req.op.len() + 21));
+        ctx.charge(cost.mac(16));
+        let d = req.digest();
+        match &req.auth {
+            AuthTag::Vector(a) => self
+                .keychain
+                .verify_authenticator(req.client, d.as_bytes(), a),
+            AuthTag::Mac(m) => self.keychain.verify_from(req.client, d.as_bytes(), m),
+            AuthTag::None => false,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Checkpoint state helpers (service state + reply cache)
+    // ------------------------------------------------------------------
+
+    fn full_state_digest_of(service: &S, cache: &HashMap<ClientId, CachedReply>) -> Digest {
+        let mut entries: Vec<(&ClientId, &CachedReply)> = cache.iter().collect();
+        entries.sort_by_key(|(c, _)| **c);
+        let mut buf = Vec::with_capacity(entries.len() * 28);
+        for (c, e) in entries {
+            buf.extend_from_slice(&c.to_le_bytes());
+            buf.extend_from_slice(&e.timestamp.to_le_bytes());
+            buf.extend_from_slice(e.result_digest.as_bytes());
+        }
+        let svc = service.state_digest();
+        digest_parts(&[b"STATE", svc.as_bytes(), &buf])
+    }
+
+    fn encode_snapshot_of(service: &S, cache: &HashMap<ClientId, CachedReply>) -> Vec<u8> {
+        let mut buf = Vec::new();
+        service.snapshot().encode(&mut buf);
+        let mut entries: Vec<(&ClientId, &CachedReply)> = cache.iter().collect();
+        entries.sort_by_key(|(c, _)| **c);
+        (entries.len() as u64).encode(&mut buf);
+        for (c, e) in entries {
+            c.encode(&mut buf);
+            e.timestamp.encode(&mut buf);
+            e.result.encode(&mut buf);
+        }
+        buf
+    }
+
+    fn full_state_digest(&self) -> Digest {
+        Self::full_state_digest_of(&self.service, &self.reply_cache)
+    }
+
+    fn encode_snapshot(&self) -> Vec<u8> {
+        Self::encode_snapshot_of(&self.service, &self.reply_cache)
+    }
+
+    fn restore_snapshot(&mut self, bytes: &[u8]) -> bool {
+        let mut r = crate::wire::Reader::new(bytes);
+        let Ok(svc_snap) = Vec::<u8>::decode(&mut r) else {
+            return false;
+        };
+        let Ok(n) = u64::decode(&mut r) else {
+            return false;
+        };
+        let mut cache = HashMap::new();
+        for _ in 0..n {
+            let (Ok(client), Ok(ts), Ok(result)) = (
+                u32::decode(&mut r),
+                u64::decode(&mut r),
+                Vec::<u8>::decode(&mut r),
+            ) else {
+                return false;
+            };
+            let result_digest = bft_crypto::digest(&result);
+            cache.insert(
+                client,
+                CachedReply {
+                    timestamp: ts,
+                    result,
+                    result_digest,
+                    tentative: false,
+                    view: self.view,
+                },
+            );
+        }
+        if self.service.restore(&svc_snap).is_err() {
+            return false;
+        }
+        self.reply_cache = cache;
+        true
+    }
+
+    // ------------------------------------------------------------------
+    // Request handling and batching (primary)
+    // ------------------------------------------------------------------
+
+    fn handle_request(&mut self, ctx: &mut Context<'_, Packet>, req: Request) {
+        if !self.verify_request(ctx, &req) {
+            ctx.metrics().incr("replica.bad_request_auth");
+            return;
+        }
+        // Reply-cache interaction: drop stale, answer executed.
+        if let Some(cached) = self.reply_cache.get(&req.client) {
+            if req.timestamp < cached.timestamp {
+                return;
+            }
+            if req.timestamp == cached.timestamp {
+                let reply = Reply {
+                    view: self.view,
+                    timestamp: cached.timestamp,
+                    client: req.client,
+                    replica: self.id,
+                    tentative: cached.tentative,
+                    body: ReplyBody::Full(cached.result.clone()),
+                };
+                let client = req.client;
+                self.send_to(ctx, client, Msg::Reply(reply));
+                return;
+            }
+        }
+        if req.read_only && self.cfg.opts.read_only && self.service.is_read_only(&req.op) {
+            self.execute_read_only(ctx, req);
+            return;
+        }
+        let identity = (req.client, req.timestamp);
+        self.store_request(req.clone());
+        if self.is_primary() && !self.in_view_change {
+            if self.queued.insert(identity) {
+                self.pending_batch.push_back(req);
+                self.try_propose(ctx);
+            }
+        } else {
+            // Backup: remember the request and make sure the primary
+            // eventually orders it.
+            self.pending_requests.insert(identity);
+            self.ensure_vc_timer(ctx);
+        }
+    }
+
+    fn execute_read_only(&mut self, ctx: &mut Context<'_, Packet>, req: Request) {
+        let mut result = self.service.execute_read_only(req.client, &req.op);
+        ctx.charge(self.service.exec_cost_ns(&req.op, &result));
+        if self.behavior == Behavior::WrongResult {
+            tamper(&mut result);
+        }
+        ctx.charge(self.cfg.cost.digest(result.len()));
+        let send_full =
+            !self.cfg.opts.digest_replies || req.replier == self.id || req.replier == REPLIER_ALL;
+        let body = if send_full {
+            ReplyBody::Full(result)
+        } else {
+            ReplyBody::Digest(bft_crypto::digest(&result))
+        };
+        let reply = Reply {
+            view: self.view,
+            timestamp: req.timestamp,
+            client: req.client,
+            replica: self.id,
+            // Read-only replies follow the 2f+1 matching rule.
+            tentative: true,
+            body,
+        };
+        if self.last_executed == self.last_final {
+            let client = req.client;
+            self.send_to(ctx, client, Msg::Reply(reply));
+        } else {
+            // Delay until everything executed so far has committed
+            // (required for linearizability, Section 3.1).
+            self.waiting_ro.push(WaitingRo {
+                client: req.client,
+                reply,
+            });
+        }
+        ctx.metrics().incr("replica.read_only_execs");
+    }
+
+    fn take_piggy(&mut self, ctx: &mut Context<'_, Packet>) -> Vec<(SeqNum, Digest)> {
+        if self.piggy_queue.is_empty() {
+            return Vec::new();
+        }
+        if let Some(t) = self.piggy_timer.take() {
+            ctx.cancel_timer(t);
+        }
+        std::mem::take(&mut self.piggy_queue)
+    }
+
+    fn try_propose(&mut self, ctx: &mut Context<'_, Packet>) {
+        if !self.is_primary() || self.in_view_change {
+            return;
+        }
+        loop {
+            if self.pending_batch.is_empty() {
+                break;
+            }
+            if self.cfg.opts.batching && self.next_seq >= self.last_executed + self.cfg.batch_window
+            {
+                break; // window full; requests stay queued
+            }
+            if self.next_seq + 1 > self.log.high() {
+                break; // log window full; wait for a stable checkpoint
+            }
+            // Drop stale duplicates (already-executed requests re-queued
+            // by retransmissions or view changes) before forming a batch.
+            while let Some(front) = self.pending_batch.front() {
+                let stale = self
+                    .reply_cache
+                    .get(&front.client)
+                    .is_some_and(|c| c.timestamp >= front.timestamp);
+                if stale {
+                    self.pending_batch.pop_front();
+                } else {
+                    break;
+                }
+            }
+            if self.pending_batch.is_empty() {
+                break;
+            }
+            // Form a batch. The byte bound applies to what travels in the
+            // pre-prepare: separate request transmission replaces large
+            // bodies with digest references, which is exactly why it
+            // "enables more requests per batch" (Section 4.4).
+            let mut batch: Vec<Request> = Vec::new();
+            let mut bytes = 0usize;
+            while let Some(front) = self.pending_batch.front() {
+                let separate = self.cfg.opts.separate_request_transmission
+                    && front.op.len() > self.cfg.inline_threshold;
+                let sz = if separate { 48 } else { front.op.len() + 32 };
+                if !batch.is_empty()
+                    && (!self.cfg.opts.batching
+                        || bytes + sz > self.cfg.max_batch_bytes
+                        || batch.len() >= self.cfg.max_batch_requests)
+                {
+                    break;
+                }
+                let req = self.pending_batch.pop_front().expect("front exists");
+                let stale = self
+                    .reply_cache
+                    .get(&req.client)
+                    .is_some_and(|c| c.timestamp >= req.timestamp);
+                if stale {
+                    continue;
+                }
+                bytes += sz;
+                batch.push(req);
+            }
+            if batch.is_empty() {
+                continue;
+            }
+            self.next_seq += 1;
+            let seq = self.next_seq;
+            let entries: Vec<BatchEntry> = batch
+                .iter()
+                .map(|req| {
+                    if self.cfg.opts.separate_request_transmission
+                        && req.op.len() > self.cfg.inline_threshold
+                    {
+                        BatchEntry::Ref {
+                            client: req.client,
+                            timestamp: req.timestamp,
+                            digest: req.digest(),
+                        }
+                    } else {
+                        BatchEntry::Full(req.clone())
+                    }
+                })
+                .collect();
+            let d = batch_digest(&entries);
+            ctx.charge(self.cfg.cost.digest(entries.len() * 16));
+            {
+                let view = self.view;
+                let slot = self.log.slot_mut(seq);
+                slot.view = view;
+                slot.digest = Some(d);
+                slot.raw_entries = Some(entries.clone());
+                slot.requests = Some(batch);
+            }
+            let piggy = self.take_piggy(ctx);
+            let pp = PrePrepare {
+                view: self.view,
+                seq,
+                entries,
+                batch_digest: d,
+                piggy_commits: piggy,
+            };
+            ctx.metrics().incr("replica.batches_proposed");
+            if self.behavior == Behavior::EquivocatingPrimary {
+                self.equivocate(ctx, pp);
+            } else {
+                self.multicast(ctx, Msg::PrePrepare(pp));
+            }
+            self.check_prepared(ctx, seq);
+        }
+    }
+
+    /// Byzantine primary: half the backups get the real pre-prepare, the
+    /// other half a conflicting one for the same (view, seq).
+    fn equivocate(&mut self, ctx: &mut Context<'_, Packet>, pp: PrePrepare) {
+        let mut alt = pp.clone();
+        alt.entries.push(BatchEntry::Ref {
+            client: 0,
+            timestamp: u64::MAX,
+            digest: bft_crypto::digest(&pp.seq.to_le_bytes()),
+        });
+        alt.batch_digest = batch_digest(&alt.entries);
+        for (i, backup) in self.others().into_iter().enumerate() {
+            let msg = if i % 2 == 0 {
+                Msg::PrePrepare(pp.clone())
+            } else {
+                Msg::PrePrepare(alt.clone())
+            };
+            self.send_to(ctx, backup, msg);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Three-phase protocol (backups)
+    // ------------------------------------------------------------------
+
+    fn handle_pre_prepare(&mut self, ctx: &mut Context<'_, Packet>, from: NodeId, pp: PrePrepare) {
+        self.process_piggy(ctx, from, &pp.piggy_commits);
+        if self.in_view_change
+            || pp.view != self.view
+            || from != self.cfg.quorums.primary(pp.view)
+            || !self.log.in_window(pp.seq)
+        {
+            return;
+        }
+        // Reject a conflicting assignment for the same (view, seq).
+        if let Some(slot) = self.log.slot(pp.seq) {
+            if slot.view == pp.view {
+                if let Some(d) = slot.digest {
+                    if d != pp.batch_digest {
+                        ctx.metrics().incr("replica.conflicting_pre_prepare");
+                    }
+                    return; // already accepted (or conflicting: ignore)
+                }
+            }
+        }
+        // Validate the batch digest and inline request authenticators.
+        if batch_digest(&pp.entries) != pp.batch_digest {
+            ctx.metrics().incr("replica.bad_batch_digest");
+            return;
+        }
+        ctx.charge(self.cfg.cost.digest(pp.entries.len() * 16));
+        let mut resolved: Vec<Request> = Vec::with_capacity(pp.entries.len());
+        let mut missing = false;
+        for entry in &pp.entries {
+            match entry {
+                BatchEntry::Full(req) => {
+                    if !self.verify_request(ctx, req) {
+                        ctx.metrics().incr("replica.bad_request_auth");
+                        return;
+                    }
+                    self.store_request(req.clone());
+                    resolved.push(req.clone());
+                }
+                BatchEntry::Ref { digest, .. } => match self.request_store.get(digest) {
+                    Some(req) => resolved.push(req.clone()),
+                    None => missing = true,
+                },
+            }
+        }
+        {
+            let view = self.view;
+            let slot = self.log.slot_mut(pp.seq);
+            slot.view = view;
+            slot.digest = Some(pp.batch_digest);
+            slot.raw_entries = Some(pp.entries.clone());
+            if !missing {
+                slot.requests = Some(resolved);
+            }
+        }
+        if missing {
+            // Separate transmission raced ahead of the request multicast;
+            // ask the primary for the body if it never shows up.
+            let fb = FetchBatch {
+                seq: pp.seq,
+                batch_digest: pp.batch_digest,
+            };
+            let primary = self.cfg.quorums.primary(self.view);
+            self.send_to(ctx, primary, Msg::FetchBatch(fb));
+        }
+        for entry in &pp.entries {
+            self.pending_requests.insert(entry.identity());
+        }
+        self.ensure_vc_timer(ctx);
+        // Multicast our prepare.
+        let piggy = self.take_piggy(ctx);
+        let prep = Prepare {
+            view: pp.view,
+            seq: pp.seq,
+            batch_digest: pp.batch_digest,
+            replica: self.id,
+            piggy_commits: piggy,
+        };
+        {
+            let me = self.id;
+            let slot = self.log.slot_mut(pp.seq);
+            slot.prepares.insert(me, pp.batch_digest);
+            slot.prepare_sent = true;
+        }
+        self.multicast(ctx, Msg::Prepare(prep));
+        self.check_prepared(ctx, pp.seq);
+    }
+
+    fn handle_prepare(&mut self, ctx: &mut Context<'_, Packet>, prep: Prepare) {
+        self.process_piggy(ctx, prep.replica, &prep.piggy_commits);
+        if self.in_view_change || prep.view != self.view || !self.log.in_window(prep.seq) {
+            return;
+        }
+        if prep.replica == self.cfg.quorums.primary(prep.view) {
+            return; // the primary's pre-prepare is its prepare
+        }
+        self.log
+            .slot_mut(prep.seq)
+            .prepares
+            .insert(prep.replica, prep.batch_digest);
+        self.check_prepared(ctx, prep.seq);
+    }
+
+    fn check_prepared(&mut self, ctx: &mut Context<'_, Packet>, seq: SeqNum) {
+        let q = self.cfg.quorums;
+        let Some(slot) = self.log.slot(seq) else {
+            return;
+        };
+        if !slot.prepared(&q) || slot.commit_sent {
+            self.try_execute(ctx);
+            return;
+        }
+        let d = slot.digest.expect("prepared implies digest");
+        {
+            let me = self.id;
+            let slot = self.log.slot_mut(seq);
+            slot.commit_sent = true;
+            slot.commits.insert(me, d);
+        }
+        if self.cfg.opts.piggyback_commits {
+            self.piggy_queue.push((seq, d));
+            if self.piggy_timer.is_none() {
+                self.piggy_timer = Some(ctx.set_timer(self.cfg.piggyback_flush_ns, TIMER_PIGGY));
+            }
+        } else {
+            let commit = Commit {
+                view: self.view,
+                seq,
+                batch_digest: d,
+                replica: self.id,
+            };
+            self.multicast(ctx, Msg::Commit(commit));
+        }
+        self.try_execute(ctx);
+    }
+
+    fn handle_commit(&mut self, ctx: &mut Context<'_, Packet>, c: Commit) {
+        if self.in_view_change || c.view != self.view || !self.log.in_window(c.seq) {
+            return;
+        }
+        self.log
+            .slot_mut(c.seq)
+            .commits
+            .insert(c.replica, c.batch_digest);
+        self.try_execute(ctx);
+    }
+
+    fn process_piggy(
+        &mut self,
+        ctx: &mut Context<'_, Packet>,
+        from: ReplicaId,
+        piggy: &[(SeqNum, Digest)],
+    ) {
+        for &(seq, d) in piggy {
+            if self.in_view_change || !self.log.in_window(seq) {
+                continue;
+            }
+            self.log.slot_mut(seq).commits.insert(from, d);
+        }
+        if !piggy.is_empty() {
+            self.try_execute(ctx);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Execution
+    // ------------------------------------------------------------------
+
+    fn try_execute(&mut self, ctx: &mut Context<'_, Packet>) {
+        let q = self.cfg.quorums;
+        // Finalize the tentative batch once its commit certificate
+        // completes (it sits *at* last_executed, before the loop's range).
+        if self.last_executed > self.last_final {
+            let seq = self.last_executed;
+            if self.log.slot(seq).is_some_and(|slot| slot.committed(&q)) {
+                self.finalize_tentative(seq);
+                self.exec_progress = true;
+            }
+        }
+        loop {
+            let next = self.last_executed + 1;
+            if !self.log.in_window(next) {
+                break;
+            }
+            let Some(slot) = self.log.slot(next) else {
+                break;
+            };
+            if slot.digest.is_none() {
+                break;
+            }
+            if !slot.executable() {
+                // Execution is blocked on missing request bodies; recover
+                // them, rate-limited so every incoming message does not
+                // trigger another fetch.
+                if ctx.now().nanos() >= self.next_body_fetch_ns {
+                    self.next_body_fetch_ns = ctx.now().nanos() + 20_000_000;
+                    self.recover_bodies(ctx, next);
+                }
+                break;
+            }
+            if slot.committed(&q) {
+                if slot.executed_tentative {
+                    self.finalize_tentative(next);
+                } else {
+                    self.execute_batch(ctx, next, false);
+                }
+            } else if self.cfg.opts.tentative_execution
+                && next == self.last_final + 1
+                && self.last_executed == self.last_final
+                && slot.prepared(&q)
+            {
+                self.execute_batch(ctx, next, true);
+                break; // nothing beyond one tentative batch
+            } else {
+                break;
+            }
+        }
+        self.after_execution(ctx);
+    }
+
+    fn after_execution(&mut self, ctx: &mut Context<'_, Packet>) {
+        // Flush read-only replies once the executed prefix is committed.
+        if self.last_executed == self.last_final && !self.waiting_ro.is_empty() {
+            let waiting = std::mem::take(&mut self.waiting_ro);
+            for w in waiting {
+                self.send_to(ctx, w.client, Msg::Reply(w.reply));
+            }
+        }
+        // Announce checkpoints whose batches have committed.
+        let announceable = self.checkpoints.announceable(self.last_final);
+        for (seq, digest) in announceable {
+            self.checkpoints.mark_announced(seq);
+            let cp = Checkpoint {
+                seq,
+                state_digest: digest,
+                replica: self.id,
+            };
+            // Count our own claim as well.
+            if let Some(stable) = self.checkpoints.add_claim(&cp) {
+                self.adopt_stable(ctx, stable.seq, stable.digest);
+            }
+            self.multicast(ctx, Msg::Checkpoint(cp));
+        }
+        // The window may have opened for more proposals.
+        self.try_propose(ctx);
+        // Manage the view-change timer: quiet it when nothing is pending,
+        // and restart it whenever execution makes progress — the timer
+        // must measure how long the *oldest outstanding work* has been
+        // stuck, not how long the system has been busy.
+        if !self.in_view_change {
+            if self.pending_requests.is_empty() {
+                if let Some(t) = self.vc_timer.take() {
+                    ctx.cancel_timer(t);
+                }
+            } else if self.exec_progress {
+                if let Some(t) = self.vc_timer.take() {
+                    ctx.cancel_timer(t);
+                }
+                self.ensure_vc_timer(ctx);
+            }
+        }
+        self.exec_progress = false;
+    }
+
+    fn execute_batch(&mut self, ctx: &mut Context<'_, Packet>, seq: SeqNum, tentative: bool) {
+        let slot = self.log.slot(seq).expect("slot exists");
+        let requests: Vec<Request> = slot.requests.clone().unwrap_or_default();
+        let is_null = slot.is_null;
+        let mut ops = 0usize;
+        if tentative {
+            self.tentative_cache_undo.clear();
+        }
+        for req in &requests {
+            if is_null {
+                break;
+            }
+            let identity = (req.client, req.timestamp);
+            self.pending_requests.remove(&identity);
+            self.queued.remove(&identity);
+            // Skip duplicates that slipped past queue-level dedup.
+            if let Some(cached) = self.reply_cache.get(&req.client) {
+                if req.timestamp <= cached.timestamp {
+                    continue;
+                }
+            }
+            let mut result = self.service.execute(req.client, &req.op);
+            ops += 1;
+            ctx.charge(self.service.exec_cost_ns(&req.op, &result));
+            if self.behavior == Behavior::WrongResult {
+                tamper(&mut result);
+            }
+            ctx.charge(self.cfg.cost.digest(result.len()));
+            let result_digest = bft_crypto::digest(&result);
+            let send_full = !self.cfg.opts.digest_replies
+                || req.replier == self.id
+                || req.replier == REPLIER_ALL;
+            let body = if send_full {
+                ReplyBody::Full(result.clone())
+            } else {
+                ReplyBody::Digest(result_digest)
+            };
+            let reply = Reply {
+                view: self.view,
+                timestamp: req.timestamp,
+                client: req.client,
+                replica: self.id,
+                tentative,
+                body,
+            };
+            let prev = self.reply_cache.insert(
+                req.client,
+                CachedReply {
+                    timestamp: req.timestamp,
+                    result,
+                    result_digest,
+                    tentative,
+                    view: self.view,
+                },
+            );
+            if tentative {
+                self.tentative_cache_undo.push((req.client, prev));
+            }
+            let client = req.client;
+            self.send_to(ctx, client, Msg::Reply(reply));
+            ctx.metrics().incr("replica.ops_executed");
+        }
+        self.last_executed = seq;
+        self.exec_progress = true;
+        {
+            let slot = self.log.slot_mut(seq);
+            if tentative {
+                slot.executed_tentative = true;
+            } else {
+                slot.executed_final = true;
+            }
+        }
+        if tentative {
+            self.tentative_ops = ops;
+        } else {
+            self.last_final = seq;
+            self.service.commit_prefix(ops);
+        }
+        // Checkpoint at interval boundaries.
+        if seq.is_multiple_of(self.cfg.checkpoint_interval) {
+            ctx.charge(self.cfg.cost.digest(4096));
+            let digest = self.full_state_digest();
+            let snapshot = self.encode_snapshot();
+            self.checkpoints.note_own(seq, digest, snapshot);
+        }
+    }
+
+    fn finalize_tentative(&mut self, seq: SeqNum) {
+        debug_assert_eq!(seq, self.last_executed);
+        let ops = self.tentative_ops;
+        self.tentative_ops = 0;
+        self.tentative_cache_undo.clear();
+        self.last_final = seq;
+        self.service.commit_prefix(ops);
+        let view = self.view;
+        {
+            let slot = self.log.slot_mut(seq);
+            slot.executed_final = true;
+        }
+        // Upgrade cached replies so retransmissions get committed replies.
+        for entry in self.reply_cache.values_mut() {
+            if entry.tentative && entry.view <= view {
+                entry.tentative = false;
+            }
+        }
+    }
+
+    fn rollback_tentative(&mut self) {
+        if self.last_executed == self.last_final {
+            return;
+        }
+        debug_assert_eq!(self.last_executed, self.last_final + 1);
+        self.service.rollback_suffix(self.tentative_ops);
+        for (client, prev) in self.tentative_cache_undo.drain(..).rev() {
+            match prev {
+                Some(entry) => {
+                    self.reply_cache.insert(client, entry);
+                }
+                None => {
+                    self.reply_cache.remove(&client);
+                }
+            }
+        }
+        let seq = self.last_executed;
+        if let Some(_slot) = self.log.slot(seq) {
+            self.log.slot_mut(seq).executed_tentative = false;
+        }
+        self.tentative_ops = 0;
+        self.last_executed = self.last_final;
+        // Read-only replies executed against rolled-back state are stale.
+        self.waiting_ro.clear();
+    }
+
+    // ------------------------------------------------------------------
+    // Checkpoints and state transfer
+    // ------------------------------------------------------------------
+
+    fn handle_checkpoint(&mut self, ctx: &mut Context<'_, Packet>, cp: Checkpoint) {
+        if let Some(stable) = self.checkpoints.add_claim(&cp) {
+            self.adopt_stable(ctx, stable.seq, stable.digest);
+        }
+    }
+
+    fn adopt_stable(&mut self, ctx: &mut Context<'_, Packet>, seq: SeqNum, digest: Digest) {
+        if seq <= self.checkpoints.stable_seq() {
+            return;
+        }
+        match self.checkpoints.own(seq) {
+            Some(own) if own.digest == digest => {
+                self.checkpoints.make_stable(seq, digest);
+                self.log.collect_garbage(seq);
+                self.backfill.retain(|&(s, _), _| s > seq);
+                ctx.metrics().incr("replica.stable_checkpoints");
+            }
+            _ => {
+                // No local checkpoint at a quorum-stable sequence number.
+                // If the gap is small we are only momentarily behind and
+                // will produce the checkpoint ourselves; a real gap means
+                // we missed whole stretches of the log and must transfer.
+                if seq > self.last_executed + self.cfg.checkpoint_interval {
+                    self.start_state_transfer(ctx, seq, digest);
+                }
+            }
+        }
+    }
+
+    fn start_state_transfer(&mut self, ctx: &mut Context<'_, Packet>, seq: SeqNum, digest: Digest) {
+        if let Some((cur, _, _)) = self.fetching {
+            if cur >= seq {
+                return;
+            }
+        }
+        let target = (self.id + 1) % self.cfg.n();
+        self.fetching = Some((seq, digest, target));
+        self.send_to(ctx, target, Msg::FetchState(FetchState { seq }));
+        ctx.metrics().incr("replica.state_transfers_started");
+    }
+
+    fn handle_fetch_state(&mut self, ctx: &mut Context<'_, Packet>, from: NodeId, fs: FetchState) {
+        if let Some(own) = self.checkpoints.own(fs.seq) {
+            let mut snapshot = own.snapshot.clone();
+            let state_digest = own.digest;
+            if self.behavior == Behavior::CorruptStateData {
+                if let Some(b) = snapshot.first_mut() {
+                    *b ^= 0xff;
+                } else {
+                    snapshot.push(0xde);
+                }
+            }
+            let sd = StateData {
+                seq: fs.seq,
+                state_digest,
+                snapshot,
+            };
+            self.send_to(ctx, from, Msg::StateData(sd));
+        }
+    }
+
+    fn handle_state_data(&mut self, ctx: &mut Context<'_, Packet>, sd: StateData) {
+        let Some((want_seq, want_digest, tried)) = self.fetching else {
+            return;
+        };
+        if sd.seq != want_seq || sd.state_digest != want_digest {
+            return;
+        }
+        ctx.charge(self.cfg.cost.digest(sd.snapshot.len()));
+        // Keep our current state in case the snapshot is bogus.
+        let fallback = self.encode_snapshot();
+        if !self.restore_snapshot(&sd.snapshot) || self.full_state_digest() != want_digest {
+            // Corrupt snapshot from a faulty replica: revert, try another.
+            let ok = self.restore_snapshot(&fallback);
+            debug_assert!(ok, "own snapshot must restore");
+            let next = (tried + 1) % self.cfg.n();
+            self.fetching = Some((want_seq, want_digest, next));
+            self.send_to(ctx, next, Msg::FetchState(FetchState { seq: want_seq }));
+            ctx.metrics().incr("replica.state_transfer_bad_snapshot");
+            return;
+        }
+        // Adopt the fetched checkpoint.
+        self.fetching = None;
+        self.tentative_ops = 0;
+        self.tentative_cache_undo.clear();
+        self.waiting_ro.clear();
+        self.last_executed = want_seq;
+        self.last_final = want_seq;
+        self.next_seq = self.next_seq.max(want_seq);
+        self.checkpoints
+            .note_own(want_seq, want_digest, sd.snapshot);
+        self.checkpoints.mark_announced(want_seq);
+        self.checkpoints.make_stable(want_seq, want_digest);
+        self.log.collect_garbage(want_seq);
+        ctx.metrics().incr("replica.state_transfers_completed");
+        self.try_execute(ctx);
+    }
+
+    fn handle_status(&mut self, ctx: &mut Context<'_, Packet>, from: NodeId, st: Status) {
+        // Backfill a lagging peer with batches we know committed. Slots at
+        // or below our stable checkpoint are gone; the peer will recover
+        // those via state transfer driven by checkpoint claims.
+        if st.last_executed >= self.last_final {
+            return;
+        }
+        let mut sent = 0;
+        for seq in st.last_executed + 1..=self.last_final {
+            if sent >= 8 {
+                break;
+            }
+            let Some(slot) = self.log.slot(seq) else {
+                continue;
+            };
+            let (Some(d), Some(raw)) = (slot.digest, slot.raw_entries.clone()) else {
+                continue;
+            };
+            if !slot.executed_final {
+                continue;
+            }
+            // Keep backfill frames small: strip bodies beyond the inline
+            // threshold (the peer fetches them separately).
+            let entries: Vec<BatchEntry> = raw
+                .into_iter()
+                .map(|e| match e {
+                    BatchEntry::Full(r) if r.op.len() > self.cfg.inline_threshold => {
+                        BatchEntry::Ref {
+                            client: r.client,
+                            timestamp: r.timestamp,
+                            digest: r.digest(),
+                        }
+                    }
+                    other => other,
+                })
+                .collect();
+            sent += 1;
+            self.send_to(
+                ctx,
+                from,
+                Msg::CommittedBatch(CommittedBatch {
+                    seq,
+                    batch_digest: d,
+                    entries,
+                }),
+            );
+        }
+    }
+
+    fn handle_committed_batch(
+        &mut self,
+        ctx: &mut Context<'_, Packet>,
+        from: NodeId,
+        cb: CommittedBatch,
+    ) {
+        if !self.log.in_window(cb.seq) || cb.seq <= self.last_executed {
+            return;
+        }
+        if batch_digest(&cb.entries) != cb.batch_digest {
+            return;
+        }
+        let votes = self.backfill.entry((cb.seq, cb.batch_digest)).or_default();
+        votes.insert(from);
+        if votes.len() < self.cfg.f() as usize + 1 {
+            // Stash the bodies either way; they are digest-bound.
+            for entry in &cb.entries {
+                if let BatchEntry::Full(req) = entry {
+                    if self.verify_request(ctx, req) {
+                        self.store_request(req.clone());
+                    }
+                }
+            }
+            return;
+        }
+        // f+1 distinct peers assert commitment: at least one is correct.
+        ctx.metrics().incr("replica.backfilled_batches");
+        for entry in &cb.entries {
+            if let BatchEntry::Full(req) = entry {
+                if self.verify_request(ctx, req) {
+                    self.store_request(req.clone());
+                }
+            }
+        }
+        {
+            let view = self.view;
+            let slot = self.log.slot_mut(cb.seq);
+            if slot.digest.is_none() {
+                slot.view = view;
+                slot.digest = Some(cb.batch_digest);
+            }
+            if slot.digest == Some(cb.batch_digest) {
+                slot.raw_entries.get_or_insert(cb.entries);
+                slot.force_committed = true;
+            }
+        }
+        self.resolve_pending_batches(ctx);
+    }
+
+    /// Recovers the missing bodies blocking slot `seq`: individual
+    /// requests when the batch entries are known, the whole batch
+    /// otherwise (post-view-change).
+    fn recover_bodies(&mut self, ctx: &mut Context<'_, Packet>, seq: SeqNum) {
+        let Some(slot) = self.log.slot(seq) else {
+            return;
+        };
+        let Some(d) = slot.digest else { return };
+        // Rotate recovery targets deterministically.
+        let step = 1 + ((ctx.now().nanos() / 20_000_000) as u32 % (self.cfg.n() - 1));
+        let target = (self.id + step) % self.cfg.n();
+        match &slot.raw_entries {
+            Some(raw) => {
+                let missing: Vec<Digest> = raw
+                    .iter()
+                    .filter_map(|e| match e {
+                        BatchEntry::Ref { digest, .. }
+                            if !self.request_store.contains_key(digest) =>
+                        {
+                            Some(*digest)
+                        }
+                        _ => None,
+                    })
+                    .collect();
+                if missing.is_empty() {
+                    self.resolve_pending_batches(ctx);
+                    return;
+                }
+                ctx.metrics().incr("replica.body_recoveries");
+                self.send_to(
+                    ctx,
+                    target,
+                    Msg::FetchRequests(FetchRequests { digests: missing }),
+                );
+            }
+            None => {
+                ctx.metrics().incr("replica.batch_recoveries");
+                self.send_to(
+                    ctx,
+                    target,
+                    Msg::FetchBatch(FetchBatch {
+                        seq,
+                        batch_digest: d,
+                    }),
+                );
+            }
+        }
+    }
+
+    fn handle_fetch_requests(
+        &mut self,
+        ctx: &mut Context<'_, Packet>,
+        from: NodeId,
+        fr: FetchRequests,
+    ) {
+        // Cap the response so recovery traffic cannot congest the very
+        // links whose overload caused the loss.
+        let mut budget = 64 * 1024usize;
+        let mut requests: Vec<Request> = Vec::new();
+        for d in fr.digests.iter().take(64) {
+            let Some(req) = self.request_store.get(d) else {
+                continue;
+            };
+            if req.op.len() + 64 > budget {
+                break;
+            }
+            budget -= req.op.len() + 64;
+            requests.push(req.clone());
+        }
+        if !requests.is_empty() {
+            self.send_to(ctx, from, Msg::RequestData(RequestData { requests }));
+        }
+    }
+
+    fn handle_request_data(&mut self, ctx: &mut Context<'_, Packet>, rd: RequestData) {
+        let mut any = false;
+        for req in rd.requests {
+            if !self.verify_request(ctx, &req) {
+                continue;
+            }
+            self.store_request(req);
+            any = true;
+        }
+        if any {
+            // Keep the recovery stream flowing: the resolve below runs
+            // try_execute, which fetches the next missing bodies without
+            // waiting out the pacing interval.
+            self.next_body_fetch_ns = 0;
+            self.resolve_pending_batches(ctx);
+        }
+    }
+
+    fn handle_fetch_batch(&mut self, ctx: &mut Context<'_, Packet>, from: NodeId, fb: FetchBatch) {
+        let Some(slot) = self.log.slot(fb.seq) else {
+            return;
+        };
+        if slot.digest != Some(fb.batch_digest) {
+            return;
+        }
+        let Some(reqs) = &slot.requests else { return };
+        let entries: Vec<BatchEntry> = reqs.iter().cloned().map(BatchEntry::Full).collect();
+        self.send_to(
+            ctx,
+            from,
+            Msg::BatchData(BatchData {
+                seq: fb.seq,
+                entries,
+            }),
+        );
+    }
+
+    fn handle_batch_data(&mut self, ctx: &mut Context<'_, Packet>, bd: BatchData) {
+        if !self.log.in_window(bd.seq) {
+            return;
+        }
+        let Some(slot) = self.log.slot(bd.seq) else {
+            return;
+        };
+        if slot.requests.is_some() || slot.digest.is_none() {
+            return;
+        }
+        let want = slot.digest.expect("checked");
+        // The fetched bodies must hash to the digest we prepared against.
+        let entries_digest = batch_digest(&bd.entries);
+        if entries_digest != want {
+            return;
+        }
+        let mut resolved = Vec::with_capacity(bd.entries.len());
+        for entry in &bd.entries {
+            match entry {
+                BatchEntry::Full(req) => {
+                    if !self.verify_request(ctx, req) {
+                        return;
+                    }
+                    self.store_request(req.clone());
+                    resolved.push(req.clone());
+                }
+                BatchEntry::Ref { .. } => return, // fetch answers must inline
+            }
+        }
+        self.log.slot_mut(bd.seq).requests = Some(resolved);
+        self.try_execute(ctx);
+    }
+
+    /// Called when a request body arrives that might complete a pending
+    /// pre-prepare (separate request transmission).
+    fn resolve_pending_batches(&mut self, ctx: &mut Context<'_, Packet>) {
+        let pending: Vec<SeqNum> = self
+            .log
+            .iter()
+            .filter(|(_, slot)| slot.digest.is_some() && slot.requests.is_none())
+            .map(|(seq, _)| seq)
+            .collect();
+        for seq in pending {
+            let Some(slot) = self.log.slot(seq) else {
+                continue;
+            };
+            let Some(raw) = slot.raw_entries.clone() else {
+                continue;
+            };
+            let mut resolved = Vec::with_capacity(raw.len());
+            let mut complete = true;
+            for entry in &raw {
+                match entry {
+                    BatchEntry::Full(req) => resolved.push(req.clone()),
+                    BatchEntry::Ref { digest, .. } => match self.request_store.get(digest) {
+                        Some(req) => resolved.push(req.clone()),
+                        None => {
+                            complete = false;
+                            break;
+                        }
+                    },
+                }
+            }
+            if complete {
+                self.log.slot_mut(seq).requests = Some(resolved);
+            }
+        }
+        self.try_execute(ctx);
+    }
+
+    // ------------------------------------------------------------------
+    // View changes
+    // ------------------------------------------------------------------
+
+    fn ensure_vc_timer(&mut self, ctx: &mut Context<'_, Packet>) {
+        if self.vc_timer.is_none() && !self.is_primary() && !self.in_view_change {
+            self.vc_timer = Some(ctx.set_timer(self.vc_timeout_ns, TIMER_VIEW_CHANGE));
+        }
+    }
+
+    fn start_view_change(&mut self, ctx: &mut Context<'_, Packet>, target: View) {
+        if target <= self.view || (self.in_view_change && target <= self.pending_view) {
+            return;
+        }
+        self.in_view_change = true;
+        self.pending_view = target;
+        self.rollback_tentative();
+        let vc = ViewChange {
+            new_view: target,
+            last_stable: self.checkpoints.stable_seq(),
+            stable_digest: self.checkpoints.stable_digest(),
+            prepared: self.log.prepared_infos(&self.cfg.quorums),
+            replica: self.id,
+        };
+        self.vc_set.add(vc.clone());
+        ctx.metrics().incr("replica.view_changes_started");
+        self.multicast(ctx, Msg::ViewChange(vc));
+        // Wait for the new view with a doubled timeout.
+        self.vc_timeout_ns = self.vc_timeout_ns.saturating_mul(2);
+        if let Some(t) = self.vc_timer.take() {
+            ctx.cancel_timer(t);
+        }
+        self.vc_timer = Some(ctx.set_timer(self.vc_timeout_ns, TIMER_VIEW_CHANGE));
+        self.maybe_build_new_view(ctx, target);
+    }
+
+    fn handle_view_change(&mut self, ctx: &mut Context<'_, Packet>, vc: ViewChange) {
+        if vc.new_view <= self.view {
+            return;
+        }
+        self.vc_set.add(vc.clone());
+        // Join a view change supported by f+1 replicas (liveness rule).
+        let current = if self.in_view_change {
+            self.pending_view
+        } else {
+            self.view
+        };
+        if let Some(join) = self.vc_set.join_view(current, &self.cfg.quorums) {
+            self.start_view_change(ctx, join);
+        }
+        self.maybe_build_new_view(ctx, vc.new_view);
+    }
+
+    fn maybe_build_new_view(&mut self, ctx: &mut Context<'_, Packet>, target: View) {
+        if self.cfg.quorums.primary(target) != self.id {
+            return;
+        }
+        if !self.vc_set.has_vote(target, self.id) {
+            return;
+        }
+        if !self.in_view_change || self.pending_view != target {
+            return;
+        }
+        let Some(votes) = self.vc_set.quorum(target, &self.cfg.quorums) else {
+            return;
+        };
+        let plan = compute_plan(&votes);
+        // Attach the batch bodies we have for re-proposed digests — but
+        // keep the NEW-VIEW small enough to survive congested links;
+        // backups recover anything else through the fetch path.
+        const MAX_ATTACHED_BYTES: usize = 32 * 1024;
+        let mut attached = 0usize;
+        let mut batches = Vec::new();
+        for &(seq, d) in &plan.pre_prepares {
+            if d == NULL_DIGEST {
+                continue;
+            }
+            if let Some(slot) = self.log.slot(seq) {
+                if slot.digest == Some(d)
+                    || slot.raw_entries.as_deref().map(batch_digest) == Some(d)
+                {
+                    if let Some(reqs) = &slot.requests {
+                        let size: usize = reqs.iter().map(|r| r.op.len() + 64).sum();
+                        if attached + size > MAX_ATTACHED_BYTES {
+                            continue;
+                        }
+                        attached += size;
+                        batches.push((
+                            seq,
+                            reqs.iter()
+                                .cloned()
+                                .map(BatchEntry::Full)
+                                .collect::<Vec<_>>(),
+                        ));
+                    }
+                }
+            }
+        }
+        let mut pre_prepares = plan.pre_prepares.clone();
+        if self.behavior == Behavior::BadNewView {
+            // Forge the recomputable part: append a bogus assignment.
+            pre_prepares.push((plan.max_s + 1, bft_crypto::digest(b"forged")));
+        }
+        let nv = NewView {
+            view: target,
+            view_changes: votes,
+            pre_prepares,
+            batches: batches.clone(),
+        };
+        ctx.metrics().incr("replica.new_views_sent");
+        self.multicast(ctx, Msg::NewView(nv));
+        if self.behavior != Behavior::BadNewView {
+            self.install_new_view(ctx, target, plan, batches);
+        }
+    }
+
+    fn handle_new_view(&mut self, ctx: &mut Context<'_, Packet>, from: NodeId, nv: NewView) {
+        if nv.view <= self.view || from != self.cfg.quorums.primary(nv.view) {
+            return;
+        }
+        let plan = match validate_new_view(&nv, &self.cfg.quorums) {
+            Ok(p) => p,
+            Err(_) => {
+                // The new primary is faulty too: move on.
+                ctx.metrics().incr("replica.bad_new_view");
+                self.start_view_change(ctx, nv.view + 1);
+                return;
+            }
+        };
+        self.rollback_tentative();
+        self.install_new_view(ctx, nv.view, plan, nv.batches);
+    }
+
+    fn install_new_view(
+        &mut self,
+        ctx: &mut Context<'_, Packet>,
+        view: View,
+        plan: crate::viewchange::NewViewPlan,
+        batches: Vec<(SeqNum, Vec<BatchEntry>)>,
+    ) {
+        self.view = view;
+        self.in_view_change = false;
+        self.pending_view = view;
+        self.vc_set.prune_through(view);
+        self.vc_timeout_ns = self.cfg.view_change_timeout_ns;
+        if let Some(t) = self.vc_timer.take() {
+            ctx.cancel_timer(t);
+        }
+        self.log.reset_for_view();
+        // Proposals from the old view are void; clients or backups will
+        // resubmit anything that did not survive into the new view.
+        self.queued.clear();
+        self.pending_batch.clear();
+        // Absorb batch bodies shipped with the new view.
+        let mut shipped: HashMap<SeqNum, Vec<BatchEntry>> = batches.into_iter().collect();
+        // If the group's stable point is ahead of us, transfer state.
+        if plan.min_s > self.checkpoints.stable_seq() {
+            if plan.min_s > self.last_executed {
+                self.start_state_transfer(ctx, plan.min_s, plan.min_s_digest);
+            } else if self.checkpoints.own(plan.min_s).is_some() {
+                let digest = self.checkpoints.own(plan.min_s).expect("checked").digest;
+                self.checkpoints.make_stable(plan.min_s, digest);
+            }
+            if plan.min_s > self.log.low() {
+                self.log.collect_garbage(plan.min_s);
+            }
+        }
+        let is_primary = self.cfg.quorums.primary(view) == self.id;
+        self.next_seq = plan.max_s.max(self.log.low());
+        for &(seq, d) in &plan.pre_prepares {
+            if !self.log.in_window(seq) {
+                continue;
+            }
+            {
+                let slot = self.log.slot_mut(seq);
+                slot.view = view;
+                slot.digest = Some(d);
+                if d == NULL_DIGEST {
+                    slot.is_null = true;
+                    slot.requests = Some(Vec::new());
+                    slot.raw_entries = Some(Vec::new());
+                } else if slot.requests.is_none() {
+                    if let Some(entries) = shipped.remove(&seq) {
+                        if batch_digest(&entries) == d {
+                            let reqs: Vec<Request> = entries
+                                .iter()
+                                .filter_map(|e| match e {
+                                    BatchEntry::Full(r) => Some(r.clone()),
+                                    BatchEntry::Ref { .. } => None,
+                                })
+                                .collect();
+                            if reqs.len() == entries.len() {
+                                slot.raw_entries = Some(entries);
+                                slot.requests = Some(reqs);
+                            }
+                        }
+                    }
+                }
+            }
+            // Everyone (including the new primary, whose pre-prepare is
+            // implicit) records its own prepare; backups multicast theirs.
+            if !is_primary {
+                let piggy = self.take_piggy(ctx);
+                let prep = Prepare {
+                    view,
+                    seq,
+                    batch_digest: d,
+                    replica: self.id,
+                    piggy_commits: piggy,
+                };
+                {
+                    let me = self.id;
+                    let slot = self.log.slot_mut(seq);
+                    slot.prepares.insert(me, d);
+                    slot.prepare_sent = true;
+                }
+                self.multicast(ctx, Msg::Prepare(prep));
+            }
+            // Request any missing bodies.
+            let need_fetch = {
+                let slot = self.log.slot(seq).expect("just created");
+                slot.requests.is_none()
+            };
+            if need_fetch {
+                let primary = self.cfg.quorums.primary(view);
+                let target = if is_primary {
+                    (self.id + 1) % self.cfg.n()
+                } else {
+                    primary
+                };
+                self.send_to(
+                    ctx,
+                    target,
+                    Msg::FetchBatch(FetchBatch {
+                        seq,
+                        batch_digest: d,
+                    }),
+                );
+            }
+        }
+        ctx.metrics().incr("replica.views_installed");
+        // Forward pending requests so the new primary learns about them.
+        if !is_primary {
+            let primary = self.cfg.quorums.primary(view);
+            let pending: Vec<Request> = self
+                .pending_requests
+                .iter()
+                .filter_map(|(c, ts)| {
+                    self.request_store
+                        .values()
+                        .find(|r| r.client == *c && r.timestamp == *ts)
+                        .cloned()
+                })
+                .collect();
+            for req in pending {
+                let packet = Packet::unauthenticated(Msg::Request(req));
+                let wire = packet.wire_bytes();
+                ctx.charge(self.cfg.cost.send(wire));
+                ctx.send(primary, packet, wire);
+            }
+            if !self.pending_requests.is_empty() {
+                self.ensure_vc_timer(ctx);
+            }
+        } else {
+            // Unexecuted pending requests may need re-proposing.
+            let pending: Vec<Request> = self
+                .pending_requests
+                .iter()
+                .filter_map(|(c, ts)| {
+                    self.request_store
+                        .values()
+                        .find(|r| r.client == *c && r.timestamp == *ts)
+                        .cloned()
+                })
+                .collect();
+            for req in pending {
+                if self.queued.insert((req.client, req.timestamp)) {
+                    self.pending_batch.push_back(req);
+                }
+            }
+        }
+        self.check_all_prepared(ctx);
+    }
+
+    fn check_all_prepared(&mut self, ctx: &mut Context<'_, Packet>) {
+        let seqs: Vec<SeqNum> = self.log.iter().map(|(s, _)| s).collect();
+        for seq in seqs {
+            self.check_prepared(ctx, seq);
+        }
+        self.try_execute(ctx);
+        self.try_propose(ctx);
+    }
+
+    // ------------------------------------------------------------------
+    // Timers
+    // ------------------------------------------------------------------
+
+    /// Announces a fresh inbound-key epoch (NEW-KEY). MACs under the
+    /// previous epoch stay valid for one grace epoch, so in-flight traffic
+    /// survives the boundary.
+    fn refresh_keys(&mut self, ctx: &mut Context<'_, Packet>) {
+        let epoch = self.keychain.refresh();
+        ctx.metrics().incr("replica.key_refreshes");
+        // Paper-era cost: the real NEW-KEY encrypts one session key per
+        // principal under RSA and signs the message.
+        ctx.charge(
+            self.cfg.cost.rsa_private_ns + self.cfg.cost.rsa_public_ns * (self.cfg.n() as u64 - 1),
+        );
+        let nk = NewKey {
+            replica: self.id,
+            epoch,
+        };
+        self.multicast(ctx, Msg::NewKey(nk));
+    }
+
+    fn handle_new_key(&mut self, ctx: &mut Context<'_, Packet>, from: NodeId, nk: NewKey) {
+        if nk.replica != from || from >= self.cfg.n() {
+            return;
+        }
+        // Verify + decrypt cost of the real NEW-KEY message.
+        ctx.charge(self.cfg.cost.rsa_public_ns + self.cfg.cost.rsa_private_ns);
+        self.keychain.set_peer_epoch(from, nk.epoch);
+    }
+
+    /// Proactive recovery (Section 2: "BFT can recover replicas
+    /// proactively ... even if all replicas fail provided less than 1/3
+    /// become faulty within a window of vulnerability"). The replica
+    /// behaves as if rebooted: it discards its protocol state, restores
+    /// its last stable checkpoint, announces fresh keys, and rejoins via
+    /// the normal catch-up machinery (status gossip, backfill, state
+    /// transfer).
+    pub fn proactive_recover(&mut self, ctx: &mut Context<'_, Packet>) {
+        if self.behavior == Behavior::Crashed {
+            return;
+        }
+        ctx.metrics().incr("replica.proactive_recoveries");
+        self.refresh_keys(ctx);
+        self.rollback_tentative();
+        // Restore the stable checkpoint (what survives the "reboot").
+        let stable = self.checkpoints.stable_seq();
+        if let Some(snapshot) = self.checkpoints.stable_snapshot().map(<[u8]>::to_vec) {
+            let ok = self.restore_snapshot(&snapshot);
+            debug_assert!(ok, "own stable snapshot must restore");
+        }
+        self.last_executed = stable;
+        self.last_final = stable;
+        self.tentative_ops = 0;
+        self.tentative_cache_undo.clear();
+        self.log.reset(stable);
+        self.pending_batch.clear();
+        self.queued.clear();
+        self.pending_requests.clear();
+        self.piggy_queue.clear();
+        if let Some(t) = self.piggy_timer.take() {
+            ctx.cancel_timer(t);
+        }
+        if let Some(t) = self.vc_timer.take() {
+            ctx.cancel_timer(t);
+        }
+        self.in_view_change = false;
+        self.pending_view = self.view;
+        self.waiting_ro.clear();
+        self.fetching = None;
+        self.backfill.clear();
+        // Do NOT reset next_seq: a recovering primary must never reuse a
+        // sequence number it may already have assigned in this view.
+        // Ask the group where it is; peers backfill from here.
+        let status = Status {
+            view: self.view,
+            last_stable: stable,
+            last_executed: stable,
+        };
+        self.multicast(ctx, Msg::Status(status));
+    }
+
+    fn on_resend_timer(&mut self, ctx: &mut Context<'_, Packet>) {
+        if self.in_view_change {
+            return;
+        }
+        // Retransmit protocol messages for stalled slots.
+        let q = self.cfg.quorums;
+        let stalled: Vec<(SeqNum, Digest, bool, bool)> = self
+            .log
+            .iter()
+            .filter(|(_, slot)| slot.digest.is_some() && !slot.committed(&q))
+            .take(32)
+            .map(|(seq, slot)| {
+                (
+                    seq,
+                    slot.digest.expect("filtered"),
+                    slot.prepare_sent,
+                    slot.commit_sent,
+                )
+            })
+            .collect();
+        for (seq, d, prepare_sent, commit_sent) in stalled {
+            if self.is_primary() {
+                if let Some(slot) = self.log.slot(seq) {
+                    if let Some(entries) = slot.raw_entries.clone() {
+                        let pp = PrePrepare {
+                            view: self.view,
+                            seq,
+                            entries,
+                            batch_digest: d,
+                            piggy_commits: Vec::new(),
+                        };
+                        self.multicast(ctx, Msg::PrePrepare(pp));
+                    }
+                }
+            } else if prepare_sent {
+                let prep = Prepare {
+                    view: self.view,
+                    seq,
+                    batch_digest: d,
+                    replica: self.id,
+                    piggy_commits: Vec::new(),
+                };
+                self.multicast(ctx, Msg::Prepare(prep));
+            }
+            if commit_sent {
+                let c = Commit {
+                    view: self.view,
+                    seq,
+                    batch_digest: d,
+                    replica: self.id,
+                };
+                self.multicast(ctx, Msg::Commit(c));
+            }
+        }
+        // Recover request bodies that were lost on the wire: without them
+        // prepared batches can commit but never execute. Only the first
+        // blocked slot matters (execution is sequential), and flooding
+        // fetches would amplify the very overload that lost the bodies.
+        let blocked: Option<SeqNum> = self
+            .log
+            .iter()
+            .find(|&(seq, slot)| {
+                slot.digest.is_some() && !slot.executable() && seq > self.last_executed
+            })
+            .map(|(seq, _)| seq);
+        if let Some(seq) = blocked {
+            self.recover_bodies(ctx, seq);
+        }
+        // Re-announce our stable checkpoint so replicas that were cut off
+        // discover they are behind even when the system is otherwise idle
+        // (this stands in for BFT's periodic status messages).
+        let stable = self.checkpoints.stable_seq();
+        if stable > 0 {
+            let cp = Checkpoint {
+                seq: stable,
+                state_digest: self.checkpoints.stable_digest(),
+                replica: self.id,
+            };
+            self.multicast(ctx, Msg::Checkpoint(cp));
+        }
+        // Gossip status so peers can backfill what we are missing (and we
+        // can backfill them).
+        let status = Status {
+            view: self.view,
+            last_stable: self.checkpoints.stable_seq(),
+            last_executed: self.last_executed,
+        };
+        self.multicast(ctx, Msg::Status(status));
+        // Keep state transfer alive.
+        if let Some((seq, _, tried)) = self.fetching {
+            let next = (tried + 1) % self.cfg.n();
+            if let Some((s, d, _)) = self.fetching {
+                self.fetching = Some((s, d, next));
+            }
+            self.send_to(ctx, next, Msg::FetchState(FetchState { seq }));
+        }
+    }
+
+    fn flush_piggy(&mut self, ctx: &mut Context<'_, Packet>) {
+        self.piggy_timer = None;
+        let queue = std::mem::take(&mut self.piggy_queue);
+        for (seq, d) in queue {
+            let c = Commit {
+                view: self.view,
+                seq,
+                batch_digest: d,
+                replica: self.id,
+            };
+            self.multicast(ctx, Msg::Commit(c));
+        }
+    }
+}
+
+fn tamper(result: &mut Vec<u8>) {
+    if result.is_empty() {
+        result.push(0xde);
+    } else {
+        result[0] ^= 0xff;
+    }
+}
+
+impl<S: Service> Node<Packet> for Replica<S> {
+    fn on_start(&mut self, ctx: &mut Context<'_, Packet>) {
+        assert_eq!(
+            ctx.id(),
+            self.id,
+            "replica must be registered at node id == replica id"
+        );
+        ctx.set_timer(self.cfg.resend_interval_ns, TIMER_RESEND);
+        if self.cfg.key_refresh_interval_ns > 0 {
+            ctx.set_timer(self.cfg.key_refresh_interval_ns, TIMER_KEY_REFRESH);
+        }
+        if self.cfg.proactive_recovery_interval_ns > 0 {
+            // Stagger recoveries so at most one replica reboots at a time
+            // (the paper's proactive recovery does the same).
+            let first = self.cfg.proactive_recovery_interval_ns / self.cfg.n() as u64
+                * (self.id as u64 + 1);
+            ctx.set_timer(first, TIMER_RECOVERY);
+        }
+    }
+
+    fn on_message(
+        &mut self,
+        ctx: &mut Context<'_, Packet>,
+        from: NodeId,
+        packet: Packet,
+        wire: usize,
+    ) {
+        if self.behavior == Behavior::Crashed {
+            return;
+        }
+        ctx.charge(self.cfg.cost.recv(wire));
+        ctx.metrics().incr(&format!("msg.{}", packet.body.kind()));
+        if !self.verify_packet(ctx, from, &packet) {
+            ctx.metrics().incr("replica.bad_packet_auth");
+            return;
+        }
+        let had_store = self.request_store.len();
+        match packet.body {
+            Msg::Request(req) => {
+                self.handle_request(ctx, req);
+                if self.request_store.len() != had_store {
+                    self.resolve_pending_batches(ctx);
+                }
+            }
+            Msg::PrePrepare(pp) => self.handle_pre_prepare(ctx, from, pp),
+            Msg::Prepare(p) => self.handle_prepare(ctx, p),
+            Msg::Commit(c) => self.handle_commit(ctx, c),
+            Msg::Checkpoint(cp) => self.handle_checkpoint(ctx, cp),
+            Msg::ViewChange(vc) => self.handle_view_change(ctx, vc),
+            Msg::NewView(nv) => self.handle_new_view(ctx, from, nv),
+            Msg::FetchState(fs) => self.handle_fetch_state(ctx, from, fs),
+            Msg::StateData(sd) => self.handle_state_data(ctx, sd),
+            Msg::FetchBatch(fb) => self.handle_fetch_batch(ctx, from, fb),
+            Msg::BatchData(bd) => self.handle_batch_data(ctx, bd),
+            Msg::FetchRequests(fr) => self.handle_fetch_requests(ctx, from, fr),
+            Msg::RequestData(rd) => self.handle_request_data(ctx, rd),
+            Msg::Status(st) => self.handle_status(ctx, from, st),
+            Msg::CommittedBatch(cb) => self.handle_committed_batch(ctx, from, cb),
+            Msg::NewKey(nk) => self.handle_new_key(ctx, from, nk),
+            Msg::Reply(_) => { /* replicas do not consume replies */ }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, Packet>, token: u64) {
+        if self.behavior == Behavior::Crashed {
+            return;
+        }
+        match token {
+            TIMER_RESEND => {
+                self.on_resend_timer(ctx);
+                ctx.set_timer(self.cfg.resend_interval_ns, TIMER_RESEND);
+            }
+            TIMER_VIEW_CHANGE => {
+                self.vc_timer = None;
+                if self.in_view_change {
+                    // The new primary never produced a valid NEW-VIEW.
+                    let next = self.pending_view + 1;
+                    self.start_view_change(ctx, next);
+                } else if !self.pending_requests.is_empty() {
+                    let next = self.view + 1;
+                    self.start_view_change(ctx, next);
+                }
+            }
+            TIMER_PIGGY => self.flush_piggy(ctx),
+            TIMER_KEY_REFRESH => {
+                self.refresh_keys(ctx);
+                ctx.set_timer(self.cfg.key_refresh_interval_ns, TIMER_KEY_REFRESH);
+            }
+            TIMER_RECOVERY => {
+                self.proactive_recover(ctx);
+                ctx.set_timer(self.cfg.proactive_recovery_interval_ns, TIMER_RECOVERY);
+            }
+            _ => {}
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+impl<S: Service> std::fmt::Debug for Replica<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Replica")
+            .field("id", &self.id)
+            .field("view", &self.view)
+            .field("last_executed", &self.last_executed)
+            .field("last_final", &self.last_final)
+            .field("stable", &self.checkpoints.stable_seq())
+            .field("in_view_change", &self.in_view_change)
+            .field("next_seq", &self.next_seq)
+            .field("pending_batch", &self.pending_batch.len())
+            .field("queued", &self.queued.len())
+            .field("pending_reqs", &self.pending_requests.len())
+            .finish()
+    }
+}

@@ -1,0 +1,267 @@
+//! The deterministic state machine interface.
+//!
+//! BFT replicates any service expressible as a deterministic state machine
+//! (Section 2): all non-faulty replicas must produce identical results when
+//! executing the same operations in the same order. The extra methods
+//! support the protocol machinery:
+//!
+//! - `state_digest`/`snapshot`/`restore` for checkpoints and state
+//!   transfer;
+//! - `commit_prefix`/`rollback_suffix` for the *tentative execution*
+//!   optimization — a tentatively executed batch may be undone if a view
+//!   change reorders it;
+//! - `execute_read_only` for the *read-only* optimization;
+//! - `exec_cost_ns` so the simulation can charge the CPU time the real
+//!   service would use.
+
+use crate::types::ClientId;
+use bft_crypto::md5::Digest;
+
+/// Error restoring a snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RestoreError(pub String);
+
+impl std::fmt::Display for RestoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "snapshot restore failed: {}", self.0)
+    }
+}
+
+impl std::error::Error for RestoreError {}
+
+/// A deterministic state machine replicated by the BFT library.
+pub trait Service: 'static {
+    /// Executes a (possibly state-mutating) operation and returns its
+    /// result. Implementations must record enough undo information to
+    /// support [`Service::rollback_suffix`] until the operation is covered
+    /// by [`Service::commit_prefix`].
+    fn execute(&mut self, client: ClientId, op: &[u8]) -> Vec<u8>;
+
+    /// Executes an operation that [`Service::is_read_only`] classified as
+    /// read-only, without mutating state.
+    fn execute_read_only(&self, client: ClientId, op: &[u8]) -> Vec<u8>;
+
+    /// True if `op` cannot modify service state. Replicas *verify* this
+    /// classification; a faulty client cannot corrupt state by mislabeling
+    /// a write as a read.
+    fn is_read_only(&self, op: &[u8]) -> bool;
+
+    /// Simulated CPU cost of executing `op` (service computation the paper
+    /// says reduces the relative overhead of replication).
+    fn exec_cost_ns(&self, _op: &[u8], _result: &[u8]) -> u64 {
+        0
+    }
+
+    /// A digest of the current logical state. Must be a deterministic
+    /// function of the sequence of executed operations, and must be
+    /// preserved by a `snapshot`/`restore` round trip.
+    fn state_digest(&self) -> Digest;
+
+    /// Serializes the full state for state transfer and checkpointing.
+    fn snapshot(&self) -> Vec<u8>;
+
+    /// Replaces the state from a snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RestoreError`] if the snapshot is malformed; the state is
+    /// unspecified afterwards and the caller must retry with a good
+    /// snapshot.
+    fn restore(&mut self, snapshot: &[u8]) -> Result<(), RestoreError>;
+
+    /// Declares the `ops` oldest uncommitted executions final; their undo
+    /// information may be discarded.
+    fn commit_prefix(&mut self, _ops: usize) {}
+
+    /// Undoes the `ops` most recent executions (those not yet covered by
+    /// [`Service::commit_prefix`]), newest first.
+    fn rollback_suffix(&mut self, _ops: usize) {}
+}
+
+/// A service with no state whose operations return empty results. The
+/// skeleton used when only protocol behaviour matters.
+#[derive(Debug, Default, Clone)]
+pub struct NullService;
+
+impl Service for NullService {
+    fn execute(&mut self, _client: ClientId, _op: &[u8]) -> Vec<u8> {
+        Vec::new()
+    }
+    fn execute_read_only(&self, _client: ClientId, _op: &[u8]) -> Vec<u8> {
+        Vec::new()
+    }
+    fn is_read_only(&self, _op: &[u8]) -> bool {
+        false
+    }
+    fn state_digest(&self) -> Digest {
+        Digest::ZERO
+    }
+    fn snapshot(&self) -> Vec<u8> {
+        Vec::new()
+    }
+    fn restore(&mut self, _snapshot: &[u8]) -> Result<(), RestoreError> {
+        Ok(())
+    }
+}
+
+/// A tiny deterministic service used throughout the test suite: a single
+/// `u64` register supporting `add` and `get`, with full undo support so
+/// rollback paths can be exercised.
+///
+/// Operations: `[0, k]` adds `k` (1 byte) to the register and returns the
+/// new value; `[1]` reads the register (read-only).
+#[derive(Debug, Default, Clone)]
+pub struct CounterService {
+    value: u64,
+    /// Undo log: previous values of executed-but-uncommitted operations.
+    undo: Vec<u64>,
+}
+
+impl CounterService {
+    /// Op encoding for "add k".
+    pub fn add_op(k: u8) -> Vec<u8> {
+        vec![0, k]
+    }
+
+    /// Op encoding for "get".
+    pub fn get_op() -> Vec<u8> {
+        vec![1]
+    }
+
+    /// Current register value.
+    pub fn value(&self) -> u64 {
+        self.value
+    }
+
+    /// Number of uncommitted operations.
+    pub fn uncommitted(&self) -> usize {
+        self.undo.len()
+    }
+}
+
+impl Service for CounterService {
+    fn execute(&mut self, _client: ClientId, op: &[u8]) -> Vec<u8> {
+        self.undo.push(self.value);
+        // Bytes beyond the opcode and operand are padding (used by tests
+        // exercising large-request paths).
+        if op.first() == Some(&0) {
+            self.value += u64::from(op.get(1).copied().unwrap_or(0));
+        }
+        self.value.to_le_bytes().to_vec()
+    }
+
+    fn execute_read_only(&self, _client: ClientId, _op: &[u8]) -> Vec<u8> {
+        self.value.to_le_bytes().to_vec()
+    }
+
+    fn is_read_only(&self, op: &[u8]) -> bool {
+        op.first() == Some(&1)
+    }
+
+    fn state_digest(&self) -> Digest {
+        bft_crypto::digest(&self.value.to_le_bytes())
+    }
+
+    fn snapshot(&self) -> Vec<u8> {
+        self.value.to_le_bytes().to_vec()
+    }
+
+    fn restore(&mut self, snapshot: &[u8]) -> Result<(), RestoreError> {
+        let bytes: [u8; 8] = snapshot
+            .try_into()
+            .map_err(|_| RestoreError(format!("want 8 bytes, got {}", snapshot.len())))?;
+        self.value = u64::from_le_bytes(bytes);
+        self.undo.clear();
+        Ok(())
+    }
+
+    fn commit_prefix(&mut self, ops: usize) {
+        let n = ops.min(self.undo.len());
+        self.undo.drain(..n);
+    }
+
+    fn rollback_suffix(&mut self, ops: usize) {
+        for _ in 0..ops {
+            if let Some(prev) = self.undo.pop() {
+                self.value = prev;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_service_is_inert() {
+        let mut s = NullService;
+        assert!(s.execute(9, b"anything").is_empty());
+        assert_eq!(s.state_digest(), Digest::ZERO);
+        s.restore(&s.snapshot()).expect("restore");
+    }
+
+    #[test]
+    fn counter_executes_and_reads() {
+        let mut s = CounterService::default();
+        assert_eq!(s.execute(1, &CounterService::add_op(5)), 5u64.to_le_bytes());
+        assert_eq!(s.execute(1, &CounterService::add_op(3)), 8u64.to_le_bytes());
+        assert_eq!(
+            s.execute_read_only(1, &CounterService::get_op()),
+            8u64.to_le_bytes()
+        );
+        assert!(s.is_read_only(&CounterService::get_op()));
+        assert!(!s.is_read_only(&CounterService::add_op(1)));
+    }
+
+    #[test]
+    fn rollback_undoes_uncommitted_suffix() {
+        let mut s = CounterService::default();
+        s.execute(1, &CounterService::add_op(10));
+        s.commit_prefix(1);
+        s.execute(1, &CounterService::add_op(5));
+        s.execute(1, &CounterService::add_op(2));
+        assert_eq!(s.value(), 17);
+        s.rollback_suffix(2);
+        assert_eq!(s.value(), 10, "back to the committed prefix");
+        assert_eq!(s.uncommitted(), 0);
+    }
+
+    #[test]
+    fn commit_prefix_pins_operations() {
+        let mut s = CounterService::default();
+        s.execute(1, &CounterService::add_op(1));
+        s.execute(1, &CounterService::add_op(2));
+        s.commit_prefix(2);
+        // Nothing uncommitted: rollback is a no-op.
+        s.rollback_suffix(5);
+        assert_eq!(s.value(), 3);
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrip_preserves_digest() {
+        let mut s = CounterService::default();
+        s.execute(1, &CounterService::add_op(42));
+        let d = s.state_digest();
+        let snap = s.snapshot();
+        let mut t = CounterService::default();
+        t.restore(&snap).expect("restore");
+        assert_eq!(t.state_digest(), d);
+        assert_eq!(t.value(), 42);
+    }
+
+    #[test]
+    fn restore_rejects_malformed() {
+        let mut s = CounterService::default();
+        assert!(s.restore(&[1, 2, 3]).is_err());
+    }
+
+    #[test]
+    fn digests_distinguish_states() {
+        let mut a = CounterService::default();
+        let mut b = CounterService::default();
+        a.execute(1, &CounterService::add_op(1));
+        b.execute(1, &CounterService::add_op(2));
+        assert_ne!(a.state_digest(), b.state_digest());
+    }
+}

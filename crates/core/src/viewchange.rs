@@ -1,0 +1,394 @@
+//! View-change bookkeeping: vote collection and the new-view computation.
+//!
+//! When backups suspect the primary they multicast VIEW-CHANGE messages;
+//! the primary of the next view collects `2f+1` of them, recomputes the
+//! ordering decisions that must survive (the `O` set), and multicasts a
+//! NEW-VIEW. Backups *re-derive* `O` from the included view-change
+//! messages and refuse the new view if the primary computed it wrong.
+
+use crate::messages::{NewView, PreparedInfo, ViewChange, NULL_DIGEST};
+use crate::types::{Quorums, ReplicaId, SeqNum, View};
+use bft_crypto::md5::Digest;
+use std::collections::{BTreeMap, HashMap};
+
+/// Collected view-change votes, per target view.
+#[derive(Debug, Clone, Default)]
+pub struct ViewChangeSet {
+    votes: BTreeMap<View, HashMap<ReplicaId, ViewChange>>,
+}
+
+impl ViewChangeSet {
+    /// Creates an empty vote set.
+    pub fn new() -> ViewChangeSet {
+        ViewChangeSet::default()
+    }
+
+    /// Records a vote (later votes from the same replica for the same view
+    /// replace earlier ones).
+    pub fn add(&mut self, vc: ViewChange) {
+        self.votes
+            .entry(vc.new_view)
+            .or_default()
+            .insert(vc.replica, vc);
+    }
+
+    /// Number of distinct voters for `view`.
+    pub fn count(&self, view: View) -> usize {
+        self.votes.get(&view).map_or(0, HashMap::len)
+    }
+
+    /// True if `replica` has voted for `view`.
+    pub fn has_vote(&self, view: View, replica: ReplicaId) -> bool {
+        self.votes
+            .get(&view)
+            .is_some_and(|m| m.contains_key(&replica))
+    }
+
+    /// The votes for `view` in replica-id order, if a `2f+1` quorum
+    /// exists. Exactly `2f+1` votes are returned (the lowest replica ids),
+    /// so every replica derives the same set.
+    pub fn quorum(&self, view: View, q: &Quorums) -> Option<Vec<ViewChange>> {
+        let votes = self.votes.get(&view)?;
+        if votes.len() < q.view_change_quorum() {
+            return None;
+        }
+        let mut ids: Vec<ReplicaId> = votes.keys().copied().collect();
+        ids.sort_unstable();
+        Some(
+            ids.into_iter()
+                .take(q.view_change_quorum())
+                .map(|r| votes[&r].clone())
+                .collect(),
+        )
+    }
+
+    /// The smallest view strictly greater than `current` for which at
+    /// least `f+1` replicas have voted — evidence a correct replica should
+    /// join that view change.
+    pub fn join_view(&self, current: View, q: &Quorums) -> Option<View> {
+        self.votes
+            .iter()
+            .find(|&(&v, m)| v > current && m.len() > q.f as usize)
+            .map(|(&v, _)| v)
+    }
+
+    /// Drops votes for views at or below `view` (already installed).
+    pub fn prune_through(&mut self, view: View) {
+        self.votes = self.votes.split_off(&(view + 1));
+    }
+}
+
+/// The deterministic new-view computation shared by the new primary
+/// (building) and the backups (validating).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NewViewPlan {
+    /// `min-s`: the highest stable checkpoint among the view changes.
+    pub min_s: SeqNum,
+    /// Digest of that checkpoint (asserted by the vote that carried it).
+    pub min_s_digest: Digest,
+    /// `max-s`: the highest prepared sequence number.
+    pub max_s: SeqNum,
+    /// The `O` set: `(seq, digest)` for each `min_s < seq <= max_s`, with
+    /// [`NULL_DIGEST`] where no vote carried a prepared certificate.
+    pub pre_prepares: Vec<(SeqNum, Digest)>,
+}
+
+/// Computes the new-view plan from a quorum of view-change messages.
+pub fn compute_plan(view_changes: &[ViewChange]) -> NewViewPlan {
+    let (min_s, min_s_digest) = view_changes
+        .iter()
+        .map(|vc| (vc.last_stable, vc.stable_digest))
+        .max_by_key(|&(s, _)| s)
+        .unwrap_or((0, Digest::ZERO));
+
+    // For each sequence number above min_s, the certificate from the
+    // highest view wins (certificates for the same (view, seq) cannot
+    // conflict among correct replicas).
+    let mut best: BTreeMap<SeqNum, PreparedInfo> = BTreeMap::new();
+    for vc in view_changes {
+        for info in &vc.prepared {
+            if info.seq <= min_s {
+                continue;
+            }
+            match best.get(&info.seq) {
+                Some(cur) if cur.view >= info.view => {}
+                _ => {
+                    best.insert(info.seq, *info);
+                }
+            }
+        }
+    }
+    let max_s = best.keys().next_back().copied().unwrap_or(min_s);
+    let pre_prepares = (min_s + 1..=max_s)
+        .map(|seq| (seq, best.get(&seq).map_or(NULL_DIGEST, |i| i.batch_digest)))
+        .collect();
+    NewViewPlan {
+        min_s,
+        min_s_digest,
+        max_s,
+        pre_prepares,
+    }
+}
+
+/// Validation failures for a NEW-VIEW message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NewViewError {
+    /// Fewer than `2f+1` distinct view-change votes.
+    InsufficientVotes,
+    /// A vote targets a different view.
+    MixedViews,
+    /// The `O` set does not match the deterministic recomputation.
+    WrongComputation,
+}
+
+impl std::fmt::Display for NewViewError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NewViewError::InsufficientVotes => write!(f, "insufficient view-change votes"),
+            NewViewError::MixedViews => write!(f, "view-change votes for mixed views"),
+            NewViewError::WrongComputation => write!(f, "new-view O set was computed incorrectly"),
+        }
+    }
+}
+
+impl std::error::Error for NewViewError {}
+
+/// Validates a NEW-VIEW against the deterministic recomputation.
+///
+/// # Errors
+///
+/// Returns the first [`NewViewError`] found.
+pub fn validate_new_view(nv: &NewView, q: &Quorums) -> Result<NewViewPlan, NewViewError> {
+    let mut voters: Vec<ReplicaId> = nv.view_changes.iter().map(|vc| vc.replica).collect();
+    voters.sort_unstable();
+    voters.dedup();
+    if voters.len() < q.view_change_quorum() {
+        return Err(NewViewError::InsufficientVotes);
+    }
+    if nv.view_changes.iter().any(|vc| vc.new_view != nv.view) {
+        return Err(NewViewError::MixedViews);
+    }
+    let plan = compute_plan(&nv.view_changes);
+    if plan.pre_prepares != nv.pre_prepares {
+        return Err(NewViewError::WrongComputation);
+    }
+    Ok(plan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q() -> Quorums {
+        Quorums::minimal(1)
+    }
+
+    fn d(tag: u8) -> Digest {
+        bft_crypto::digest(&[tag])
+    }
+
+    fn vc(
+        replica: ReplicaId,
+        new_view: View,
+        last_stable: SeqNum,
+        prepared: Vec<PreparedInfo>,
+    ) -> ViewChange {
+        ViewChange {
+            new_view,
+            last_stable,
+            stable_digest: d(last_stable as u8),
+            prepared,
+            replica,
+        }
+    }
+
+    fn pi(seq: SeqNum, view: View, tag: u8) -> PreparedInfo {
+        PreparedInfo {
+            seq,
+            view,
+            batch_digest: d(tag),
+        }
+    }
+
+    #[test]
+    fn vote_counting_and_quorum() {
+        let mut set = ViewChangeSet::new();
+        set.add(vc(0, 1, 0, vec![]));
+        set.add(vc(1, 1, 0, vec![]));
+        assert_eq!(set.count(1), 2);
+        assert!(set.quorum(1, &q()).is_none());
+        set.add(vc(2, 1, 0, vec![]));
+        let quorum = set.quorum(1, &q()).expect("quorum");
+        assert_eq!(quorum.len(), 3);
+        // Duplicate votes do not inflate the count.
+        set.add(vc(2, 1, 0, vec![]));
+        assert_eq!(set.count(1), 3);
+    }
+
+    #[test]
+    fn quorum_is_deterministic() {
+        let mut a = ViewChangeSet::new();
+        let mut b = ViewChangeSet::new();
+        for &r in &[3u32, 0, 2, 1] {
+            a.add(vc(r, 1, 0, vec![]));
+        }
+        for &r in &[1u32, 2, 0, 3] {
+            b.add(vc(r, 1, 0, vec![]));
+        }
+        assert_eq!(a.quorum(1, &q()), b.quorum(1, &q()));
+    }
+
+    #[test]
+    fn join_view_needs_f_plus_one() {
+        let mut set = ViewChangeSet::new();
+        set.add(vc(1, 3, 0, vec![]));
+        assert_eq!(set.join_view(0, &q()), None);
+        set.add(vc(2, 3, 0, vec![]));
+        assert_eq!(set.join_view(0, &q()), Some(3));
+        assert_eq!(set.join_view(3, &q()), None, "not above current");
+    }
+
+    #[test]
+    fn prune_discards_installed_views() {
+        let mut set = ViewChangeSet::new();
+        set.add(vc(0, 1, 0, vec![]));
+        set.add(vc(0, 5, 0, vec![]));
+        set.prune_through(1);
+        assert_eq!(set.count(1), 0);
+        assert_eq!(set.count(5), 1);
+    }
+
+    #[test]
+    fn plan_spans_min_to_max_with_nulls() {
+        let votes = [
+            vc(0, 1, 128, vec![pi(130, 0, 7)]),
+            vc(1, 1, 100, vec![pi(132, 0, 9)]),
+            vc(2, 1, 128, vec![]),
+        ];
+        let plan = compute_plan(&votes);
+        assert_eq!(plan.min_s, 128);
+        assert_eq!(plan.max_s, 132);
+        assert_eq!(
+            plan.pre_prepares,
+            vec![
+                (129, NULL_DIGEST),
+                (130, d(7)),
+                (131, NULL_DIGEST),
+                (132, d(9)),
+            ]
+        );
+    }
+
+    #[test]
+    fn higher_view_certificate_wins() {
+        let votes = [
+            vc(0, 2, 0, vec![pi(1, 0, 7)]),
+            vc(1, 2, 0, vec![pi(1, 1, 9)]),
+            vc(2, 2, 0, vec![]),
+        ];
+        let plan = compute_plan(&votes);
+        assert_eq!(plan.pre_prepares, vec![(1, d(9))]);
+    }
+
+    #[test]
+    fn certificates_below_min_s_are_dropped() {
+        let votes = [
+            vc(0, 1, 128, vec![pi(100, 0, 7)]),
+            vc(1, 1, 128, vec![]),
+            vc(2, 1, 128, vec![]),
+        ];
+        let plan = compute_plan(&votes);
+        assert_eq!(plan.max_s, 128);
+        assert!(plan.pre_prepares.is_empty());
+    }
+
+    #[test]
+    fn empty_votes_plan_is_empty() {
+        let plan = compute_plan(&[]);
+        assert_eq!(plan.min_s, 0);
+        assert!(plan.pre_prepares.is_empty());
+    }
+
+    #[test]
+    fn validate_accepts_correct_new_view() {
+        let votes = vec![
+            vc(0, 1, 0, vec![pi(1, 0, 7)]),
+            vc(1, 1, 0, vec![]),
+            vc(2, 1, 0, vec![]),
+        ];
+        let plan = compute_plan(&votes);
+        let nv = NewView {
+            view: 1,
+            view_changes: votes,
+            pre_prepares: plan.pre_prepares.clone(),
+            batches: vec![],
+        };
+        assert_eq!(validate_new_view(&nv, &q()), Ok(plan));
+    }
+
+    #[test]
+    fn validate_rejects_wrong_o_set() {
+        let votes = vec![
+            vc(0, 1, 0, vec![pi(1, 0, 7)]),
+            vc(1, 1, 0, vec![]),
+            vc(2, 1, 0, vec![]),
+        ];
+        let nv = NewView {
+            view: 1,
+            view_changes: votes,
+            pre_prepares: vec![(1, d(9))], // forged digest
+            batches: vec![],
+        };
+        assert_eq!(
+            validate_new_view(&nv, &q()),
+            Err(NewViewError::WrongComputation)
+        );
+    }
+
+    #[test]
+    fn validate_rejects_thin_or_mixed_quorums() {
+        let votes = vec![vc(0, 1, 0, vec![]), vc(1, 1, 0, vec![])];
+        let nv = NewView {
+            view: 1,
+            view_changes: votes,
+            pre_prepares: vec![],
+            batches: vec![],
+        };
+        assert_eq!(
+            validate_new_view(&nv, &q()),
+            Err(NewViewError::InsufficientVotes)
+        );
+
+        let votes = vec![
+            vc(0, 1, 0, vec![]),
+            vc(1, 2, 0, vec![]),
+            vc(2, 1, 0, vec![]),
+        ];
+        let nv = NewView {
+            view: 1,
+            view_changes: votes,
+            pre_prepares: vec![],
+            batches: vec![],
+        };
+        assert_eq!(validate_new_view(&nv, &q()), Err(NewViewError::MixedViews));
+    }
+
+    #[test]
+    fn duplicate_voters_rejected() {
+        let votes = vec![
+            vc(0, 1, 0, vec![]),
+            vc(0, 1, 0, vec![]),
+            vc(1, 1, 0, vec![]),
+        ];
+        let nv = NewView {
+            view: 1,
+            view_changes: votes,
+            pre_prepares: vec![],
+            batches: vec![],
+        };
+        assert_eq!(
+            validate_new_view(&nv, &q()),
+            Err(NewViewError::InsufficientVotes)
+        );
+    }
+}

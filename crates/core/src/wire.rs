@@ -1,0 +1,306 @@
+//! Byte-exact wire encoding.
+//!
+//! Digests and MACs are computed over encoded bytes, and the network model
+//! charges links for encoded sizes, so the codec is the ground truth for
+//! both authentication and performance accounting — exactly the role of
+//! BFT's hand-rolled message formats. The format is little-endian, with
+//! varint-free fixed-width integers (simple, and the sizes match the
+//! paper-era C structs closely enough for the evaluation).
+
+use bft_crypto::md5::Digest;
+use bft_crypto::umac::Mac;
+
+/// Encoding/decoding failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireError {
+    /// Input ended before the value was complete.
+    Truncated,
+    /// A tag or enum discriminant was out of range.
+    BadTag(u8),
+    /// A length prefix exceeded sanity bounds.
+    BadLength(u64),
+    /// Input had trailing bytes after a complete message.
+    TrailingBytes,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "input truncated"),
+            WireError::BadTag(t) => write!(f, "invalid tag byte {t}"),
+            WireError::BadLength(l) => write!(f, "implausible length {l}"),
+            WireError::TrailingBytes => write!(f, "trailing bytes after message"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Maximum length prefix accepted while decoding, to bound allocation on
+/// malformed input.
+const MAX_LEN: u64 = 64 * 1024 * 1024;
+
+/// A value with a byte-exact wire representation.
+pub trait Wire: Sized {
+    /// Appends the encoding of `self` to `buf`.
+    fn encode(&self, buf: &mut Vec<u8>);
+
+    /// Decodes a value from the front of `r`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] describing the first malformation found.
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError>;
+
+    /// Encodes into a fresh buffer.
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        self.encode(&mut buf);
+        buf
+    }
+
+    /// Encoded size in bytes.
+    fn wire_len(&self) -> usize {
+        self.to_bytes().len()
+    }
+
+    /// Decodes a complete message, rejecting trailing bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] on malformed or incomplete input.
+    fn from_bytes(bytes: &[u8]) -> Result<Self, WireError> {
+        let mut r = Reader::new(bytes);
+        let v = Self::decode(&mut r)?;
+        if r.remaining() != 0 {
+            return Err(WireError::TrailingBytes);
+        }
+        Ok(v)
+    }
+}
+
+/// A cursor over bytes being decoded.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Creates a reader over `data`.
+    pub fn new(data: &'a [u8]) -> Reader<'a> {
+        Reader { data, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// Takes `n` raw bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Truncated`] if fewer than `n` bytes remain.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::Truncated);
+        }
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+}
+
+impl Wire for u8 {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.push(*self);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(r.take(1)?[0])
+    }
+}
+
+impl Wire for u32 {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(&self.to_le_bytes());
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(u32::from_le_bytes(r.take(4)?.try_into().expect("4 bytes")))
+    }
+}
+
+impl Wire for u64 {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(&self.to_le_bytes());
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(u64::from_le_bytes(r.take(8)?.try_into().expect("8 bytes")))
+    }
+}
+
+impl Wire for bool {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.push(u8::from(*self));
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.take(1)?[0] {
+            0 => Ok(false),
+            1 => Ok(true),
+            t => Err(WireError::BadTag(t)),
+        }
+    }
+}
+
+impl<T: Wire> Wire for Vec<T> {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        (self.len() as u64).encode(buf);
+        for item in self {
+            item.encode(buf);
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let len = u64::decode(r)?;
+        if len > MAX_LEN {
+            return Err(WireError::BadLength(len));
+        }
+        // Guard allocation: items are at least one byte each.
+        if len as usize > r.remaining() {
+            return Err(WireError::Truncated);
+        }
+        let mut out = Vec::with_capacity(len as usize);
+        for _ in 0..len {
+            out.push(T::decode(r)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Wire> Wire for Option<T> {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            None => buf.push(0),
+            Some(v) => {
+                buf.push(1);
+                v.encode(buf);
+            }
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.take(1)?[0] {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(r)?)),
+            t => Err(WireError::BadTag(t)),
+        }
+    }
+}
+
+impl<A: Wire, B: Wire> Wire for (A, B) {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.0.encode(buf);
+        self.1.encode(buf);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok((A::decode(r)?, B::decode(r)?))
+    }
+}
+
+impl Wire for Digest {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(self.as_bytes());
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(Digest(r.take(16)?.try_into().expect("16 bytes")))
+    }
+}
+
+impl Wire for Mac {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.nonce.encode(buf);
+        buf.extend_from_slice(&self.tag);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let nonce = u64::decode(r)?;
+        let tag = r.take(8)?.try_into().expect("8 bytes");
+        Ok(Mac { nonce, tag })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Wire + PartialEq + std::fmt::Debug>(v: T) {
+        let bytes = v.to_bytes();
+        assert_eq!(bytes.len(), v.wire_len());
+        assert_eq!(T::from_bytes(&bytes).expect("decodes"), v);
+    }
+
+    #[test]
+    fn primitives_roundtrip() {
+        roundtrip(0u8);
+        roundtrip(255u8);
+        roundtrip(0xdead_beefu32);
+        roundtrip(u64::MAX);
+        roundtrip(true);
+        roundtrip(false);
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        roundtrip(vec![1u8, 2, 3]);
+        roundtrip(Vec::<u8>::new());
+        roundtrip(vec![7u32, 8, 9]);
+        roundtrip(Option::<u32>::None);
+        roundtrip(Some(5u64));
+        roundtrip((3u32, vec![1u8]));
+    }
+
+    #[test]
+    fn crypto_types_roundtrip() {
+        roundtrip(bft_crypto::digest(b"x"));
+        roundtrip(Mac {
+            nonce: 42,
+            tag: [1, 2, 3, 4, 5, 6, 7, 8],
+        });
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let bytes = 0xabcdu32.to_bytes();
+        assert_eq!(u32::from_bytes(&bytes[..3]), Err(WireError::Truncated));
+        assert_eq!(u64::from_bytes(&[]), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn trailing_bytes_detected() {
+        let mut bytes = 1u8.to_bytes();
+        bytes.push(0);
+        assert_eq!(u8::from_bytes(&bytes), Err(WireError::TrailingBytes));
+    }
+
+    #[test]
+    fn bad_bool_tag() {
+        assert_eq!(bool::from_bytes(&[2]), Err(WireError::BadTag(2)));
+    }
+
+    #[test]
+    fn huge_length_rejected_without_allocating() {
+        let mut bytes = Vec::new();
+        u64::MAX.encode(&mut bytes);
+        assert_eq!(
+            Vec::<u8>::from_bytes(&bytes),
+            Err(WireError::BadLength(u64::MAX))
+        );
+        // A length that passes the sanity bound but exceeds the input is
+        // caught as truncation before allocation.
+        let mut bytes = Vec::new();
+        (1_000_000u64).encode(&mut bytes);
+        assert_eq!(Vec::<u32>::from_bytes(&bytes), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn option_bad_tag() {
+        assert_eq!(Option::<u32>::from_bytes(&[9]), Err(WireError::BadTag(9)));
+    }
+}

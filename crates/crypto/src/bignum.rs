@@ -1,0 +1,659 @@
+//! A small arbitrary-precision unsigned integer, sufficient for the RSA
+//! key-exchange substrate.
+//!
+//! BFT uses public-key cryptography only to establish symmetric session
+//! keys (and the paper's predecessors, Rampart and SecureRing, used it per
+//! message — which is why they were slow). We therefore need a working but
+//! not heavily optimized bignum: schoolbook multiplication, binary long
+//! division, square-and-multiply modular exponentiation, Miller–Rabin
+//! primality testing, and an extended GCD for modular inverses.
+
+use rand::Rng;
+
+/// An arbitrary-precision unsigned integer, little-endian `u32` limbs with
+/// no trailing zero limbs (zero is the empty limb vector).
+#[derive(Clone, PartialEq, Eq, Default)]
+pub struct UBig {
+    limbs: Vec<u32>,
+}
+
+impl std::fmt::Debug for UBig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "UBig(0x")?;
+        if self.limbs.is_empty() {
+            write!(f, "0")?;
+        }
+        for limb in self.limbs.iter().rev() {
+            write!(f, "{limb:08x}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl std::fmt::Display for UBig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        std::fmt::Debug::fmt(self, f)
+    }
+}
+
+impl PartialOrd for UBig {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for UBig {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        if self.limbs.len() != other.limbs.len() {
+            return self.limbs.len().cmp(&other.limbs.len());
+        }
+        for (a, b) in self.limbs.iter().rev().zip(other.limbs.iter().rev()) {
+            if a != b {
+                return a.cmp(b);
+            }
+        }
+        std::cmp::Ordering::Equal
+    }
+}
+
+impl From<u64> for UBig {
+    fn from(v: u64) -> UBig {
+        let mut n = UBig {
+            limbs: vec![v as u32, (v >> 32) as u32],
+        };
+        n.normalize();
+        n
+    }
+}
+
+impl UBig {
+    /// Zero.
+    pub fn zero() -> UBig {
+        UBig { limbs: Vec::new() }
+    }
+
+    /// One.
+    pub fn one() -> UBig {
+        UBig::from(1u64)
+    }
+
+    /// Parses a big-endian byte string.
+    pub fn from_bytes_be(bytes: &[u8]) -> UBig {
+        let mut limbs = Vec::with_capacity(bytes.len() / 4 + 1);
+        for chunk in bytes.rchunks(4) {
+            let mut limb = 0u32;
+            for &b in chunk {
+                limb = (limb << 8) | b as u32;
+            }
+            limbs.push(limb);
+        }
+        let mut n = UBig { limbs };
+        n.normalize();
+        n
+    }
+
+    /// Serializes to big-endian bytes without leading zeros (empty for 0).
+    pub fn to_bytes_be(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.limbs.len() * 4);
+        for limb in self.limbs.iter().rev() {
+            out.extend_from_slice(&limb.to_be_bytes());
+        }
+        while out.first() == Some(&0) {
+            out.remove(0);
+        }
+        out
+    }
+
+    /// True iff the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// True iff the low bit is clear.
+    pub fn is_even(&self) -> bool {
+        self.limbs.first().is_none_or(|l| l & 1 == 0)
+    }
+
+    /// Number of significant bits (0 for zero).
+    pub fn bits(&self) -> usize {
+        match self.limbs.last() {
+            None => 0,
+            Some(top) => (self.limbs.len() - 1) * 32 + (32 - top.leading_zeros() as usize),
+        }
+    }
+
+    /// Value of bit `i` (little-endian bit numbering).
+    pub fn bit(&self, i: usize) -> bool {
+        let (limb, off) = (i / 32, i % 32);
+        self.limbs.get(limb).is_some_and(|l| (l >> off) & 1 == 1)
+    }
+
+    fn normalize(&mut self) {
+        while self.limbs.last() == Some(&0) {
+            self.limbs.pop();
+        }
+    }
+
+    /// `self + other`.
+    pub fn add(&self, other: &UBig) -> UBig {
+        let (long, short) = if self.limbs.len() >= other.limbs.len() {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        let mut limbs = Vec::with_capacity(long.limbs.len() + 1);
+        let mut carry = 0u64;
+        for i in 0..long.limbs.len() {
+            let sum =
+                long.limbs[i] as u64 + short.limbs.get(i).copied().unwrap_or(0) as u64 + carry;
+            limbs.push(sum as u32);
+            carry = sum >> 32;
+        }
+        if carry != 0 {
+            limbs.push(carry as u32);
+        }
+        UBig { limbs }
+    }
+
+    /// `self - other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other > self`.
+    pub fn sub(&self, other: &UBig) -> UBig {
+        assert!(self >= other, "UBig::sub underflow");
+        let mut limbs = Vec::with_capacity(self.limbs.len());
+        let mut borrow = 0i64;
+        for i in 0..self.limbs.len() {
+            let diff =
+                self.limbs[i] as i64 - other.limbs.get(i).copied().unwrap_or(0) as i64 + borrow;
+            if diff < 0 {
+                limbs.push((diff + (1i64 << 32)) as u32);
+                borrow = -1;
+            } else {
+                limbs.push(diff as u32);
+                borrow = 0;
+            }
+        }
+        let mut n = UBig { limbs };
+        n.normalize();
+        n
+    }
+
+    /// `self * other` (schoolbook).
+    pub fn mul(&self, other: &UBig) -> UBig {
+        if self.is_zero() || other.is_zero() {
+            return UBig::zero();
+        }
+        let mut limbs = vec![0u32; self.limbs.len() + other.limbs.len()];
+        for (i, &a) in self.limbs.iter().enumerate() {
+            let mut carry = 0u64;
+            for (j, &b) in other.limbs.iter().enumerate() {
+                let cur = limbs[i + j] as u64 + a as u64 * b as u64 + carry;
+                limbs[i + j] = cur as u32;
+                carry = cur >> 32;
+            }
+            let mut k = i + other.limbs.len();
+            while carry != 0 {
+                let cur = limbs[k] as u64 + carry;
+                limbs[k] = cur as u32;
+                carry = cur >> 32;
+                k += 1;
+            }
+        }
+        let mut n = UBig { limbs };
+        n.normalize();
+        n
+    }
+
+    /// `self << bits`.
+    pub fn shl(&self, bits: usize) -> UBig {
+        if self.is_zero() {
+            return UBig::zero();
+        }
+        let (limb_shift, bit_shift) = (bits / 32, bits % 32);
+        let mut limbs = vec![0u32; limb_shift];
+        if bit_shift == 0 {
+            limbs.extend_from_slice(&self.limbs);
+        } else {
+            let mut carry = 0u32;
+            for &l in &self.limbs {
+                limbs.push((l << bit_shift) | carry);
+                carry = l >> (32 - bit_shift);
+            }
+            if carry != 0 {
+                limbs.push(carry);
+            }
+        }
+        let mut n = UBig { limbs };
+        n.normalize();
+        n
+    }
+
+    /// `self >> bits`.
+    pub fn shr(&self, bits: usize) -> UBig {
+        let (limb_shift, bit_shift) = (bits / 32, bits % 32);
+        if limb_shift >= self.limbs.len() {
+            return UBig::zero();
+        }
+        let mut limbs = Vec::with_capacity(self.limbs.len() - limb_shift);
+        if bit_shift == 0 {
+            limbs.extend_from_slice(&self.limbs[limb_shift..]);
+        } else {
+            for i in limb_shift..self.limbs.len() {
+                let lo = self.limbs[i] >> bit_shift;
+                let hi = self.limbs.get(i + 1).map_or(0, |&l| l << (32 - bit_shift));
+                limbs.push(lo | hi);
+            }
+        }
+        let mut n = UBig { limbs };
+        n.normalize();
+        n
+    }
+
+    /// Quotient and remainder of `self / divisor` (binary long division).
+    ///
+    /// # Panics
+    ///
+    /// Panics on division by zero.
+    pub fn div_rem(&self, divisor: &UBig) -> (UBig, UBig) {
+        assert!(!divisor.is_zero(), "UBig division by zero");
+        if self < divisor {
+            return (UBig::zero(), self.clone());
+        }
+        let shift = self.bits() - divisor.bits();
+        let mut remainder = self.clone();
+        let mut quotient = UBig::zero();
+        let mut shifted = divisor.shl(shift);
+        for i in (0..=shift).rev() {
+            if remainder >= shifted {
+                remainder = remainder.sub(&shifted);
+                // Set quotient bit i.
+                let (limb, off) = (i / 32, i % 32);
+                if quotient.limbs.len() <= limb {
+                    quotient.limbs.resize(limb + 1, 0);
+                }
+                quotient.limbs[limb] |= 1 << off;
+            }
+            shifted = shifted.shr(1);
+        }
+        quotient.normalize();
+        (quotient, remainder)
+    }
+
+    /// `self mod m`.
+    pub fn rem(&self, m: &UBig) -> UBig {
+        self.div_rem(m).1
+    }
+
+    /// `self^exp mod m` by square-and-multiply.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is zero.
+    pub fn mod_pow(&self, exp: &UBig, m: &UBig) -> UBig {
+        assert!(!m.is_zero(), "modulus must be nonzero");
+        if m == &UBig::one() {
+            return UBig::zero();
+        }
+        let mut result = UBig::one();
+        let mut base = self.rem(m);
+        for i in 0..exp.bits() {
+            if exp.bit(i) {
+                result = result.mul(&base).rem(m);
+            }
+            base = base.mul(&base).rem(m);
+        }
+        result
+    }
+
+    /// Greatest common divisor (binary GCD).
+    pub fn gcd(&self, other: &UBig) -> UBig {
+        let mut a = self.clone();
+        let mut b = other.clone();
+        if a.is_zero() {
+            return b;
+        }
+        if b.is_zero() {
+            return a;
+        }
+        let mut shift = 0;
+        while a.is_even() && b.is_even() {
+            a = a.shr(1);
+            b = b.shr(1);
+            shift += 1;
+        }
+        while !b.is_zero() {
+            while a.is_even() {
+                a = a.shr(1);
+            }
+            while b.is_even() {
+                b = b.shr(1);
+            }
+            if a > b {
+                std::mem::swap(&mut a, &mut b);
+            }
+            b = b.sub(&a);
+        }
+        a.shl(shift)
+    }
+
+    /// Modular inverse `self⁻¹ mod m`, or `None` if `gcd(self, m) != 1`.
+    pub fn mod_inv(&self, m: &UBig) -> Option<UBig> {
+        // Extended Euclid tracking only the coefficient of `self`, with an
+        // explicit sign because UBig is unsigned.
+        let mut r0 = m.clone();
+        let mut r1 = self.rem(m);
+        let mut t0 = (UBig::zero(), false); // (magnitude, negative?)
+        let mut t1 = (UBig::one(), false);
+        while !r1.is_zero() {
+            let (q, r2) = r0.div_rem(&r1);
+            // t2 = t0 - q * t1, with sign tracking.
+            let qt1 = q.mul(&t1.0);
+            let t2 = sub_signed(&t0, &(qt1, t1.1));
+            r0 = r1;
+            r1 = r2;
+            t0 = t1;
+            t1 = t2;
+        }
+        if r0 != UBig::one() {
+            return None;
+        }
+        let (mag, neg) = t0;
+        let mag = mag.rem(m);
+        Some(if neg && !mag.is_zero() {
+            m.sub(&mag)
+        } else {
+            mag
+        })
+    }
+
+    /// A uniformly random value with exactly `bits` bits (top bit set).
+    pub fn random_bits<R: Rng>(rng: &mut R, bits: usize) -> UBig {
+        assert!(bits > 0);
+        let limbs_len = bits.div_ceil(32);
+        let mut limbs: Vec<u32> = (0..limbs_len).map(|_| rng.gen()).collect();
+        let top_bits = bits - (limbs_len - 1) * 32;
+        let mask = if top_bits == 32 {
+            u32::MAX
+        } else {
+            (1u32 << top_bits) - 1
+        };
+        let last = limbs.last_mut().expect("at least one limb");
+        *last &= mask;
+        *last |= 1 << (top_bits - 1);
+        let mut n = UBig { limbs };
+        n.normalize();
+        n
+    }
+
+    /// A uniformly random value in `[0, bound)`.
+    pub fn random_below<R: Rng>(rng: &mut R, bound: &UBig) -> UBig {
+        assert!(!bound.is_zero());
+        loop {
+            let bits = bound.bits();
+            let limbs_len = bits.div_ceil(32);
+            let mut limbs: Vec<u32> = (0..limbs_len).map(|_| rng.gen()).collect();
+            let top_bits = bits - (limbs_len - 1) * 32;
+            if top_bits < 32 {
+                *limbs.last_mut().expect("at least one limb") &= (1u32 << top_bits) - 1;
+            }
+            let mut n = UBig { limbs };
+            n.normalize();
+            if &n < bound {
+                return n;
+            }
+        }
+    }
+
+    /// Miller–Rabin probabilistic primality test with `rounds` random bases.
+    pub fn is_probable_prime<R: Rng>(&self, rng: &mut R, rounds: usize) -> bool {
+        const SMALL_PRIMES: [u64; 15] = [2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47];
+        if self < &UBig::from(2u64) {
+            return false;
+        }
+        for &p in &SMALL_PRIMES {
+            let p = UBig::from(p);
+            if self == &p {
+                return true;
+            }
+            if self.rem(&p).is_zero() {
+                return false;
+            }
+        }
+        // Write self - 1 = d * 2^s.
+        let n_minus_1 = self.sub(&UBig::one());
+        let mut d = n_minus_1.clone();
+        let mut s = 0usize;
+        while d.is_even() {
+            d = d.shr(1);
+            s += 1;
+        }
+        let two = UBig::from(2u64);
+        'witness: for _ in 0..rounds {
+            let span = self.sub(&UBig::from(3u64));
+            let a = UBig::random_below(rng, &span).add(&two);
+            let mut x = a.mod_pow(&d, self);
+            if x == UBig::one() || x == n_minus_1 {
+                continue 'witness;
+            }
+            for _ in 0..s - 1 {
+                x = x.mul(&x).rem(self);
+                if x == n_minus_1 {
+                    continue 'witness;
+                }
+            }
+            return false;
+        }
+        true
+    }
+
+    /// Generates a random probable prime with exactly `bits` bits.
+    pub fn random_prime<R: Rng>(rng: &mut R, bits: usize) -> UBig {
+        assert!(bits >= 8, "prime size too small");
+        loop {
+            let mut candidate = UBig::random_bits(rng, bits);
+            if candidate.is_even() {
+                candidate = candidate.add(&UBig::one());
+            }
+            if candidate.is_probable_prime(rng, 12) {
+                return candidate;
+            }
+        }
+    }
+}
+
+/// Signed subtraction on (magnitude, negative?) pairs: `a - b`.
+fn sub_signed(a: &(UBig, bool), b: &(UBig, bool)) -> (UBig, bool) {
+    match (a.1, b.1) {
+        // a - b with both nonnegative.
+        (false, false) => {
+            if a.0 >= b.0 {
+                (a.0.sub(&b.0), false)
+            } else {
+                (b.0.sub(&a.0), true)
+            }
+        }
+        // (-a) - (-b) = b - a.
+        (true, true) => {
+            if b.0 >= a.0 {
+                (b.0.sub(&a.0), false)
+            } else {
+                (a.0.sub(&b.0), true)
+            }
+        }
+        // a - (-b) = a + b.
+        (false, true) => (a.0.add(&b.0), false),
+        // (-a) - b = -(a + b).
+        (true, false) => (a.0.add(&b.0), true),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xbf7)
+    }
+
+    #[test]
+    fn from_u64_roundtrip() {
+        for v in [0u64, 1, 0xffff_ffff, 0x1_0000_0000, u64::MAX] {
+            let n = UBig::from(v);
+            let bytes = n.to_bytes_be();
+            assert_eq!(UBig::from_bytes_be(&bytes), n, "v = {v}");
+        }
+    }
+
+    #[test]
+    fn add_sub_inverse() {
+        let a = UBig::from(0xdead_beef_0000_1111);
+        let b = UBig::from(0x1234_5678_9abc_def0);
+        assert_eq!(a.add(&b).sub(&b), a);
+        assert_eq!(a.add(&b).sub(&a), b);
+    }
+
+    #[test]
+    fn mul_matches_u128() {
+        let cases = [
+            (0u64, 0u64),
+            (1, u64::MAX),
+            (u64::MAX, u64::MAX),
+            (0xffff_0000, 0x1_0001),
+        ];
+        for (x, y) in cases {
+            let got = UBig::from(x).mul(&UBig::from(y));
+            let want = x as u128 * y as u128;
+            let want_big = UBig::from((want >> 64) as u64)
+                .shl(64)
+                .add(&UBig::from(want as u64));
+            assert_eq!(got, want_big, "{x} * {y}");
+        }
+    }
+
+    #[test]
+    fn div_rem_matches_u128() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let a: u128 = (r.gen::<u64>() as u128) << 32 | r.gen::<u32>() as u128;
+            let b: u64 = r.gen_range(1..u64::MAX);
+            let big_a = UBig::from((a >> 64) as u64)
+                .shl(64)
+                .add(&UBig::from(a as u64));
+            let (q, rem) = big_a.div_rem(&UBig::from(b));
+            let want_q = a / b as u128;
+            let want_r = a % b as u128;
+            assert_eq!(
+                q,
+                UBig::from((want_q >> 64) as u64)
+                    .shl(64)
+                    .add(&UBig::from(want_q as u64))
+            );
+            assert_eq!(rem, UBig::from(want_r as u64));
+        }
+    }
+
+    #[test]
+    fn shifts() {
+        let n = UBig::from(0b1011u64);
+        assert_eq!(n.shl(3), UBig::from(0b1011000u64));
+        assert_eq!(n.shl(35).shr(35), n);
+        assert_eq!(n.shr(4), UBig::zero());
+        assert_eq!(UBig::zero().shl(100), UBig::zero());
+    }
+
+    #[test]
+    fn bits_and_bit() {
+        let n = UBig::from(0x100u64);
+        assert_eq!(n.bits(), 9);
+        assert!(n.bit(8));
+        assert!(!n.bit(7));
+        assert_eq!(UBig::zero().bits(), 0);
+    }
+
+    #[test]
+    fn mod_pow_small_values() {
+        // 3^7 mod 10 = 7 ; 2^10 mod 1000 = 24 ; fermat: a^(p-1) mod p = 1.
+        assert_eq!(
+            UBig::from(3u64).mod_pow(&UBig::from(7u64), &UBig::from(10u64)),
+            UBig::from(7u64)
+        );
+        assert_eq!(
+            UBig::from(2u64).mod_pow(&UBig::from(10u64), &UBig::from(1000u64)),
+            UBig::from(24u64)
+        );
+        let p = UBig::from(1_000_003u64);
+        assert_eq!(
+            UBig::from(12345u64).mod_pow(&p.sub(&UBig::one()), &p),
+            UBig::one()
+        );
+    }
+
+    #[test]
+    fn gcd_known_values() {
+        assert_eq!(UBig::from(48u64).gcd(&UBig::from(36u64)), UBig::from(12u64));
+        assert_eq!(UBig::from(17u64).gcd(&UBig::from(31u64)), UBig::one());
+        assert_eq!(UBig::zero().gcd(&UBig::from(5u64)), UBig::from(5u64));
+    }
+
+    #[test]
+    fn mod_inv_known_values() {
+        // 3 * 4 = 12 ≡ 1 (mod 11)
+        assert_eq!(
+            UBig::from(3u64).mod_inv(&UBig::from(11u64)),
+            Some(UBig::from(4u64))
+        );
+        // 2 has no inverse mod 4.
+        assert_eq!(UBig::from(2u64).mod_inv(&UBig::from(4u64)), None);
+    }
+
+    #[test]
+    fn mod_inv_random_roundtrip() {
+        let mut r = rng();
+        let m = UBig::random_prime(&mut r, 64);
+        for _ in 0..20 {
+            let a = UBig::random_below(&mut r, &m);
+            if a.is_zero() {
+                continue;
+            }
+            let inv = a.mod_inv(&m).expect("prime modulus");
+            assert_eq!(a.mul(&inv).rem(&m), UBig::one());
+        }
+    }
+
+    #[test]
+    fn primality_known_values() {
+        let mut r = rng();
+        for p in [2u64, 3, 5, 101, 65537, 1_000_003] {
+            assert!(UBig::from(p).is_probable_prime(&mut r, 16), "{p}");
+        }
+        for c in [0u64, 1, 4, 100, 65535, 1_000_001] {
+            assert!(!UBig::from(c).is_probable_prime(&mut r, 16), "{c}");
+        }
+    }
+
+    #[test]
+    fn random_prime_has_requested_size() {
+        let mut r = rng();
+        let p = UBig::random_prime(&mut r, 96);
+        assert_eq!(p.bits(), 96);
+        assert!(!p.is_even());
+    }
+
+    #[test]
+    fn random_below_in_range() {
+        let mut r = rng();
+        let bound = UBig::from(1000u64);
+        for _ in 0..100 {
+            assert!(UBig::random_below(&mut r, &bound) < bound);
+        }
+    }
+
+    #[test]
+    fn debug_nonempty_for_zero() {
+        assert_eq!(format!("{:?}", UBig::zero()), "UBig(0x0)");
+    }
+}

@@ -1,0 +1,361 @@
+//! Session-key management and MAC authenticators.
+//!
+//! Every pair of principals (replica or client) shares symmetric session
+//! keys. Point-to-point messages carry a single MAC; messages multicast to
+//! all replicas carry an *authenticator* — a vector with one MAC entry per
+//! replica other than the sender, each computed under the corresponding
+//! pairwise key. A replica validates the authenticator by checking only its
+//! own entry, so authentication cost is O(1) per receiver while generation
+//! is O(n) for the sender. The paper's 3f+1 = 4 configurations make the
+//! vector 3 entries × 16 bytes.
+//!
+//! Keys follow BFT's ownership rule: the *receiver* chooses the keys used
+//! to authenticate messages sent **to** it, and announces a new *epoch*
+//! with a `NEW-KEY` message (in the real system, RSA-encrypted per sender
+//! and signed — implemented in [`crate::rsa`] and exercised by the
+//! `key_exchange` integration test). Within the simulation the directional
+//! key for `sender → receiver` at epoch `e` derives deterministically from
+//! `(sender, receiver, e)`, which is equivalent to every sender having
+//! completed the exchange for epoch `e`.
+//!
+//! To avoid dropping in-flight traffic at a refresh boundary, receivers
+//! accept MACs under the current and the immediately preceding epoch
+//! (BFT similarly kept old keys valid briefly).
+
+use crate::md5;
+use crate::umac::{Mac, MacKey};
+use std::collections::HashMap;
+
+/// Identifies a principal: replicas are `0..n`, clients are `>= n`.
+pub type PrincipalId = u32;
+
+/// A vector of MACs, one per replica other than the sender.
+///
+/// Entries are ordered by replica id, sender omitted.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Authenticator {
+    /// `(replica, mac)` pairs, ascending by replica id.
+    pub entries: Vec<(PrincipalId, Mac)>,
+}
+
+impl Authenticator {
+    /// Wire size in bytes: 16 per entry plus one id byte each.
+    pub fn wire_bytes(&self) -> usize {
+        self.entries.len() * (Mac::WIRE_BYTES + 1)
+    }
+
+    /// Looks up the entry for `replica`.
+    pub fn entry(&self, replica: PrincipalId) -> Option<&Mac> {
+        self.entries
+            .iter()
+            .find(|(r, _)| *r == replica)
+            .map(|(_, m)| m)
+    }
+}
+
+/// Per-principal key state: directional session keys per epoch, a nonce
+/// counter, and the epochs announced by each peer.
+///
+/// # Example
+///
+/// ```
+/// use bft_crypto::keychain::KeyChain;
+///
+/// let mut sender = KeyChain::new(0, 4, 1);
+/// let mut receiver = KeyChain::new(2, 4, 1);
+/// let auth = sender.authenticate(b"pre-prepare");
+/// assert!(receiver.verify_authenticator(0, b"pre-prepare", &auth));
+/// ```
+#[derive(Clone, Debug)]
+pub struct KeyChain {
+    my_id: PrincipalId,
+    n_replicas: u32,
+    nonce: u64,
+    /// The epoch of the keys others must use when sending to me.
+    my_epoch: u64,
+    /// The epoch each peer last announced (keys I use sending to them).
+    peer_epochs: HashMap<PrincipalId, u64>,
+    /// Cache of derived directional keys: (sender, receiver, epoch) → key.
+    keys: HashMap<(PrincipalId, PrincipalId, u64), MacKey>,
+}
+
+impl KeyChain {
+    /// Creates the key chain for principal `my_id` in a group of
+    /// `n_replicas` replicas tolerating `f` faults.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `n_replicas >= 3f + 1`.
+    pub fn new(my_id: PrincipalId, n_replicas: u32, f: u32) -> KeyChain {
+        assert!(
+            n_replicas >= 3 * f + 1,
+            "need at least 3f+1 replicas ({} < {})",
+            n_replicas,
+            3 * f + 1
+        );
+        KeyChain {
+            my_id,
+            n_replicas,
+            nonce: 0,
+            my_epoch: 0,
+            peer_epochs: HashMap::new(),
+            keys: HashMap::new(),
+        }
+    }
+
+    /// This principal's id.
+    pub fn id(&self) -> PrincipalId {
+        self.my_id
+    }
+
+    /// Number of replicas in the group.
+    pub fn n_replicas(&self) -> u32 {
+        self.n_replicas
+    }
+
+    /// Announces fresh inbound keys: bumps this principal's epoch. The
+    /// caller is responsible for telling peers (the `NEW-KEY` message);
+    /// until a peer learns the new epoch, its MACs still verify thanks to
+    /// the one-epoch grace window.
+    pub fn refresh(&mut self) -> u64 {
+        self.my_epoch += 1;
+        self.my_epoch
+    }
+
+    /// The epoch peers must use when sending to this principal.
+    pub fn epoch(&self) -> u64 {
+        self.my_epoch
+    }
+
+    /// Records the epoch `peer` announced for messages sent to it. Stale
+    /// announcements (replays) are ignored.
+    pub fn set_peer_epoch(&mut self, peer: PrincipalId, epoch: u64) {
+        let e = self.peer_epochs.entry(peer).or_insert(0);
+        if epoch > *e {
+            *e = epoch;
+        }
+    }
+
+    /// The epoch this principal uses when sending to `peer`. Replica↔client
+    /// keys are pinned at epoch 0: clients do not participate in the
+    /// replica group's NEW-KEY rounds (as in BFT, where client keys are
+    /// refreshed on the client's own schedule).
+    pub fn peer_epoch(&self, peer: PrincipalId) -> u64 {
+        if self.is_client(peer) || self.is_client(self.my_id) {
+            return 0;
+        }
+        self.peer_epochs.get(&peer).copied().unwrap_or(0)
+    }
+
+    fn is_client(&self, id: PrincipalId) -> bool {
+        id >= self.n_replicas
+    }
+
+    /// The epochs acceptable for inbound traffic from `peer`.
+    fn inbound_epochs(&self, peer: PrincipalId) -> [u64; 2] {
+        if self.is_client(peer) || self.is_client(self.my_id) {
+            return [0, 0];
+        }
+        [self.my_epoch, self.my_epoch.saturating_sub(1)]
+    }
+
+    /// The directional key for `sender → receiver` at `epoch`.
+    fn key(&mut self, sender: PrincipalId, receiver: PrincipalId, epoch: u64) -> &MacKey {
+        self.keys
+            .entry((sender, receiver, epoch))
+            .or_insert_with(|| {
+                let mut material = Vec::with_capacity(40);
+                material.extend_from_slice(b"bft-session-key");
+                material.extend_from_slice(&sender.to_le_bytes());
+                material.extend_from_slice(&receiver.to_le_bytes());
+                material.extend_from_slice(&epoch.to_le_bytes());
+                MacKey::from_bytes(*md5::digest(&material).as_bytes())
+            })
+    }
+
+    /// MACs `msg` for a single peer (point-to-point messages: requests to
+    /// the primary, replies to clients), under the peer's announced epoch.
+    pub fn mac_for(&mut self, peer: PrincipalId, msg: &[u8]) -> Mac {
+        self.nonce += 1;
+        let nonce = self.nonce;
+        let epoch = self.peer_epoch(peer);
+        let me = self.my_id;
+        self.key(me, peer, epoch).mac(msg, nonce)
+    }
+
+    /// Verifies a point-to-point MAC from `peer`, accepting the current
+    /// and previous inbound epoch.
+    pub fn verify_from(&mut self, peer: PrincipalId, msg: &[u8], mac: &Mac) -> bool {
+        let me = self.my_id;
+        let epochs = self.inbound_epochs(peer);
+        for &e in &epochs {
+            if self.key(peer, me, e).verify(msg, mac.nonce, &mac.tag) {
+                return true;
+            }
+            if e == 0 {
+                break;
+            }
+        }
+        false
+    }
+
+    /// Builds an authenticator over `msg` with one entry per replica other
+    /// than this principal, each under that replica's announced epoch.
+    pub fn authenticate(&mut self, msg: &[u8]) -> Authenticator {
+        self.nonce += 1;
+        let nonce = self.nonce;
+        let me = self.my_id;
+        let entries = (0..self.n_replicas)
+            .filter(|&r| r != me)
+            .map(|r| {
+                let epoch = self.peer_epoch(r);
+                (r, self.key(me, r, epoch).mac(msg, nonce))
+            })
+            .collect();
+        Authenticator { entries }
+    }
+
+    /// Verifies the entry for this replica in an authenticator produced by
+    /// `sender`. Returns `false` if there is no entry for us (e.g. we *are*
+    /// the sender) or the MAC is wrong under both acceptable epochs.
+    pub fn verify_authenticator(
+        &mut self,
+        sender: PrincipalId,
+        msg: &[u8],
+        auth: &Authenticator,
+    ) -> bool {
+        let me = self.my_id;
+        let Some(mac) = auth.entry(me).copied() else {
+            return false;
+        };
+        let epochs = self.inbound_epochs(sender);
+        for &e in &epochs {
+            if self.key(sender, me, e).verify(msg, mac.nonce, &mac.tag) {
+                return true;
+            }
+            if e == 0 {
+                break;
+            }
+        }
+        false
+    }
+
+    /// Number of MAC computations needed to authenticate one multicast —
+    /// used by the CPU cost model.
+    pub fn authenticator_len(&self) -> u32 {
+        self.n_replicas - u32::from(self.my_id < self.n_replicas)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_to_point_roundtrip() {
+        let mut client = KeyChain::new(7, 4, 1);
+        let mut primary = KeyChain::new(0, 4, 1);
+        let mac = client.mac_for(0, b"request");
+        assert!(primary.verify_from(7, b"request", &mac));
+        assert!(!primary.verify_from(7, b"forged", &mac));
+    }
+
+    #[test]
+    fn authenticator_verified_by_every_backup() {
+        let mut primary = KeyChain::new(0, 4, 1);
+        let auth = primary.authenticate(b"pre-prepare");
+        assert_eq!(auth.entries.len(), 3);
+        for backup in 1..4 {
+            let mut kc = KeyChain::new(backup, 4, 1);
+            assert!(
+                kc.verify_authenticator(0, b"pre-prepare", &auth),
+                "{backup}"
+            );
+        }
+    }
+
+    #[test]
+    fn authenticator_rejects_tampered_message() {
+        let mut primary = KeyChain::new(0, 4, 1);
+        let auth = primary.authenticate(b"pre-prepare");
+        let mut kc = KeyChain::new(1, 4, 1);
+        assert!(!kc.verify_authenticator(0, b"pre-prepared", &auth));
+    }
+
+    #[test]
+    fn authenticator_rejects_wrong_sender() {
+        let mut r2 = KeyChain::new(2, 4, 1);
+        let auth = r2.authenticate(b"commit");
+        let mut r1 = KeyChain::new(1, 4, 1);
+        // Claimed sender 3 did not produce this authenticator.
+        assert!(!r1.verify_authenticator(3, b"commit", &auth));
+    }
+
+    #[test]
+    fn sender_has_no_entry_for_itself() {
+        let mut r0 = KeyChain::new(0, 4, 1);
+        let auth = r0.authenticate(b"x");
+        assert!(auth.entry(0).is_none());
+        let mut same = KeyChain::new(0, 4, 1);
+        assert!(!same.verify_authenticator(0, b"x", &auth));
+    }
+
+    #[test]
+    fn refresh_keeps_grace_window_then_invalidates() {
+        let mut sender = KeyChain::new(0, 4, 1);
+        let mut receiver = KeyChain::new(1, 4, 1);
+        let old_mac = sender.mac_for(1, b"msg");
+        // One refresh: in-flight MACs under the previous epoch still pass.
+        receiver.refresh();
+        assert!(receiver.verify_from(0, b"msg", &old_mac));
+        // Two refreshes: the old epoch falls out of the grace window.
+        receiver.refresh();
+        assert!(!receiver.verify_from(0, b"msg", &old_mac));
+        // Once the sender learns the new epoch, traffic flows again.
+        sender.set_peer_epoch(1, receiver.epoch());
+        let fresh = sender.mac_for(1, b"msg");
+        assert!(receiver.verify_from(0, b"msg", &fresh));
+    }
+
+    #[test]
+    fn stale_epoch_announcements_are_ignored() {
+        let mut kc = KeyChain::new(0, 4, 1);
+        kc.set_peer_epoch(1, 5);
+        kc.set_peer_epoch(1, 3);
+        assert_eq!(kc.peer_epoch(1), 5);
+    }
+
+    #[test]
+    fn directional_keys_differ() {
+        // The key for 0→1 must differ from 1→0: a receiver cannot replay a
+        // message back at its author.
+        let mut a = KeyChain::new(0, 4, 1);
+        let mut b = KeyChain::new(1, 4, 1);
+        let mac = a.mac_for(1, b"msg");
+        // Replayed to the original sender: must not verify.
+        assert!(!a.verify_from(1, b"msg", &mac));
+        assert!(b.verify_from(0, b"msg", &mac));
+    }
+
+    #[test]
+    fn seven_replica_authenticator() {
+        let mut primary = KeyChain::new(0, 7, 2);
+        let auth = primary.authenticate(b"m");
+        assert_eq!(auth.entries.len(), 6);
+        assert_eq!(auth.wire_bytes(), 6 * 17);
+    }
+
+    #[test]
+    #[should_panic(expected = "3f+1")]
+    fn rejects_too_few_replicas() {
+        KeyChain::new(0, 3, 1);
+    }
+
+    #[test]
+    fn nonces_are_unique_per_mac() {
+        let mut a = KeyChain::new(0, 4, 1);
+        let m1 = a.mac_for(1, b"x");
+        let m2 = a.mac_for(1, b"x");
+        assert_ne!(m1.nonce, m2.nonce);
+    }
+}

@@ -1,0 +1,809 @@
+//! A model of the Linux kernel NFS client used by the benchmarks.
+//!
+//! The paper's file-system results are shaped by the *client* as much as
+//! the server: the benchmark code ran over the standard kernel NFS client
+//! with "UDP transport, 3 KB buffers, write-back client caching, and
+//! attribute caching". This module models those pieces: a lookup (path →
+//! handle) cache, an attribute cache, a whole-file data cache, and 3 KB
+//! read/write chunking.
+//!
+//! The model is transport-agnostic: callers feed it file-level
+//! [`FileAction`]s and it yields one NFS RPC at a time via [`Step`];
+//! responses come back through [`NfsClientModel::next`]. The same model
+//! drives BFS (through the BFT client), NO-REP, and NFS-STD.
+
+use crate::ops::{Fattr, Fh, NfsOp, NfsResult, ROOT_FH};
+use std::collections::HashMap;
+
+/// Client-side configuration.
+#[derive(serde::Serialize, serde::Deserialize, Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NfsClientConfig {
+    /// Read/write transfer size ("3 KB buffers").
+    pub chunk_bytes: usize,
+    /// Whether attributes are cached.
+    pub attr_cache: bool,
+    /// Bytes of file data the client caches (whole-file granularity).
+    pub data_cache_bytes: u64,
+}
+
+impl Default for NfsClientConfig {
+    fn default() -> Self {
+        NfsClientConfig {
+            chunk_bytes: 3 * 1024,
+            attr_cache: true,
+            data_cache_bytes: 64 * 1024 * 1024,
+        }
+    }
+}
+
+/// A file-level action the workload wants performed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FileAction {
+    /// Create a directory (parents must exist).
+    Mkdir(String),
+    /// Create a file and write `size` zero-filled bytes.
+    CreateFile(String, u64),
+    /// Read a whole file.
+    ReadFile(String),
+    /// Append `bytes` zero-filled bytes.
+    Append(String, u64),
+    /// Fetch attributes.
+    Stat(String),
+    /// Remove a file.
+    Remove(String),
+    /// Remove an empty directory.
+    RemoveDir(String),
+    /// List a directory.
+    ListDir(String),
+}
+
+/// What the workload should do next.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Step {
+    /// Issue this RPC (read-only flag included) and call
+    /// [`NfsClientModel::next`] with the response.
+    Rpc(NfsOp),
+    /// The action finished without needing (more) RPCs. `served_from_cache`
+    /// is true when the client caches absorbed it entirely.
+    Done {
+        /// True if no RPC at all was needed.
+        served_from_cache: bool,
+        /// True if the action ultimately failed (e.g. ENOENT).
+        failed: bool,
+    },
+}
+
+/// Aggregate client-cache statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClientStats {
+    /// RPCs issued.
+    pub rpcs: u64,
+    /// Lookup RPCs suppressed by the handle cache.
+    pub lookup_hits: u64,
+    /// GetAttr RPCs suppressed by the attribute cache.
+    pub attr_hits: u64,
+    /// Read RPCs suppressed by the data cache (whole files).
+    pub data_hits: u64,
+    /// Actions completed.
+    pub actions: u64,
+}
+
+#[derive(Debug, Clone)]
+enum After {
+    Create { name: String, size: u64 },
+    Mkdir { name: String },
+    Remove { name: String },
+    RemoveDir { name: String },
+    Stat,
+    ReadFile,
+    Append { bytes: u64 },
+    ListDir,
+}
+
+#[derive(Debug, Clone)]
+enum Exec {
+    Idle,
+    /// Resolving `parts[idx..]` starting at directory `dir`; the prefix
+    /// resolved so far is `prefix`.
+    Resolving {
+        parts: Vec<String>,
+        idx: usize,
+        dir: Fh,
+        prefix: String,
+        full_path: String,
+        then: After,
+    },
+    /// Waiting for the response to a namespace RPC that ends the action.
+    Finishing,
+    /// Waiting for a Create response, then writing.
+    Creating {
+        path: String,
+        size: u64,
+    },
+    /// Waiting for a GetAttr response before reading/appending.
+    Attring {
+        path: String,
+        fh: Fh,
+        then: After,
+    },
+    /// Writing chunks.
+    Writing {
+        fh: Fh,
+        offset: u64,
+        remaining: u64,
+        path: String,
+    },
+    /// Reading chunks.
+    Reading {
+        fh: Fh,
+        offset: u64,
+        size: u64,
+        path: String,
+    },
+}
+
+/// The NFS client cache model.
+#[derive(Debug, Clone)]
+pub struct NfsClientModel {
+    cfg: NfsClientConfig,
+    /// Path prefix → handle.
+    fh_cache: HashMap<String, Fh>,
+    /// Handle → cached attributes.
+    attrs: HashMap<Fh, Fattr>,
+    /// Handle → cached whole file size.
+    data_cache: HashMap<Fh, u64>,
+    cached_bytes: u64,
+    exec: Exec,
+    /// Full path to associate with the handle returned by an in-flight
+    /// Mkdir (only meaningful while `Exec::Finishing` is active).
+    pending_path: Option<String>,
+    /// Statistics.
+    pub stats: ClientStats,
+}
+
+impl NfsClientModel {
+    /// Creates a model with the given configuration.
+    pub fn new(cfg: NfsClientConfig) -> NfsClientModel {
+        NfsClientModel {
+            cfg,
+            fh_cache: HashMap::new(),
+            attrs: HashMap::new(),
+            data_cache: HashMap::new(),
+            cached_bytes: 0,
+            exec: Exec::Idle,
+            pending_path: None,
+            stats: ClientStats::default(),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &NfsClientConfig {
+        &self.cfg
+    }
+
+    fn split(path: &str) -> Vec<String> {
+        path.split('/')
+            .filter(|s| !s.is_empty())
+            .map(str::to_owned)
+            .collect()
+    }
+
+    fn note_attr(&mut self, attr: Fattr) {
+        if self.cfg.attr_cache {
+            self.attrs.insert(attr.fh, attr);
+        }
+    }
+
+    fn cache_data(&mut self, fh: Fh, size: u64) {
+        if size > self.cfg.data_cache_bytes {
+            return;
+        }
+        // Crude eviction: drop everything when full. Whole-file LRU would
+        // change little for these workloads.
+        if self.cached_bytes + size > self.cfg.data_cache_bytes {
+            self.data_cache.clear();
+            self.cached_bytes = 0;
+        }
+        if self.data_cache.insert(fh, size).is_none() {
+            self.cached_bytes += size;
+        }
+    }
+
+    fn invalidate_path(&mut self, path: &str) {
+        if let Some(fh) = self.fh_cache.remove(path) {
+            self.attrs.remove(&fh);
+            if let Some(sz) = self.data_cache.remove(&fh) {
+                self.cached_bytes -= sz;
+            }
+        }
+        // Drop any cached descendants.
+        let prefix = format!("{path}/");
+        let stale: Vec<String> = self
+            .fh_cache
+            .keys()
+            .filter(|k| k.starts_with(&prefix))
+            .cloned()
+            .collect();
+        for k in stale {
+            if let Some(fh) = self.fh_cache.remove(&k) {
+                self.attrs.remove(&fh);
+                if let Some(sz) = self.data_cache.remove(&fh) {
+                    self.cached_bytes -= sz;
+                }
+            }
+        }
+    }
+
+    fn done(&mut self, served_from_cache: bool, failed: bool) -> Step {
+        self.exec = Exec::Idle;
+        self.stats.actions += 1;
+        Step::Done {
+            served_from_cache,
+            failed,
+        }
+    }
+
+    fn rpc(&mut self, op: NfsOp) -> Step {
+        self.stats.rpcs += 1;
+        Step::Rpc(op)
+    }
+
+    /// Begins an action.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an action is already in progress.
+    pub fn begin(&mut self, action: FileAction) -> Step {
+        assert!(
+            matches!(self.exec, Exec::Idle),
+            "action already in progress"
+        );
+        let (path, then) = match action {
+            FileAction::Mkdir(p) => {
+                let name = Self::split(&p).pop().unwrap_or_default();
+                (p, After::Mkdir { name })
+            }
+            FileAction::CreateFile(p, size) => {
+                let name = Self::split(&p).pop().unwrap_or_default();
+                (p, After::Create { name, size })
+            }
+            FileAction::Remove(p) => {
+                let name = Self::split(&p).pop().unwrap_or_default();
+                (p, After::Remove { name })
+            }
+            FileAction::RemoveDir(p) => {
+                let name = Self::split(&p).pop().unwrap_or_default();
+                (p, After::RemoveDir { name })
+            }
+            FileAction::Stat(p) => (p, After::Stat),
+            FileAction::ReadFile(p) => (p, After::ReadFile),
+            FileAction::Append(p, bytes) => (p, After::Append { bytes }),
+            FileAction::ListDir(p) => (p, After::ListDir),
+        };
+        let mut parts = Self::split(&path);
+        // Parent-resolving actions stop one component short.
+        let parent_only = matches!(
+            then,
+            After::Create { .. }
+                | After::Mkdir { .. }
+                | After::Remove { .. }
+                | After::RemoveDir { .. }
+        );
+        if parent_only && !parts.is_empty() {
+            parts.pop();
+        }
+        self.exec = Exec::Resolving {
+            parts,
+            idx: 0,
+            dir: ROOT_FH,
+            prefix: String::new(),
+            full_path: path,
+            then,
+        };
+        self.advance_resolution()
+    }
+
+    /// Continues resolution using the lookup cache until an RPC is needed
+    /// or the target phase begins.
+    fn advance_resolution(&mut self) -> Step {
+        loop {
+            let Exec::Resolving {
+                parts,
+                idx,
+                dir,
+                prefix,
+                full_path,
+                then,
+            } = &mut self.exec
+            else {
+                unreachable!("advance_resolution outside Resolving");
+            };
+            if *idx == parts.len() {
+                let dir = *dir;
+                let full_path = full_path.clone();
+                let then = then.clone();
+                return self.start_target(dir, full_path, then);
+            }
+            let next_prefix = if prefix.is_empty() {
+                parts[*idx].clone()
+            } else {
+                format!("{prefix}/{}", parts[*idx])
+            };
+            if let Some(&fh) = self.fh_cache.get(&next_prefix) {
+                self.stats.lookup_hits += 1;
+                let Exec::Resolving {
+                    idx, dir, prefix, ..
+                } = &mut self.exec
+                else {
+                    unreachable!()
+                };
+                *dir = fh;
+                *idx += 1;
+                *prefix = next_prefix;
+                continue;
+            }
+            let op = NfsOp::Lookup {
+                dir: *dir,
+                name: parts[*idx].clone(),
+            };
+            return self.rpc(op);
+        }
+    }
+
+    fn start_target(&mut self, dir: Fh, full_path: String, then: After) -> Step {
+        match then {
+            After::Mkdir { name } => {
+                self.exec = Exec::Finishing;
+                self.pending_path = Some(full_path);
+                self.rpc(NfsOp::Mkdir { dir, name })
+            }
+            After::Create { name, size } => {
+                self.exec = Exec::Creating {
+                    path: full_path,
+                    size,
+                };
+                self.rpc(NfsOp::Create { dir, name })
+            }
+            After::Remove { name } => {
+                self.invalidate_path(&full_path);
+                self.exec = Exec::Finishing;
+                self.pending_path = None;
+                self.rpc(NfsOp::Remove { dir, name })
+            }
+            After::RemoveDir { name } => {
+                self.invalidate_path(&full_path);
+                self.exec = Exec::Finishing;
+                self.pending_path = None;
+                self.rpc(NfsOp::Rmdir { dir, name })
+            }
+            After::Stat => {
+                // `dir` is the resolved target here.
+                if self.cfg.attr_cache && self.attrs.contains_key(&dir) {
+                    self.stats.attr_hits += 1;
+                    return self.done(true, false);
+                }
+                self.exec = Exec::Finishing;
+                self.pending_path = None;
+                self.rpc(NfsOp::GetAttr { fh: dir })
+            }
+            After::ListDir => {
+                self.exec = Exec::Finishing;
+                self.pending_path = None;
+                self.rpc(NfsOp::ReadDir { dir })
+            }
+            After::ReadFile => {
+                let fh = dir;
+                if let Some(&size) = self.data_cache.get(&fh) {
+                    self.stats.data_hits += 1;
+                    let _ = size;
+                    return self.done(true, false);
+                }
+                if let Some(attr) = self.attrs.get(&fh).copied() {
+                    self.stats.attr_hits += 1;
+                    return self.begin_read(fh, attr.size, full_path);
+                }
+                self.exec = Exec::Attring {
+                    path: full_path,
+                    fh,
+                    then: After::ReadFile,
+                };
+                self.rpc(NfsOp::GetAttr { fh })
+            }
+            After::Append { bytes } => {
+                let fh = dir;
+                if let Some(attr) = self.attrs.get(&fh).copied() {
+                    self.stats.attr_hits += 1;
+                    return self.begin_write(fh, attr.size, bytes, full_path);
+                }
+                self.exec = Exec::Attring {
+                    path: full_path,
+                    fh,
+                    then: After::Append { bytes },
+                };
+                self.rpc(NfsOp::GetAttr { fh })
+            }
+        }
+    }
+
+    fn begin_read(&mut self, fh: Fh, size: u64, path: String) -> Step {
+        if size == 0 {
+            self.cache_data(fh, 0);
+            return self.done(false, false);
+        }
+        self.exec = Exec::Reading {
+            fh,
+            offset: 0,
+            size,
+            path,
+        };
+        let count = self.cfg.chunk_bytes.min(size as usize) as u32;
+        self.rpc(NfsOp::Read {
+            fh,
+            offset: 0,
+            count,
+        })
+    }
+
+    fn begin_write(&mut self, fh: Fh, offset: u64, bytes: u64, path: String) -> Step {
+        if bytes == 0 {
+            return self.done(false, false);
+        }
+        let chunk = (self.cfg.chunk_bytes as u64).min(bytes);
+        self.exec = Exec::Writing {
+            fh,
+            offset: offset + chunk,
+            remaining: bytes - chunk,
+            path,
+        };
+        self.rpc(NfsOp::Write {
+            fh,
+            offset,
+            data: vec![0u8; chunk as usize],
+        })
+    }
+
+    /// Feeds an RPC response; returns the next step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no action is in progress.
+    pub fn next(&mut self, response: &NfsResult) -> Step {
+        match std::mem::replace(&mut self.exec, Exec::Idle) {
+            Exec::Idle => panic!("next() with no action in progress"),
+            Exec::Resolving {
+                parts,
+                idx,
+                dir,
+                prefix,
+                full_path,
+                then,
+            } => match response {
+                NfsResult::Handle(attr) => {
+                    let next_prefix = if prefix.is_empty() {
+                        parts[idx].clone()
+                    } else {
+                        format!("{prefix}/{}", parts[idx])
+                    };
+                    self.fh_cache.insert(next_prefix.clone(), attr.fh);
+                    self.note_attr(*attr);
+                    self.exec = Exec::Resolving {
+                        parts,
+                        idx: idx + 1,
+                        dir: attr.fh,
+                        prefix: next_prefix,
+                        full_path,
+                        then,
+                    };
+                    // Keep `dir` around for lint-free destructuring.
+                    let _ = dir;
+                    self.advance_resolution()
+                }
+                _ => self.done(false, true),
+            },
+            Exec::Finishing => {
+                let failed = response.is_err();
+                if !failed {
+                    if let Some(attr) = response.attr().copied() {
+                        self.note_attr(attr);
+                        if let Some(path) = self.pending_path.take() {
+                            self.fh_cache.insert(path, attr.fh);
+                        }
+                    }
+                }
+                self.pending_path = None;
+                self.done(false, failed)
+            }
+            Exec::Creating { path, size } => match response {
+                NfsResult::Handle(attr) => {
+                    self.fh_cache.insert(path.clone(), attr.fh);
+                    self.note_attr(*attr);
+                    // Creating implies the client now holds the data.
+                    self.cache_data(attr.fh, size);
+                    self.begin_write(attr.fh, 0, size, path)
+                }
+                _ => self.done(false, true),
+            },
+            Exec::Attring { path, fh, then } => match response {
+                NfsResult::Attr(attr) => {
+                    self.note_attr(*attr);
+                    match then {
+                        After::ReadFile => self.begin_read(fh, attr.size, path),
+                        After::Append { bytes } => self.begin_write(fh, attr.size, bytes, path),
+                        _ => self.done(false, true),
+                    }
+                }
+                _ => self.done(false, true),
+            },
+            Exec::Writing {
+                fh,
+                offset,
+                remaining,
+                path,
+            } => {
+                if response.is_err() {
+                    return self.done(false, true);
+                }
+                if let Some(attr) = response.attr().copied() {
+                    self.note_attr(attr);
+                }
+                if remaining == 0 {
+                    return self.done(false, false);
+                }
+                let chunk = (self.cfg.chunk_bytes as u64).min(remaining);
+                self.exec = Exec::Writing {
+                    fh,
+                    offset: offset + chunk,
+                    remaining: remaining - chunk,
+                    path,
+                };
+                self.rpc(NfsOp::Write {
+                    fh,
+                    offset,
+                    data: vec![0u8; chunk as usize],
+                })
+            }
+            Exec::Reading {
+                fh,
+                offset,
+                size,
+                path,
+            } => match response {
+                NfsResult::Data { data, attr } => {
+                    self.note_attr(*attr);
+                    let new_offset = offset + data.len() as u64;
+                    let eof = data.len() < self.cfg.chunk_bytes || new_offset >= size;
+                    if eof {
+                        self.cache_data(fh, size);
+                        return self.done(false, false);
+                    }
+                    let count = self.cfg.chunk_bytes.min((size - new_offset) as usize) as u32;
+                    self.exec = Exec::Reading {
+                        fh,
+                        offset: new_offset,
+                        size,
+                        path,
+                    };
+                    self.rpc(NfsOp::Read {
+                        fh,
+                        offset: new_offset,
+                        count,
+                    })
+                }
+                _ => self.done(false, true),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    use crate::service::FsService;
+
+    /// Runs actions against a local FsService, returning per-action RPC
+    /// counts.
+    fn run(model: &mut NfsClientModel, svc: &mut FsService, actions: &[FileAction]) -> Vec<u64> {
+        let mut counts = Vec::new();
+        for action in actions {
+            let before = model.stats.rpcs;
+            let mut step = model.begin(action.clone());
+            loop {
+                match step {
+                    Step::Rpc(op) => {
+                        use bft_core::wire::Wire;
+                        let res_bytes = svc.apply_encoded(&op.to_bytes());
+                        let res = NfsResult::from_bytes(&res_bytes).expect("decodes");
+                        step = model.next(&res);
+                    }
+                    Step::Done { failed, .. } => {
+                        assert!(!failed, "action failed: {action:?}");
+                        break;
+                    }
+                }
+            }
+            counts.push(model.stats.rpcs - before);
+        }
+        counts
+    }
+
+    fn setup() -> (NfsClientModel, FsService) {
+        (
+            NfsClientModel::new(NfsClientConfig::default()),
+            FsService::in_memory(),
+        )
+    }
+
+    #[test]
+    fn create_writes_in_chunks() {
+        let (mut model, mut svc) = setup();
+        let counts = run(
+            &mut model,
+            &mut svc,
+            &[FileAction::CreateFile("f".into(), 7000)],
+        );
+        // Create + ceil(7000/3072) = 3 writes.
+        assert_eq!(counts, vec![4]);
+    }
+
+    #[test]
+    fn lookup_cache_suppresses_repeat_resolution() {
+        let (mut model, mut svc) = setup();
+        let counts = run(
+            &mut model,
+            &mut svc,
+            &[
+                FileAction::Mkdir("a".into()),
+                FileAction::Mkdir("a/b".into()),
+                FileAction::CreateFile("a/b/f".into(), 100),
+                FileAction::Stat("a/b/f".into()),
+            ],
+        );
+        // mkdir a: 1 rpc; mkdir a/b: cached a → 1 rpc; create: cached a/b →
+        // create+write = 2; stat: attrs cached from create → 0.
+        assert_eq!(counts, vec![1, 1, 2, 0]);
+        assert!(model.stats.lookup_hits > 0);
+        assert!(model.stats.attr_hits > 0);
+    }
+
+    #[test]
+    fn data_cache_absorbs_reread() {
+        let (mut model, mut svc) = setup();
+        let counts = run(
+            &mut model,
+            &mut svc,
+            &[
+                FileAction::CreateFile("f".into(), 5000),
+                FileAction::ReadFile("f".into()),
+                FileAction::ReadFile("f".into()),
+            ],
+        );
+        assert_eq!(counts[1], 0, "file written by us is cached");
+        assert_eq!(counts[2], 0);
+        assert_eq!(model.stats.data_hits, 2);
+    }
+
+    #[test]
+    fn cold_read_fetches_chunks() {
+        let (mut model, mut svc) = setup();
+        run(
+            &mut model,
+            &mut svc,
+            &[FileAction::CreateFile("f".into(), 6200)],
+        );
+        // A fresh client has no caches.
+        let mut cold = NfsClientModel::new(NfsClientConfig::default());
+        let counts = run(&mut cold, &mut svc, &[FileAction::ReadFile("f".into())]);
+        // lookup (whose reply carries the attributes, so no GetAttr) +
+        // ceil(6200/3072) = 3 reads.
+        assert_eq!(counts, vec![4]);
+    }
+
+    #[test]
+    fn remove_invalidates_caches() {
+        let (mut model, mut svc) = setup();
+        run(
+            &mut model,
+            &mut svc,
+            &[
+                FileAction::CreateFile("f".into(), 100),
+                FileAction::Remove("f".into()),
+                FileAction::CreateFile("f".into(), 100),
+            ],
+        );
+        // The third action must re-create rather than reuse the stale fh.
+        let counts = run(&mut model, &mut svc, &[FileAction::ReadFile("f".into())]);
+        assert_eq!(counts[0], 0, "fresh create cached the data again");
+    }
+
+    #[test]
+    fn listdir_and_append() {
+        let (mut model, mut svc) = setup();
+        let counts = run(
+            &mut model,
+            &mut svc,
+            &[
+                FileAction::Mkdir("d".into()),
+                FileAction::CreateFile("d/f".into(), 1000),
+                FileAction::Append("d/f".into(), 4000),
+                FileAction::ListDir("d".into()),
+            ],
+        );
+        // Append: attrs cached → ceil(4000/3072)=2 writes; listdir: 1.
+        assert_eq!(counts[2], 2);
+        assert_eq!(counts[3], 1);
+    }
+
+    #[test]
+    fn removedir_after_emptying() {
+        let (mut model, mut svc) = setup();
+        let counts = run(
+            &mut model,
+            &mut svc,
+            &[
+                FileAction::Mkdir("tmp".into()),
+                FileAction::CreateFile("tmp/x".into(), 10),
+                FileAction::Remove("tmp/x".into()),
+                FileAction::RemoveDir("tmp".into()),
+            ],
+        );
+        assert_eq!(counts.len(), 4);
+        // The directory is really gone: stat must fail.
+        let mut step = model.begin(FileAction::Stat("tmp".into()));
+        loop {
+            match step {
+                Step::Rpc(op) => {
+                    use bft_core::wire::Wire;
+                    let res_bytes = svc.apply_encoded(&op.to_bytes());
+                    let res = NfsResult::from_bytes(&res_bytes).expect("decodes");
+                    step = model.next(&res);
+                }
+                Step::Done { failed, .. } => {
+                    assert!(failed);
+                    break;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn attr_cache_can_be_disabled() {
+        let mut model = NfsClientModel::new(NfsClientConfig {
+            attr_cache: false,
+            data_cache_bytes: 0,
+            ..NfsClientConfig::default()
+        });
+        let mut svc = FsService::in_memory();
+        run(
+            &mut model,
+            &mut svc,
+            &[
+                FileAction::CreateFile("f".into(), 10),
+                FileAction::Stat("f".into()),
+                FileAction::Stat("f".into()),
+            ],
+        );
+        assert_eq!(model.stats.attr_hits, 0, "no cache, no hits");
+        assert_eq!(model.stats.data_hits, 0);
+    }
+
+    #[test]
+    fn missing_file_fails_cleanly() {
+        let (mut model, mut svc) = setup();
+        let mut step = model.begin(FileAction::ReadFile("ghost".into()));
+        loop {
+            match step {
+                Step::Rpc(op) => {
+                    use bft_core::wire::Wire;
+                    let res_bytes = svc.apply_encoded(&op.to_bytes());
+                    let res = NfsResult::from_bytes(&res_bytes).expect("decodes");
+                    step = model.next(&res);
+                }
+                Step::Done { failed, .. } => {
+                    assert!(failed);
+                    break;
+                }
+            }
+        }
+    }
+}

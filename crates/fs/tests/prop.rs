@@ -1,0 +1,225 @@
+//! Property-based tests for the filesystem state machine: determinism,
+//! rollback as a perfect inverse, snapshot/restore fidelity, and agreement
+//! with a naive reference model.
+
+use bft_fs::ops::{Fh, NfsOp, NfsResult, ROOT_FH};
+use bft_fs::state::{DataMode, FsState};
+use proptest::prelude::*;
+
+/// A workload step over a small namespace (8 names, depth ≤ 2).
+#[derive(Debug, Clone)]
+enum FsStep {
+    Create(u8),
+    Mkdir(u8),
+    Write(u8, u16, Vec<u8>),
+    Read(u8, u16, u16),
+    Remove(u8),
+    Rmdir(u8),
+    Truncate(u8, u16),
+    Rename(u8, u8),
+    Link(u8, u8),
+}
+
+fn arb_step() -> impl Strategy<Value = FsStep> {
+    prop_oneof![
+        (0u8..8).prop_map(FsStep::Create),
+        (0u8..8).prop_map(FsStep::Mkdir),
+        (
+            0u8..8,
+            any::<u16>(),
+            proptest::collection::vec(any::<u8>(), 0..64)
+        )
+            .prop_map(|(n, off, data)| FsStep::Write(n, off % 256, data)),
+        (0u8..8, any::<u16>(), any::<u16>()).prop_map(|(n, off, len)| FsStep::Read(
+            n,
+            off % 256,
+            len % 128
+        )),
+        (0u8..8).prop_map(FsStep::Remove),
+        (0u8..8).prop_map(FsStep::Rmdir),
+        (0u8..8, any::<u16>()).prop_map(|(n, sz)| FsStep::Truncate(n, sz % 512)),
+        (0u8..8, 0u8..8).prop_map(|(a, b)| FsStep::Rename(a, b)),
+        (0u8..8, 0u8..8).prop_map(|(a, b)| FsStep::Link(a, b)),
+    ]
+}
+
+fn name(n: u8) -> String {
+    format!("n{n}")
+}
+
+/// Translates a step to an op against the root directory, resolving the
+/// name through the live state (so ops reference real handles when the
+/// name exists).
+fn to_op(fs: &FsState, step: &FsStep) -> NfsOp {
+    let resolve = |n: u8| -> Fh {
+        match fs.query(&NfsOp::Lookup {
+            dir: ROOT_FH,
+            name: name(n),
+        }) {
+            NfsResult::Handle(a) => a.fh,
+            _ => 0xdead, // stale handle: ops must fail cleanly
+        }
+    };
+    match step {
+        FsStep::Create(n) => NfsOp::Create {
+            dir: ROOT_FH,
+            name: name(*n),
+        },
+        FsStep::Mkdir(n) => NfsOp::Mkdir {
+            dir: ROOT_FH,
+            name: name(*n),
+        },
+        FsStep::Write(n, off, data) => NfsOp::Write {
+            fh: resolve(*n),
+            offset: *off as u64,
+            data: data.clone(),
+        },
+        FsStep::Read(n, off, len) => NfsOp::Read {
+            fh: resolve(*n),
+            offset: *off as u64,
+            count: *len as u32,
+        },
+        FsStep::Remove(n) => NfsOp::Remove {
+            dir: ROOT_FH,
+            name: name(*n),
+        },
+        FsStep::Rmdir(n) => NfsOp::Rmdir {
+            dir: ROOT_FH,
+            name: name(*n),
+        },
+        FsStep::Truncate(n, sz) => NfsOp::SetAttr {
+            fh: resolve(*n),
+            size: Some(*sz as u64),
+        },
+        FsStep::Rename(a, b) => NfsOp::Rename {
+            from_dir: ROOT_FH,
+            from_name: name(*a),
+            to_dir: ROOT_FH,
+            to_name: name(*b),
+        },
+        FsStep::Link(a, b) => NfsOp::Link {
+            fh: resolve(*a),
+            dir: ROOT_FH,
+            name: name(*b),
+        },
+    }
+}
+
+proptest! {
+    /// Two instances fed the same steps agree on every result and on the
+    /// state digest (replica determinism).
+    #[test]
+    fn determinism(steps in proptest::collection::vec(arb_step(), 0..60)) {
+        let mut a = FsState::new(DataMode::Store);
+        let mut b = FsState::new(DataMode::Store);
+        for step in &steps {
+            let op_a = to_op(&a, step);
+            let op_b = to_op(&b, step);
+            prop_assert_eq!(&op_a, &op_b);
+            let ra = a.apply(&op_a);
+            let rb = b.apply(&op_b);
+            prop_assert_eq!(ra, rb);
+        }
+        prop_assert_eq!(a.state_digest(), b.state_digest());
+    }
+
+    /// Rolling back all uncommitted operations restores the exact digest.
+    #[test]
+    fn rollback_is_a_perfect_inverse(
+        committed in proptest::collection::vec(arb_step(), 0..20),
+        speculative in proptest::collection::vec(arb_step(), 0..20),
+    ) {
+        let mut fs = FsState::new(DataMode::Store);
+        for step in &committed {
+            let op = to_op(&fs, step);
+            fs.apply(&op);
+        }
+        fs.commit_prefix(committed.len());
+        let checkpoint = fs.state_digest();
+        let bytes = fs.data_bytes();
+        for step in &speculative {
+            let op = to_op(&fs, step);
+            fs.apply(&op);
+        }
+        fs.rollback_suffix(speculative.len());
+        prop_assert_eq!(fs.state_digest(), checkpoint);
+        prop_assert_eq!(fs.data_bytes(), bytes);
+        prop_assert_eq!(fs.uncommitted_ops(), 0);
+    }
+
+    /// Snapshot/restore reproduces the digest and observable contents.
+    #[test]
+    fn snapshot_restore_fidelity(steps in proptest::collection::vec(arb_step(), 0..40)) {
+        let mut fs = FsState::new(DataMode::Store);
+        for step in &steps {
+            let op = to_op(&fs, step);
+            fs.apply(&op);
+        }
+        let snap = fs.snapshot();
+        let mut restored = FsState::new(DataMode::Store);
+        restored.restore(&snap).expect("restore");
+        prop_assert_eq!(restored.state_digest(), fs.state_digest());
+        prop_assert_eq!(restored.inode_count(), fs.inode_count());
+        // Every file reads back identically.
+        if let NfsResult::Entries(entries) = fs.query(&NfsOp::ReadDir { dir: ROOT_FH }) {
+            for (_, fh) in entries {
+                let read = NfsOp::Read { fh, offset: 0, count: 1024 };
+                prop_assert_eq!(fs.query(&read), restored.query(&read));
+            }
+        }
+    }
+
+    /// File contents match a naive byte-array reference model.
+    #[test]
+    fn contents_match_reference(
+        writes in proptest::collection::vec(
+            (any::<u16>(), proptest::collection::vec(any::<u8>(), 1..48)),
+            1..20,
+        ),
+    ) {
+        let mut fs = FsState::new(DataMode::Store);
+        let fh = match fs.apply(&NfsOp::Create { dir: ROOT_FH, name: "f".into() }) {
+            NfsResult::Handle(a) => a.fh,
+            other => return Err(TestCaseError::fail(format!("create failed: {other:?}"))),
+        };
+        let mut reference: Vec<u8> = Vec::new();
+        for (off, data) in &writes {
+            let off = (*off % 512) as usize;
+            if reference.len() < off + data.len() {
+                reference.resize(off + data.len(), 0);
+            }
+            reference[off..off + data.len()].copy_from_slice(data);
+            fs.apply(&NfsOp::Write { fh, offset: off as u64, data: data.clone() });
+        }
+        match fs.query(&NfsOp::Read { fh, offset: 0, count: 4096 }) {
+            NfsResult::Data { data, attr } => {
+                prop_assert_eq!(&data, &reference);
+                prop_assert_eq!(attr.size, reference.len() as u64);
+            }
+            other => return Err(TestCaseError::fail(format!("read failed: {other:?}"))),
+        }
+    }
+
+    /// Store and MetadataOnly modes agree on every attribute-visible fact
+    /// (sizes, namespace, errors) for the same step sequence.
+    #[test]
+    fn metadata_mode_agrees_on_attributes(steps in proptest::collection::vec(arb_step(), 0..50)) {
+        let mut full = FsState::new(DataMode::Store);
+        let mut meta = FsState::new(DataMode::MetadataOnly);
+        for step in &steps {
+            let op_full = to_op(&full, step);
+            let op_meta = to_op(&meta, step);
+            prop_assert_eq!(&op_full, &op_meta, "namespaces diverged");
+            let rf = full.apply(&op_full);
+            let rm = meta.apply(&op_meta);
+            prop_assert_eq!(rf.is_err(), rm.is_err());
+            if let (Some(af), Some(am)) = (rf.attr(), rm.attr()) {
+                prop_assert_eq!(af.size, am.size);
+                prop_assert_eq!(af.kind, am.kind);
+                prop_assert_eq!(af.fh, am.fh);
+            }
+        }
+        prop_assert_eq!(full.inode_count(), meta.inode_count());
+        prop_assert_eq!(full.data_bytes(), meta.data_bytes());
+    }
+}

@@ -1,0 +1,155 @@
+//! CPU cost model, calibrated to the paper's testbed.
+//!
+//! The experiments ran on Dell Precision 410 workstations with a single
+//! 600 MHz Pentium III. Simulated nodes charge CPU time through this model
+//! instead of measuring host time, so results are deterministic and
+//! host-independent, while saturation behaviour (which drives every
+//! throughput figure) emerges from the true per-message work the protocol
+//! performs.
+//!
+//! Calibration sources: UMAC paper (Black et al.) reports ~1 cycle/byte on
+//! a PIII for the hash and ~4 µs fixed for the pad; MD5 runs at roughly
+//! 50 MB/s on that hardware; a UDP send/recv through the era's Linux stack
+//! costs on the order of 10 µs plus a per-byte copy. The constants are
+//! deliberately exposed so benches can run sensitivity ablations.
+
+/// CPU costs in nanoseconds for the primitive operations a node performs.
+#[derive(serde::Serialize, serde::Deserialize, Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// Fixed cost of an MD5 digest (setup + finalization).
+    pub digest_fixed_ns: u64,
+    /// Per-byte cost of MD5 (≈ 50 MB/s → 20 ns/B).
+    pub digest_per_byte_ns: f64,
+    /// Fixed cost of computing or verifying one UMAC tag.
+    pub mac_fixed_ns: u64,
+    /// Per-byte cost of UMAC (≈ 1 GB/s on-era → 1 ns/B).
+    pub mac_per_byte_ns: f64,
+    /// Fixed cost of a UDP sendto (syscall + protocol stack).
+    pub send_fixed_ns: u64,
+    /// Per-byte cost of a send (copy + checksum).
+    pub send_per_byte_ns: f64,
+    /// Fixed cost of a UDP recvfrom.
+    pub recv_fixed_ns: u64,
+    /// Per-byte cost of a receive.
+    pub recv_per_byte_ns: f64,
+    /// Protocol bookkeeping per message handled (log insertion, quorum
+    /// counting).
+    pub proto_overhead_ns: u64,
+    /// One RSA private-key operation (sign / decrypt), paper-era RSA-1024.
+    pub rsa_private_ns: u64,
+    /// One RSA public-key operation (verify / encrypt).
+    pub rsa_public_ns: u64,
+}
+
+impl CostModel {
+    /// The paper's testbed: 600 MHz Pentium III, Linux 2.2-era UDP stack.
+    pub const PIII_600: CostModel = CostModel {
+        digest_fixed_ns: 1_000,
+        digest_per_byte_ns: 20.0,
+        mac_fixed_ns: 1_000,
+        mac_per_byte_ns: 1.0,
+        send_fixed_ns: 10_000,
+        send_per_byte_ns: 6.0,
+        recv_fixed_ns: 10_000,
+        recv_per_byte_ns: 6.0,
+        proto_overhead_ns: 2_000,
+        rsa_private_ns: 30_000_000,
+        rsa_public_ns: 1_500_000,
+    };
+
+    /// A zero-cost model, useful to isolate network effects in tests.
+    pub const FREE: CostModel = CostModel {
+        digest_fixed_ns: 0,
+        digest_per_byte_ns: 0.0,
+        mac_fixed_ns: 0,
+        mac_per_byte_ns: 0.0,
+        send_fixed_ns: 0,
+        send_per_byte_ns: 0.0,
+        recv_fixed_ns: 0,
+        recv_per_byte_ns: 0.0,
+        proto_overhead_ns: 0,
+        rsa_private_ns: 0,
+        rsa_public_ns: 0,
+    };
+
+    /// Cost of digesting `bytes` bytes with MD5.
+    pub fn digest(&self, bytes: usize) -> u64 {
+        self.digest_fixed_ns + (bytes as f64 * self.digest_per_byte_ns) as u64
+    }
+
+    /// Cost of computing or verifying one MAC over `bytes` bytes.
+    pub fn mac(&self, bytes: usize) -> u64 {
+        self.mac_fixed_ns + (bytes as f64 * self.mac_per_byte_ns) as u64
+    }
+
+    /// Cost of generating an authenticator: `n_macs` MACs over the same
+    /// `bytes`-byte message (the universal hash is shared across entries in
+    /// real UMAC; we charge the hash once plus a pad per entry).
+    pub fn authenticator(&self, n_macs: u32, bytes: usize) -> u64 {
+        if n_macs == 0 {
+            return 0;
+        }
+        self.mac(bytes) + (n_macs as u64 - 1) * self.mac_fixed_ns
+    }
+
+    /// Cost of sending a `bytes`-byte message.
+    pub fn send(&self, bytes: usize) -> u64 {
+        self.send_fixed_ns + (bytes as f64 * self.send_per_byte_ns) as u64
+    }
+
+    /// Cost of receiving a `bytes`-byte message.
+    pub fn recv(&self, bytes: usize) -> u64 {
+        self.recv_fixed_ns + (bytes as f64 * self.recv_per_byte_ns) as u64
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel::PIII_600
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digest_scales_with_size() {
+        let c = CostModel::PIII_600;
+        assert_eq!(c.digest(0), 1_000);
+        // 4 KB at 20 ns/B ≈ 82 µs — the cost that shapes Figure 5.
+        assert_eq!(c.digest(4096), 1_000 + 81_920);
+        assert!(c.digest(8192) > 2 * c.digest(64));
+    }
+
+    #[test]
+    fn mac_much_cheaper_than_digest() {
+        // The paper's central claim: MAC cost is negligible vs digest.
+        let c = CostModel::PIII_600;
+        assert!(c.mac(4096) < c.digest(4096) / 10);
+    }
+
+    #[test]
+    fn authenticator_amortizes_hash() {
+        let c = CostModel::PIII_600;
+        let one = c.authenticator(1, 1024);
+        let three = c.authenticator(3, 1024);
+        assert!(three < 3 * one, "entries share the universal hash");
+        assert_eq!(c.authenticator(0, 1024), 0);
+    }
+
+    #[test]
+    fn rsa_dwarfs_mac() {
+        // Rampart/SecureRing signed every message; this ratio is why they
+        // were orders of magnitude slower.
+        let c = CostModel::PIII_600;
+        assert!(c.rsa_private_ns > 1000 * c.mac(64));
+    }
+
+    #[test]
+    fn free_model_is_free() {
+        let c = CostModel::FREE;
+        assert_eq!(c.digest(10_000), 0);
+        assert_eq!(c.send(10_000) + c.recv(10_000) + c.mac(10_000), 0);
+    }
+}

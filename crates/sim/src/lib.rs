@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+
+//! Deterministic discrete-event simulation of the paper's testbed.
+//!
+//! The DSN 2001 evaluation ran on Dell Precision 410 workstations
+//! (600 MHz Pentium III) connected by 100 Mb/s switched Ethernet. This
+//! crate is that testbed as a model:
+//!
+//! - [`engine`]: the event loop, [`Node`] trait and [`Context`] API —
+//!   nodes are serial processors whose handlers charge CPU time, so CPU
+//!   saturation (the bottleneck in half the paper's figures) is emergent;
+//! - [`network`]: full-duplex links with finite bandwidth, a switch with
+//!   hardware multicast, frame overheads/fragmentation, finite receive
+//!   buffers, and fault injection (loss, partitions, delay);
+//! - [`cost`]: the CPU cost model (MD5, UMAC, UDP stack, RSA) calibrated
+//!   to the paper's hardware;
+//! - [`metrics`]: counters and latency series the experiment harness reads;
+//! - [`time`]: the nanosecond simulated clock.
+//!
+//! Everything is deterministic: a run is a pure function of the seed, the
+//! configuration, and the node implementations.
+
+pub mod cost;
+pub mod engine;
+pub mod metrics;
+pub mod network;
+pub mod time;
+
+pub use cost::CostModel;
+pub use engine::{Context, Node, Simulation, TimerId};
+pub use metrics::{Metrics, Summary};
+pub use network::{DropReason, NetConfig, NetStats, Network, NodeId};
+pub use time::{dur, SimTime};

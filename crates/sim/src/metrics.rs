@@ -1,0 +1,187 @@
+//! Measurement plumbing: counters and latency samples.
+//!
+//! Experiment drivers read these after a run to produce the paper's tables.
+//! Everything is keyed by string series names so protocol code can record
+//! without the harness pre-registering anything.
+
+use std::collections::HashMap;
+
+/// A set of named counters and sample series.
+#[derive(Debug, Default, Clone)]
+pub struct Metrics {
+    counters: HashMap<String, u64>,
+    samples: HashMap<String, Vec<u64>>,
+}
+
+impl Metrics {
+    /// Creates an empty metrics registry.
+    pub fn new() -> Metrics {
+        Metrics::default()
+    }
+
+    /// Adds `delta` to the counter `name`.
+    pub fn add(&mut self, name: &str, delta: u64) {
+        *self.counters.entry_ref_or_insert(name) += delta;
+    }
+
+    /// Increments the counter `name` by one.
+    pub fn incr(&mut self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Reads a counter (zero if never written).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Appends a sample (e.g. a latency in nanoseconds) to series `name`.
+    pub fn record(&mut self, name: &str, value: u64) {
+        if let Some(v) = self.samples.get_mut(name) {
+            v.push(value);
+        } else {
+            self.samples.insert(name.to_owned(), vec![value]);
+        }
+    }
+
+    /// Returns the samples of a series (empty if never written).
+    pub fn series(&self, name: &str) -> &[u64] {
+        self.samples.get(name).map_or(&[], |v| v.as_slice())
+    }
+
+    /// Summary statistics over a series.
+    pub fn summary(&self, name: &str) -> Summary {
+        Summary::of(self.series(name))
+    }
+
+    /// Removes all data, keeping allocations where possible.
+    pub fn reset(&mut self) {
+        self.counters.clear();
+        self.samples.clear();
+    }
+
+    /// Iterates over counters in name order (stable output for reports).
+    pub fn counters_sorted(&self) -> Vec<(&str, u64)> {
+        let mut all: Vec<_> = self
+            .counters
+            .iter()
+            .map(|(k, v)| (k.as_str(), *v))
+            .collect();
+        all.sort();
+        all
+    }
+}
+
+/// Helper trait: `entry` without allocating when the key exists.
+trait EntryRef {
+    fn entry_ref_or_insert(&mut self, name: &str) -> &mut u64;
+}
+
+impl EntryRef for HashMap<String, u64> {
+    fn entry_ref_or_insert(&mut self, name: &str) -> &mut u64 {
+        if !self.contains_key(name) {
+            self.insert(name.to_owned(), 0);
+        }
+        self.get_mut(name).expect("just inserted")
+    }
+}
+
+/// Summary statistics of a sample series.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Smallest sample (0 when empty).
+    pub min: u64,
+    /// Largest sample (0 when empty).
+    pub max: u64,
+    /// Arithmetic mean (0.0 when empty).
+    pub mean: f64,
+    /// Median (0 when empty).
+    pub p50: u64,
+    /// 99th percentile (0 when empty).
+    pub p99: u64,
+}
+
+impl Summary {
+    /// Computes summary statistics of `samples`.
+    pub fn of(samples: &[u64]) -> Summary {
+        if samples.is_empty() {
+            return Summary::default();
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_unstable();
+        let count = sorted.len();
+        let sum: u128 = sorted.iter().map(|&x| x as u128).sum();
+        let pct = |p: f64| sorted[(((count - 1) as f64) * p).round() as usize];
+        Summary {
+            count,
+            min: sorted[0],
+            max: sorted[count - 1],
+            mean: sum as f64 / count as f64,
+            p50: pct(0.50),
+            p99: pct(0.99),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters() {
+        let mut m = Metrics::new();
+        m.incr("ops");
+        m.add("ops", 4);
+        assert_eq!(m.counter("ops"), 5);
+        assert_eq!(m.counter("missing"), 0);
+    }
+
+    #[test]
+    fn series_and_summary() {
+        let mut m = Metrics::new();
+        for v in [10u64, 20, 30, 40, 50] {
+            m.record("latency", v);
+        }
+        let s = m.summary("latency");
+        assert_eq!(s.count, 5);
+        assert_eq!(s.min, 10);
+        assert_eq!(s.max, 50);
+        assert_eq!(s.p50, 30);
+        assert!((s.mean - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_summary_is_zeroed() {
+        let m = Metrics::new();
+        assert_eq!(m.summary("none"), Summary::default());
+        assert!(m.series("none").is_empty());
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut m = Metrics::new();
+        m.incr("a");
+        m.record("b", 1);
+        m.reset();
+        assert_eq!(m.counter("a"), 0);
+        assert!(m.series("b").is_empty());
+    }
+
+    #[test]
+    fn counters_sorted_is_stable() {
+        let mut m = Metrics::new();
+        m.incr("zeta");
+        m.incr("alpha");
+        let names: Vec<&str> = m.counters_sorted().iter().map(|(n, _)| *n).collect();
+        assert_eq!(names, vec!["alpha", "zeta"]);
+    }
+
+    #[test]
+    fn p99_of_100_samples() {
+        let s = Summary::of(&(1..=100u64).collect::<Vec<_>>());
+        assert_eq!(s.p99, 99);
+        // Index round(99 · 0.5) = 50 → the 51st sample.
+        assert_eq!(s.p50, 51);
+    }
+}

@@ -1,0 +1,463 @@
+//! The switched-Ethernet network model.
+//!
+//! The testbed was a 100 Mb/s switched Ethernet (Extreme Networks
+//! Summit48). The model captures what matters for the paper's results:
+//!
+//! - each host has a full-duplex NIC: a transmit link and a receive link,
+//!   each with finite bandwidth that messages serialize through;
+//! - the switch adds a fixed per-message latency and replicates hardware
+//!   multicasts, so a multicast costs the sender's link *once* (this is why
+//!   BFT's multicasts are cheap and why digest replies let reply bandwidth
+//!   scale with the number of replicas);
+//! - frames carry Ethernet + IP + UDP header overhead and fragment at the
+//!   MTU;
+//! - receive buffers are finite: a host that cannot drain its receive link
+//!   drops packets, which is why the paper's NO-REP loses requests beyond
+//!   15 clients ("NO-REP uses UDP directly and does not retransmit").
+//!
+//! Fault injection (drops, partitions, extra delay) is part of the model
+//! because the view-change and state-transfer tests need it.
+
+use crate::time::SimTime;
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::collections::HashSet;
+
+/// Identifies a simulated host.
+pub type NodeId = u32;
+
+/// Static network parameters.
+#[derive(serde::Serialize, serde::Deserialize, Debug, Clone, Copy, PartialEq)]
+pub struct NetConfig {
+    /// Link bandwidth in bits per second (100 Mb/s on the testbed).
+    pub bandwidth_bps: u64,
+    /// Fixed one-way latency: propagation + switch forwarding.
+    pub latency_ns: u64,
+    /// Per-frame header bytes (Ethernet 18 + IP 20 + UDP 8).
+    pub header_bytes: usize,
+    /// Maximum payload per frame before fragmentation.
+    pub mtu: usize,
+    /// How far a receive link may run behind arrival before the kernel
+    /// buffer overflows and the packet is dropped. `u64::MAX` disables
+    /// drops.
+    pub rx_buffer_ns: u64,
+}
+
+impl NetConfig {
+    /// The paper's 100 Mb/s switched Ethernet.
+    pub const SWITCHED_100MBPS: NetConfig = NetConfig {
+        bandwidth_bps: 100_000_000,
+        latency_ns: 15_000,
+        header_bytes: 46,
+        mtu: 1_500,
+        rx_buffer_ns: 80_000_000,
+    };
+
+    /// An idealized network: infinite buffers, same bandwidth. Useful in
+    /// unit tests that should not depend on drop behaviour.
+    pub const LOSSLESS_100MBPS: NetConfig = NetConfig {
+        rx_buffer_ns: u64::MAX,
+        ..NetConfig::SWITCHED_100MBPS
+    };
+
+    /// Wire bytes for a `payload`-byte datagram including per-fragment
+    /// headers.
+    pub fn frame_bytes(&self, payload: usize) -> usize {
+        let fragments = payload.div_ceil(self.mtu).max(1);
+        payload + fragments * self.header_bytes
+    }
+
+    /// Time to serialize `wire_bytes` through one link.
+    pub fn serialize_ns(&self, wire_bytes: usize) -> u64 {
+        (wire_bytes as u64 * 8).saturating_mul(1_000_000_000) / self.bandwidth_bps
+    }
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig::SWITCHED_100MBPS
+    }
+}
+
+/// Why a packet was not delivered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropReason {
+    /// Random loss injected by the fault configuration.
+    InjectedLoss,
+    /// The (src, dst) pair is partitioned.
+    Partitioned,
+    /// The destination's receive buffer overflowed.
+    RxOverflow,
+}
+
+/// The state of one transmission: where the sender's link is, so multicast
+/// receivers share it.
+#[derive(Debug, Clone, Copy)]
+pub struct TxSlot {
+    /// When the last bit leaves the sender's NIC.
+    done: SimTime,
+    /// Wire size of the frame.
+    wire_bytes: usize,
+}
+
+/// The network: per-host link state plus fault injection knobs.
+#[derive(Debug, Clone)]
+pub struct Network {
+    cfg: NetConfig,
+    tx_free: Vec<SimTime>,
+    rx_free: Vec<SimTime>,
+    /// Node → host NIC mapping (identity by default). Several nodes may
+    /// share one machine's links, as the paper's 200 client processes
+    /// shared 5 client machines.
+    host_of: Vec<NodeId>,
+    /// Probability of dropping any given packet.
+    loss_probability: f64,
+    /// Ordered (src, dst) pairs that cannot communicate.
+    partitions: HashSet<(NodeId, NodeId)>,
+    /// Extra one-way delay added to every packet (fault injection).
+    extra_delay_ns: u64,
+    /// Delivery stats, read by experiments.
+    pub stats: NetStats,
+}
+
+/// Aggregate delivery statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Frames handed to the network.
+    pub sent: u64,
+    /// Frames delivered.
+    pub delivered: u64,
+    /// Frames dropped (any reason).
+    pub dropped: u64,
+    /// Payload bytes delivered.
+    pub bytes_delivered: u64,
+}
+
+impl Network {
+    /// Creates a network with no hosts; hosts are added via [`Network::ensure_host`].
+    pub fn new(cfg: NetConfig) -> Network {
+        Network {
+            cfg,
+            tx_free: Vec::new(),
+            rx_free: Vec::new(),
+            host_of: Vec::new(),
+            loss_probability: 0.0,
+            partitions: HashSet::new(),
+            extra_delay_ns: 0,
+            stats: NetStats::default(),
+        }
+    }
+
+    /// The static configuration.
+    pub fn config(&self) -> &NetConfig {
+        &self.cfg
+    }
+
+    /// Makes sure link state exists for host `id`.
+    pub fn ensure_host(&mut self, id: NodeId) {
+        let need = id as usize + 1;
+        if self.tx_free.len() < need {
+            self.tx_free.resize(need, SimTime::ZERO);
+            self.rx_free.resize(need, SimTime::ZERO);
+            while self.host_of.len() < need {
+                self.host_of.push(self.host_of.len() as NodeId);
+            }
+        }
+    }
+
+    /// Places `node` on the same machine as `host`: they share one NIC
+    /// (transmit and receive links). By default every node is its own
+    /// machine.
+    pub fn assign_host(&mut self, node: NodeId, host: NodeId) {
+        self.ensure_host(node.max(host));
+        self.host_of[node as usize] = self.host_of[host as usize];
+    }
+
+    fn host(&self, node: NodeId) -> usize {
+        self.host_of
+            .get(node as usize)
+            .copied()
+            .unwrap_or(node) as usize
+    }
+
+    /// Sets the uniform packet loss probability (fault injection).
+    pub fn set_loss_probability(&mut self, p: f64) {
+        assert!((0.0..=1.0).contains(&p));
+        self.loss_probability = p;
+    }
+
+    /// Blocks all packets from `src` to `dst` until [`Network::heal`].
+    pub fn partition_one_way(&mut self, src: NodeId, dst: NodeId) {
+        self.partitions.insert((src, dst));
+    }
+
+    /// Blocks all packets between `a` and `b` in both directions.
+    pub fn partition(&mut self, a: NodeId, b: NodeId) {
+        self.partitions.insert((a, b));
+        self.partitions.insert((b, a));
+    }
+
+    /// Isolates `node` from every other host in both directions.
+    pub fn isolate(&mut self, node: NodeId, n_hosts: u32) {
+        for other in 0..n_hosts {
+            if other != node {
+                self.partition(node, other);
+            }
+        }
+    }
+
+    /// Removes all partitions.
+    pub fn heal(&mut self) {
+        self.partitions.clear();
+    }
+
+    /// Removes partitions touching `node`.
+    pub fn heal_node(&mut self, node: NodeId) {
+        self.partitions.retain(|&(a, b)| a != node && b != node);
+    }
+
+    /// Adds a fixed extra delay to every packet.
+    pub fn set_extra_delay_ns(&mut self, ns: u64) {
+        self.extra_delay_ns = ns;
+    }
+
+    /// Charges the sender's transmit link for a `payload`-byte datagram
+    /// departing no earlier than `depart`. Returns the slot that receivers
+    /// share; hardware multicast calls this once and [`Network::receive`]
+    /// once per destination.
+    pub fn transmit(&mut self, depart: SimTime, src: NodeId, payload: usize) -> TxSlot {
+        self.ensure_host(src);
+        let host = self.host(src);
+        let wire_bytes = self.cfg.frame_bytes(payload);
+        let start = depart.max(self.tx_free[host]);
+        let done = start.after(self.cfg.serialize_ns(wire_bytes));
+        self.tx_free[host] = done;
+        self.stats.sent += 1;
+        TxSlot { done, wire_bytes }
+    }
+
+    /// Routes a transmitted frame to `dst`, charging the receive link.
+    /// Returns the delivery time, or the reason it was dropped.
+    pub fn receive(
+        &mut self,
+        slot: TxSlot,
+        src: NodeId,
+        dst: NodeId,
+        rng: &mut StdRng,
+    ) -> Result<SimTime, DropReason> {
+        self.ensure_host(dst);
+        if self.partitions.contains(&(src, dst)) {
+            self.stats.dropped += 1;
+            return Err(DropReason::Partitioned);
+        }
+        if self.loss_probability > 0.0 && rng.gen::<f64>() < self.loss_probability {
+            self.stats.dropped += 1;
+            return Err(DropReason::InjectedLoss);
+        }
+        let arrival = slot
+            .done
+            .after(self.cfg.latency_ns)
+            .after(self.extra_delay_ns);
+        let host = self.host(dst);
+        let rx_start = arrival.max(self.rx_free[host]);
+        if rx_start.since(arrival) > self.cfg.rx_buffer_ns {
+            self.stats.dropped += 1;
+            return Err(DropReason::RxOverflow);
+        }
+        let done = rx_start.after(self.cfg.serialize_ns(slot.wire_bytes));
+        self.rx_free[host] = done;
+        self.stats.delivered += 1;
+        self.stats.bytes_delivered += slot.wire_bytes as u64;
+        Ok(done)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(1)
+    }
+
+    fn lossless() -> Network {
+        Network::new(NetConfig::LOSSLESS_100MBPS)
+    }
+
+    #[test]
+    fn frame_overhead_and_fragmentation() {
+        let cfg = NetConfig::SWITCHED_100MBPS;
+        assert_eq!(cfg.frame_bytes(0), 46);
+        assert_eq!(cfg.frame_bytes(100), 146);
+        assert_eq!(cfg.frame_bytes(1500), 1546);
+        // 1501 bytes → two fragments.
+        assert_eq!(cfg.frame_bytes(1501), 1501 + 2 * 46);
+        assert_eq!(cfg.frame_bytes(4096), 4096 + 3 * 46);
+    }
+
+    #[test]
+    fn serialization_time_is_bandwidth_bound() {
+        let cfg = NetConfig::SWITCHED_100MBPS;
+        // 12.5 MB/s → 1250 bytes take 100 µs.
+        assert_eq!(cfg.serialize_ns(1250), 100_000);
+    }
+
+    #[test]
+    fn unicast_delivery_time() {
+        let mut net = lossless();
+        let mut r = rng();
+        let slot = net.transmit(SimTime::ZERO, 0, 100);
+        let t = net.receive(slot, 0, 1, &mut r).expect("delivered");
+        // tx serialize + latency + rx serialize.
+        let ser = net.config().serialize_ns(146);
+        assert_eq!(t.nanos(), ser + 15_000 + ser);
+    }
+
+    #[test]
+    fn tx_link_serializes_back_to_back_sends() {
+        let mut net = lossless();
+        let s1 = net.transmit(SimTime::ZERO, 0, 1000);
+        let s2 = net.transmit(SimTime::ZERO, 0, 1000);
+        assert!(s2.done > s1.done, "second frame waits for the first");
+        assert_eq!(s2.done.nanos(), 2 * s1.done.nanos());
+    }
+
+    #[test]
+    fn multicast_charges_sender_once() {
+        let mut net = lossless();
+        let mut r = rng();
+        let slot = net.transmit(SimTime::ZERO, 0, 1000);
+        let tx_after_multicast = net.tx_free[0];
+        for dst in 1..4 {
+            net.receive(slot, 0, dst, &mut r).expect("delivered");
+        }
+        assert_eq!(net.tx_free[0], tx_after_multicast, "no extra tx charges");
+    }
+
+    #[test]
+    fn rx_link_is_a_shared_bottleneck() {
+        let mut net = lossless();
+        let mut r = rng();
+        // Two different senders to the same receiver: deliveries serialize.
+        let a = net.transmit(SimTime::ZERO, 0, 1000);
+        let b = net.transmit(SimTime::ZERO, 1, 1000);
+        let t1 = net.receive(a, 0, 2, &mut r).expect("a");
+        let t2 = net.receive(b, 1, 2, &mut r).expect("b");
+        assert!(t2 > t1);
+        assert_eq!(
+            t2.since(t1),
+            net.config().serialize_ns(net.config().frame_bytes(1000))
+        );
+    }
+
+    #[test]
+    fn rx_overflow_drops() {
+        let mut cfg = NetConfig::SWITCHED_100MBPS;
+        cfg.rx_buffer_ns = 100_000; // tiny buffer
+        let mut net = Network::new(cfg);
+        let mut r = rng();
+        let mut dropped = 0;
+        for i in 0..100u32 {
+            let slot = net.transmit(SimTime::ZERO, i % 8, 1400);
+            if net.receive(slot, i % 8, 9, &mut r) == Err(DropReason::RxOverflow) {
+                dropped += 1;
+            }
+        }
+        assert!(dropped > 0, "overload must overflow the buffer");
+        assert_eq!(net.stats.dropped, dropped);
+    }
+
+    #[test]
+    fn shared_host_shares_links() {
+        let mut net = lossless();
+        net.assign_host(1, 0); // nodes 0 and 1 share a machine
+        let a = net.transmit(SimTime::ZERO, 0, 1000);
+        let b = net.transmit(SimTime::ZERO, 1, 1000);
+        assert_eq!(
+            b.done.nanos(),
+            2 * a.done.nanos(),
+            "transmissions serialize through the shared NIC"
+        );
+        // A third node on its own machine is unaffected.
+        let c = net.transmit(SimTime::ZERO, 2, 1000);
+        assert_eq!(c.done, a.done);
+        // Receive side shares too.
+        let mut r = rng();
+        let s1 = net.transmit(SimTime::ZERO, 3, 1000);
+        let s2 = net.transmit(SimTime::ZERO, 4, 1000);
+        let t0 = net.receive(s1, 3, 0, &mut r).expect("ok");
+        let t1 = net.receive(s2, 4, 1, &mut r).expect("ok");
+        assert!(t1 > t0, "deliveries to co-hosted nodes serialize");
+    }
+
+    #[test]
+    fn partitions_block_and_heal() {
+        let mut net = lossless();
+        let mut r = rng();
+        net.partition(0, 1);
+        let slot = net.transmit(SimTime::ZERO, 0, 10);
+        assert_eq!(
+            net.receive(slot, 0, 1, &mut r),
+            Err(DropReason::Partitioned)
+        );
+        assert!(net.receive(slot, 0, 2, &mut r).is_ok());
+        net.heal();
+        let slot = net.transmit(SimTime::ZERO, 0, 10);
+        assert!(net.receive(slot, 0, 1, &mut r).is_ok());
+    }
+
+    #[test]
+    fn one_way_partition_is_one_way() {
+        let mut net = lossless();
+        let mut r = rng();
+        net.partition_one_way(0, 1);
+        let slot = net.transmit(SimTime::ZERO, 1, 10);
+        assert!(
+            net.receive(slot, 1, 0, &mut r).is_ok(),
+            "reverse unaffected"
+        );
+    }
+
+    #[test]
+    fn isolate_and_heal_node() {
+        let mut net = lossless();
+        let mut r = rng();
+        net.isolate(2, 4);
+        let slot = net.transmit(SimTime::ZERO, 2, 10);
+        for dst in [0u32, 1, 3] {
+            assert!(net.receive(slot, 2, dst, &mut r).is_err());
+        }
+        net.heal_node(2);
+        let slot = net.transmit(SimTime::ZERO, 2, 10);
+        assert!(net.receive(slot, 2, 0, &mut r).is_ok());
+    }
+
+    #[test]
+    fn injected_loss_drops_roughly_at_rate() {
+        let mut net = lossless();
+        net.set_loss_probability(0.5);
+        let mut r = rng();
+        let mut dropped = 0;
+        for _ in 0..1000 {
+            let slot = net.transmit(SimTime::ZERO, 0, 10);
+            if net.receive(slot, 0, 1, &mut r).is_err() {
+                dropped += 1;
+            }
+        }
+        assert!((300..700).contains(&dropped), "got {dropped}");
+    }
+
+    #[test]
+    fn extra_delay_shifts_delivery() {
+        let mut net = lossless();
+        let mut r = rng();
+        let slot = net.transmit(SimTime::ZERO, 0, 100);
+        let base = net.receive(slot, 0, 1, &mut r).expect("ok");
+        let mut net2 = lossless();
+        net2.set_extra_delay_ns(1_000_000);
+        let slot = net2.transmit(SimTime::ZERO, 0, 100);
+        let delayed = net2.receive(slot, 0, 1, &mut r).expect("ok");
+        assert_eq!(delayed.since(base), 1_000_000);
+    }
+}

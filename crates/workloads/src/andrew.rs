@@ -1,0 +1,217 @@
+//! The scaled Andrew benchmark (Section 5.1).
+//!
+//! The modified Andrew benchmark "emulates a software development
+//! workload" in five phases: (1) create the directory tree, (2) copy the
+//! source tree, (3) stat every file, (4) read every file, (5) compile.
+//! The paper scales it by making `n` copies of the source tree in the
+//! first two phases and operating on all copies in the remaining phases:
+//! Andrew100 (n=100, ≈200 MB) and Andrew500 (n=500, ≈1 GB).
+//!
+//! Each copy's source tree is ≈2 MB, deterministically generated so every
+//! run is identical. Client compute times model the benchmark process
+//! itself (the paper notes "the client spends a significant fraction of
+//! the elapsed time computing between operations").
+
+use crate::script::{Script, WorkItem};
+use bft_fs::client::FileAction;
+use bft_sim::time::dur;
+
+/// Tunable compute-time constants for the Andrew client.
+#[derive(serde::Serialize, serde::Deserialize, Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AndrewTimings {
+    /// Benchmark bookkeeping per directory created (phase 1).
+    pub per_mkdir_ns: u64,
+    /// `cp` process work per file copied (phase 2).
+    pub per_copy_ns: u64,
+    /// `ls -l` style work per entry examined (phase 3).
+    pub per_stat_ns: u64,
+    /// `grep`-style scanning per file read (phase 4), plus per byte.
+    pub per_read_ns: u64,
+    /// Per byte scanned in phase 4.
+    pub per_read_byte_ns: u64,
+    /// Compilation time per source file (phase 5).
+    pub per_compile_ns: u64,
+}
+
+impl Default for AndrewTimings {
+    fn default() -> Self {
+        AndrewTimings {
+            per_mkdir_ns: dur::millis(2),
+            per_copy_ns: dur::millis(8),
+            per_stat_ns: dur::micros(500),
+            per_read_ns: dur::millis(1),
+            per_read_byte_ns: 250,
+            // An era gcc took seconds per file; 160 ms is conservative and
+            // makes phase 5 compute-dominated as in the real benchmark.
+            per_compile_ns: dur::millis(160),
+        }
+    }
+}
+
+/// The per-copy source tree: directory names and (relative path, size)
+/// file list. ≈2 MB per copy across 20 files in 5 directories.
+#[derive(Debug, Clone)]
+pub struct SourceTree {
+    /// Directory names under the copy root.
+    pub dirs: Vec<String>,
+    /// (directory index, file name, bytes). Files ending in `.c` compile
+    /// in phase 5.
+    pub files: Vec<(usize, String, u64)>,
+}
+
+impl SourceTree {
+    /// The deterministic tree used by every copy.
+    pub fn standard() -> SourceTree {
+        let dirs = vec![
+            "src".to_owned(),
+            "include".to_owned(),
+            "lib".to_owned(),
+            "doc".to_owned(),
+            "obj".to_owned(),
+        ];
+        let mut files = Vec::new();
+        // 12 C sources of varying size in src/ (≈1.1 MB).
+        for i in 0..12u64 {
+            files.push((0, format!("f{i}.c"), 40_000 + (i * 7919) % 110_000));
+        }
+        // 5 headers (≈60 KB).
+        for i in 0..5u64 {
+            files.push((1, format!("h{i}.h"), 8_000 + (i * 4177) % 9_000));
+        }
+        // 2 library blobs (≈700 KB).
+        files.push((2, "libfoo.a".to_owned(), 400_000));
+        files.push((2, "libbar.a".to_owned(), 300_000));
+        // 1 document (≈100 KB).
+        files.push((3, "manual.txt".to_owned(), 100_000));
+        SourceTree { dirs, files }
+    }
+
+    /// Total bytes per copy.
+    pub fn bytes(&self) -> u64 {
+        self.files.iter().map(|(_, _, s)| s).sum()
+    }
+}
+
+/// Generates the scaled Andrew script for `copies` copies.
+pub fn andrew_script(copies: u32, timings: AndrewTimings) -> Script {
+    let tree = SourceTree::standard();
+    let mut items = Vec::new();
+    // Phase 1: create the directory trees.
+    for c in 0..copies {
+        items.push(WorkItem::Compute(timings.per_mkdir_ns));
+        items.push(WorkItem::Action(FileAction::Mkdir(format!("copy{c}"))));
+        for d in &tree.dirs {
+            items.push(WorkItem::Compute(timings.per_mkdir_ns));
+            items.push(WorkItem::Action(FileAction::Mkdir(format!("copy{c}/{d}"))));
+        }
+    }
+    // Phase 2: copy the source tree.
+    for c in 0..copies {
+        for (di, name, size) in &tree.files {
+            items.push(WorkItem::Compute(timings.per_copy_ns));
+            items.push(WorkItem::Action(FileAction::CreateFile(
+                format!("copy{c}/{}/{name}", tree.dirs[*di]),
+                *size,
+            )));
+        }
+    }
+    // Phase 3: examine the status of every file (find | ls -l).
+    for c in 0..copies {
+        for d in &tree.dirs {
+            items.push(WorkItem::Compute(timings.per_stat_ns));
+            items.push(WorkItem::Action(FileAction::ListDir(format!(
+                "copy{c}/{d}"
+            ))));
+        }
+        for (di, name, _) in &tree.files {
+            items.push(WorkItem::Compute(timings.per_stat_ns));
+            items.push(WorkItem::Action(FileAction::Stat(format!(
+                "copy{c}/{}/{name}",
+                tree.dirs[*di]
+            ))));
+        }
+    }
+    // Phase 4: read every byte of every file (grep -r).
+    for c in 0..copies {
+        for (di, name, size) in &tree.files {
+            items.push(WorkItem::Compute(
+                timings.per_read_ns + size * timings.per_read_byte_ns,
+            ));
+            items.push(WorkItem::Action(FileAction::ReadFile(format!(
+                "copy{c}/{}/{name}",
+                tree.dirs[*di]
+            ))));
+        }
+    }
+    // Phase 5: compile — read each source, compute, write the object.
+    for c in 0..copies {
+        for (di, name, size) in &tree.files {
+            if !name.ends_with(".c") {
+                continue;
+            }
+            items.push(WorkItem::Action(FileAction::ReadFile(format!(
+                "copy{c}/{}/{name}",
+                tree.dirs[*di]
+            ))));
+            items.push(WorkItem::Compute(timings.per_compile_ns));
+            items.push(WorkItem::Action(FileAction::CreateFile(
+                format!("copy{c}/obj/{}.o", name.trim_end_matches(".c")),
+                size * 4 / 5,
+            )));
+        }
+        items.push(WorkItem::Mark); // one copy fully built
+    }
+    Script { items }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tree_is_about_two_megabytes() {
+        let tree = SourceTree::standard();
+        let mb = tree.bytes() as f64 / 1e6;
+        assert!((1.5..2.5).contains(&mb), "tree is {mb} MB");
+        assert_eq!(tree.files.len(), 20);
+    }
+
+    #[test]
+    fn scaling_matches_paper_sizes() {
+        let tree = SourceTree::standard();
+        let a100 = 100 * tree.bytes();
+        let a500 = 500 * tree.bytes();
+        assert!(
+            (150e6..260e6).contains(&(a100 as f64)),
+            "Andrew100 ≈ 200 MB"
+        );
+        assert!((0.8e9..1.3e9).contains(&(a500 as f64)), "Andrew500 ≈ 1 GB");
+    }
+
+    #[test]
+    fn script_structure() {
+        let s = andrew_script(2, AndrewTimings::default());
+        // Phase 1: 2 × 6 mkdirs; phase 2: 2 × 20 creates; phase 3: 2 × 25;
+        // phase 4: 2 × 20 reads; phase 5: 2 × 12 × 2.
+        assert_eq!(s.action_count(), 2 * (6 + 20 + 25 + 20 + 24));
+        assert_eq!(s.mark_count(), 2);
+        assert!(s.compute_ns() > 0);
+    }
+
+    #[test]
+    fn script_is_deterministic() {
+        let a = andrew_script(3, AndrewTimings::default());
+        let b = andrew_script(3, AndrewTimings::default());
+        assert_eq!(a.items, b.items);
+    }
+
+    #[test]
+    fn script_executes_cleanly() {
+        let runner = crate::script::run_script_locally(andrew_script(1, AndrewTimings::default()));
+        assert_eq!(runner.failed, 0);
+        assert!(
+            runner.stats().lookup_hits > 0,
+            "path cache must be exercised"
+        );
+    }
+}

@@ -1,0 +1,175 @@
+//! The paper's micro-benchmark "simple service" and its client driver.
+//!
+//! Section 4.1: "the simple service is really the skeleton of a real
+//! service: it has no state and the service operations receive arguments
+//! from the clients and return (zero-filled) results but they perform no
+//! computation." Operations are denoted `a/b` for an `a`-KB argument and
+//! `b`-KB result.
+
+use bft_core::client::{ClientApi, ClientDriver};
+use bft_core::service::{RestoreError, Service};
+use bft_core::types::ClientId;
+use bft_crypto::md5::Digest;
+
+/// Builds a simple-service operation: a 5-byte header (read-only flag +
+/// result size) followed by `arg_bytes` of zero padding.
+pub fn simple_op(arg_bytes: usize, result_bytes: usize, read_only: bool) -> Vec<u8> {
+    let mut op = Vec::with_capacity(5 + arg_bytes);
+    op.push(u8::from(read_only));
+    op.extend_from_slice(&(result_bytes as u32).to_le_bytes());
+    op.resize(5 + arg_bytes, 0);
+    op
+}
+
+/// The stateless skeleton service.
+#[derive(Debug, Default, Clone)]
+pub struct SimpleService;
+
+impl SimpleService {
+    fn result_of(op: &[u8]) -> Vec<u8> {
+        let size = op
+            .get(1..5)
+            .map(|b| u32::from_le_bytes(b.try_into().expect("4 bytes")))
+            .unwrap_or(0);
+        vec![0u8; size as usize]
+    }
+}
+
+impl Service for SimpleService {
+    fn execute(&mut self, _client: ClientId, op: &[u8]) -> Vec<u8> {
+        Self::result_of(op)
+    }
+
+    fn execute_read_only(&self, _client: ClientId, op: &[u8]) -> Vec<u8> {
+        Self::result_of(op)
+    }
+
+    fn is_read_only(&self, op: &[u8]) -> bool {
+        op.first() == Some(&1)
+    }
+
+    fn state_digest(&self) -> Digest {
+        Digest::ZERO
+    }
+
+    fn snapshot(&self) -> Vec<u8> {
+        Vec::new()
+    }
+
+    fn restore(&mut self, _snapshot: &[u8]) -> Result<(), RestoreError> {
+        Ok(())
+    }
+}
+
+/// A closed-loop micro-benchmark client: issues the same `a/b` operation
+/// back to back, forever (or until `max_ops`).
+#[derive(Debug, Clone)]
+pub struct MicroDriver {
+    /// Argument size in bytes.
+    pub arg_bytes: usize,
+    /// Result size in bytes.
+    pub result_bytes: usize,
+    /// Whether to use the read-only path.
+    pub read_only: bool,
+    /// Stop after this many operations (`u64::MAX` = run forever).
+    pub max_ops: u64,
+    /// Delay before the first operation (staggers client ramp-up so a
+    /// large client population does not produce an artificial thundering
+    /// herd at time zero).
+    pub start_delay_ns: u64,
+    issued: u64,
+}
+
+impl MicroDriver {
+    /// A driver for operation `a/b` (sizes in bytes).
+    pub fn new(arg_bytes: usize, result_bytes: usize, read_only: bool) -> MicroDriver {
+        MicroDriver {
+            arg_bytes,
+            result_bytes,
+            read_only,
+            max_ops: u64::MAX,
+            start_delay_ns: 0,
+            issued: 0,
+        }
+    }
+
+    /// Sets the ramp-up delay before the first operation.
+    pub fn with_start_delay(mut self, delay_ns: u64) -> MicroDriver {
+        self.start_delay_ns = delay_ns;
+        self
+    }
+
+    /// Limits the number of operations.
+    pub fn with_max_ops(mut self, max_ops: u64) -> MicroDriver {
+        self.max_ops = max_ops;
+        self
+    }
+
+    fn submit(&mut self, api: &mut ClientApi<'_, '_>) {
+        if self.issued < self.max_ops {
+            self.issued += 1;
+            let op = simple_op(self.arg_bytes, self.result_bytes, self.read_only);
+            api.submit(op, self.read_only);
+        }
+    }
+}
+
+impl ClientDriver for MicroDriver {
+    fn on_start(&mut self, api: &mut ClientApi<'_, '_>) {
+        if self.start_delay_ns > 0 {
+            api.set_timer(self.start_delay_ns, 0);
+        } else {
+            self.submit(api);
+        }
+    }
+
+    fn on_complete(&mut self, api: &mut ClientApi<'_, '_>, result: &[u8], _latency: u64) {
+        debug_assert_eq!(result.len(), self.result_bytes);
+        self.submit(api);
+    }
+
+    fn on_timer(&mut self, api: &mut ClientApi<'_, '_>, _token: u64) {
+        if self.issued == 0 {
+            self.submit(api);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_encoding_sizes() {
+        let op = simple_op(4096, 0, false);
+        assert_eq!(op.len(), 4101);
+        assert_eq!(op[0], 0);
+        let op = simple_op(0, 4096, true);
+        assert_eq!(op.len(), 5);
+        assert_eq!(op[0], 1);
+    }
+
+    #[test]
+    fn service_returns_zero_filled_result() {
+        let mut svc = SimpleService;
+        let result = svc.execute(1, &simple_op(8, 1024, false));
+        assert_eq!(result, vec![0u8; 1024]);
+        assert_eq!(
+            svc.execute_read_only(1, &simple_op(8, 16, true)),
+            vec![0u8; 16]
+        );
+    }
+
+    #[test]
+    fn read_only_classification_follows_flag() {
+        let svc = SimpleService;
+        assert!(svc.is_read_only(&simple_op(0, 0, true)));
+        assert!(!svc.is_read_only(&simple_op(0, 0, false)));
+    }
+
+    #[test]
+    fn malformed_op_yields_empty_result() {
+        let mut svc = SimpleService;
+        assert!(svc.execute(1, &[1]).is_empty());
+    }
+}

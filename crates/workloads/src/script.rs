@@ -1,0 +1,211 @@
+//! Workload scripts: sequences of file actions and client compute steps,
+//! plus the transport-agnostic runner that turns them into RPCs through
+//! the kernel-NFS-client cache model.
+
+use bft_fs::client::{FileAction, NfsClientConfig, NfsClientModel, Step};
+use bft_fs::ops::{NfsOp, NfsResult};
+
+/// One step of a workload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorkItem {
+    /// Perform a file action.
+    Action(FileAction),
+    /// Burn client CPU (compilation, scanning, benchmark bookkeeping).
+    Compute(u64),
+    /// Mark the completion of a logical unit (e.g. one PostMark
+    /// transaction) for throughput accounting.
+    Mark,
+}
+
+/// A full workload script.
+#[derive(Debug, Clone, Default)]
+pub struct Script {
+    /// The steps, in order.
+    pub items: Vec<WorkItem>,
+}
+
+impl Script {
+    /// Number of actions (excluding compute steps).
+    pub fn action_count(&self) -> usize {
+        self.items
+            .iter()
+            .filter(|i| matches!(i, WorkItem::Action(_)))
+            .count()
+    }
+
+    /// Number of completion marks.
+    pub fn mark_count(&self) -> usize {
+        self.items
+            .iter()
+            .filter(|i| matches!(i, WorkItem::Mark))
+            .count()
+    }
+
+    /// Total client compute in the script.
+    pub fn compute_ns(&self) -> u64 {
+        self.items
+            .iter()
+            .map(|i| match i {
+                WorkItem::Compute(ns) => *ns,
+                _ => 0,
+            })
+            .sum()
+    }
+}
+
+/// What the transport should do next.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Drive {
+    /// Issue this RPC and call [`ScriptRunner::advance`] with the decoded
+    /// response.
+    Rpc(NfsOp),
+    /// Charge this much client CPU, then call
+    /// [`ScriptRunner::advance`] with `None`.
+    Compute(u64),
+    /// The script is finished.
+    Done,
+}
+
+/// Drives a [`Script`] through an [`NfsClientModel`], independent of the
+/// transport (BFT client or plain datagrams).
+#[derive(Debug, Clone)]
+pub struct ScriptRunner {
+    items: Vec<WorkItem>,
+    idx: usize,
+    model: NfsClientModel,
+    /// Actions completed.
+    pub actions_done: u64,
+    /// Actions that failed (should be zero for well-formed scripts).
+    pub failed: u64,
+    /// Marks passed.
+    pub marks: u64,
+}
+
+impl ScriptRunner {
+    /// Creates a runner over `script` with a fresh client cache.
+    pub fn new(script: Script, client_cfg: NfsClientConfig) -> ScriptRunner {
+        ScriptRunner {
+            items: script.items,
+            idx: 0,
+            model: NfsClientModel::new(client_cfg),
+            actions_done: 0,
+            failed: 0,
+            marks: 0,
+        }
+    }
+
+    /// Client-cache statistics.
+    pub fn stats(&self) -> &bft_fs::client::ClientStats {
+        &self.model.stats
+    }
+
+    /// True once the script has completed.
+    pub fn finished(&self) -> bool {
+        self.idx >= self.items.len()
+    }
+
+    /// Progress as (current index, total items).
+    pub fn progress(&self) -> (usize, usize) {
+        (self.idx, self.items.len())
+    }
+
+    /// Advances the script. Pass the decoded response when answering a
+    /// [`Drive::Rpc`]; pass `None` initially and after a
+    /// [`Drive::Compute`].
+    pub fn advance(&mut self, response: Option<&NfsResult>) -> Drive {
+        let mut step = response.map(|r| self.model.next(r));
+        loop {
+            match step.take() {
+                Some(Step::Rpc(op)) => return Drive::Rpc(op),
+                Some(Step::Done { failed, .. }) => {
+                    self.actions_done += 1;
+                    if failed {
+                        self.failed += 1;
+                    }
+                }
+                None => {}
+            }
+            if self.idx >= self.items.len() {
+                return Drive::Done;
+            }
+            let item = self.items[self.idx].clone();
+            self.idx += 1;
+            match item {
+                WorkItem::Compute(ns) => return Drive::Compute(ns),
+                WorkItem::Action(a) => step = Some(self.model.begin(a)),
+                WorkItem::Mark => self.marks += 1,
+            }
+        }
+    }
+}
+
+/// Executes a script synchronously against a local [`FsService`] — a
+/// shortcut for tests and offline validation that skips the simulated
+/// network entirely.
+#[doc(hidden)]
+pub fn run_script_locally(script: Script) -> ScriptRunner {
+    use bft_core::wire::Wire;
+    use bft_fs::service::FsService;
+    let mut runner = ScriptRunner::new(script, NfsClientConfig::default());
+    let mut svc = FsService::in_memory();
+    let mut response: Option<NfsResult> = None;
+    loop {
+        match runner.advance(response.take().as_ref()) {
+            Drive::Rpc(op) => {
+                let bytes = svc.apply_encoded(&op.to_bytes());
+                response = Some(NfsResult::from_bytes(&bytes).expect("decodes"));
+            }
+            Drive::Compute(_) => {}
+            Drive::Done => return runner,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Executes a script synchronously against a local service.
+    pub(crate) fn run_script(script: Script) -> ScriptRunner {
+        run_script_locally(script)
+    }
+
+    #[test]
+    fn script_runs_to_completion() {
+        let script = Script {
+            items: vec![
+                WorkItem::Action(FileAction::Mkdir("d".into())),
+                WorkItem::Compute(1_000),
+                WorkItem::Action(FileAction::CreateFile("d/f".into(), 5000)),
+                WorkItem::Mark,
+                WorkItem::Action(FileAction::ReadFile("d/f".into())),
+            ],
+        };
+        assert_eq!(script.action_count(), 3);
+        assert_eq!(script.mark_count(), 1);
+        assert_eq!(script.compute_ns(), 1_000);
+        let runner = run_script(script);
+        assert!(runner.finished());
+        assert_eq!(runner.actions_done, 3);
+        assert_eq!(runner.failed, 0);
+        assert_eq!(runner.marks, 1);
+    }
+
+    #[test]
+    fn empty_script_is_immediately_done() {
+        let mut runner = ScriptRunner::new(Script::default(), NfsClientConfig::default());
+        assert_eq!(runner.advance(None), Drive::Done);
+        assert!(runner.finished());
+    }
+
+    #[test]
+    fn compute_only_script() {
+        let script = Script {
+            items: vec![WorkItem::Compute(5), WorkItem::Compute(7)],
+        };
+        let mut runner = ScriptRunner::new(script, NfsClientConfig::default());
+        assert_eq!(runner.advance(None), Drive::Compute(5));
+        assert_eq!(runner.advance(None), Drive::Compute(7));
+        assert_eq!(runner.advance(None), Drive::Done);
+    }
+}

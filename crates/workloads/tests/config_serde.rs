@@ -1,0 +1,30 @@
+//! Experiment configurations serialize (the reason `serde` is a
+//! dependency): harness runs can be described, stored, and replayed as
+//! data.
+
+use bft_core::config::Config;
+use bft_fs::client::NfsClientConfig;
+use bft_fs::disk::{FsCostModel, ServerMode};
+use bft_sim::{CostModel, NetConfig};
+use bft_workloads::andrew::AndrewTimings;
+use bft_workloads::postmark::PostmarkConfig;
+
+fn roundtrip<T>(value: &T)
+where
+    T: serde::Serialize + serde::de::DeserializeOwned + PartialEq + std::fmt::Debug,
+{
+    let json = serde_json::to_string(value).expect("serializes");
+    let back: T = serde_json::from_str(&json).expect("deserializes");
+    assert_eq!(&back, value);
+}
+
+#[test]
+fn all_experiment_configs_roundtrip() {
+    roundtrip(&Config::new(2));
+    roundtrip(&NetConfig::SWITCHED_100MBPS);
+    roundtrip(&CostModel::PIII_600);
+    roundtrip(&FsCostModel::new(ServerMode::NfsStd));
+    roundtrip(&NfsClientConfig::default());
+    roundtrip(&AndrewTimings::default());
+    roundtrip(&PostmarkConfig::default());
+}

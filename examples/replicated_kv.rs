@@ -1,0 +1,180 @@
+//! A replicated key-value store built on the BFT library — shows how to
+//! implement the [`Service`] trait for your own state machine, including
+//! the undo support that tentative execution needs.
+//!
+//! Run with: `cargo run --example replicated_kv`
+
+use pbft::core::prelude::*;
+use pbft::core::service::RestoreError;
+use pbft::crypto::md5::{digest_parts, Digest};
+use pbft::sim::dur;
+use std::collections::BTreeMap;
+
+/// Operations: `set <key> <value>` and `get <key>`, encoded as text for
+/// readability (`s<key>=<value>` / `g<key>`).
+#[derive(Debug, Default, Clone)]
+struct KvStore {
+    map: BTreeMap<String, String>,
+    /// Undo log for uncommitted operations: (key, previous value).
+    undo: Vec<(String, Option<String>)>,
+}
+
+impl KvStore {
+    fn set_op(key: &str, value: &str) -> Vec<u8> {
+        format!("s{key}={value}").into_bytes()
+    }
+
+    fn get_op(key: &str) -> Vec<u8> {
+        format!("g{key}").into_bytes()
+    }
+
+    fn lookup(&self, key: &str) -> Vec<u8> {
+        self.map
+            .get(key)
+            .cloned()
+            .unwrap_or_else(|| "<missing>".to_owned())
+            .into_bytes()
+    }
+}
+
+impl Service for KvStore {
+    fn execute(&mut self, _client: ClientId, op: &[u8]) -> Vec<u8> {
+        let text = String::from_utf8_lossy(op);
+        if let Some(rest) = text.strip_prefix('s') {
+            if let Some((key, value)) = rest.split_once('=') {
+                let prev = self.map.insert(key.to_owned(), value.to_owned());
+                self.undo.push((key.to_owned(), prev));
+                return b"ok".to_vec();
+            }
+        }
+        if let Some(key) = text.strip_prefix('g') {
+            self.undo.push((String::new(), None)); // no-op undo entry
+            return self.lookup(key);
+        }
+        b"bad op".to_vec()
+    }
+
+    fn execute_read_only(&self, _client: ClientId, op: &[u8]) -> Vec<u8> {
+        let text = String::from_utf8_lossy(op);
+        match text.strip_prefix('g') {
+            Some(key) => self.lookup(key),
+            None => b"bad op".to_vec(),
+        }
+    }
+
+    fn is_read_only(&self, op: &[u8]) -> bool {
+        op.first() == Some(&b'g')
+    }
+
+    fn state_digest(&self) -> Digest {
+        let mut buf = Vec::new();
+        for (k, v) in &self.map {
+            buf.extend_from_slice(k.as_bytes());
+            buf.push(0);
+            buf.extend_from_slice(v.as_bytes());
+            buf.push(0);
+        }
+        digest_parts(&[b"KV", &buf])
+    }
+
+    fn snapshot(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        for (k, v) in &self.map {
+            buf.extend_from_slice(format!("{k}={v}\n").as_bytes());
+        }
+        buf
+    }
+
+    fn restore(&mut self, snapshot: &[u8]) -> Result<(), RestoreError> {
+        let text = String::from_utf8(snapshot.to_vec()).map_err(|e| RestoreError(e.to_string()))?;
+        self.map = text
+            .lines()
+            .filter_map(|l| l.split_once('='))
+            .map(|(k, v)| (k.to_owned(), v.to_owned()))
+            .collect();
+        self.undo.clear();
+        Ok(())
+    }
+
+    fn commit_prefix(&mut self, ops: usize) {
+        let n = ops.min(self.undo.len());
+        self.undo.drain(..n);
+    }
+
+    fn rollback_suffix(&mut self, ops: usize) {
+        for _ in 0..ops {
+            if let Some((key, prev)) = self.undo.pop() {
+                if key.is_empty() {
+                    continue;
+                }
+                match prev {
+                    Some(v) => self.map.insert(key, v),
+                    None => self.map.remove(&key),
+                };
+            }
+        }
+    }
+}
+
+/// A scripted driver: runs a fixed list of (op, read_only) pairs.
+struct Scripted {
+    ops: Vec<(Vec<u8>, bool)>,
+    at: usize,
+    log: Vec<String>,
+}
+
+impl Scripted {
+    fn next(&mut self, api: &mut ClientApi<'_, '_>) {
+        if let Some((op, ro)) = self.ops.get(self.at) {
+            self.at += 1;
+            api.submit(op.clone(), *ro);
+        }
+    }
+}
+
+impl ClientDriver for Scripted {
+    fn on_start(&mut self, api: &mut ClientApi<'_, '_>) {
+        self.next(api);
+    }
+    fn on_complete(&mut self, api: &mut ClientApi<'_, '_>, result: &[u8], _lat: u64) {
+        self.log.push(String::from_utf8_lossy(result).into_owned());
+        self.next(api);
+    }
+}
+
+fn main() {
+    println!("Replicated key-value store over BFT (4 replicas, f = 1)\n");
+    let mut cluster = Cluster::new(7, NetConfig::SWITCHED_100MBPS, Config::new(1), |_| {
+        KvStore::default()
+    });
+
+    let writer = cluster.add_client(Scripted {
+        ops: vec![
+            (KvStore::set_op("lang", "rust"), false),
+            (KvStore::set_op("paper", "dsn-2001"), false),
+            (KvStore::get_op("lang"), true),
+            (KvStore::set_op("lang", "still rust"), false),
+            (KvStore::get_op("lang"), true),
+            (KvStore::get_op("nope"), true),
+        ],
+        at: 0,
+        log: Vec::new(),
+    });
+
+    // A Byzantine replica that lies about results cannot fool clients.
+    cluster
+        .replica_mut::<KvStore>(2)
+        .set_behavior(Behavior::WrongResult);
+    println!("(replica 2 is Byzantine: it corrupts every result it sends)\n");
+
+    cluster.run_for(dur::secs(3));
+
+    let client = cluster.client::<Scripted>(writer);
+    for (i, r) in client.driver().log.iter().enumerate() {
+        println!("  result #{i}: {r}");
+    }
+    assert_eq!(client.driver().log[2], "rust");
+    assert_eq!(client.driver().log[4], "still rust");
+    assert_eq!(client.driver().log[5], "<missing>");
+    println!("\nall results correct despite the lying replica");
+}

@@ -1,0 +1,106 @@
+//! The NEW-KEY session-key establishment flow (Section 1: "public-key
+//! cryptography ... is used only to exchange the symmetric keys").
+//!
+//! This test performs the full exchange with the real primitives: a
+//! principal generates fresh session keys, encrypts one per recipient
+//! under the recipient's RSA public key, signs the message, and the
+//! recipients verify + decrypt + use the keys for MACs.
+
+use pbft::crypto::rsa::KeyPair;
+use pbft::crypto::umac::MacKey;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A NEW-KEY message: per-recipient encrypted session keys, signed.
+struct NewKey {
+    sender: u32,
+    /// (recipient, RSA ciphertext of the 16-byte session key).
+    keys: Vec<(u32, Vec<u8>)>,
+    signature: pbft::crypto::rsa::Signature,
+}
+
+fn signable(sender: u32, keys: &[(u32, Vec<u8>)]) -> Vec<u8> {
+    let mut buf = sender.to_le_bytes().to_vec();
+    for (r, ct) in keys {
+        buf.extend_from_slice(&r.to_le_bytes());
+        buf.extend_from_slice(ct);
+    }
+    buf
+}
+
+#[test]
+fn new_key_exchange_establishes_working_macs() {
+    let mut rng = StdRng::seed_from_u64(0x1e7);
+    // Four replicas with long-term RSA keypairs.
+    let keypairs: Vec<KeyPair> = (0..4).map(|_| KeyPair::generate(&mut rng, 256)).collect();
+
+    // Replica 0 issues fresh session keys for everyone else.
+    let sender = 0u32;
+    let mut fresh: Vec<(u32, [u8; 16])> = Vec::new();
+    let mut encrypted = Vec::new();
+    for r in 1..4u32 {
+        let key: [u8; 16] = rng.gen();
+        let ct = keypairs[r as usize].public().encrypt(&mut rng, &key);
+        fresh.push((r, key));
+        encrypted.push((r, ct));
+    }
+    let signature = keypairs[0].sign(&signable(sender, &encrypted));
+    let msg = NewKey {
+        sender,
+        keys: encrypted,
+        signature,
+    };
+
+    // Every recipient verifies the signature and recovers its key.
+    for (r, expected) in &fresh {
+        keypairs[msg.sender as usize]
+            .public()
+            .verify(&signable(msg.sender, &msg.keys), &msg.signature)
+            .expect("signature valid");
+        let (_, ct) = msg.keys.iter().find(|(rid, _)| rid == r).expect("entry");
+        let recovered = keypairs[*r as usize].decrypt(ct).expect("decrypts");
+        assert_eq!(recovered.as_slice(), expected);
+
+        // Both ends derive the same MAC key and can authenticate traffic.
+        let k_sender = MacKey::from_bytes(*expected);
+        let k_recipient = MacKey::from_bytes(recovered.try_into().expect("16 bytes"));
+        let mac = k_sender.mac(b"pre-prepare", 1);
+        assert!(k_recipient.verify(b"pre-prepare", 1, &mac.tag));
+    }
+}
+
+#[test]
+fn tampered_new_key_is_rejected() {
+    let mut rng = StdRng::seed_from_u64(0x1e8);
+    let sender_kp = KeyPair::generate(&mut rng, 256);
+    let recipient_kp = KeyPair::generate(&mut rng, 256);
+    let key: [u8; 16] = rng.gen();
+    let ct = recipient_kp.public().encrypt(&mut rng, &key);
+    let keys = vec![(1u32, ct)];
+    let signature = sender_kp.sign(&signable(0, &keys));
+
+    // An attacker swaps in a different ciphertext.
+    let evil_ct = recipient_kp.public().encrypt(&mut rng, &[0u8; 16]);
+    let tampered = vec![(1u32, evil_ct)];
+    assert!(
+        sender_kp
+            .public()
+            .verify(&signable(0, &tampered), &signature)
+            .is_err(),
+        "signature must not cover the forged ciphertext"
+    );
+}
+
+#[test]
+fn recipient_cannot_be_impersonated_without_private_key() {
+    let mut rng = StdRng::seed_from_u64(0x1e9);
+    let recipient_kp = KeyPair::generate(&mut rng, 256);
+    let outsider_kp = KeyPair::generate(&mut rng, 256);
+    let key: [u8; 16] = rng.gen();
+    let ct = recipient_kp.public().encrypt(&mut rng, &key);
+    // The outsider cannot decrypt another principal's session key.
+    match outsider_kp.decrypt(&ct) {
+        Err(_) => {}
+        Ok(got) => assert_ne!(got.as_slice(), key.as_slice()),
+    }
+}

@@ -1,0 +1,130 @@
+//! Linearizability checking: concurrent clients increment a shared
+//! counter; the returned running totals must form a permutation-free,
+//! gap-free sequence, and each client's view must be monotone — the
+//! paper's Section 2 guarantee ("BFT provides linearizability").
+
+use pbft::core::prelude::*;
+use pbft::sim::dur;
+
+struct Incrementer {
+    target: u64,
+    seen: Vec<u64>,
+}
+
+impl ClientDriver for Incrementer {
+    fn on_start(&mut self, api: &mut ClientApi<'_, '_>) {
+        api.submit(CounterService::add_op(1), false);
+    }
+    fn on_complete(&mut self, api: &mut ClientApi<'_, '_>, result: &[u8], _lat: u64) {
+        let v = u64::from_le_bytes(result.try_into().expect("8 bytes"));
+        self.seen.push(v);
+        if (self.seen.len() as u64) < self.target {
+            api.submit(CounterService::add_op(1), false);
+        }
+    }
+}
+
+fn run_and_check(mut tweak: impl FnMut(&mut Cluster), seed: u64, per_client: u64, clients: u32) {
+    let mut cluster = Cluster::new(seed, NetConfig::SWITCHED_100MBPS, Config::new(1), |_| {
+        CounterService::default()
+    });
+    let ids: Vec<u32> = (0..clients)
+        .map(|_| {
+            cluster.add_client(Incrementer {
+                target: per_client,
+                seen: Vec::new(),
+            })
+        })
+        .collect();
+    tweak(&mut cluster);
+    cluster.run_for(dur::secs(30));
+
+    let mut all: Vec<u64> = Vec::new();
+    for &id in &ids {
+        let seen = &cluster.client::<Incrementer>(id).driver().seen;
+        assert_eq!(seen.len() as u64, per_client, "client {id} incomplete");
+        // Each increment returns the counter *after* the add, so a
+        // client's own results must be strictly increasing.
+        for w in seen.windows(2) {
+            assert!(w[0] < w[1], "client {id} saw non-monotone results {w:?}");
+        }
+        all.extend_from_slice(seen);
+    }
+    // Every add returns a unique total, and together they are exactly
+    // 1..=N — increments were applied exactly once, in one global order.
+    all.sort_unstable();
+    let n = per_client * clients as u64;
+    assert_eq!(
+        all,
+        (1..=n).collect::<Vec<u64>>(),
+        "history is not linearizable"
+    );
+}
+
+#[test]
+fn increments_are_linearizable() {
+    run_and_check(|_| {}, 11, 20, 8);
+}
+
+#[test]
+fn linearizable_under_message_loss() {
+    run_and_check(
+        |cluster| cluster.sim.network_mut().set_loss_probability(0.02),
+        12,
+        10,
+        4,
+    );
+}
+
+#[test]
+fn linearizable_with_byzantine_backup() {
+    run_and_check(
+        |cluster| {
+            cluster
+                .replica_mut::<CounterService>(3)
+                .set_behavior(Behavior::WrongResult);
+        },
+        13,
+        15,
+        4,
+    );
+}
+
+#[test]
+fn linearizable_across_a_view_change() {
+    run_and_check(
+        |cluster| {
+            cluster
+                .replica_mut::<CounterService>(0)
+                .set_behavior(Behavior::Crashed);
+        },
+        14,
+        10,
+        4,
+    );
+}
+
+#[test]
+fn linearizable_without_optimizations() {
+    let mut cluster = Cluster::new(
+        15,
+        NetConfig::SWITCHED_100MBPS,
+        Config::new(1).with_opts(Optimizations::NONE),
+        |_| CounterService::default(),
+    );
+    let ids: Vec<u32> = (0..4)
+        .map(|_| {
+            cluster.add_client(Incrementer {
+                target: 10,
+                seen: Vec::new(),
+            })
+        })
+        .collect();
+    cluster.run_for(dur::secs(20));
+    let mut all: Vec<u64> = Vec::new();
+    for &id in &ids {
+        all.extend_from_slice(&cluster.client::<Incrementer>(id).driver().seen);
+    }
+    all.sort_unstable();
+    assert_eq!(all, (1..=40).collect::<Vec<u64>>());
+}

@@ -1,0 +1,93 @@
+//! Scaled-down re-checks of the paper's qualitative claims, fast enough
+//! for `cargo test`. The full sweeps live in the bench harness; these
+//! guard the shapes against regressions.
+
+use bft_workloads::harness::*;
+use pbft::core::config::Config;
+use pbft::sim::dur;
+
+fn small_bft_throughput(cfg: Config, clients: u32, shape: OpShape) -> f64 {
+    bft_throughput_windowed(cfg, clients, shape, dur::millis(500), dur::millis(800)).ops_per_sec
+}
+
+#[test]
+fn replication_is_not_orders_of_magnitude_slower() {
+    // The paper's thesis: BFT is practical. A small-op invocation costs a
+    // small constant factor over an unreplicated server, not the orders
+    // of magnitude of signature-based predecessors.
+    let bft = bft_latency(Config::new(1), OpShape::rw(8, 8), 30);
+    let norep = norep_latency(OpShape::rw(8, 8), 30);
+    let slowdown = bft.mean / norep.mean;
+    assert!(slowdown > 1.0);
+    assert!(slowdown < 8.0, "slowdown {slowdown}");
+}
+
+#[test]
+fn slowdown_decreases_with_result_size() {
+    // Figure 2's shape.
+    let small = bft_latency(Config::new(1), OpShape::rw(8, 0), 30).mean
+        / norep_latency(OpShape::rw(8, 0), 30).mean;
+    let large = bft_latency(Config::new(1), OpShape::rw(8, 8192), 30).mean
+        / norep_latency(OpShape::rw(8, 8192), 30).mean;
+    assert!(large < small, "slowdown must shrink: {small} -> {large}");
+    assert!(large < 2.0, "large-op slowdown must approach the asymptote");
+}
+
+#[test]
+fn read_only_cuts_latency_roughly_in_half() {
+    let rw = bft_latency(Config::new(1), OpShape::rw(8, 8), 30);
+    let ro = bft_latency(Config::new(1), OpShape::ro(8, 8), 30);
+    assert!(ro.mean < 0.7 * rw.mean, "ro {} vs rw {}", ro.mean, rw.mean);
+}
+
+#[test]
+fn second_fault_costs_little() {
+    // Figure 3's shape: f=2 adds a modest constant.
+    let f1 = bft_latency(Config::new(1), OpShape::rw(0, 8), 30);
+    let f2 = bft_latency(Config::new(2), OpShape::rw(0, 8), 30);
+    let ratio = f2.mean / f1.mean;
+    assert!(ratio > 1.0 && ratio < 1.6, "f2/f1 = {ratio}");
+}
+
+#[test]
+fn digest_replies_beat_the_reply_link_cap() {
+    // Figure 4/5's headline: with 4 KB results the unreplicated server is
+    // capped by one transmit link; BFT's digest replies spread replies
+    // over all replicas and exceed it.
+    let bft = small_bft_throughput(Config::new(1), 40, OpShape::rw(0, 4096));
+    let norep =
+        norep_throughput_windowed(40, OpShape::rw(0, 4096), dur::millis(500), dur::millis(800));
+    assert!(
+        bft > norep.ops_per_sec,
+        "BFT {bft} must beat NO-REP {}",
+        norep.ops_per_sec
+    );
+}
+
+#[test]
+fn batching_lifts_saturation_throughput() {
+    // Figure 6's shape.
+    let mut unbatched_cfg = Config::new(1);
+    unbatched_cfg.opts.batching = false;
+    let batched = small_bft_throughput(Config::new(1), 40, OpShape::rw(0, 0));
+    let unbatched = small_bft_throughput(unbatched_cfg, 40, OpShape::rw(0, 0));
+    assert!(
+        batched > 1.3 * unbatched,
+        "batched {batched} vs unbatched {unbatched}"
+    );
+}
+
+#[test]
+fn separate_transmission_helps_large_requests() {
+    // Figure 7's shape.
+    let mut no_srt = Config::new(1);
+    no_srt.opts.separate_request_transmission = false;
+    let with = bft_latency(Config::new(1), OpShape::rw(8192, 8), 30);
+    let without = bft_latency(no_srt, OpShape::rw(8192, 8), 30);
+    assert!(
+        with.mean < 0.85 * without.mean,
+        "SRT {} vs no-SRT {}",
+        with.mean,
+        without.mean
+    );
+}
