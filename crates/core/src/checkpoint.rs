@@ -1,27 +1,170 @@
 //! Checkpoint management: periodic state digests, stability proofs, and
 //! garbage-collection triggers.
 //!
-//! Every `K` sequence numbers a replica snapshots its state and, once the
+//! Every `K` sequence numbers a replica digests its state and, once the
 //! checkpoint's batch commits, multicasts a CHECKPOINT message. When it
 //! holds `2f+1` matching claims for a sequence number, that checkpoint is
 //! *stable*: the log below it can be discarded and the low water mark
-//! advances. The stable snapshot also serves state transfer.
+//! advances.
+//!
+//! # Incremental hierarchical digests
+//!
+//! The checkpoint digest is the root of a Merkle tree whose leaves are
+//! the service's partition digests plus one leaf for the reply cache
+//! (Section 4's hierarchical state partitions). [`CheckpointTracker`]
+//! keeps that tree alive between checkpoints: producing the next
+//! checkpoint digest only re-hashes the partitions the service reports
+//! dirty and folds them up the tree — `O(dirty · log P)` instead of
+//! `O(state)`.
+//!
+//! Checkpoints are also *lazy*: a local checkpoint records the leaf
+//! digests and the reply cache, but partition bytes are serialized only
+//! if the service cannot retain a copy-on-write version itself
+//! ([`crate::service::Service::retain_checkpoint`] returns `false`).
+//! Nothing is encoded until a lagging peer actually fetches state.
 
 use crate::messages::Checkpoint;
+use crate::service::Service;
 use crate::types::{Quorums, ReplicaId, SeqNum};
 use bft_crypto::md5::Digest;
+use bft_crypto::merkle::MerkleTree;
 use std::collections::{BTreeMap, HashMap};
 
 /// A checkpoint this replica produced locally.
 #[derive(Debug, Clone)]
 pub struct OwnCheckpoint {
-    /// State digest at the checkpoint.
+    /// Checkpoint digest: the Merkle root over `leaves`.
     pub digest: Digest,
-    /// Serialized state (kept for rollback-free state transfer).
-    pub snapshot: Vec<u8>,
+    /// Partition digests (`partition_count()` service leaves followed by
+    /// the reply-cache leaf), the raw values under [`Self::digest`].
+    pub leaves: Vec<Digest>,
+    /// Encoded reply cache at this checkpoint (always materialized — it
+    /// is small and changes with every reply).
+    pub cache_bytes: Vec<u8>,
+    /// Eagerly serialized partition bytes, kept only when the service
+    /// could not retain a copy-on-write version (`None` means partition
+    /// bytes are served lazily via `Service::retained_partition`).
+    pub parts: Option<Vec<Vec<u8>>>,
     /// Whether the CHECKPOINT message has been multicast yet (it is held
     /// until the checkpoint's batch commits).
     pub announced: bool,
+}
+
+impl OwnCheckpoint {
+    /// Builds a checkpoint from its leaf digests; the checkpoint digest
+    /// is the Merkle root they commit to. `parts`, when present, are the
+    /// eagerly serialized partition bytes (one entry per *service*
+    /// partition, i.e. `leaves.len() - 1`).
+    pub fn new(
+        leaves: Vec<Digest>,
+        cache_bytes: Vec<u8>,
+        parts: Option<Vec<Vec<u8>>>,
+    ) -> OwnCheckpoint {
+        OwnCheckpoint {
+            digest: MerkleTree::root_of(&leaves),
+            leaves,
+            cache_bytes,
+            parts,
+            announced: false,
+        }
+    }
+
+    /// The digests of the service partitions (every leaf but the final
+    /// reply-cache leaf).
+    pub fn service_leaves(&self) -> &[Digest] {
+        &self.leaves[..self.leaves.len().saturating_sub(1)]
+    }
+}
+
+/// What a [`CheckpointTracker::refresh`] actually re-hashed, so the
+/// simulation can charge digest CPU proportional to it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RefreshStats {
+    /// Service partitions that were re-digested (excludes the cache
+    /// leaf).
+    pub dirty_parts: u32,
+    /// Total encoded bytes re-hashed (dirty partitions + reply cache).
+    pub dirty_bytes: u64,
+    /// Internal tree nodes recomputed while folding leaves to the root.
+    pub tree_ops: u32,
+    /// The resulting checkpoint digest (Merkle root).
+    pub root: Digest,
+}
+
+/// A live Merkle tree over the service's partition digests plus the
+/// reply-cache leaf. Kept between checkpoints so each checkpoint only
+/// pays for the partitions dirtied since the previous one.
+#[derive(Debug, Clone)]
+pub struct CheckpointTracker {
+    tree: MerkleTree,
+    parts: u32,
+}
+
+impl CheckpointTracker {
+    /// Builds the tree from scratch, digesting every partition. Used at
+    /// construction and after wholesale state replacement.
+    pub fn new<S: Service + ?Sized>(svc: &S, cache_bytes: &[u8]) -> CheckpointTracker {
+        let parts = svc.partition_count();
+        let mut leaves: Vec<Digest> = (0..parts).map(|p| svc.partition_digest(p)).collect();
+        leaves.push(bft_crypto::digest(cache_bytes));
+        CheckpointTracker {
+            tree: MerkleTree::new(leaves),
+            parts,
+        }
+    }
+
+    /// Drains the service's dirty set, re-digests exactly those
+    /// partitions plus the reply-cache leaf, and folds the changes up
+    /// the tree. Returns what was re-hashed and the new root.
+    pub fn refresh<S: Service + ?Sized>(
+        &mut self,
+        svc: &mut S,
+        cache_bytes: &[u8],
+    ) -> RefreshStats {
+        let dirty = svc.take_dirty_partitions();
+        let mut dirty_bytes = 0u64;
+        let mut tree_ops = 0u32;
+        for &p in &dirty {
+            dirty_bytes += svc.partition_size(p) as u64;
+            tree_ops += self.tree.update(p as usize, svc.partition_digest(p)) as u32;
+        }
+        // The reply cache changes with every executed request, so its
+        // leaf is unconditionally refreshed.
+        dirty_bytes += cache_bytes.len() as u64;
+        tree_ops +=
+            self.tree
+                .update(self.parts as usize, bft_crypto::digest(cache_bytes)) as u32;
+        RefreshStats {
+            dirty_parts: dirty.len() as u32,
+            dirty_bytes,
+            tree_ops,
+            root: self.tree.root(),
+        }
+    }
+
+    /// The current checkpoint digest (Merkle root).
+    pub fn root(&self) -> Digest {
+        self.tree.root()
+    }
+
+    /// The raw leaf digests: `partition_count()` service partitions
+    /// followed by the reply-cache leaf.
+    pub fn leaves(&self) -> &[Digest] {
+        self.tree.leaves()
+    }
+
+    /// Number of *service* partitions (the tree has one more leaf for
+    /// the reply cache).
+    pub fn partition_count(&self) -> u32 {
+        self.parts
+    }
+
+    /// Recomputes the checkpoint digest a set of leaves commits to.
+    /// Fetchers use this to validate an advertised leaf vector against
+    /// the quorum-agreed checkpoint digest.
+    pub fn root_of(leaves: &[Digest]) -> Digest {
+        MerkleTree::root_of(leaves)
+    }
 }
 
 /// A newly stable checkpoint, returned by [`CheckpointSet::add_claim`].
@@ -47,27 +190,18 @@ pub struct CheckpointSet {
 
 impl CheckpointSet {
     /// Creates the checkpoint state with the genesis checkpoint (sequence
-    /// 0) already stable at `genesis_digest`.
-    pub fn new(
-        quorums: Quorums,
-        genesis_digest: Digest,
-        genesis_snapshot: Vec<u8>,
-    ) -> CheckpointSet {
+    /// 0) already stable.
+    pub fn new(quorums: Quorums, mut genesis: OwnCheckpoint) -> CheckpointSet {
+        genesis.announced = true;
+        let stable_digest = genesis.digest;
         let mut own = BTreeMap::new();
-        own.insert(
-            0,
-            OwnCheckpoint {
-                digest: genesis_digest,
-                snapshot: genesis_snapshot,
-                announced: true,
-            },
-        );
+        own.insert(0, genesis);
         CheckpointSet {
             quorums,
             own,
             claims: BTreeMap::new(),
             stable_seq: 0,
-            stable_digest: genesis_digest,
+            stable_digest,
         }
     }
 
@@ -82,15 +216,8 @@ impl CheckpointSet {
     }
 
     /// Records a locally produced checkpoint (not yet announced).
-    pub fn note_own(&mut self, seq: SeqNum, digest: Digest, snapshot: Vec<u8>) {
-        self.own.insert(
-            seq,
-            OwnCheckpoint {
-                digest,
-                snapshot,
-                announced: false,
-            },
-        );
+    pub fn note_own(&mut self, seq: SeqNum, checkpoint: OwnCheckpoint) {
+        self.own.insert(seq, checkpoint);
     }
 
     /// Returns the local checkpoint at `seq`, if any.
@@ -155,14 +282,6 @@ impl CheckpointSet {
         true
     }
 
-    /// The snapshot of the stable checkpoint, if this replica has it
-    /// locally (it may not, right after state transfer was skipped).
-    pub fn stable_snapshot(&self) -> Option<&[u8]> {
-        self.own
-            .get(&self.stable_seq)
-            .map(|cp| cp.snapshot.as_slice())
-    }
-
     /// Evidence that this replica has fallen behind: a claim quorum exists
     /// for a sequence number greater than `horizon`. Returns the highest
     /// such `(seq, digest)`.
@@ -189,8 +308,18 @@ impl CheckpointSet {
 mod tests {
     use super::*;
 
+    /// An eagerly materialized one-partition checkpoint whose content is
+    /// the single byte `tag`.
+    fn own_cp(tag: u8) -> OwnCheckpoint {
+        OwnCheckpoint::new(
+            vec![bft_crypto::digest(&[tag]), bft_crypto::digest(b"")],
+            Vec::new(),
+            Some(vec![vec![tag]]),
+        )
+    }
+
     fn set() -> CheckpointSet {
-        CheckpointSet::new(Quorums::minimal(1), bft_crypto::digest(b"genesis"), vec![7])
+        CheckpointSet::new(Quorums::minimal(1), own_cp(7))
     }
 
     fn claim(seq: SeqNum, replica: ReplicaId, tag: u8) -> Checkpoint {
@@ -205,7 +334,17 @@ mod tests {
     fn genesis_is_stable() {
         let s = set();
         assert_eq!(s.stable_seq(), 0);
-        assert_eq!(s.stable_snapshot(), Some([7u8].as_slice()));
+        assert_eq!(s.stable_digest(), own_cp(7).digest);
+        let genesis = s.own(0).expect("genesis retained");
+        assert!(genesis.announced, "genesis needs no announcement");
+        assert_eq!(genesis.parts.as_deref(), Some([vec![7u8]].as_slice()));
+    }
+
+    #[test]
+    fn own_checkpoint_digest_is_merkle_root() {
+        let cp = own_cp(3);
+        assert_eq!(cp.digest, MerkleTree::root_of(&cp.leaves));
+        assert_eq!(cp.service_leaves(), &cp.leaves[..1]);
     }
 
     #[test]
@@ -254,8 +393,8 @@ mod tests {
     #[test]
     fn own_checkpoints_announceable_only_after_commit() {
         let mut s = set();
-        s.note_own(128, bft_crypto::digest(&[1]), vec![1]);
-        s.note_own(256, bft_crypto::digest(&[2]), vec![2]);
+        s.note_own(128, own_cp(1));
+        s.note_own(256, own_cp(2));
         assert_eq!(s.announceable(128).len(), 1);
         assert_eq!(s.announceable(300).len(), 2);
         s.mark_announced(128).expect("exists");
@@ -265,12 +404,49 @@ mod tests {
     #[test]
     fn make_stable_prunes_older_own_checkpoints() {
         let mut s = set();
-        s.note_own(128, bft_crypto::digest(&[1]), vec![1]);
-        s.note_own(256, bft_crypto::digest(&[2]), vec![2]);
-        s.make_stable(256, bft_crypto::digest(&[2]));
+        s.note_own(128, own_cp(1));
+        s.note_own(256, own_cp(2));
+        s.make_stable(256, own_cp(2).digest);
         assert!(s.own(128).is_none());
         assert!(s.own(256).is_some());
-        assert_eq!(s.stable_snapshot(), Some([2u8].as_slice()));
+        assert_eq!(s.stable_digest(), own_cp(2).digest);
+    }
+
+    #[test]
+    fn tracker_incremental_root_matches_full_rebuild() {
+        use crate::service::{CounterService, Service};
+        let mut svc = CounterService::default();
+        svc.execute(1, &CounterService::add_op(4));
+        let mut tracker = CheckpointTracker::new(&svc, b"cache0");
+        assert_eq!(
+            tracker.root(),
+            CheckpointTracker::new(&svc, b"cache0").root()
+        );
+        svc.take_dirty_partitions(); // tracker::new digested everything
+        svc.execute(1, &CounterService::add_op(9));
+        let stats = tracker.refresh(&mut svc, b"cache1");
+        assert_eq!(stats.dirty_parts, 1);
+        assert_eq!(stats.root, tracker.root());
+        assert_eq!(
+            tracker.root(),
+            CheckpointTracker::new(&svc, b"cache1").root()
+        );
+        // A refresh with nothing dirty only re-hashes the cache leaf.
+        let stats = tracker.refresh(&mut svc, b"cache1");
+        assert_eq!(stats.dirty_parts, 0);
+        assert_eq!(stats.dirty_bytes, b"cache1".len() as u64);
+    }
+
+    #[test]
+    fn tracker_leaves_commit_to_root() {
+        let svc = crate::service::CounterService::default();
+        let tracker = CheckpointTracker::new(&svc, b"rc");
+        assert_eq!(tracker.root(), CheckpointTracker::root_of(tracker.leaves()));
+        assert_eq!(
+            tracker.leaves().len(),
+            tracker.partition_count() as usize + 1,
+            "service partitions plus the reply-cache leaf"
+        );
     }
 
     #[test]

@@ -86,6 +86,13 @@ pub struct Config {
     pub inline_threshold: usize,
     /// Optimization toggles.
     pub opts: Optimizations,
+    /// *Incremental checkpoints*: charge checkpoint digests for only the
+    /// partitions dirtied since the previous checkpoint (the paper's
+    /// incremental hierarchical state digests). When off, every
+    /// checkpoint is charged as if all partitions were re-hashed —
+    /// protocol behaviour is identical, only the simulated CPU cost
+    /// changes.
+    pub incremental_checkpoints: bool,
     /// CPU cost model for all principals.
     pub cost: CostModel,
     /// Backup timer: how long a request may stay un-executed before the
@@ -119,6 +126,7 @@ impl Config {
             max_batch_requests: 64,
             inline_threshold: 255,
             opts: Optimizations::LIBRARY,
+            incremental_checkpoints: true,
             cost: CostModel::PIII_600,
             view_change_timeout_ns: dur::millis(2_000),
             client_retry_timeout_ns: dur::millis(250),

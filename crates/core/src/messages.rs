@@ -79,6 +79,13 @@ impl Wire for AuthTag {
             t => Err(WireError::BadTag(t)),
         }
     }
+    fn wire_len(&self) -> usize {
+        match self {
+            AuthTag::None => 1,
+            AuthTag::Mac(_) => 1 + Mac::WIRE_BYTES,
+            AuthTag::Vector(a) => 1 + 8 + a.entries.len() * (4 + Mac::WIRE_BYTES),
+        }
+    }
 }
 
 /// A client request (REQUEST in the paper).
@@ -135,6 +142,9 @@ impl Wire for Request {
             replier: u32::decode(r)?,
             auth: AuthTag::decode(r)?,
         })
+    }
+    fn wire_len(&self) -> usize {
+        4 + 8 + (8 + self.op.len()) + 1 + 4 + self.auth.wire_len()
     }
 }
 
@@ -205,6 +215,12 @@ impl Wire for BatchEntry {
             t => Err(WireError::BadTag(t)),
         }
     }
+    fn wire_len(&self) -> usize {
+        match self {
+            BatchEntry::Full(r) => 1 + r.wire_len(),
+            BatchEntry::Ref { .. } => 1 + 4 + 8 + 16,
+        }
+    }
 }
 
 /// Computes the batch digest: the digest of the concatenated request
@@ -250,6 +266,9 @@ impl Wire for PrePrepare {
             piggy_commits: Vec::<(u64, Digest)>::decode(r)?,
         })
     }
+    fn wire_len(&self) -> usize {
+        8 + 8 + self.entries.wire_len() + 16 + self.piggy_commits.wire_len()
+    }
 }
 
 /// PREPARE: a backup's agreement with a sequence-number assignment.
@@ -284,6 +303,9 @@ impl Wire for Prepare {
             piggy_commits: Vec::<(u64, Digest)>::decode(r)?,
         })
     }
+    fn wire_len(&self) -> usize {
+        8 + 8 + 16 + 4 + self.piggy_commits.wire_len()
+    }
 }
 
 /// COMMIT: a replica's announcement that the batch prepared at it.
@@ -313,6 +335,9 @@ impl Wire for Commit {
             batch_digest: Digest::decode(r)?,
             replica: u32::decode(r)?,
         })
+    }
+    fn wire_len(&self) -> usize {
+        8 + 8 + 16 + 4
     }
 }
 
@@ -361,6 +386,12 @@ impl Wire for ReplyBody {
             t => Err(WireError::BadTag(t)),
         }
     }
+    fn wire_len(&self) -> usize {
+        match self {
+            ReplyBody::Full(b) => 1 + 8 + b.len(),
+            ReplyBody::Digest(_) => 1 + 16,
+        }
+    }
 }
 
 /// REPLY: a replica's answer to a client.
@@ -401,6 +432,9 @@ impl Wire for Reply {
             body: ReplyBody::decode(r)?,
         })
     }
+    fn wire_len(&self) -> usize {
+        8 + 8 + 4 + 4 + 1 + self.body.wire_len()
+    }
 }
 
 /// CHECKPOINT: a replica's claim about its state digest at a checkpoint
@@ -430,6 +464,9 @@ impl Wire for Checkpoint {
             replica: u32::decode(r)?,
         })
     }
+    fn wire_len(&self) -> usize {
+        8 + 16 + 4
+    }
 }
 
 /// A summary of a prepared certificate, carried in view-change messages
@@ -456,6 +493,9 @@ impl Wire for PreparedInfo {
             view: u64::decode(r)?,
             batch_digest: Digest::decode(r)?,
         })
+    }
+    fn wire_len(&self) -> usize {
+        8 + 8 + 16
     }
 }
 
@@ -492,6 +532,9 @@ impl Wire for ViewChange {
             replica: u32::decode(r)?,
         })
     }
+    fn wire_len(&self) -> usize {
+        8 + 8 + 16 + self.prepared.wire_len() + 4
+    }
 }
 
 /// NEW-VIEW: the new primary's proof of the view change and the
@@ -525,6 +568,9 @@ impl Wire for NewView {
             batches: Vec::<(u64, Vec<BatchEntry>)>::decode(r)?,
         })
     }
+    fn wire_len(&self) -> usize {
+        8 + self.view_changes.wire_len() + self.pre_prepares.wire_len() + self.batches.wire_len()
+    }
 }
 
 /// Request for the checkpointed state at `seq` (state transfer).
@@ -543,32 +589,93 @@ impl Wire for FetchState {
             seq: u64::decode(r)?,
         })
     }
+    fn wire_len(&self) -> usize {
+        8
+    }
 }
 
-/// A checkpoint snapshot shipped to a lagging replica.
+/// Checkpoint metadata answering a [`FetchState`]: the partition leaf
+/// digests of the checkpoint's Merkle tree. The fetcher verifies the
+/// leaves against the quorum-certified checkpoint digest, then requests
+/// only the partitions whose leaves differ from its own state
+/// ([`FetchParts`]) — hierarchical partial state transfer.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct StateData {
+pub struct StateMeta {
     /// The checkpoint sequence number.
     pub seq: SeqNum,
-    /// Digest of the state (must match the fetcher's checkpoint
-    /// certificate).
-    pub state_digest: Digest,
-    /// The serialized service state.
-    pub snapshot: Vec<u8>,
+    /// The Merkle leaves: one digest per service partition, followed by
+    /// the reply-cache leaf. Their root must equal the checkpoint digest
+    /// in the fetcher's certificate.
+    pub leaves: Vec<Digest>,
 }
 
-impl Wire for StateData {
+impl Wire for StateMeta {
     fn encode(&self, buf: &mut Vec<u8>) {
         self.seq.encode(buf);
-        self.state_digest.encode(buf);
-        self.snapshot.encode(buf);
+        self.leaves.encode(buf);
     }
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
-        Ok(StateData {
+        Ok(StateMeta {
             seq: u64::decode(r)?,
-            state_digest: Digest::decode(r)?,
-            snapshot: Vec::<u8>::decode(r)?,
+            leaves: Vec::<Digest>::decode(r)?,
         })
+    }
+    fn wire_len(&self) -> usize {
+        8 + 8 + 16 * self.leaves.len()
+    }
+}
+
+/// Request for the serialized bytes of specific checkpoint partitions.
+/// The final partition index (`leaves.len() - 1` in the [`StateMeta`])
+/// addresses the reply cache.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FetchParts {
+    /// Checkpoint sequence number wanted.
+    pub seq: SeqNum,
+    /// Indices of the wanted partitions.
+    pub parts: Vec<u32>,
+}
+
+impl Wire for FetchParts {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.seq.encode(buf);
+        self.parts.encode(buf);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(FetchParts {
+            seq: u64::decode(r)?,
+            parts: Vec::<u32>::decode(r)?,
+        })
+    }
+    fn wire_len(&self) -> usize {
+        8 + 8 + 4 * self.parts.len()
+    }
+}
+
+/// Partition bytes answering a [`FetchParts`]. The fetcher verifies each
+/// partition against the corresponding [`StateMeta`] leaf before
+/// installing it, so a faulty sender can only waste bandwidth.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartData {
+    /// The checkpoint sequence number.
+    pub seq: SeqNum,
+    /// `(partition index, serialized partition bytes)` pairs.
+    pub parts: Vec<(u32, Vec<u8>)>,
+}
+
+impl Wire for PartData {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.seq.encode(buf);
+        self.parts.encode(buf);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(PartData {
+            seq: u64::decode(r)?,
+            parts: Vec::<(u32, Vec<u8>)>::decode(r)?,
+        })
+    }
+    fn wire_len(&self) -> usize {
+        8 + self.parts.wire_len()
     }
 }
 
@@ -592,6 +699,9 @@ impl Wire for FetchBatch {
             batch_digest: Digest::decode(r)?,
         })
     }
+    fn wire_len(&self) -> usize {
+        8 + 16
+    }
 }
 
 /// Request for individual request bodies by digest — the cheap recovery
@@ -612,6 +722,9 @@ impl Wire for FetchRequests {
             digests: Vec::<Digest>::decode(r)?,
         })
     }
+    fn wire_len(&self) -> usize {
+        8 + 16 * self.digests.len()
+    }
 }
 
 /// Request bodies answering a [`FetchRequests`].
@@ -629,6 +742,9 @@ impl Wire for RequestData {
         Ok(RequestData {
             requests: Vec::<Request>::decode(r)?,
         })
+    }
+    fn wire_len(&self) -> usize {
+        self.requests.wire_len()
     }
 }
 
@@ -651,6 +767,9 @@ impl Wire for BatchData {
             seq: u64::decode(r)?,
             entries: Vec::<BatchEntry>::decode(r)?,
         })
+    }
+    fn wire_len(&self) -> usize {
+        8 + self.entries.wire_len()
     }
 }
 
@@ -678,6 +797,9 @@ impl Wire for Status {
             last_stable: u64::decode(r)?,
             last_executed: u64::decode(r)?,
         })
+    }
+    fn wire_len(&self) -> usize {
+        8 + 8 + 8
     }
 }
 
@@ -708,6 +830,9 @@ impl Wire for CommittedBatch {
             entries: Vec::<BatchEntry>::decode(r)?,
         })
     }
+    fn wire_len(&self) -> usize {
+        8 + 16 + self.entries.wire_len()
+    }
 }
 
 /// NEW-KEY: a replica announces a fresh inbound-key epoch. In the real
@@ -733,6 +858,9 @@ impl Wire for NewKey {
             epoch: u64::decode(r)?,
         })
     }
+    fn wire_len(&self) -> usize {
+        4 + 8
+    }
 }
 
 /// All protocol messages.
@@ -756,8 +884,12 @@ pub enum Msg {
     NewView(NewView),
     /// State-transfer request.
     FetchState(FetchState),
-    /// State-transfer data.
-    StateData(StateData),
+    /// State-transfer checkpoint metadata (partition leaf digests).
+    StateMeta(StateMeta),
+    /// Partition-bytes request (partial state transfer).
+    FetchParts(FetchParts),
+    /// Partition bytes.
+    PartData(PartData),
     /// Batch-body request.
     FetchBatch(FetchBatch),
     /// Batch-body data.
@@ -787,7 +919,9 @@ impl Msg {
             Msg::ViewChange(_) => "view-change",
             Msg::NewView(_) => "new-view",
             Msg::FetchState(_) => "fetch-state",
-            Msg::StateData(_) => "state-data",
+            Msg::StateMeta(_) => "state-meta",
+            Msg::FetchParts(_) => "fetch-parts",
+            Msg::PartData(_) => "part-data",
             Msg::FetchBatch(_) => "fetch-batch",
             Msg::BatchData(_) => "batch-data",
             Msg::FetchRequests(_) => "fetch-requests",
@@ -838,8 +972,16 @@ impl Wire for Msg {
                 buf.push(8);
                 m.encode(buf);
             }
-            Msg::StateData(m) => {
+            Msg::StateMeta(m) => {
                 buf.push(9);
+                m.encode(buf);
+            }
+            Msg::FetchParts(m) => {
+                buf.push(17);
+                m.encode(buf);
+            }
+            Msg::PartData(m) => {
+                buf.push(18);
                 m.encode(buf);
             }
             Msg::FetchBatch(m) => {
@@ -883,7 +1025,7 @@ impl Wire for Msg {
             6 => Msg::ViewChange(ViewChange::decode(r)?),
             7 => Msg::NewView(NewView::decode(r)?),
             8 => Msg::FetchState(FetchState::decode(r)?),
-            9 => Msg::StateData(StateData::decode(r)?),
+            9 => Msg::StateMeta(StateMeta::decode(r)?),
             10 => Msg::FetchBatch(FetchBatch::decode(r)?),
             11 => Msg::BatchData(BatchData::decode(r)?),
             12 => Msg::FetchRequests(FetchRequests::decode(r)?),
@@ -891,8 +1033,33 @@ impl Wire for Msg {
             14 => Msg::Status(Status::decode(r)?),
             15 => Msg::CommittedBatch(CommittedBatch::decode(r)?),
             16 => Msg::NewKey(NewKey::decode(r)?),
+            17 => Msg::FetchParts(FetchParts::decode(r)?),
+            18 => Msg::PartData(PartData::decode(r)?),
             t => return Err(WireError::BadTag(t)),
         })
+    }
+    fn wire_len(&self) -> usize {
+        1 + match self {
+            Msg::Request(m) => m.wire_len(),
+            Msg::PrePrepare(m) => m.wire_len(),
+            Msg::Prepare(m) => m.wire_len(),
+            Msg::Commit(m) => m.wire_len(),
+            Msg::Reply(m) => m.wire_len(),
+            Msg::Checkpoint(m) => m.wire_len(),
+            Msg::ViewChange(m) => m.wire_len(),
+            Msg::NewView(m) => m.wire_len(),
+            Msg::FetchState(m) => m.wire_len(),
+            Msg::StateMeta(m) => m.wire_len(),
+            Msg::FetchParts(m) => m.wire_len(),
+            Msg::PartData(m) => m.wire_len(),
+            Msg::FetchBatch(m) => m.wire_len(),
+            Msg::BatchData(m) => m.wire_len(),
+            Msg::FetchRequests(m) => m.wire_len(),
+            Msg::RequestData(m) => m.wire_len(),
+            Msg::Status(m) => m.wire_len(),
+            Msg::CommittedBatch(m) => m.wire_len(),
+            Msg::NewKey(m) => m.wire_len(),
+        }
     }
 }
 
@@ -1019,10 +1186,17 @@ mod tests {
             batches: vec![(130, vec![BatchEntry::Full(req)])],
         }));
         roundtrip(Msg::FetchState(FetchState { seq: 128 }));
-        roundtrip(Msg::StateData(StateData {
+        roundtrip(Msg::StateMeta(StateMeta {
             seq: 128,
-            state_digest: d,
-            snapshot: vec![0; 32],
+            leaves: vec![d, NULL_DIGEST, d],
+        }));
+        roundtrip(Msg::FetchParts(FetchParts {
+            seq: 128,
+            parts: vec![0, 2, 63],
+        }));
+        roundtrip(Msg::PartData(PartData {
+            seq: 128,
+            parts: vec![(0, vec![1, 2, 3]), (2, Vec::new())],
         }));
         roundtrip(Msg::FetchBatch(FetchBatch {
             seq: 130,

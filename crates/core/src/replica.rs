@@ -2,7 +2,7 @@
 //! normal-case three-phase ordering with all the paper's optimizations,
 //! checkpoints and garbage collection, view changes, and state transfer.
 
-use crate::checkpoint::CheckpointSet;
+use crate::checkpoint::{CheckpointSet, CheckpointTracker, OwnCheckpoint};
 use crate::config::Config;
 use crate::log::Log;
 use crate::messages::*;
@@ -11,10 +11,10 @@ use crate::types::{ClientId, ReplicaId, SeqNum, Timestamp, View};
 use crate::viewchange::{compute_plan, validate_new_view, ViewChangeSet};
 use crate::wire::Wire;
 use bft_crypto::keychain::KeyChain;
-use bft_crypto::md5::{digest_parts, Digest};
+use bft_crypto::md5::Digest;
 use bft_sim::{Context, Node, NodeId, TimerId};
 use std::any::Any;
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
 
 /// Timer tokens.
 const TIMER_RESEND: u64 = 1;
@@ -53,7 +53,6 @@ pub enum Behavior {
 struct CachedReply {
     timestamp: Timestamp,
     result: Vec<u8>,
-    result_digest: Digest,
     tentative: bool,
     view: View,
 }
@@ -65,6 +64,41 @@ struct WaitingRo {
     reply: Reply,
 }
 
+/// An in-flight hierarchical state transfer. The fetcher first obtains
+/// the checkpoint's partition leaves (STATE-META), verifies them against
+/// the quorum-agreed digest, then pulls only the partitions whose leaves
+/// differ from its own state.
+#[derive(Debug, Clone)]
+struct StateFetch {
+    /// Checkpoint sequence number being fetched.
+    seq: SeqNum,
+    /// Quorum-agreed checkpoint digest (the Merkle root of `leaves`).
+    digest: Digest,
+    /// The replica most recently asked; rotated on failure or timeout.
+    target: ReplicaId,
+    /// Verified partition leaves (service partitions followed by the
+    /// reply-cache leaf). Empty until a valid STATE-META arrives.
+    leaves: Vec<Digest>,
+    /// Partition indices still to be transferred.
+    missing: BTreeSet<u32>,
+    /// The fetched, digest-verified reply-cache encoding (empty when the
+    /// local cache already matched the leaf).
+    cache_bytes: Vec<u8>,
+}
+
+impl StateFetch {
+    fn new(seq: SeqNum, digest: Digest, target: ReplicaId) -> StateFetch {
+        StateFetch {
+            seq,
+            digest,
+            target,
+            leaves: Vec::new(),
+            missing: BTreeSet::new(),
+            cache_bytes: Vec::new(),
+        }
+    }
+}
+
 /// The replica node.
 pub struct Replica<S: Service> {
     cfg: Config,
@@ -73,6 +107,9 @@ pub struct Replica<S: Service> {
     service: S,
     log: Log,
     checkpoints: CheckpointSet,
+    /// Live Merkle tree over the service's partition digests (plus the
+    /// reply-cache leaf); each checkpoint re-hashes only dirty partitions.
+    tracker: CheckpointTracker,
     view: View,
     /// Highest sequence number executed (including tentatively).
     last_executed: SeqNum,
@@ -107,9 +144,8 @@ pub struct Replica<S: Service> {
     /// Pending piggybacked commit announcements.
     piggy_queue: Vec<(SeqNum, Digest)>,
     piggy_timer: Option<TimerId>,
-    /// In-flight state transfer: (checkpoint seq, expected digest, next
-    /// replica to try).
-    fetching: Option<(SeqNum, Digest, ReplicaId)>,
+    /// In-flight hierarchical state transfer, if any.
+    fetching: Option<StateFetch>,
     /// Earliest time the next blocked-execution body fetch may be sent.
     next_body_fetch_ns: u64,
     /// Set when execution advanced, so the view-change timer restarts —
@@ -127,13 +163,26 @@ impl<S: Service> Replica<S> {
     /// # Panics
     ///
     /// Panics if the configuration is invalid or `id >= n`.
-    pub fn new(id: ReplicaId, cfg: Config, service: S) -> Replica<S> {
+    pub fn new(id: ReplicaId, cfg: Config, mut service: S) -> Replica<S> {
         cfg.validate();
         assert!(id < cfg.n(), "replica id out of range");
         let keychain = KeyChain::new(id, cfg.n(), cfg.f());
-        let genesis_digest = Self::full_state_digest_of(&service, &HashMap::new());
-        let genesis_snapshot = Self::encode_snapshot_of(&service, &HashMap::new());
-        let checkpoints = CheckpointSet::new(cfg.quorums, genesis_digest, genesis_snapshot);
+        let cache_bytes = Self::encode_cache(&HashMap::new());
+        let tracker = CheckpointTracker::new(&service, &cache_bytes);
+        // The tracker just digested every partition; drop any dirty marks
+        // accumulated while the service was constructed.
+        service.take_dirty_partitions();
+        let parts = if service.retain_checkpoint(0) {
+            None
+        } else {
+            Some(
+                (0..tracker.partition_count())
+                    .map(|p| service.partition_snapshot(p))
+                    .collect(),
+            )
+        };
+        let genesis = OwnCheckpoint::new(tracker.leaves().to_vec(), cache_bytes, parts);
+        let checkpoints = CheckpointSet::new(cfg.quorums, genesis);
         let vc_timeout_ns = cfg.view_change_timeout_ns;
         let log = Log::new(cfg.log_window);
         Replica {
@@ -143,6 +192,7 @@ impl<S: Service> Replica<S> {
             service,
             log,
             checkpoints,
+            tracker,
             view: 0,
             last_executed: 0,
             last_final: 0,
@@ -333,27 +383,15 @@ impl<S: Service> Replica<S> {
     }
 
     // ------------------------------------------------------------------
-    // Checkpoint state helpers (service state + reply cache)
+    // Checkpoint state helpers (partition tree + reply cache)
     // ------------------------------------------------------------------
 
-    fn full_state_digest_of(service: &S, cache: &HashMap<ClientId, CachedReply>) -> Digest {
+    /// Canonical encoding of a reply cache — the content under the
+    /// checkpoint tree's reply-cache leaf.
+    fn encode_cache(cache: &HashMap<ClientId, CachedReply>) -> Vec<u8> {
         let mut entries: Vec<(&ClientId, &CachedReply)> = cache.iter().collect();
         entries.sort_by_key(|(c, _)| **c);
-        let mut buf = Vec::with_capacity(entries.len() * 28);
-        for (c, e) in entries {
-            buf.extend_from_slice(&c.to_le_bytes());
-            buf.extend_from_slice(&e.timestamp.to_le_bytes());
-            buf.extend_from_slice(e.result_digest.as_bytes());
-        }
-        let svc = service.state_digest();
-        digest_parts(&[b"STATE", svc.as_bytes(), &buf])
-    }
-
-    fn encode_snapshot_of(service: &S, cache: &HashMap<ClientId, CachedReply>) -> Vec<u8> {
         let mut buf = Vec::new();
-        service.snapshot().encode(&mut buf);
-        let mut entries: Vec<(&ClientId, &CachedReply)> = cache.iter().collect();
-        entries.sort_by_key(|(c, _)| **c);
         (entries.len() as u64).encode(&mut buf);
         for (c, e) in entries {
             c.encode(&mut buf);
@@ -363,47 +401,113 @@ impl<S: Service> Replica<S> {
         buf
     }
 
-    fn full_state_digest(&self) -> Digest {
-        Self::full_state_digest_of(&self.service, &self.reply_cache)
-    }
-
-    fn encode_snapshot(&self) -> Vec<u8> {
-        Self::encode_snapshot_of(&self.service, &self.reply_cache)
-    }
-
-    fn restore_snapshot(&mut self, bytes: &[u8]) -> bool {
+    /// Decodes a reply cache produced by [`Self::encode_cache`]. Entries
+    /// restore as committed (`tentative: false`) in view `view`.
+    fn decode_cache(bytes: &[u8], view: View) -> Option<HashMap<ClientId, CachedReply>> {
         let mut r = crate::wire::Reader::new(bytes);
-        let Ok(svc_snap) = Vec::<u8>::decode(&mut r) else {
-            return false;
-        };
-        let Ok(n) = u64::decode(&mut r) else {
-            return false;
-        };
+        let n = u64::decode(&mut r).ok()?;
         let mut cache = HashMap::new();
         for _ in 0..n {
-            let (Ok(client), Ok(ts), Ok(result)) = (
-                u32::decode(&mut r),
-                u64::decode(&mut r),
-                Vec::<u8>::decode(&mut r),
-            ) else {
-                return false;
-            };
-            let result_digest = bft_crypto::digest(&result);
+            let client = u32::decode(&mut r).ok()?;
+            let ts = u64::decode(&mut r).ok()?;
+            let result = Vec::<u8>::decode(&mut r).ok()?;
             cache.insert(
                 client,
                 CachedReply {
                     timestamp: ts,
                     result,
-                    result_digest,
                     tentative: false,
-                    view: self.view,
+                    view,
                 },
             );
         }
-        if self.service.restore(&svc_snap).is_err() {
-            return false;
+        if r.remaining() != 0 {
+            return None;
         }
+        Some(cache)
+    }
+
+    /// Produces the local checkpoint at `seq`: refreshes the incremental
+    /// digest tree over the partitions dirtied since the previous
+    /// checkpoint, charges simulated CPU for exactly that work, and
+    /// records a *lazy* checkpoint — partition bytes are serialized only
+    /// when the service cannot retain a copy-on-write version itself.
+    fn make_checkpoint(&mut self, ctx: &mut Context<'_, Packet>, seq: SeqNum) {
+        let cache_bytes = Self::encode_cache(&self.reply_cache);
+        let stats = self.tracker.refresh(&mut self.service, &cache_bytes);
+        let total = self.tracker.partition_count() + 1;
+        let digest_ns = if self.cfg.incremental_checkpoints {
+            self.cfg
+                .cost
+                .partitioned_digest(stats.dirty_parts + 1, stats.dirty_bytes, total)
+        } else {
+            // Ablation baseline: charge as if every partition were
+            // re-hashed, the pre-partitioned checkpoint cost.
+            let full_bytes: u64 = (0..self.tracker.partition_count())
+                .map(|p| self.service.partition_size(p) as u64)
+                .sum::<u64>()
+                + cache_bytes.len() as u64;
+            self.cfg.cost.partitioned_digest(total, full_bytes, total)
+        };
+        ctx.charge(digest_ns);
+        ctx.metrics().incr("replica.checkpoints_made");
+        ctx.metrics().add("replica.checkpoint_digest_ns", digest_ns);
+        let parts = if self.service.retain_checkpoint(seq) {
+            None
+        } else {
+            Some(
+                (0..self.tracker.partition_count())
+                    .map(|p| self.service.partition_snapshot(p))
+                    .collect(),
+            )
+        };
+        self.checkpoints.note_own(
+            seq,
+            OwnCheckpoint::new(self.tracker.leaves().to_vec(), cache_bytes, parts),
+        );
+    }
+
+    /// Restores service state and reply cache from our own checkpoint at
+    /// `seq` (eagerly serialized parts or the service's retained
+    /// copy-on-write versions). Returns `false` — leaving state
+    /// unspecified — if any partition is unavailable or fails
+    /// verification; callers only pass checkpoints we produced, so that
+    /// indicates a bug.
+    fn restore_own_checkpoint(&mut self, seq: SeqNum) -> bool {
+        let Some(own) = self.checkpoints.own(seq) else {
+            return false;
+        };
+        let leaves = own.leaves.clone();
+        let cache_bytes = own.cache_bytes.clone();
+        let count = leaves.len().saturating_sub(1);
+        // Gather every partition's bytes before mutating anything.
+        let mut parts: Vec<Vec<u8>> = Vec::with_capacity(count);
+        for p in 0..count {
+            let bytes = match &own.parts {
+                Some(eager) => eager.get(p).cloned(),
+                None => self.service.retained_partition(seq, p as u32),
+            };
+            match bytes {
+                Some(b) => parts.push(b),
+                None => return false,
+            }
+        }
+        for (p, bytes) in parts.iter().enumerate() {
+            if self
+                .service
+                .restore_partition(p as u32, bytes, &leaves[p])
+                .is_err()
+            {
+                return false;
+            }
+        }
+        let Some(cache) = Self::decode_cache(&cache_bytes, self.view) else {
+            return false;
+        };
         self.reply_cache = cache;
+        self.tracker = CheckpointTracker::new(&self.service, &cache_bytes);
+        self.service.take_dirty_partitions();
+        debug_assert_eq!(self.tracker.root(), CheckpointTracker::root_of(&leaves));
         true
     }
 
@@ -946,7 +1050,6 @@ impl<S: Service> Replica<S> {
                 CachedReply {
                     timestamp: req.timestamp,
                     result,
-                    result_digest,
                     tentative,
                     view: self.view,
                 },
@@ -976,10 +1079,7 @@ impl<S: Service> Replica<S> {
         }
         // Checkpoint at interval boundaries.
         if seq.is_multiple_of(self.cfg.checkpoint_interval) {
-            ctx.charge(self.cfg.cost.digest(4096));
-            let digest = self.full_state_digest();
-            let snapshot = self.encode_snapshot();
-            self.checkpoints.note_own(seq, digest, snapshot);
+            self.make_checkpoint(ctx, seq);
         }
     }
 
@@ -1046,6 +1146,7 @@ impl<S: Service> Replica<S> {
         match self.checkpoints.own(seq) {
             Some(own) if own.digest == digest => {
                 self.checkpoints.make_stable(seq, digest);
+                self.service.release_checkpoints_below(seq);
                 self.log.collect_garbage(seq);
                 self.backfill.retain(|&(s, _), _| s > seq);
                 ctx.metrics().incr("replica.stable_checkpoints");
@@ -1063,70 +1164,231 @@ impl<S: Service> Replica<S> {
     }
 
     fn start_state_transfer(&mut self, ctx: &mut Context<'_, Packet>, seq: SeqNum, digest: Digest) {
-        if let Some((cur, _, _)) = self.fetching {
-            if cur >= seq {
+        if let Some(f) = &self.fetching {
+            if f.seq >= seq {
                 return;
             }
         }
         let target = (self.id + 1) % self.cfg.n();
-        self.fetching = Some((seq, digest, target));
+        self.fetching = Some(StateFetch::new(seq, digest, target));
         self.send_to(ctx, target, Msg::FetchState(FetchState { seq }));
         ctx.metrics().incr("replica.state_transfers_started");
     }
 
+    /// Rotates the fetch target and re-sends the current phase's request
+    /// (STATE-META if the leaves are unverified, otherwise the missing
+    /// partitions). Also drives the resend-timer keep-alive.
+    fn retry_state_transfer(&mut self, ctx: &mut Context<'_, Packet>) {
+        let Some(fetch) = &mut self.fetching else {
+            return;
+        };
+        let next = (fetch.target + 1) % self.cfg.n();
+        fetch.target = next;
+        let seq = fetch.seq;
+        let msg = if fetch.leaves.is_empty() {
+            Msg::FetchState(FetchState { seq })
+        } else {
+            Msg::FetchParts(FetchParts {
+                seq,
+                parts: fetch.missing.iter().copied().collect(),
+            })
+        };
+        self.send_to(ctx, next, msg);
+    }
+
     fn handle_fetch_state(&mut self, ctx: &mut Context<'_, Packet>, from: NodeId, fs: FetchState) {
         if let Some(own) = self.checkpoints.own(fs.seq) {
-            let mut snapshot = own.snapshot.clone();
-            let state_digest = own.digest;
-            if self.behavior == Behavior::CorruptStateData {
-                if let Some(b) = snapshot.first_mut() {
-                    *b ^= 0xff;
-                } else {
-                    snapshot.push(0xde);
-                }
-            }
-            let sd = StateData {
+            let meta = StateMeta {
                 seq: fs.seq,
-                state_digest,
-                snapshot,
+                leaves: own.leaves.clone(),
             };
-            self.send_to(ctx, from, Msg::StateData(sd));
+            self.send_to(ctx, from, Msg::StateMeta(meta));
         }
     }
 
-    fn handle_state_data(&mut self, ctx: &mut Context<'_, Packet>, sd: StateData) {
-        let Some((want_seq, want_digest, tried)) = self.fetching else {
+    fn handle_state_meta(&mut self, ctx: &mut Context<'_, Packet>, sm: StateMeta) {
+        let Some(fetch) = &self.fetching else {
             return;
         };
-        if sd.seq != want_seq || sd.state_digest != want_digest {
+        if sm.seq != fetch.seq || !fetch.leaves.is_empty() || sm.leaves.is_empty() {
             return;
         }
-        ctx.charge(self.cfg.cost.digest(sd.snapshot.len()));
-        // Keep our current state in case the snapshot is bogus.
-        let fallback = self.encode_snapshot();
-        if !self.restore_snapshot(&sd.snapshot) || self.full_state_digest() != want_digest {
-            // Corrupt snapshot from a faulty replica: revert, try another.
-            let ok = self.restore_snapshot(&fallback);
-            debug_assert!(ok, "own snapshot must restore");
-            let next = (tried + 1) % self.cfg.n();
-            self.fetching = Some((want_seq, want_digest, next));
-            self.send_to(ctx, next, Msg::FetchState(FetchState { seq: want_seq }));
+        // Verify the advertised leaves against the quorum-agreed
+        // checkpoint digest before trusting any of them.
+        ctx.charge(self.cfg.cost.digest(sm.leaves.len() * 16));
+        if CheckpointTracker::root_of(&sm.leaves) != fetch.digest {
+            ctx.metrics().incr("replica.state_transfer_bad_meta");
+            self.retry_state_transfer(ctx);
+            return;
+        }
+        // Diff the leaves against our own partition digests: partitions
+        // we already hold at the right version never cross the network.
+        let count = (sm.leaves.len() - 1) as u32;
+        let mut missing: BTreeSet<u32> = BTreeSet::new();
+        let same_layout = count == self.service.partition_count();
+        for p in 0..count {
+            ctx.charge(self.cfg.cost.digest_fixed_ns);
+            if !(same_layout && self.service.partition_digest(p) == sm.leaves[p as usize]) {
+                missing.insert(p);
+            }
+        }
+        if bft_crypto::digest(&Self::encode_cache(&self.reply_cache)) != sm.leaves[count as usize] {
+            missing.insert(count);
+        }
+        ctx.metrics().add(
+            "replica.state_parts_skipped",
+            u64::from(count + 1) - missing.len() as u64,
+        );
+        let fetch = self.fetching.as_mut().expect("checked above");
+        fetch.leaves = sm.leaves;
+        fetch.missing = missing;
+        if fetch.missing.is_empty() {
+            self.finish_state_transfer(ctx);
+        } else {
+            let seq = fetch.seq;
+            let target = fetch.target;
+            let parts: Vec<u32> = fetch.missing.iter().copied().collect();
+            self.send_to(ctx, target, Msg::FetchParts(FetchParts { seq, parts }));
+        }
+    }
+
+    fn handle_fetch_parts(&mut self, ctx: &mut Context<'_, Packet>, from: NodeId, fp: FetchParts) {
+        let Some(own) = self.checkpoints.own(fp.seq) else {
+            return;
+        };
+        let cache_idx = (own.leaves.len() - 1) as u32;
+        let mut parts: Vec<(u32, Vec<u8>)> = Vec::new();
+        for &p in fp.parts.iter().take(own.leaves.len()) {
+            let bytes = if p == cache_idx {
+                Some(own.cache_bytes.clone())
+            } else if let Some(eager) = &own.parts {
+                eager.get(p as usize).cloned()
+            } else {
+                // Lazy path: serialize the retained copy-on-write version
+                // only now that a peer actually asked for it.
+                self.service.retained_partition(fp.seq, p)
+            };
+            if let Some(mut b) = bytes {
+                if self.behavior == Behavior::CorruptStateData {
+                    if let Some(x) = b.first_mut() {
+                        *x ^= 0xff;
+                    } else {
+                        b.push(0xde);
+                    }
+                }
+                parts.push((p, b));
+            }
+        }
+        if !parts.is_empty() {
+            self.send_to(ctx, from, Msg::PartData(PartData { seq: fp.seq, parts }));
+        }
+    }
+
+    fn handle_part_data(&mut self, ctx: &mut Context<'_, Packet>, pd: PartData) {
+        let Some(mut fetch) = self.fetching.take() else {
+            return;
+        };
+        if pd.seq != fetch.seq || fetch.leaves.is_empty() {
+            self.fetching = Some(fetch);
+            return;
+        }
+        let cache_idx = (fetch.leaves.len() - 1) as u32;
+        let mut corrupt = false;
+        let mut fetched_bytes = 0u64;
+        for (p, bytes) in &pd.parts {
+            let p = *p;
+            if !fetch.missing.contains(&p) {
+                continue;
+            }
+            let leaf = fetch.leaves[p as usize];
+            ctx.charge(self.cfg.cost.digest(bytes.len()));
+            let ok = if p == cache_idx {
+                // The cache is installed atomically at the end; verify
+                // and hold the bytes for now.
+                bft_crypto::digest(bytes) == leaf && Self::decode_cache(bytes, self.view).is_some()
+            } else {
+                // Per-partition verify-before-apply: a bad partition is
+                // rejected without needing a fallback snapshot.
+                self.service.restore_partition(p, bytes, &leaf).is_ok()
+            };
+            if !ok {
+                corrupt = true;
+                continue;
+            }
+            if p == cache_idx {
+                fetch.cache_bytes = bytes.clone();
+            }
+            fetch.missing.remove(&p);
+            fetched_bytes += bytes.len() as u64;
+        }
+        ctx.metrics()
+            .add("replica.state_bytes_fetched", fetched_bytes);
+        let done = fetch.missing.is_empty();
+        self.fetching = Some(fetch);
+        if corrupt {
+            // A faulty replica sent bytes that do not match the verified
+            // leaves; the bad partitions stay missing. Try another peer.
             ctx.metrics().incr("replica.state_transfer_bad_snapshot");
+            self.retry_state_transfer(ctx);
+        } else if done {
+            self.finish_state_transfer(ctx);
+        }
+    }
+
+    /// Every partition matches the verified leaves: install the reply
+    /// cache, rebuild the digest tree, and adopt the checkpoint.
+    fn finish_state_transfer(&mut self, ctx: &mut Context<'_, Packet>) {
+        let Some(fetch) = self.fetching.take() else {
+            return;
+        };
+        debug_assert!(fetch.missing.is_empty());
+        let seq = fetch.seq;
+        let digest = fetch.digest;
+        let cache_bytes = if fetch.cache_bytes.is_empty() {
+            // The local cache already matched the checkpoint's leaf.
+            Self::encode_cache(&self.reply_cache)
+        } else {
+            let cache =
+                Self::decode_cache(&fetch.cache_bytes, self.view).expect("verified when fetched");
+            self.reply_cache = cache;
+            fetch.cache_bytes
+        };
+        self.tracker = CheckpointTracker::new(&self.service, &cache_bytes);
+        self.service.take_dirty_partitions();
+        if self.tracker.root() != digest {
+            // Partition layout mismatch or a service restore bug; restart
+            // the transfer from scratch against another peer.
+            ctx.metrics().incr("replica.state_transfer_bad_snapshot");
+            let target = (fetch.target + 1) % self.cfg.n();
+            self.fetching = Some(StateFetch::new(seq, digest, target));
+            self.send_to(ctx, target, Msg::FetchState(FetchState { seq }));
             return;
         }
-        // Adopt the fetched checkpoint.
-        self.fetching = None;
+        // The adopted state is final; undo information for any lingering
+        // tentative executions is void (unfetched partitions matched the
+        // checkpoint exactly, so rolling them back would be wrong).
+        self.service.commit_prefix(usize::MAX);
         self.tentative_ops = 0;
         self.tentative_cache_undo.clear();
         self.waiting_ro.clear();
-        self.last_executed = want_seq;
-        self.last_final = want_seq;
-        self.next_seq = self.next_seq.max(want_seq);
+        self.last_executed = seq;
+        self.last_final = seq;
+        self.next_seq = self.next_seq.max(seq);
+        let parts = if self.service.retain_checkpoint(seq) {
+            None
+        } else {
+            Some(
+                (0..self.tracker.partition_count())
+                    .map(|p| self.service.partition_snapshot(p))
+                    .collect(),
+            )
+        };
         self.checkpoints
-            .note_own(want_seq, want_digest, sd.snapshot);
-        self.checkpoints.mark_announced(want_seq);
-        self.checkpoints.make_stable(want_seq, want_digest);
-        self.log.collect_garbage(want_seq);
+            .note_own(seq, OwnCheckpoint::new(fetch.leaves, cache_bytes, parts));
+        self.checkpoints.mark_announced(seq);
+        self.checkpoints.make_stable(seq, digest);
+        self.service.release_checkpoints_below(seq);
+        self.log.collect_garbage(seq);
         ctx.metrics().incr("replica.state_transfers_completed");
         self.try_execute(ctx);
     }
@@ -1750,9 +2012,9 @@ impl<S: Service> Replica<S> {
         self.rollback_tentative();
         // Restore the stable checkpoint (what survives the "reboot").
         let stable = self.checkpoints.stable_seq();
-        if let Some(snapshot) = self.checkpoints.stable_snapshot().map(<[u8]>::to_vec) {
-            let ok = self.restore_snapshot(&snapshot);
-            debug_assert!(ok, "own stable snapshot must restore");
+        if self.checkpoints.own(stable).is_some() {
+            let ok = self.restore_own_checkpoint(stable);
+            debug_assert!(ok, "own stable checkpoint must restore");
         }
         self.last_executed = stable;
         self.last_final = stable;
@@ -1873,13 +2135,10 @@ impl<S: Service> Replica<S> {
             last_executed: self.last_executed,
         };
         self.multicast(ctx, Msg::Status(status));
-        // Keep state transfer alive.
-        if let Some((seq, _, tried)) = self.fetching {
-            let next = (tried + 1) % self.cfg.n();
-            if let Some((s, d, _)) = self.fetching {
-                self.fetching = Some((s, d, next));
-            }
-            self.send_to(ctx, next, Msg::FetchState(FetchState { seq }));
+        // Keep state transfer alive: rotate the target and re-send the
+        // current phase's request.
+        if self.fetching.is_some() {
+            self.retry_state_transfer(ctx);
         }
     }
 
@@ -1957,7 +2216,9 @@ impl<S: Service> Node<Packet> for Replica<S> {
             Msg::ViewChange(vc) => self.handle_view_change(ctx, vc),
             Msg::NewView(nv) => self.handle_new_view(ctx, from, nv),
             Msg::FetchState(fs) => self.handle_fetch_state(ctx, from, fs),
-            Msg::StateData(sd) => self.handle_state_data(ctx, sd),
+            Msg::StateMeta(sm) => self.handle_state_meta(ctx, sm),
+            Msg::FetchParts(fp) => self.handle_fetch_parts(ctx, from, fp),
+            Msg::PartData(pd) => self.handle_part_data(ctx, pd),
             Msg::FetchBatch(fb) => self.handle_fetch_batch(ctx, from, fb),
             Msg::BatchData(bd) => self.handle_batch_data(ctx, bd),
             Msg::FetchRequests(fr) => self.handle_fetch_requests(ctx, from, fr),

@@ -13,6 +13,19 @@
 //! - `execute_read_only` for the *read-only* optimization;
 //! - `exec_cost_ns` so the simulation can charge the CPU time the real
 //!   service would use.
+//!
+//! # Partitioned checkpointing
+//!
+//! The paper keeps checkpoints cheap with incremental hierarchical state
+//! digests over copy-on-write partitions. The partition hooks expose that
+//! design: a service may split its state into `partition_count()` fixed
+//! partitions, report which ones each execution dirtied
+//! (`take_dirty_partitions`), digest and serialize partitions
+//! individually, and retain copy-on-write checkpoint versions so
+//! snapshots are only encoded when a lagging peer actually requests
+//! state transfer. Every hook has a default treating the whole state as
+//! one always-dirty partition, so a plain [`Service`] implementation
+//! keeps working — it just checkpoints at O(state) instead of O(dirty).
 
 use crate::types::ClientId;
 use bft_crypto::md5::Digest;
@@ -76,6 +89,87 @@ pub trait Service: 'static {
     /// Undoes the `ops` most recent executions (those not yet covered by
     /// [`Service::commit_prefix`]), newest first.
     fn rollback_suffix(&mut self, _ops: usize) {}
+
+    // --- Partitioned checkpointing hooks -------------------------------
+
+    /// Number of fixed state partitions. Stable over the life of the
+    /// service; partition indices are `0..partition_count()`.
+    fn partition_count(&self) -> u32 {
+        1
+    }
+
+    /// Digest of partition `p`'s current logical content. Must be a
+    /// deterministic function of the executed operations that touched
+    /// `p`, and must be preserved by a `partition_snapshot`/
+    /// `restore_partition` round trip.
+    fn partition_digest(&self, _p: u32) -> Digest {
+        self.state_digest()
+    }
+
+    /// Serializes partition `p`'s current content for state transfer.
+    fn partition_snapshot(&self, _p: u32) -> Vec<u8> {
+        self.snapshot()
+    }
+
+    /// Approximate encoded size of partition `p` in bytes, used by the
+    /// simulation to charge digest CPU time proportional to the bytes
+    /// actually re-hashed at a checkpoint.
+    fn partition_size(&self, _p: u32) -> usize {
+        4096
+    }
+
+    /// Returns the partitions modified since the previous call and resets
+    /// the dirty set. The checkpoint manager re-digests exactly these.
+    /// The default conservatively reports every partition dirty.
+    fn take_dirty_partitions(&mut self) -> Vec<u32> {
+        (0..self.partition_count()).collect()
+    }
+
+    /// Replaces partition `p` from serialized `bytes`, verifying the
+    /// content digests to `expect` *before* committing the change.
+    ///
+    /// The default (valid only for single-partition services) restores
+    /// the bytes as a full snapshot and checks the digest afterwards; on
+    /// mismatch the state is unspecified and the caller re-fetches, so
+    /// no fallback snapshot needs to be materialized up front.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RestoreError`] if `bytes` is malformed or does not
+    /// digest to `expect`.
+    fn restore_partition(
+        &mut self,
+        _p: u32,
+        bytes: &[u8],
+        expect: &Digest,
+    ) -> Result<(), RestoreError> {
+        self.restore(bytes)?;
+        if self.partition_digest(0) != *expect {
+            return Err(RestoreError("partition digest mismatch".into()));
+        }
+        Ok(())
+    }
+
+    /// Asks the service to retain a copy-on-write version of the current
+    /// state, identified by `token` (tokens increase monotonically).
+    /// Returning `true` promises that [`Service::retained_partition`] can
+    /// later serve any partition as of this point; returning `false`
+    /// (the default) makes the checkpoint manager eagerly serialize the
+    /// partitions instead.
+    fn retain_checkpoint(&mut self, _token: u64) -> bool {
+        false
+    }
+
+    /// Serializes partition `p` as of retained checkpoint `token`.
+    /// Returns `None` if that version is no longer (or was never)
+    /// retained.
+    fn retained_partition(&self, _token: u64, _p: u32) -> Option<Vec<u8>> {
+        None
+    }
+
+    /// Discards retained checkpoint versions older than `token`; their
+    /// copy-on-write saves may be freed.
+    fn release_checkpoints_below(&mut self, _token: u64) {}
 }
 
 /// A service with no state whose operations return empty results. The
@@ -115,6 +209,11 @@ pub struct CounterService {
     value: u64,
     /// Undo log: previous values of executed-but-uncommitted operations.
     undo: Vec<u64>,
+    /// Whether the register changed since the last dirty-set drain.
+    dirty: bool,
+    /// Retained checkpoint versions: token -> register value then. The
+    /// state is one word, so "copy-on-write" degenerates to copying it.
+    retained: std::collections::BTreeMap<u64, u64>,
 }
 
 impl CounterService {
@@ -146,6 +245,7 @@ impl Service for CounterService {
         // exercising large-request paths).
         if op.first() == Some(&0) {
             self.value += u64::from(op.get(1).copied().unwrap_or(0));
+            self.dirty = true;
         }
         self.value.to_le_bytes().to_vec()
     }
@@ -172,6 +272,8 @@ impl Service for CounterService {
             .map_err(|_| RestoreError(format!("want 8 bytes, got {}", snapshot.len())))?;
         self.value = u64::from_le_bytes(bytes);
         self.undo.clear();
+        self.retained.clear();
+        self.dirty = true;
         Ok(())
     }
 
@@ -184,8 +286,56 @@ impl Service for CounterService {
         for _ in 0..ops {
             if let Some(prev) = self.undo.pop() {
                 self.value = prev;
+                self.dirty = true;
             }
         }
+    }
+
+    fn partition_size(&self, _p: u32) -> usize {
+        8
+    }
+
+    fn take_dirty_partitions(&mut self) -> Vec<u32> {
+        if std::mem::take(&mut self.dirty) {
+            vec![0]
+        } else {
+            Vec::new()
+        }
+    }
+
+    fn restore_partition(
+        &mut self,
+        _p: u32,
+        bytes: &[u8],
+        expect: &Digest,
+    ) -> Result<(), RestoreError> {
+        let arr: [u8; 8] = bytes
+            .try_into()
+            .map_err(|_| RestoreError(format!("want 8 bytes, got {}", bytes.len())))?;
+        // Verify against the expected digest *before* mutating anything.
+        if bft_crypto::digest(&arr) != *expect {
+            return Err(RestoreError("partition digest mismatch".into()));
+        }
+        self.value = u64::from_le_bytes(arr);
+        self.undo.clear();
+        self.dirty = true;
+        Ok(())
+    }
+
+    fn retain_checkpoint(&mut self, token: u64) -> bool {
+        self.retained.insert(token, self.value);
+        true
+    }
+
+    fn retained_partition(&self, token: u64, p: u32) -> Option<Vec<u8>> {
+        if p != 0 {
+            return None;
+        }
+        self.retained.get(&token).map(|v| v.to_le_bytes().to_vec())
+    }
+
+    fn release_checkpoints_below(&mut self, token: u64) {
+        self.retained = self.retained.split_off(&token);
     }
 }
 
@@ -254,6 +404,82 @@ mod tests {
     fn restore_rejects_malformed() {
         let mut s = CounterService::default();
         assert!(s.restore(&[1, 2, 3]).is_err());
+    }
+
+    #[test]
+    fn dirty_tracking_drains() {
+        let mut s = CounterService::default();
+        assert!(s.take_dirty_partitions().is_empty(), "clean at start");
+        s.execute(1, &CounterService::add_op(3));
+        assert_eq!(s.take_dirty_partitions(), vec![0]);
+        assert!(s.take_dirty_partitions().is_empty(), "drained");
+        s.execute(1, &CounterService::get_op());
+        assert!(
+            s.take_dirty_partitions().is_empty(),
+            "a no-op execution leaves the partition clean"
+        );
+        s.execute(1, &CounterService::add_op(1));
+        s.rollback_suffix(2);
+        assert_eq!(s.take_dirty_partitions(), vec![0], "rollback dirties");
+    }
+
+    #[test]
+    fn retained_checkpoints_serve_old_versions() {
+        let mut s = CounterService::default();
+        s.execute(1, &CounterService::add_op(5));
+        assert!(s.retain_checkpoint(10));
+        s.execute(1, &CounterService::add_op(7));
+        assert!(s.retain_checkpoint(20));
+        assert_eq!(
+            s.retained_partition(10, 0),
+            Some(5u64.to_le_bytes().to_vec())
+        );
+        assert_eq!(
+            s.retained_partition(20, 0),
+            Some(12u64.to_le_bytes().to_vec())
+        );
+        assert_eq!(s.retained_partition(10, 1), None, "only partition 0 exists");
+        s.release_checkpoints_below(20);
+        assert_eq!(s.retained_partition(10, 0), None, "released");
+        assert_eq!(
+            s.retained_partition(20, 0),
+            Some(12u64.to_le_bytes().to_vec()),
+            "newer version survives"
+        );
+    }
+
+    #[test]
+    fn restore_partition_verifies_before_applying() {
+        let mut s = CounterService::default();
+        s.execute(1, &CounterService::add_op(9));
+        let good = 42u64.to_le_bytes().to_vec();
+        let expect = bft_crypto::digest(&good);
+        // Wrong digest: state must be untouched.
+        let bad_digest = bft_crypto::digest(b"something else");
+        assert!(s.restore_partition(0, &good, &bad_digest).is_err());
+        assert_eq!(s.value(), 9);
+        // Malformed bytes: also untouched.
+        assert!(s.restore_partition(0, &[1, 2], &expect).is_err());
+        assert_eq!(s.value(), 9);
+        // Good restore applies and matches the partition digest.
+        s.restore_partition(0, &good, &expect).expect("restore");
+        assert_eq!(s.value(), 42);
+        assert_eq!(s.partition_digest(0), expect);
+    }
+
+    #[test]
+    fn default_hooks_treat_state_as_one_partition() {
+        let mut s = NullService;
+        assert_eq!(s.partition_count(), 1);
+        assert_eq!(s.partition_digest(0), s.state_digest());
+        assert_eq!(s.partition_snapshot(0), s.snapshot());
+        assert_eq!(
+            s.take_dirty_partitions(),
+            vec![0],
+            "default is always dirty"
+        );
+        assert!(!s.retain_checkpoint(1), "default cannot retain");
+        assert_eq!(s.retained_partition(1, 0), None);
     }
 
     #[test]

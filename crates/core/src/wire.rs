@@ -52,16 +52,24 @@ pub trait Wire: Sized {
     /// Returns a [`WireError`] describing the first malformation found.
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError>;
 
-    /// Encodes into a fresh buffer.
+    /// Encodes into a fresh buffer, pre-sized from [`Wire::wire_len`] so
+    /// encoding never reallocates.
     fn to_bytes(&self) -> Vec<u8> {
-        let mut buf = Vec::new();
+        let len = self.wire_len();
+        let mut buf = Vec::with_capacity(len);
         self.encode(&mut buf);
+        debug_assert_eq!(buf.len(), len, "wire_len disagrees with encode");
         buf
     }
 
-    /// Encoded size in bytes.
+    /// Encoded size in bytes. Implementations override this with an
+    /// arithmetic computation; the default encodes into a scratch buffer
+    /// and counts (correct for any type, but does the work of a full
+    /// encode).
     fn wire_len(&self) -> usize {
-        self.to_bytes().len()
+        let mut buf = Vec::new();
+        self.encode(&mut buf);
+        buf.len()
     }
 
     /// Decodes a complete message, rejecting trailing bytes.
@@ -119,6 +127,9 @@ impl Wire for u8 {
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
         Ok(r.take(1)?[0])
     }
+    fn wire_len(&self) -> usize {
+        1
+    }
 }
 
 impl Wire for u32 {
@@ -128,6 +139,9 @@ impl Wire for u32 {
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
         Ok(u32::from_le_bytes(r.take(4)?.try_into().expect("4 bytes")))
     }
+    fn wire_len(&self) -> usize {
+        4
+    }
 }
 
 impl Wire for u64 {
@@ -136,6 +150,9 @@ impl Wire for u64 {
     }
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
         Ok(u64::from_le_bytes(r.take(8)?.try_into().expect("8 bytes")))
+    }
+    fn wire_len(&self) -> usize {
+        8
     }
 }
 
@@ -150,6 +167,9 @@ impl Wire for bool {
             t => Err(WireError::BadTag(t)),
         }
     }
+    fn wire_len(&self) -> usize {
+        1
+    }
 }
 
 impl<T: Wire> Wire for Vec<T> {
@@ -158,6 +178,9 @@ impl<T: Wire> Wire for Vec<T> {
         for item in self {
             item.encode(buf);
         }
+    }
+    fn wire_len(&self) -> usize {
+        8 + self.iter().map(Wire::wire_len).sum::<usize>()
     }
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
         let len = u64::decode(r)?;
@@ -193,6 +216,9 @@ impl<T: Wire> Wire for Option<T> {
             t => Err(WireError::BadTag(t)),
         }
     }
+    fn wire_len(&self) -> usize {
+        1 + self.as_ref().map_or(0, Wire::wire_len)
+    }
 }
 
 impl<A: Wire, B: Wire> Wire for (A, B) {
@@ -203,6 +229,9 @@ impl<A: Wire, B: Wire> Wire for (A, B) {
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
         Ok((A::decode(r)?, B::decode(r)?))
     }
+    fn wire_len(&self) -> usize {
+        self.0.wire_len() + self.1.wire_len()
+    }
 }
 
 impl Wire for Digest {
@@ -211,6 +240,9 @@ impl Wire for Digest {
     }
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
         Ok(Digest(r.take(16)?.try_into().expect("16 bytes")))
+    }
+    fn wire_len(&self) -> usize {
+        16
     }
 }
 
@@ -223,6 +255,9 @@ impl Wire for Mac {
         let nonce = u64::decode(r)?;
         let tag = r.take(8)?.try_into().expect("8 bytes");
         Ok(Mac { nonce, tag })
+    }
+    fn wire_len(&self) -> usize {
+        16
     }
 }
 

@@ -4,7 +4,6 @@
 
 use bft_core::messages::{Commit, Msg, Packet, NULL_DIGEST};
 use bft_core::prelude::*;
-use bft_core::service::Service;
 use bft_sim::dur;
 
 struct LoopDriver {

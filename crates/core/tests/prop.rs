@@ -2,9 +2,11 @@
 //! messages, batch-digest behaviour, and log/certificate invariants under
 //! arbitrary event orders.
 
+use bft_core::checkpoint::CheckpointTracker;
 use bft_core::log::Log;
 use bft_core::messages::*;
-use bft_core::types::Quorums;
+use bft_core::service::{RestoreError, Service};
+use bft_core::types::{ClientId, Quorums};
 use bft_core::wire::Wire;
 use bft_crypto::md5::Digest;
 use bft_crypto::umac::Mac;
@@ -158,16 +160,18 @@ fn arb_msg() -> impl Strategy<Value = Msg> {
                 }
             ),
         any::<u64>().prop_map(|seq| Msg::FetchState(FetchState { seq })),
+        (any::<u64>(), proptest::collection::vec(arb_digest(), 0..6))
+            .prop_map(|(seq, leaves)| Msg::StateMeta(StateMeta { seq, leaves })),
+        (any::<u64>(), proptest::collection::vec(any::<u32>(), 0..6))
+            .prop_map(|(seq, parts)| Msg::FetchParts(FetchParts { seq, parts })),
         (
             any::<u64>(),
-            arb_digest(),
-            proptest::collection::vec(any::<u8>(), 0..200)
+            proptest::collection::vec(
+                (any::<u32>(), proptest::collection::vec(any::<u8>(), 0..100)),
+                0..4
+            )
         )
-            .prop_map(|(seq, state_digest, snapshot)| Msg::StateData(StateData {
-                seq,
-                state_digest,
-                snapshot,
-            })),
+            .prop_map(|(seq, parts)| Msg::PartData(PartData { seq, parts })),
         (any::<u64>(), arb_digest())
             .prop_map(|(seq, batch_digest)| Msg::FetchBatch(FetchBatch { seq, batch_digest })),
         (any::<u64>(), any::<u64>(), any::<u64>()).prop_map(
@@ -250,6 +254,188 @@ proptest! {
             digest: req.digest(),
         };
         prop_assert_eq!(batch_digest(&[full]), batch_digest(&[by_ref]));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Incremental partitioned checkpoint digests
+// ---------------------------------------------------------------------
+
+/// A partition-aware test service: eight `u64` registers, one per
+/// partition, with full undo, snapshot/restore, and dirty tracking.
+#[derive(Debug, Clone, Default)]
+struct ShardedKv {
+    slots: [u64; 8],
+    dirty: std::collections::BTreeSet<u32>,
+    undo: Vec<(usize, u64)>,
+}
+
+impl ShardedKv {
+    fn slot_digest(p: u32, value: u64) -> Digest {
+        bft_crypto::md5::digest_parts(&[b"KV", &p.to_le_bytes(), &value.to_le_bytes()])
+    }
+}
+
+impl Service for ShardedKv {
+    fn execute(&mut self, _client: ClientId, op: &[u8]) -> Vec<u8> {
+        let slot = usize::from(op.first().copied().unwrap_or(0)) % 8;
+        let val = u64::from(op.get(1).copied().unwrap_or(0));
+        self.undo.push((slot, self.slots[slot]));
+        self.slots[slot] = self.slots[slot].wrapping_mul(31).wrapping_add(val);
+        self.dirty.insert(slot as u32);
+        Vec::new()
+    }
+
+    fn execute_read_only(&self, _client: ClientId, _op: &[u8]) -> Vec<u8> {
+        Vec::new()
+    }
+
+    fn is_read_only(&self, _op: &[u8]) -> bool {
+        false
+    }
+
+    fn state_digest(&self) -> Digest {
+        CheckpointTracker::root_of(&(0..8).map(|p| self.partition_digest(p)).collect::<Vec<_>>())
+    }
+
+    fn snapshot(&self) -> Vec<u8> {
+        self.slots.iter().flat_map(|v| v.to_le_bytes()).collect()
+    }
+
+    fn restore(&mut self, snapshot: &[u8]) -> Result<(), RestoreError> {
+        if snapshot.len() != 64 {
+            return Err(RestoreError("bad length".into()));
+        }
+        for (i, chunk) in snapshot.chunks_exact(8).enumerate() {
+            self.slots[i] = u64::from_le_bytes(chunk.try_into().expect("8 bytes"));
+        }
+        self.undo.clear();
+        self.dirty = (0..8).collect();
+        Ok(())
+    }
+
+    fn commit_prefix(&mut self, ops: usize) {
+        let n = ops.min(self.undo.len());
+        self.undo.drain(..n);
+    }
+
+    fn rollback_suffix(&mut self, ops: usize) {
+        for _ in 0..ops {
+            let Some((slot, prev)) = self.undo.pop() else {
+                break;
+            };
+            self.slots[slot] = prev;
+            self.dirty.insert(slot as u32);
+        }
+    }
+
+    fn partition_count(&self) -> u32 {
+        8
+    }
+
+    fn partition_digest(&self, p: u32) -> Digest {
+        Self::slot_digest(p, self.slots[p as usize])
+    }
+
+    fn partition_snapshot(&self, p: u32) -> Vec<u8> {
+        self.slots[p as usize].to_le_bytes().to_vec()
+    }
+
+    fn take_dirty_partitions(&mut self) -> Vec<u32> {
+        std::mem::take(&mut self.dirty).into_iter().collect()
+    }
+
+    fn restore_partition(
+        &mut self,
+        p: u32,
+        bytes: &[u8],
+        expect: &Digest,
+    ) -> Result<(), RestoreError> {
+        let arr: [u8; 8] = bytes
+            .try_into()
+            .map_err(|_| RestoreError("bad length".into()))?;
+        let value = u64::from_le_bytes(arr);
+        if Self::slot_digest(p, value) != *expect {
+            return Err(RestoreError("partition digest mismatch".into()));
+        }
+        self.slots[p as usize] = value;
+        self.dirty.insert(p);
+        Ok(())
+    }
+}
+
+#[derive(Debug, Clone)]
+enum KvEvent {
+    Exec { slot: u8, val: u8 },
+    Commit(usize),
+    Rollback(usize),
+    CacheByte(u8),
+    Refresh,
+    SnapshotRestore,
+    PartitionTransfer { p: u32 },
+}
+
+fn arb_kv_event() -> impl Strategy<Value = KvEvent> {
+    prop_oneof![
+        4 => (any::<u8>(), any::<u8>()).prop_map(|(slot, val)| KvEvent::Exec { slot, val }),
+        1 => (0usize..4).prop_map(KvEvent::Commit),
+        1 => (0usize..4).prop_map(KvEvent::Rollback),
+        1 => any::<u8>().prop_map(KvEvent::CacheByte),
+        2 => Just(KvEvent::Refresh),
+        1 => Just(KvEvent::SnapshotRestore),
+        1 => (0u32..8).prop_map(|p| KvEvent::PartitionTransfer { p }),
+    ]
+}
+
+proptest! {
+    /// The incrementally maintained partitioned digest tree always agrees
+    /// with a from-scratch recompute, under arbitrary interleavings of
+    /// execution, rollback, snapshot/restore, partition transfer, and
+    /// reply-cache changes.
+    #[test]
+    fn incremental_digest_matches_full_recompute(
+        events in proptest::collection::vec(arb_kv_event(), 0..80),
+    ) {
+        let mut svc = ShardedKv::default();
+        let mut donor = ShardedKv::default();
+        donor.execute(1, &[3, 200]);
+        let mut cache: Vec<u8> = Vec::new();
+        svc.take_dirty_partitions();
+        let mut tracker = CheckpointTracker::new(&svc, &cache);
+        prop_assert_eq!(tracker.partition_count(), 8);
+        for ev in events {
+            match ev {
+                KvEvent::Exec { slot, val } => {
+                    svc.execute(1, &[slot, val]);
+                }
+                KvEvent::Commit(n) => svc.commit_prefix(n),
+                KvEvent::Rollback(n) => svc.rollback_suffix(n),
+                KvEvent::CacheByte(b) => cache.push(b),
+                KvEvent::SnapshotRestore => {
+                    let snap = svc.snapshot();
+                    svc.restore(&snap).expect("own snapshot restores");
+                }
+                KvEvent::PartitionTransfer { p } => {
+                    let bytes = donor.partition_snapshot(p);
+                    svc.restore_partition(p, &bytes, &donor.partition_digest(p))
+                        .expect("verified partition restores");
+                }
+                KvEvent::Refresh => {
+                    let stats = tracker.refresh(&mut svc, &cache);
+                    let fresh = CheckpointTracker::new(&svc, &cache);
+                    prop_assert_eq!(tracker.root(), fresh.root(), "incremental == full");
+                    prop_assert_eq!(stats.root, tracker.root());
+                    prop_assert_eq!(tracker.leaves(), fresh.leaves());
+                }
+            }
+        }
+        // Whatever the trailing events were, one refresh reconverges.
+        tracker.refresh(&mut svc, &cache);
+        let fresh = CheckpointTracker::new(&svc, &cache);
+        prop_assert_eq!(tracker.root(), fresh.root());
+        // And a second refresh with nothing dirty re-digests nothing.
+        let stats = tracker.refresh(&mut svc, &cache);
+        prop_assert_eq!(stats.dirty_parts, 0);
     }
 }
 

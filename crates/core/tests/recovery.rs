@@ -6,7 +6,6 @@
 //! of vulnerability."
 
 use bft_core::prelude::*;
-use bft_core::service::Service;
 use bft_sim::dur;
 
 struct LoopDriver {

@@ -88,7 +88,7 @@ impl KeyChain {
     /// Panics unless `n_replicas >= 3f + 1`.
     pub fn new(my_id: PrincipalId, n_replicas: u32, f: u32) -> KeyChain {
         assert!(
-            n_replicas >= 3 * f + 1,
+            n_replicas > 3 * f,
             "need at least 3f+1 replicas ({} < {})",
             n_replicas,
             3 * f + 1

@@ -9,6 +9,8 @@
 //! stack from scratch:
 //!
 //! - [`md5`]: the MD5 digest (incremental and one-shot),
+//! - [`merkle`]: Merkle trees over partition digests, the basis of
+//!   incremental hierarchical checkpointing,
 //! - [`xtea`]: the XTEA block cipher used as the MAC pad generator,
 //! - [`umac`]: a UMAC-style fast universal-hash MAC,
 //! - [`bignum`] and [`rsa`]: a small unsigned bignum and textbook RSA used
@@ -33,12 +35,14 @@
 pub mod bignum;
 pub mod keychain;
 pub mod md5;
+pub mod merkle;
 pub mod rsa;
 pub mod umac;
 pub mod xtea;
 
 pub use keychain::{Authenticator, KeyChain};
 pub use md5::{digest, Digest, Md5};
+pub use merkle::MerkleTree;
 pub use umac::{Mac, MacKey};
 
 /// Errors produced by cryptographic operations.

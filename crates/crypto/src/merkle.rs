@@ -1,0 +1,208 @@
+//! Merkle trees over partition digests for incremental checkpointing.
+//!
+//! BFT keeps checkpoint creation cheap by maintaining a hierarchical digest
+//! over copy-on-write state partitions: when a checkpoint is taken, only
+//! partitions written since the previous checkpoint are re-digested, and the
+//! change is folded up the tree in O(dirty · log n) digest operations
+//! instead of re-hashing the whole state. This module provides that tree.
+//!
+//! Leaves and interior nodes are domain-separated (`"LEAF"` / `"NODE"`) so a
+//! leaf digest can never be confused with an interior digest. A level with
+//! an odd number of nodes promotes its last node unchanged, so the tree is
+//! defined for any leaf count ≥ 1.
+
+use crate::md5::{digest_parts, Digest};
+
+/// Digest of a single leaf value.
+pub fn leaf_digest(leaf: &Digest) -> Digest {
+    digest_parts(&[b"LEAF", leaf.as_bytes()])
+}
+
+fn node_digest(l: &Digest, r: &Digest) -> Digest {
+    digest_parts(&[b"NODE", l.as_bytes(), r.as_bytes()])
+}
+
+/// A Merkle tree over a fixed set of leaf digests, supporting O(log n)
+/// single-leaf updates.
+///
+/// `levels[0]` holds the (domain-separated) leaf digests; each higher level
+/// pairs adjacent nodes until a single root remains.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MerkleTree {
+    /// Raw leaf values, as supplied by the caller (before domain
+    /// separation). Kept so peers can diff leaf digests for partial state
+    /// transfer.
+    leaves: Vec<Digest>,
+    levels: Vec<Vec<Digest>>,
+}
+
+impl MerkleTree {
+    /// Builds a tree over `leaves`. An empty leaf set yields [`Digest::ZERO`]
+    /// as the root.
+    pub fn new(leaves: Vec<Digest>) -> MerkleTree {
+        let mut tree = MerkleTree {
+            leaves,
+            levels: Vec::new(),
+        };
+        tree.rebuild();
+        tree
+    }
+
+    fn rebuild(&mut self) {
+        self.levels.clear();
+        if self.leaves.is_empty() {
+            return;
+        }
+        let mut level: Vec<Digest> = self.leaves.iter().map(leaf_digest).collect();
+        loop {
+            let done = level.len() == 1;
+            self.levels.push(level);
+            if done {
+                break;
+            }
+            let prev = self.levels.last().expect("just pushed");
+            let mut next = Vec::with_capacity(prev.len().div_ceil(2));
+            for pair in prev.chunks(2) {
+                next.push(match pair {
+                    [l, r] => node_digest(l, r),
+                    [only] => *only,
+                    _ => unreachable!("chunks(2)"),
+                });
+            }
+            level = next;
+        }
+    }
+
+    /// Number of leaves.
+    pub fn len(&self) -> usize {
+        self.leaves.len()
+    }
+
+    /// True if the tree has no leaves.
+    pub fn is_empty(&self) -> bool {
+        self.leaves.is_empty()
+    }
+
+    /// The raw (caller-supplied) leaf values.
+    pub fn leaves(&self) -> &[Digest] {
+        &self.leaves
+    }
+
+    /// The root digest. [`Digest::ZERO`] for an empty tree.
+    pub fn root(&self) -> Digest {
+        self.levels
+            .last()
+            .and_then(|l| l.first())
+            .copied()
+            .unwrap_or(Digest::ZERO)
+    }
+
+    /// Replaces leaf `i` and recomputes the path to the root. Returns the
+    /// number of digest operations performed (for cost accounting).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn update(&mut self, i: usize, leaf: Digest) -> usize {
+        assert!(i < self.leaves.len(), "leaf index {i} out of range");
+        self.leaves[i] = leaf;
+        self.levels[0][i] = leaf_digest(&leaf);
+        let mut ops = 1;
+        let mut idx = i;
+        for lvl in 1..self.levels.len() {
+            idx /= 2;
+            let below = &self.levels[lvl - 1];
+            let l = below[idx * 2];
+            let updated = match below.get(idx * 2 + 1) {
+                Some(r) => {
+                    ops += 1;
+                    node_digest(&l, r)
+                }
+                None => l,
+            };
+            self.levels[lvl][idx] = updated;
+        }
+        ops
+    }
+
+    /// One-shot root over `leaves`, without building an updatable tree.
+    /// Used by state-transfer clients to verify a claimed leaf vector
+    /// against a quorum-certified checkpoint digest.
+    pub fn root_of(leaves: &[Digest]) -> Digest {
+        MerkleTree::new(leaves.to_vec()).root()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::digest;
+
+    fn leaves(n: usize) -> Vec<Digest> {
+        (0..n).map(|i| digest(&[i as u8])).collect()
+    }
+
+    #[test]
+    fn empty_tree_has_zero_root() {
+        let t = MerkleTree::new(Vec::new());
+        assert_eq!(t.root(), Digest::ZERO);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn single_leaf_root_is_leaf_digest() {
+        let l = digest(b"x");
+        let t = MerkleTree::new(vec![l]);
+        assert_eq!(t.root(), leaf_digest(&l));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn root_is_order_sensitive() {
+        let a = MerkleTree::root_of(&leaves(4));
+        let mut swapped = leaves(4);
+        swapped.swap(0, 3);
+        assert_ne!(a, MerkleTree::root_of(&swapped));
+    }
+
+    #[test]
+    fn leaf_and_node_domains_are_separated() {
+        // A single-leaf tree over d must differ from a two-leaf tree whose
+        // interior node happens to digest the same bytes.
+        let l = leaves(2);
+        let two = MerkleTree::root_of(&l);
+        let one = MerkleTree::root_of(&[l[0]]);
+        assert_ne!(two, one);
+    }
+
+    #[test]
+    fn update_matches_rebuild() {
+        for n in [1usize, 2, 3, 5, 8, 13, 64, 65] {
+            let mut t = MerkleTree::new(leaves(n));
+            for i in [0, n / 2, n - 1] {
+                let new_leaf = digest(&[i as u8, 0xee]);
+                t.update(i, new_leaf);
+                let fresh = MerkleTree::new(t.leaves().to_vec());
+                assert_eq!(t.root(), fresh.root(), "n={n} i={i}");
+                assert_eq!(t, fresh, "n={n} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn update_cost_is_logarithmic() {
+        let mut t = MerkleTree::new(leaves(64));
+        let ops = t.update(10, digest(b"new"));
+        // 64 leaves → 1 leaf digest + 6 interior nodes.
+        assert_eq!(ops, 7);
+    }
+
+    #[test]
+    fn different_leaf_changes_root() {
+        let mut t = MerkleTree::new(leaves(16));
+        let before = t.root();
+        t.update(7, digest(b"changed"));
+        assert_ne!(t.root(), before);
+        assert_eq!(t.root(), MerkleTree::root_of(t.leaves()));
+    }
+}

@@ -7,7 +7,7 @@
 
 use crate::disk::{FsCostModel, ServerMode};
 use crate::ops::{NfsOp, NfsResult};
-use crate::state::{DataMode, FsState};
+use crate::state::{DataMode, FsState, FS_PARTITIONS};
 use bft_core::service::{RestoreError, Service};
 use bft_core::types::ClientId;
 use bft_core::wire::Wire;
@@ -125,6 +125,48 @@ impl Service for FsService {
 
     fn rollback_suffix(&mut self, ops: usize) {
         self.state.rollback_suffix(ops);
+    }
+
+    fn partition_count(&self) -> u32 {
+        FS_PARTITIONS
+    }
+
+    fn partition_digest(&self, p: u32) -> Digest {
+        self.state.partition_digest(p)
+    }
+
+    fn partition_snapshot(&self, p: u32) -> Vec<u8> {
+        self.state.encode_partition(p)
+    }
+
+    fn partition_size(&self, p: u32) -> usize {
+        self.state.partition_byte_size(p)
+    }
+
+    fn take_dirty_partitions(&mut self) -> Vec<u32> {
+        self.state.take_dirty_partitions()
+    }
+
+    fn restore_partition(
+        &mut self,
+        p: u32,
+        bytes: &[u8],
+        expect: &Digest,
+    ) -> Result<(), RestoreError> {
+        self.state.restore_partition(p, bytes, expect)
+    }
+
+    fn retain_checkpoint(&mut self, token: u64) -> bool {
+        self.state.retain_checkpoint(token);
+        true
+    }
+
+    fn retained_partition(&self, token: u64, p: u32) -> Option<Vec<u8>> {
+        self.state.retained_partition(token, p)
+    }
+
+    fn release_checkpoints_below(&mut self, token: u64) {
+        self.state.release_checkpoints_below(token);
     }
 }
 

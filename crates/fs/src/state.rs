@@ -12,9 +12,20 @@
 //! zero-filled data anyway.
 
 use crate::ops::{Fattr, Fh, FileKind, NfsError, NfsOp, NfsResult, ROOT_FH};
+use bft_core::service::RestoreError;
 use bft_core::wire::{Reader, Wire, WireError};
 use bft_crypto::md5::{digest_parts, Digest};
 use std::collections::{BTreeMap, HashMap};
+
+/// Number of fixed state partitions for incremental checkpointing. Inodes
+/// hash to partitions by handle; partition 0 additionally carries the
+/// filesystem metadata (`next_fh`, logical clock).
+pub const FS_PARTITIONS: u32 = 64;
+
+/// The partition an inode belongs to.
+fn partition_of(fh: Fh) -> u32 {
+    (fh % u64::from(FS_PARTITIONS)) as u32
+}
 
 /// How file contents are represented.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -94,6 +105,79 @@ impl Inode {
         let d = bft_crypto::digest(&meta);
         u128::from_le_bytes(*d.as_bytes())
     }
+
+    /// Approximate canonical-encoding size, tracked per partition so
+    /// checkpoint CPU charges scale with the bytes actually re-hashed.
+    fn approx_encoded_size(&self) -> u64 {
+        let content = match &self.content {
+            Content::Bytes(b) => 8 + b.len() as u64,
+            Content::Print(_) => 8,
+        };
+        let entries: u64 = self
+            .entries
+            .keys()
+            .map(|name| 8 + name.len() as u64 + 8)
+            .sum();
+        38 + content + 8 + entries + 8 + self.target.len() as u64
+    }
+
+    fn encode(&self, fh: Fh, buf: &mut Vec<u8>) {
+        fh.encode(buf);
+        self.kind.encode(buf);
+        self.size.encode(buf);
+        self.mtime.encode(buf);
+        self.nlink.encode(buf);
+        match &self.content {
+            Content::Bytes(b) => {
+                buf.push(0);
+                b.encode(buf);
+            }
+            Content::Print(p) => {
+                buf.push(1);
+                p.encode(buf);
+            }
+        }
+        (self.entries.len() as u64).encode(buf);
+        for (name, child) in &self.entries {
+            name.as_bytes().to_vec().encode(buf);
+            child.encode(buf);
+        }
+        self.target.as_bytes().to_vec().encode(buf);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<(Fh, Inode), WireError> {
+        let fh = u64::decode(r)?;
+        let kind = FileKind::decode(r)?;
+        let size = u64::decode(r)?;
+        let mtime = u64::decode(r)?;
+        let nlink = u32::decode(r)?;
+        let content = match u8::decode(r)? {
+            0 => Content::Bytes(Vec::<u8>::decode(r)?),
+            1 => Content::Print(u64::decode(r)?),
+            t => return Err(WireError::BadTag(t)),
+        };
+        let n_entries = u64::decode(r)?;
+        let mut entries = BTreeMap::new();
+        for _ in 0..n_entries {
+            let name =
+                String::from_utf8(Vec::<u8>::decode(r)?).map_err(|_| WireError::BadTag(0xfe))?;
+            entries.insert(name, u64::decode(r)?);
+        }
+        let target =
+            String::from_utf8(Vec::<u8>::decode(r)?).map_err(|_| WireError::BadTag(0xfe))?;
+        Ok((
+            fh,
+            Inode {
+                kind,
+                size,
+                mtime,
+                nlink,
+                content,
+                entries,
+                target,
+            },
+        ))
+    }
 }
 
 /// Undo information for one executed operation.
@@ -122,6 +206,19 @@ pub struct FsState {
     data_bytes: u64,
     /// Undo log for uncommitted operations, oldest first.
     undo: Vec<UndoRecord>,
+    /// Per-partition wrapping fingerprint sums (incremental leaf hashes).
+    part_sums: Vec<u128>,
+    /// Per-partition inode counts.
+    part_counts: Vec<u64>,
+    /// Per-partition approximate encoded sizes.
+    part_bytes: Vec<u64>,
+    /// Partitions modified since the last [`FsState::take_dirty_partitions`].
+    dirty: Vec<bool>,
+    /// Retained copy-on-write checkpoints: token -> partition encodings
+    /// saved at the first mutation after the token was retained. A
+    /// partition absent from every retained map at or above a token is
+    /// unmodified since that token, so the current encoding serves it.
+    retained: BTreeMap<u64, HashMap<u32, Vec<u8>>>,
 }
 
 impl FsState {
@@ -136,6 +233,11 @@ impl FsState {
             prints: HashMap::new(),
             data_bytes: 0,
             undo: Vec::new(),
+            part_sums: vec![0; FS_PARTITIONS as usize],
+            part_counts: vec![0; FS_PARTITIONS as usize],
+            part_bytes: vec![0; FS_PARTITIONS as usize],
+            dirty: vec![false; FS_PARTITIONS as usize],
+            retained: BTreeMap::new(),
         };
         let root = Inode::new(FileKind::Dir, 0, mode);
         fs.install(ROOT_FH, root);
@@ -162,19 +264,65 @@ impl FsState {
         self.undo.len()
     }
 
+    /// Saves partition `p`'s current encoding into the newest retained
+    /// checkpoint that has not yet copied it, so the version as of that
+    /// checkpoint survives the mutation about to happen. Older retained
+    /// checkpoints without a copy resolve through the forward scan in
+    /// [`FsState::retained_partition`]: the set of retained tokens still
+    /// lacking a copy of `p` is always a suffix (newest ones), because
+    /// every mutation fills the newest gap first.
+    fn cow_guard(&mut self, p: u32) {
+        let Some((&token, saved)) = self.retained.iter().next_back() else {
+            return;
+        };
+        if saved.contains_key(&p) {
+            return;
+        }
+        let bytes = self.encode_partition(p);
+        self.retained
+            .get_mut(&token)
+            .expect("just observed")
+            .insert(p, bytes);
+    }
+
+    /// Marks the metadata partition (0) dirty before `next_fh`/`clock`
+    /// change, preserving any retained version first.
+    fn touch_meta(&mut self) {
+        self.cow_guard(0);
+        self.dirty[0] = true;
+    }
+
     fn install(&mut self, fh: Fh, inode: Inode) {
-        if let Some(old) = self.prints.remove(&fh) {
-            self.print_sum = self.print_sum.wrapping_sub(old);
+        let part = partition_of(fh);
+        self.cow_guard(part);
+        self.dirty[part as usize] = true;
+        let old_bytes = self.inodes.get(&fh).map_or(0, Inode::approx_encoded_size);
+        match self.prints.remove(&fh) {
+            Some(old) => {
+                self.print_sum = self.print_sum.wrapping_sub(old);
+                self.part_sums[part as usize] = self.part_sums[part as usize].wrapping_sub(old);
+            }
+            None => self.part_counts[part as usize] += 1,
         }
         let p = inode.fingerprint(fh);
         self.print_sum = self.print_sum.wrapping_add(p);
+        self.part_sums[part as usize] = self.part_sums[part as usize].wrapping_add(p);
+        self.part_bytes[part as usize] =
+            self.part_bytes[part as usize] - old_bytes + inode.approx_encoded_size();
         self.prints.insert(fh, p);
         self.inodes.insert(fh, inode);
     }
 
     fn uninstall(&mut self, fh: Fh) {
+        let part = partition_of(fh);
+        self.cow_guard(part);
         if let Some(old) = self.prints.remove(&fh) {
             self.print_sum = self.print_sum.wrapping_sub(old);
+            self.part_sums[part as usize] = self.part_sums[part as usize].wrapping_sub(old);
+            self.part_counts[part as usize] -= 1;
+            self.part_bytes[part as usize] -=
+                self.inodes.get(&fh).map_or(0, Inode::approx_encoded_size);
+            self.dirty[part as usize] = true;
         }
         self.inodes.remove(&fh);
     }
@@ -211,6 +359,7 @@ impl FsState {
     }
 
     fn tick(&mut self) -> u64 {
+        self.touch_meta();
         self.clock += 1;
         self.clock
     }
@@ -448,7 +597,9 @@ impl FsState {
     /// Drops one name referring to `fh`: decrements the link count and
     /// destroys the inode when the last name goes away.
     fn unlink_inode(&mut self, fh: Fh, mtime: u64) {
-        let Some(inode) = self.inodes.get(&fh) else { return };
+        let Some(inode) = self.inodes.get(&fh) else {
+            return;
+        };
         if inode.nlink <= 1 {
             self.data_bytes -= inode.size;
             self.uninstall(fh);
@@ -537,6 +688,9 @@ impl FsState {
                     None => self.uninstall(fh),
                 }
             }
+            if rec.next_fh != self.next_fh || rec.clock != self.clock {
+                self.touch_meta();
+            }
             self.next_fh = rec.next_fh;
             self.clock = rec.clock;
             self.data_bytes = rec.data_bytes;
@@ -567,28 +721,7 @@ impl FsState {
         fhs.sort_unstable();
         (fhs.len() as u64).encode(&mut buf);
         for &fh in fhs {
-            let inode = &self.inodes[&fh];
-            fh.encode(&mut buf);
-            inode.kind.encode(&mut buf);
-            inode.size.encode(&mut buf);
-            inode.mtime.encode(&mut buf);
-            inode.nlink.encode(&mut buf);
-            match &inode.content {
-                Content::Bytes(b) => {
-                    buf.push(0);
-                    b.encode(&mut buf);
-                }
-                Content::Print(p) => {
-                    buf.push(1);
-                    p.encode(&mut buf);
-                }
-            }
-            (inode.entries.len() as u64).encode(&mut buf);
-            for (name, child) in &inode.entries {
-                name.as_bytes().to_vec().encode(&mut buf);
-                child.encode(&mut buf);
-            }
-            inode.target.as_bytes().to_vec().encode(&mut buf);
+            self.inodes[&fh].encode(fh, &mut buf);
         }
         buf
     }
@@ -612,38 +745,9 @@ impl FsState {
         let mut inodes = HashMap::with_capacity(count as usize);
         let mut data_bytes = 0u64;
         for _ in 0..count {
-            let fh = u64::decode(&mut r)?;
-            let kind = FileKind::decode(&mut r)?;
-            let size = u64::decode(&mut r)?;
-            let mtime = u64::decode(&mut r)?;
-            let nlink = u32::decode(&mut r)?;
-            let content = match u8::decode(&mut r)? {
-                0 => Content::Bytes(Vec::<u8>::decode(&mut r)?),
-                1 => Content::Print(u64::decode(&mut r)?),
-                t => return Err(WireError::BadTag(t)),
-            };
-            let n_entries = u64::decode(&mut r)?;
-            let mut entries = BTreeMap::new();
-            for _ in 0..n_entries {
-                let name = String::from_utf8(Vec::<u8>::decode(&mut r)?)
-                    .map_err(|_| WireError::BadTag(0xfe))?;
-                entries.insert(name, u64::decode(&mut r)?);
-            }
-            let target = String::from_utf8(Vec::<u8>::decode(&mut r)?)
-                .map_err(|_| WireError::BadTag(0xfe))?;
-            data_bytes += size;
-            inodes.insert(
-                fh,
-                Inode {
-                    kind,
-                    size,
-                    mtime,
-                    nlink,
-                    content,
-                    entries,
-                    target,
-                },
-            );
+            let (fh, inode) = Inode::decode(&mut r)?;
+            data_bytes += inode.size;
+            inodes.insert(fh, inode);
         }
         if r.remaining() != 0 {
             return Err(WireError::TrailingBytes);
@@ -654,15 +758,200 @@ impl FsState {
         self.inodes = inodes;
         self.data_bytes = data_bytes;
         self.undo.clear();
+        self.retained.clear();
         self.prints.clear();
         self.print_sum = 0;
+        self.part_sums = vec![0; FS_PARTITIONS as usize];
+        self.part_counts = vec![0; FS_PARTITIONS as usize];
+        self.part_bytes = vec![0; FS_PARTITIONS as usize];
+        self.dirty = vec![true; FS_PARTITIONS as usize];
         let fhs: Vec<Fh> = self.inodes.keys().copied().collect();
         for fh in fhs {
-            let p = self.inodes[&fh].fingerprint(fh);
+            let part = partition_of(fh) as usize;
+            let inode = &self.inodes[&fh];
+            let p = inode.fingerprint(fh);
             self.print_sum = self.print_sum.wrapping_add(p);
+            self.part_sums[part] = self.part_sums[part].wrapping_add(p);
+            self.part_counts[part] += 1;
+            self.part_bytes[part] += inode.approx_encoded_size();
             self.prints.insert(fh, p);
         }
         Ok(())
+    }
+
+    // -----------------------------------------------------------------
+    // Partitioned checkpointing
+    // -----------------------------------------------------------------
+
+    /// Digest of partition `p`, computed in O(1) from the incrementally
+    /// maintained fingerprint sum. Partition 0 additionally commits to
+    /// the filesystem metadata (`next_fh`, logical clock).
+    pub fn partition_digest(&self, p: u32) -> Digest {
+        let meta = if p == 0 {
+            Some((self.next_fh, self.clock))
+        } else {
+            None
+        };
+        Self::partition_digest_of(
+            p,
+            self.part_sums[p as usize],
+            self.part_counts[p as usize],
+            meta,
+        )
+    }
+
+    fn partition_digest_of(p: u32, sum: u128, count: u64, meta: Option<(u64, u64)>) -> Digest {
+        let (next_fh, clock) = meta.unwrap_or((0, 0));
+        digest_parts(&[
+            b"FSP",
+            &p.to_le_bytes(),
+            &sum.to_le_bytes(),
+            &count.to_le_bytes(),
+            &next_fh.to_le_bytes(),
+            &clock.to_le_bytes(),
+        ])
+    }
+
+    /// Approximate encoded size of partition `p` in bytes.
+    pub fn partition_byte_size(&self, p: u32) -> usize {
+        let meta = if p == 0 { 16 } else { 0 };
+        self.part_bytes[p as usize] as usize + meta
+    }
+
+    /// Serializes partition `p` canonically: metadata (partition 0 only),
+    /// then the partition's inodes sorted by handle.
+    pub fn encode_partition(&self, p: u32) -> Vec<u8> {
+        let mut buf = Vec::new();
+        if p == 0 {
+            self.next_fh.encode(&mut buf);
+            self.clock.encode(&mut buf);
+        }
+        let mut fhs: Vec<Fh> = self
+            .inodes
+            .keys()
+            .copied()
+            .filter(|&fh| partition_of(fh) == p)
+            .collect();
+        fhs.sort_unstable();
+        (fhs.len() as u64).encode(&mut buf);
+        for fh in fhs {
+            self.inodes[&fh].encode(fh, &mut buf);
+        }
+        buf
+    }
+
+    /// Replaces partition `p` from `bytes`, verifying that the decoded
+    /// content digests to `expect` *before* mutating anything.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RestoreError`] on malformed bytes, inodes outside the
+    /// partition, or a digest mismatch; the state is untouched on error.
+    pub fn restore_partition(
+        &mut self,
+        p: u32,
+        bytes: &[u8],
+        expect: &Digest,
+    ) -> Result<(), RestoreError> {
+        if p >= FS_PARTITIONS {
+            return Err(RestoreError(format!("partition {p} out of range")));
+        }
+        let mut r = Reader::new(bytes);
+        let wire = |e: WireError| RestoreError(format!("bad partition encoding: {e:?}"));
+        let meta = if p == 0 {
+            Some((
+                u64::decode(&mut r).map_err(wire)?,
+                u64::decode(&mut r).map_err(wire)?,
+            ))
+        } else {
+            None
+        };
+        let count = u64::decode(&mut r).map_err(wire)?;
+        let mut incoming = Vec::with_capacity(count as usize);
+        let mut sum = 0u128;
+        let mut last_fh = None;
+        for _ in 0..count {
+            let (fh, inode) = Inode::decode(&mut r).map_err(wire)?;
+            if partition_of(fh) != p {
+                return Err(RestoreError(format!("inode {fh} outside partition {p}")));
+            }
+            if last_fh.is_some_and(|prev| fh <= prev) {
+                return Err(RestoreError("partition inodes not sorted".into()));
+            }
+            last_fh = Some(fh);
+            sum = sum.wrapping_add(inode.fingerprint(fh));
+            incoming.push((fh, inode));
+        }
+        if r.remaining() != 0 {
+            return Err(RestoreError("trailing bytes in partition".into()));
+        }
+        if Self::partition_digest_of(p, sum, count, meta) != *expect {
+            return Err(RestoreError("partition digest mismatch".into()));
+        }
+        // Verified: replace the partition's inodes through install/
+        // uninstall so fingerprint sums and retained copies stay correct.
+        let current: Vec<Fh> = self
+            .inodes
+            .keys()
+            .copied()
+            .filter(|&fh| partition_of(fh) == p)
+            .collect();
+        for fh in current {
+            self.data_bytes -= self.inodes[&fh].size;
+            self.uninstall(fh);
+        }
+        for (fh, inode) in incoming {
+            self.data_bytes += inode.size;
+            self.install(fh, inode);
+        }
+        if let Some((next_fh, clock)) = meta {
+            self.touch_meta();
+            self.next_fh = next_fh;
+            self.clock = clock;
+        }
+        // Undo records predating the transfer are meaningless now.
+        self.undo.clear();
+        Ok(())
+    }
+
+    /// Partitions modified since the previous call; resets the dirty set.
+    pub fn take_dirty_partitions(&mut self) -> Vec<u32> {
+        let mut out = Vec::new();
+        for (p, d) in self.dirty.iter_mut().enumerate() {
+            if std::mem::take(d) {
+                out.push(p as u32);
+            }
+        }
+        out
+    }
+
+    /// Retains a copy-on-write version of the current state under
+    /// `token`. Partition encodings are saved lazily at the first
+    /// mutation after this point.
+    pub fn retain_checkpoint(&mut self, token: u64) {
+        self.retained.entry(token).or_default();
+    }
+
+    /// Serializes partition `p` as of retained checkpoint `token`, or
+    /// `None` if that version is not retained.
+    pub fn retained_partition(&self, token: u64, p: u32) -> Option<Vec<u8>> {
+        if p >= FS_PARTITIONS || !self.retained.contains_key(&token) {
+            return None;
+        }
+        // The first save at or after `token` is the version as of
+        // `token`: partition `p` was unmodified between the two points,
+        // or the intervening checkpoint would hold a save itself.
+        for saved in self.retained.range(token..).map(|(_, s)| s) {
+            if let Some(bytes) = saved.get(&p) {
+                return Some(bytes.clone());
+            }
+        }
+        Some(self.encode_partition(p))
+    }
+
+    /// Discards retained checkpoints older than `token`.
+    pub fn release_checkpoints_below(&mut self, token: u64) {
+        self.retained = self.retained.split_off(&token);
     }
 }
 
@@ -1112,7 +1401,10 @@ mod tests {
             dir: ROOT_FH,
             name: "alias".into(),
         });
-        assert_eq!(fs.query(&NfsOp::GetAttr { fh: f }), NfsResult::Err(NfsError::Stale));
+        assert_eq!(
+            fs.query(&NfsOp::GetAttr { fh: f }),
+            NfsResult::Err(NfsError::Stale)
+        );
         assert_eq!(fs.data_bytes(), 0);
     }
 
@@ -1167,6 +1459,187 @@ mod tests {
         });
         fs.rollback_suffix(2);
         assert_eq!(fs.state_digest(), d0);
+    }
+
+    #[test]
+    fn partition_digests_match_fresh_recompute() {
+        // Incrementally maintained partition sums must agree with a state
+        // rebuilt from scratch (snapshot/restore recomputes everything).
+        let mut fs = fs();
+        let d = mkdir(&mut fs, ROOT_FH, "dir");
+        for i in 0..200 {
+            let f = create(&mut fs, d, &format!("f{i}"));
+            fs.apply(&NfsOp::Write {
+                fh: f,
+                offset: 0,
+                data: vec![i as u8; 32],
+            });
+        }
+        fs.apply(&NfsOp::Remove {
+            dir: d,
+            name: "f7".into(),
+        });
+        fs.rollback_suffix(1);
+        let mut rebuilt = FsState::new(DataMode::Store);
+        rebuilt.restore(&fs.snapshot()).expect("restore");
+        for p in 0..FS_PARTITIONS {
+            assert_eq!(
+                fs.partition_digest(p),
+                rebuilt.partition_digest(p),
+                "partition {p}"
+            );
+        }
+    }
+
+    #[test]
+    fn dirty_partitions_track_touched_inodes() {
+        let mut fs = fs();
+        fs.take_dirty_partitions();
+        assert!(fs.take_dirty_partitions().is_empty(), "drained");
+        let f = create(&mut fs, ROOT_FH, "f");
+        let dirty = fs.take_dirty_partitions();
+        assert!(dirty.contains(&0), "metadata partition (clock/next_fh)");
+        assert!(dirty.contains(&partition_of(ROOT_FH)), "parent directory");
+        assert!(dirty.contains(&partition_of(f)), "new inode");
+        // A write dirties only the file's partition (plus metadata).
+        fs.apply(&NfsOp::Write {
+            fh: f,
+            offset: 0,
+            data: vec![1; 8],
+        });
+        let dirty = fs.take_dirty_partitions();
+        let mut expect = vec![0, partition_of(f)];
+        expect.sort_unstable();
+        expect.dedup();
+        assert_eq!(dirty, expect);
+    }
+
+    #[test]
+    fn partition_roundtrip_reassembles_state() {
+        let mut src = fs();
+        let d = mkdir(&mut src, ROOT_FH, "d");
+        for i in 0..100 {
+            create(&mut src, d, &format!("f{i}"));
+        }
+        let mut dst = fs();
+        for p in 0..FS_PARTITIONS {
+            let bytes = src.encode_partition(p);
+            dst.restore_partition(p, &bytes, &src.partition_digest(p))
+                .expect("partition restores");
+        }
+        assert_eq!(dst.state_digest(), src.state_digest());
+        assert_eq!(dst.data_bytes(), src.data_bytes());
+        assert_eq!(dst.inode_count(), src.inode_count());
+    }
+
+    #[test]
+    fn restore_partition_verifies_before_applying() {
+        let mut fs = fs();
+        create(&mut fs, ROOT_FH, "f");
+        let digest_before = fs.state_digest();
+        let p = partition_of(ROOT_FH);
+        let good = fs.encode_partition(p);
+        // Corrupt bytes: rejected, state untouched.
+        let mut bad = good.clone();
+        *bad.last_mut().expect("non-empty") ^= 0xff;
+        assert!(fs
+            .restore_partition(p, &bad, &fs.partition_digest(p).clone())
+            .is_err());
+        assert_eq!(fs.state_digest(), digest_before);
+        // Wrong digest: rejected.
+        let wrong = bft_crypto::digest(b"nope");
+        assert!(fs.restore_partition(p, &good, &wrong).is_err());
+        assert_eq!(fs.state_digest(), digest_before);
+        // Inode outside the partition: rejected.
+        let other = (p + 1) % FS_PARTITIONS;
+        assert!(fs
+            .restore_partition(other, &good, &fs.partition_digest(other).clone())
+            .is_err());
+        assert_eq!(fs.state_digest(), digest_before);
+    }
+
+    #[test]
+    fn retained_checkpoints_serve_old_partition_versions() {
+        let mut fs = fs();
+        let f = create(&mut fs, ROOT_FH, "f");
+        fs.retain_checkpoint(10);
+        let before: Vec<Vec<u8>> = (0..FS_PARTITIONS).map(|p| fs.encode_partition(p)).collect();
+        fs.apply(&NfsOp::Write {
+            fh: f,
+            offset: 0,
+            data: vec![9; 100],
+        });
+        fs.retain_checkpoint(20);
+        // Every partition (touched or not) serves its version as of 10.
+        for p in 0..FS_PARTITIONS {
+            assert_eq!(
+                fs.retained_partition(10, p).expect("retained"),
+                before[p as usize],
+                "partition {p} as of token 10"
+            );
+        }
+        // Token 20 serves the current (post-write) version.
+        assert_eq!(
+            fs.retained_partition(20, partition_of(f))
+                .expect("retained"),
+            fs.encode_partition(partition_of(f))
+        );
+        // Unknown and released tokens return nothing.
+        assert_eq!(fs.retained_partition(15, 0), None);
+        fs.release_checkpoints_below(20);
+        assert_eq!(fs.retained_partition(10, 0), None, "released");
+        assert!(fs.retained_partition(20, 0).is_some());
+    }
+
+    #[test]
+    fn cow_save_chain_spans_untouched_checkpoints() {
+        // A partition untouched across several retained checkpoints must
+        // resolve through the forward scan to the first later save.
+        let mut fs = fs();
+        let f = create(&mut fs, ROOT_FH, "f");
+        let p = partition_of(f);
+        fs.retain_checkpoint(1);
+        fs.retain_checkpoint(2); // no mutation between 1 and 2
+        let v_at_12 = fs.encode_partition(p);
+        fs.apply(&NfsOp::Write {
+            fh: f,
+            offset: 0,
+            data: vec![1; 10],
+        });
+        // The save landed in token 2; token 1 resolves through it.
+        assert_eq!(fs.retained_partition(1, p).expect("retained"), v_at_12);
+        assert_eq!(fs.retained_partition(2, p).expect("retained"), v_at_12);
+        fs.retain_checkpoint(3);
+        let v_at_3 = fs.encode_partition(p);
+        fs.apply(&NfsOp::Write {
+            fh: f,
+            offset: 0,
+            data: vec![2; 10],
+        });
+        assert_eq!(fs.retained_partition(3, p).expect("retained"), v_at_3);
+        assert_eq!(fs.retained_partition(1, p).expect("retained"), v_at_12);
+    }
+
+    #[test]
+    fn partition_zero_carries_metadata() {
+        let mut a = fs();
+        let mut b = fs();
+        create(&mut a, ROOT_FH, "x");
+        create(&mut b, ROOT_FH, "x");
+        assert_eq!(a.partition_digest(0), b.partition_digest(0));
+        // Advance only b's clock: partition 0 must diverge even though
+        // both hold the same inodes afterwards.
+        create(&mut b, ROOT_FH, "y");
+        b.apply(&NfsOp::Remove {
+            dir: ROOT_FH,
+            name: "y".into(),
+        });
+        assert_ne!(a.partition_digest(0), b.partition_digest(0));
+        // Transferring partition 0 carries the metadata across.
+        let bytes = b.encode_partition(0);
+        a.restore_partition(0, &bytes, &b.partition_digest(0))
+            .expect("restore");
+        assert_eq!(a.partition_digest(0), b.partition_digest(0));
     }
 
     #[test]

@@ -92,6 +92,24 @@ impl CostModel {
         self.mac(bytes) + (n_macs as u64 - 1) * self.mac_fixed_ns
     }
 
+    /// Cost of producing an incremental hierarchical checkpoint digest:
+    /// re-digest `dirty_parts` partitions totalling `dirty_bytes` encoded
+    /// bytes, then fold each changed leaf up a Merkle tree of
+    /// `total_parts` leaves (one interior-node digest over two 16-byte
+    /// children per level).
+    ///
+    /// With every partition dirty this degenerates to roughly
+    /// `digest(state)` plus the (small) tree overhead, so a full
+    /// recompute is never cheaper than calling this with the full dirty
+    /// set.
+    pub fn partitioned_digest(&self, dirty_parts: u32, dirty_bytes: u64, total_parts: u32) -> u64 {
+        let levels = u64::from(32 - total_parts.max(1).leading_zeros());
+        let leaf_cost = u64::from(dirty_parts) * self.digest_fixed_ns
+            + (dirty_bytes as f64 * self.digest_per_byte_ns) as u64;
+        let tree_cost = u64::from(dirty_parts) * levels * self.digest(32);
+        leaf_cost + tree_cost
+    }
+
     /// Cost of sending a `bytes`-byte message.
     pub fn send(&self, bytes: usize) -> u64 {
         self.send_fixed_ns + (bytes as f64 * self.send_per_byte_ns) as u64
@@ -144,6 +162,24 @@ mod tests {
         // were orders of magnitude slower.
         let c = CostModel::PIII_600;
         assert!(c.rsa_private_ns > 1000 * c.mac(64));
+    }
+
+    #[test]
+    fn partitioned_digest_rewards_small_dirty_sets() {
+        let c = CostModel::PIII_600;
+        let full_state = 256 * 4096;
+        // All 256 partitions dirty: comparable to one big digest (the
+        // tree adds a few percent).
+        let all = c.partitioned_digest(256, full_state as u64, 256);
+        assert!(all >= c.digest(full_state));
+        // 4 dirty partitions out of 256: two orders of magnitude less.
+        let few = c.partitioned_digest(4, 4 * 4096, 256);
+        assert!(
+            few * 20 < all,
+            "incremental path must dominate: {few} vs {all}"
+        );
+        // Nothing dirty costs nothing.
+        assert_eq!(c.partitioned_digest(0, 0, 256), 0);
     }
 
     #[test]

@@ -761,10 +761,7 @@ mod tests {
         s.run_until_idle(1_000);
         let delivered = s.node_as::<Probe>(a).messages.len();
         assert!(delivered < 6, "some deliveries must drop");
-        assert_eq!(
-            s.metrics().counter("cpu.dropped"),
-            6 - delivered as u64
-        );
+        assert_eq!(s.metrics().counter("cpu.dropped"), 6 - delivered as u64);
         // Timers are never dropped.
         let b = s.add_node(Box::new(Probe {
             cpu_per_event: dur::millis(10),

@@ -174,10 +174,7 @@ impl Network {
     }
 
     fn host(&self, node: NodeId) -> usize {
-        self.host_of
-            .get(node as usize)
-            .copied()
-            .unwrap_or(node) as usize
+        self.host_of.get(node as usize).copied().unwrap_or(node) as usize
     }
 
     /// Sets the uniform packet loss probability (fault injection).

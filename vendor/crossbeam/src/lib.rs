@@ -1,0 +1,88 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Only `crossbeam::thread::scope` is used in this workspace; since Rust
+//! 1.63 the standard library provides scoped threads, so this shim simply
+//! adapts `std::thread::scope` to crossbeam's closure signature (spawned
+//! closures receive the scope as an argument).
+
+pub mod thread {
+    //! Scoped threads.
+    use std::any::Any;
+
+    /// A scope for spawning threads that may borrow from the caller.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// A handle to a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Waits for the thread to finish.
+        ///
+        /// # Errors
+        ///
+        /// Returns the thread's panic payload if it panicked.
+        pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a thread inside the scope. The closure receives the
+        /// scope, so it can spawn further threads.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Runs `f` with a scope; all threads spawned in the scope are joined
+    /// before this returns. Unlike crossbeam, a panicking child propagates
+    /// the panic instead of returning `Err` (no caller distinguishes).
+    ///
+    /// # Errors
+    ///
+    /// Never returns `Err`; the `Result` mirrors crossbeam's signature.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let mut cells = vec![0u32; 8];
+        super::thread::scope(|scope| {
+            for (i, slot) in cells.iter_mut().enumerate() {
+                scope.spawn(move |_| {
+                    *slot = i as u32 * 2;
+                });
+            }
+        })
+        .expect("scope");
+        assert_eq!(cells, vec![0, 2, 4, 6, 8, 10, 12, 14]);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let out = super::thread::scope(|scope| {
+            let h = scope.spawn(|inner| inner.spawn(|_| 21).join().map(|v| v * 2).unwrap_or(0));
+            h.join().unwrap_or(0)
+        })
+        .expect("scope");
+        assert_eq!(out, 42);
+    }
+}

@@ -1,0 +1,196 @@
+//! Derive macros for the vendored `serde` stand-in.
+//!
+//! Implemented without `syn`/`quote` (unavailable offline): the input item
+//! is parsed directly from the `proc_macro` token stream, and the generated
+//! impls are rendered as strings. Supports the two shapes this workspace
+//! derives: structs with named fields and enums with unit variants.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Item {
+    Struct { name: String, fields: Vec<String> },
+    Enum { name: String, variants: Vec<String> },
+}
+
+/// Extracts the item kind, name, and field/variant names from a derive
+/// input stream, skipping attributes (including doc comments).
+fn parse_item(input: TokenStream) -> Item {
+    let mut tokens = input.into_iter().peekable();
+    let mut kind: Option<String> = None;
+    let mut name: Option<String> = None;
+    let mut body: Option<TokenStream> = None;
+    while let Some(tt) = tokens.next() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                // Skip the attribute's bracket group.
+                tokens.next();
+            }
+            TokenTree::Ident(id) => {
+                let s = id.to_string();
+                match s.as_str() {
+                    "pub" | "crate" => {}
+                    "struct" | "enum" if kind.is_none() => kind = Some(s),
+                    _ if kind.is_some() && name.is_none() => name = Some(s),
+                    _ => {}
+                }
+            }
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace && name.is_some() => {
+                body = Some(g.stream());
+                break;
+            }
+            _ => {}
+        }
+    }
+    let kind = kind.expect("derive input must be a struct or enum");
+    let name = name.expect("item must have a name");
+    let body = body.expect("item must have a braced body (tuple/unit shapes unsupported)");
+    let chunks = split_top_level_commas(body);
+    if kind == "struct" {
+        let fields = chunks.iter().map(|c| field_name(c)).collect();
+        Item::Struct { name, fields }
+    } else {
+        let variants = chunks.iter().map(|c| variant_name(c)).collect();
+        Item::Enum { name, variants }
+    }
+}
+
+/// Splits a brace-group body on commas, ignoring commas nested inside
+/// angle brackets (generic arguments like `HashMap<K, V>`).
+fn split_top_level_commas(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut chunks = Vec::new();
+    let mut current = Vec::new();
+    let mut angle_depth = 0i32;
+    for tt in stream {
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    if !current.is_empty() {
+                        chunks.push(std::mem::take(&mut current));
+                    }
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        current.push(tt);
+    }
+    if !current.is_empty() {
+        chunks.push(current);
+    }
+    chunks
+}
+
+/// The field name is the identifier immediately before the first `:` of
+/// the chunk (skipping attributes and visibility).
+fn field_name(chunk: &[TokenTree]) -> String {
+    let mut prev_ident: Option<String> = None;
+    let mut i = 0;
+    while i < chunk.len() {
+        match &chunk[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 1, // skip attr group next
+            TokenTree::Punct(p) if p.as_char() == ':' => {
+                return prev_ident.expect("field name before `:`");
+            }
+            TokenTree::Ident(id) => prev_ident = Some(id.to_string()),
+            _ => {}
+        }
+        i += 1;
+    }
+    panic!("could not find a named field in derive input (tuple fields unsupported)");
+}
+
+/// The variant name is the first identifier of the chunk; data-carrying
+/// variants are rejected.
+fn variant_name(chunk: &[TokenTree]) -> String {
+    let mut name = None;
+    let mut i = 0;
+    while i < chunk.len() {
+        match &chunk[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 1,
+            TokenTree::Ident(id) if name.is_none() => name = Some(id.to_string()),
+            TokenTree::Group(_) => {
+                panic!("serde derive (vendored) supports only fieldless enum variants")
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    name.expect("enum variant name")
+}
+
+/// Derives `serde::Serialize` (vendored value-model flavor).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let out = match parse_item(input) {
+        Item::Struct { name, fields } => {
+            let entries: String = fields
+                .iter()
+                .map(|f| format!("(\"{f}\".to_string(), serde::Serialize::to_value(&self.{f})),"))
+                .collect();
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> serde::Value {{\n\
+                         serde::Value::Map(vec![{entries}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => serde::Value::Str(\"{v}\".to_string()),"))
+                .collect();
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> serde::Value {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    out.parse().expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize` (vendored value-model flavor).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let out = match parse_item(input) {
+        Item::Struct { name, fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| format!("{f}: serde::field(v, \"{f}\")?,"))
+                .collect();
+            format!(
+                "impl serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &serde::Value) -> Result<{name}, serde::Error> {{\n\
+                         Ok({name} {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("\"{v}\" => Ok({name}::{v}),"))
+                .collect();
+            format!(
+                "impl serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &serde::Value) -> Result<{name}, serde::Error> {{\n\
+                         match v {{\n\
+                             serde::Value::Str(s) => match s.as_str() {{\n\
+                                 {arms}\n\
+                                 other => Err(serde::Error::msg(format!(\n\
+                                     \"unknown {name} variant `{{other}}`\"))),\n\
+                             }},\n\
+                             _ => Err(serde::Error::msg(\"expected string for enum {name}\")),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    out.parse().expect("generated Deserialize impl parses")
+}
