@@ -6,6 +6,7 @@
 //! micro-benchmark, Andrew, and PostMark.
 
 use crate::config::Config;
+use crate::invariants::OpEvent;
 use crate::messages::{AuthTag, Msg, Packet, Reply, Request, REPLIER_ALL};
 use crate::types::{ClientId, ReplicaId, Timestamp, View};
 use crate::wire::Wire;
@@ -64,6 +65,9 @@ pub struct ClientCore {
     latency_ewma: f64,
     /// Completed operation count (also mirrored into the metrics).
     pub completed_ops: u64,
+    /// Invoke/complete events for the chaos linearizability checker;
+    /// bounded when nobody drains it.
+    audit: Vec<OpEvent>,
 }
 
 impl ClientCore {
@@ -81,6 +85,18 @@ impl ClientCore {
             retry_timer: None,
             latency_ewma: 0.0,
             completed_ops: 0,
+            audit: Vec::new(),
+        }
+    }
+
+    /// Retention bound for undrained audit events (long benchmark runs
+    /// never read them; the checker drains after every event).
+    const AUDIT_CAP: usize = 16_384;
+
+    fn note_audit(&mut self, event: OpEvent) {
+        self.audit.push(event);
+        if self.audit.len() > Self::AUDIT_CAP {
+            self.audit.drain(..Self::AUDIT_CAP / 2);
         }
     }
 
@@ -136,6 +152,12 @@ impl ClientCore {
         } else {
             REPLIER_ALL
         };
+        self.note_audit(OpEvent::Invoke {
+            client: self.id,
+            timestamp: self.ts,
+            op: op.clone(),
+            at_ns: ctx.now().nanos(),
+        });
         self.pending = Some(PendingOp {
             timestamp: self.ts,
             op,
@@ -207,6 +229,7 @@ impl ClientCore {
             return None;
         }
         self.view_guess = self.view_guess.max(reply.view);
+        let completed_ts = reply.timestamp;
         let result_digest = reply.body.result_digest();
         let p = self.pending.as_mut()?;
         if let crate::messages::ReplyBody::Full(bytes) = reply.body {
@@ -228,6 +251,12 @@ impl ClientCore {
         self.completed_ops += 1;
         ctx.metrics().incr("client.ops_completed");
         ctx.metrics().record("client.latency", latency);
+        self.note_audit(OpEvent::Complete {
+            client: self.id,
+            timestamp: completed_ts,
+            result: result.clone(),
+            at_ns: ctx.now().nanos(),
+        });
         Some((result, latency))
     }
 
@@ -327,6 +356,18 @@ impl<D: ClientDriver> Client<D> {
     /// Completed-operation count.
     pub fn completed_ops(&self) -> u64 {
         self.core.completed_ops
+    }
+
+    /// True if an operation is currently in flight.
+    pub fn busy(&self) -> bool {
+        self.core.pending.is_some()
+    }
+
+    /// Takes the accumulated invoke/complete events, leaving the buffer
+    /// empty. The chaos linearizability checker drains this after every
+    /// simulation event.
+    pub fn drain_audit(&mut self) -> Vec<OpEvent> {
+        std::mem::take(&mut self.core.audit)
     }
 
     /// Access to the driver (e.g. to read workload statistics).

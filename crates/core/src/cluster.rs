@@ -4,11 +4,77 @@
 
 use crate::client::{Client, ClientDriver};
 use crate::config::Config;
+use crate::invariants::{InvariantChecker, Violation};
 use crate::messages::Packet;
-use crate::replica::Replica;
-use crate::service::Service;
+use crate::replica::{Behavior, Replica};
+use crate::service::{CounterService, Service};
 use crate::types::ClientId;
+use bft_sim::chaos::{ByzMode, Fault, FaultPlan, NodeFault};
 use bft_sim::{NetConfig, NodeId, Simulation};
+
+/// Mixes an index into a base seed (splitmix64), giving well-separated
+/// per-run seeds for fuzz loops and multi-cluster tests.
+pub fn derive_seed(base: u64, index: u64) -> u64 {
+    let mut z = base
+        .wrapping_add(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(index.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Fluent construction of a [`Cluster`], so fuzz loops and directed tests
+/// share one path instead of duplicating seed/net plumbing.
+#[derive(Debug, Clone)]
+pub struct ClusterBuilder {
+    seed: u64,
+    net: NetConfig,
+    cfg: Config,
+}
+
+impl ClusterBuilder {
+    /// Starts a builder for the given protocol configuration, with seed 0
+    /// and the lossless network model.
+    pub fn new(cfg: Config) -> ClusterBuilder {
+        ClusterBuilder {
+            seed: 0,
+            net: NetConfig::LOSSLESS_100MBPS,
+            cfg,
+        }
+    }
+
+    /// Sets the simulation RNG seed.
+    pub fn seed(mut self, seed: u64) -> ClusterBuilder {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the network model.
+    pub fn net(mut self, net: NetConfig) -> ClusterBuilder {
+        self.net = net;
+        self
+    }
+
+    /// The seed this builder will use (for replay reporting).
+    pub fn seed_value(&self) -> u64 {
+        self.seed
+    }
+
+    /// Builds the cluster, constructing each replica's service with
+    /// `make_service`.
+    pub fn build<S, F>(self, make_service: F) -> Cluster
+    where
+        S: Service,
+        F: FnMut(u32) -> S,
+    {
+        Cluster::new(self.seed, self.net, self.cfg, make_service)
+    }
+
+    /// Builds a cluster of default counter services (the chaos workload).
+    pub fn build_counter(self) -> Cluster {
+        self.build(|_| CounterService::default())
+    }
+}
 
 /// A simulated BFT cluster under construction / test.
 pub struct Cluster {
@@ -93,6 +159,19 @@ impl Cluster {
         self.sim.node_as_mut::<Client<D>>(id)
     }
 
+    /// Starts a [`ClusterBuilder`] for `cfg`.
+    pub fn builder(cfg: Config) -> ClusterBuilder {
+        ClusterBuilder::new(cfg)
+    }
+
+    /// An infinite iterator of builders whose seeds are derived from
+    /// `base_seed` (via [`derive_seed`]): run `i` of a fuzz loop uses the
+    /// `i`-th builder. Report `builder.seed_value()` on failure so the
+    /// run can be reconstructed without re-deriving.
+    pub fn with_seed_iter(base_seed: u64, cfg: Config) -> impl Iterator<Item = ClusterBuilder> {
+        (0u64..).map(move |i| ClusterBuilder::new(cfg.clone()).seed(derive_seed(base_seed, i)))
+    }
+
     /// Runs the simulation for `delta_ns` of simulated time.
     pub fn run_for(&mut self, delta_ns: u64) {
         self.sim.run_for(delta_ns);
@@ -101,6 +180,73 @@ impl Cluster {
     /// Total completed client operations (from the metrics).
     pub fn completed_ops(&self) -> u64 {
         self.sim.metrics().counter("client.ops_completed")
+    }
+
+    /// Runs for `delta_ns` of simulated time while applying `plan`'s
+    /// faults at their scheduled instants (absolute, measured from time
+    /// zero) and checking every invariant after every event.
+    ///
+    /// `S` and `D` are the cluster's service and client-driver types
+    /// (chaos runs use one driver type for all clients). A plan should be
+    /// passed to exactly one call; later phases of the same run (e.g. a
+    /// post-heal liveness phase) pass [`FaultPlan::empty`] so node faults
+    /// are not re-applied.
+    pub fn run_with_plan<S: Service, D: ClientDriver>(
+        &mut self,
+        plan: &FaultPlan,
+        delta_ns: u64,
+        checker: &mut InvariantChecker,
+    ) -> Result<(), Violation> {
+        let deadline = self.sim.now().after(delta_ns);
+        let mut next_fault = 0;
+        loop {
+            let next_event = self.sim.next_event_at().filter(|&t| t <= deadline);
+            // Apply every fault due before the next event we will step
+            // over (nothing happens between events, so applying a fault
+            // any time before the first event at/after its instant is
+            // exact).
+            let fault_horizon = next_event.unwrap_or(deadline).nanos();
+            while next_fault < plan.events.len() && plan.events[next_fault].at_ns <= fault_horizon {
+                self.apply_fault::<S>(&plan.events[next_fault].fault, checker);
+                next_fault += 1;
+            }
+            if next_event.is_none() {
+                break;
+            }
+            self.sim.step();
+            checker.observe::<S, D>(self)?;
+        }
+        // No events remain before the deadline; advance the clock to it.
+        self.sim.run_until(deadline);
+        Ok(())
+    }
+
+    fn apply_fault<S: Service>(&mut self, fault: &Fault, checker: &mut InvariantChecker) {
+        match fault {
+            Fault::Net(nf) => nf.apply(self.sim.network_mut()),
+            Fault::Node { node, fault } => {
+                if *node >= self.cfg.n() {
+                    return;
+                }
+                let behavior = match fault {
+                    NodeFault::Crash => Behavior::Crashed,
+                    NodeFault::Restart => Behavior::Correct,
+                    NodeFault::Byzantine(mode) => {
+                        // Byzantine state is arbitrary by definition;
+                        // exempt the replica from the safety audit.
+                        checker.mark_tainted(*node);
+                        match mode {
+                            ByzMode::Silent => Behavior::Silent,
+                            ByzMode::Equivocate => Behavior::EquivocatingPrimary,
+                            ByzMode::WrongResult => Behavior::WrongResult,
+                            ByzMode::CorruptAuth => Behavior::CorruptAuth,
+                            ByzMode::CorruptStateData => Behavior::CorruptStateData,
+                        }
+                    }
+                };
+                self.replica_mut::<S>(*node).set_behavior(behavior);
+            }
+        }
     }
 }
 

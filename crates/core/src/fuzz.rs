@@ -1,0 +1,238 @@
+//! The chaos-fuzzing harness: seeded (fault plan, workload) pairs run to
+//! quiescence with every protocol invariant checked after every event.
+//!
+//! This lives in the library (rather than a test file) so that both the
+//! core integration tests and the umbrella crate's tier-1 suite drive
+//! one implementation with different budgets. A fuzz iteration is a pure
+//! function of `(seed, f)`:
+//!
+//! 1. [`fuzz_config`] derives an aggressive protocol configuration
+//!    (short timers, small checkpoint interval) so view changes, garbage
+//!    collection, and state transfer all happen within simulated seconds;
+//! 2. [`fuzz_plan`] generates the deterministic fault schedule;
+//! 3. [`run_fuzz_schedule`] builds the cluster through the same
+//!    [`ClusterBuilder`] path the directed tests use, runs the mixed
+//!    workload through the fault window, then gives the healed cluster a
+//!    bounded liveness budget to finish every outstanding operation.
+//!
+//! On a violation, [`check_schedule`] greedily minimizes the fault plan
+//! (keeping the violation kind) and panics with the seed, the minimized
+//! plan, and a one-command replay line.
+
+use crate::client::{ClientApi, ClientDriver};
+use crate::cluster::{derive_seed, Cluster};
+use crate::config::Config;
+use crate::invariants::{InvariantChecker, Violation};
+use crate::service::CounterService;
+use bft_sim::chaos::{ChaosConfig, FaultPlan};
+use bft_sim::dur;
+
+/// Clients per fuzz cluster.
+pub const FUZZ_CLIENTS: u64 = 3;
+/// Operations each fuzz client must complete.
+pub const FUZZ_OPS_PER_CLIENT: u64 = 24;
+/// Length of the fault window in a fuzz run.
+pub const FAULT_HORIZON_NS: u64 = 3_000_000_000;
+/// Post-heal liveness budget: rounds of [`LIVENESS_ROUND_NS`] each.
+pub const LIVENESS_ROUNDS: u64 = 60;
+/// Length of one liveness round.
+pub const LIVENESS_ROUND_NS: u64 = 500_000_000;
+
+/// Reads a `u64` knob from the environment, falling back to `default`.
+pub fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Operation mix issued by a [`ChaosDriver`].
+#[derive(Clone, Copy, Debug)]
+pub enum Workload {
+    /// ~1/4 read-only gets, the rest adds of 1..=9.
+    Mixed,
+    /// Adds only.
+    Adds,
+    /// Read-only gets only.
+    Reads,
+}
+
+/// Closed-loop counter-service driver shared by the fuzz loop and the
+/// directed chaos tests (the invariant checker downcasts every client in
+/// a cluster to one driver type). The op sequence is a pure function of
+/// the salt, so a run is replayable from its seed.
+pub struct ChaosDriver {
+    salt: u64,
+    target: u64,
+    issued: u64,
+    workload: Workload,
+    start_delay_ns: u64,
+}
+
+impl ChaosDriver {
+    /// A driver that issues `target` operations drawn from `workload`,
+    /// deterministically from `salt`.
+    pub fn new(salt: u64, target: u64, workload: Workload) -> ChaosDriver {
+        ChaosDriver {
+            salt,
+            target,
+            issued: 0,
+            workload,
+            start_delay_ns: 0,
+        }
+    }
+
+    /// Delays the first operation by `ns` (for staggered-start tests).
+    pub fn delayed(mut self, ns: u64) -> ChaosDriver {
+        self.start_delay_ns = ns;
+        self
+    }
+
+    fn next_op(&mut self, api: &mut ClientApi<'_, '_>) {
+        if self.issued >= self.target {
+            return;
+        }
+        self.issued += 1;
+        let h = derive_seed(self.salt, self.issued);
+        let read = match self.workload {
+            Workload::Mixed => h.is_multiple_of(4),
+            Workload::Adds => false,
+            Workload::Reads => true,
+        };
+        if read {
+            api.submit(CounterService::get_op(), true);
+        } else {
+            api.submit(CounterService::add_op((h % 9) as u8 + 1), false);
+        }
+    }
+}
+
+impl ClientDriver for ChaosDriver {
+    fn on_start(&mut self, api: &mut ClientApi<'_, '_>) {
+        if self.start_delay_ns > 0 {
+            api.set_timer(self.start_delay_ns, 1);
+        } else {
+            self.next_op(api);
+        }
+    }
+
+    fn on_complete(&mut self, api: &mut ClientApi<'_, '_>, _result: &[u8], _latency_ns: u64) {
+        self.next_op(api);
+    }
+
+    fn on_timer(&mut self, api: &mut ClientApi<'_, '_>, _token: u64) {
+        if !api.busy() {
+            self.next_op(api);
+        }
+    }
+}
+
+/// Aggressive timers and a short checkpoint interval so view changes,
+/// garbage collection, and state transfer all happen inside a few
+/// simulated seconds.
+pub fn fuzz_config(f: u32) -> Config {
+    let mut cfg = Config::new(f);
+    cfg.checkpoint_interval = 8;
+    cfg.log_window = 32;
+    cfg.view_change_timeout_ns = dur::millis(400);
+    cfg.client_retry_timeout_ns = dur::millis(150);
+    cfg.resend_interval_ns = dur::millis(50);
+    cfg
+}
+
+/// The deterministic fault schedule for one fuzz iteration.
+pub fn fuzz_plan(seed: u64, f: u32) -> FaultPlan {
+    let cfg = fuzz_config(f);
+    FaultPlan::generate(
+        seed,
+        &ChaosConfig {
+            replicas: cfg.n(),
+            clients: FUZZ_CLIENTS as u32,
+            max_faulty: cfg.f(),
+            horizon_ns: FAULT_HORIZON_NS,
+            events: 12,
+        },
+    )
+}
+
+/// Runs one seeded (plan, workload) pair to quiescence, checking every
+/// invariant after every event. The cluster construction must stay in
+/// lockstep with [`Cluster::with_seed_iter`]: a builder with the same
+/// seed, so `CHAOS_SEED=<seed>` reconstructs the identical run.
+pub fn run_fuzz_schedule(seed: u64, f: u32, plan: &FaultPlan) -> Result<(), Violation> {
+    let mut cluster = Cluster::builder(fuzz_config(f)).seed(seed).build_counter();
+    for i in 0..FUZZ_CLIENTS {
+        cluster.add_client(ChaosDriver::new(
+            seed ^ (i + 1),
+            FUZZ_OPS_PER_CLIENT,
+            Workload::Mixed,
+        ));
+    }
+    let mut checker = InvariantChecker::new();
+    cluster.run_with_plan::<CounterService, ChaosDriver>(
+        plan,
+        FAULT_HORIZON_NS + dur::millis(1),
+        &mut checker,
+    )?;
+    // The plan's cleanup events have healed the network and restarted
+    // every faulted replica; the cluster must now finish the workload.
+    let target = FUZZ_CLIENTS * FUZZ_OPS_PER_CLIENT;
+    let empty = FaultPlan::empty();
+    let mut rounds = 0;
+    while cluster.completed_ops() < target {
+        if rounds == LIVENESS_ROUNDS {
+            return Err(Violation::Liveness {
+                detail: format!(
+                    "{}/{} ops completed {} s after all faults healed",
+                    cluster.completed_ops(),
+                    target,
+                    LIVENESS_ROUNDS * LIVENESS_ROUND_NS / 1_000_000_000,
+                ),
+            });
+        }
+        cluster.run_with_plan::<CounterService, ChaosDriver>(
+            &empty,
+            LIVENESS_ROUND_NS,
+            &mut checker,
+        )?;
+        rounds += 1;
+    }
+    checker.finish()
+}
+
+/// Formats a violation with everything needed to replay the run.
+pub fn failure_report(seed: u64, f: u32, plan: &FaultPlan, v: &Violation) -> String {
+    format!(
+        "\nchaos: invariant violated\n  violation: {v}\n  seed: {seed} (f = {f})\n  minimized fault plan ({} events):\n{plan}\n  replay: CHAOS_SEED={seed} CHAOS_F={f} cargo test -p bft-core --test chaos replay_one -- --nocapture\n",
+        plan.events.len(),
+    )
+}
+
+/// Runs one seed; on violation, greedily minimizes the plan (keeping the
+/// same violation kind) and panics with a replayable report.
+pub fn check_schedule(seed: u64, f: u32) {
+    let plan = fuzz_plan(seed, f);
+    if let Err(v) = run_fuzz_schedule(seed, f, &plan) {
+        let kind = std::mem::discriminant(&v);
+        let min = plan.minimize(|p| {
+            run_fuzz_schedule(seed, f, p)
+                .err()
+                .is_some_and(|e| std::mem::discriminant(&e) == kind)
+        });
+        panic!("{}", failure_report(seed, f, &min, &v));
+    }
+}
+
+/// Runs every `i` in `0..total` with `i % stride == offset` (so `stride`
+/// test functions can split one budget and run in parallel), deriving
+/// per-run seeds from `base` via [`Cluster::with_seed_iter`].
+pub fn check_schedules(base: u64, total: u64, offset: u64, stride: u64, f: u32) {
+    for (i, builder) in Cluster::with_seed_iter(base, fuzz_config(f))
+        .enumerate()
+        .take(total as usize)
+    {
+        if i as u64 % stride == offset {
+            check_schedule(builder.seed_value(), f);
+        }
+    }
+}

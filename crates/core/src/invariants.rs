@@ -1,0 +1,584 @@
+//! Protocol invariant checking for chaos tests.
+//!
+//! The [`InvariantChecker`] is wired into [`Cluster::run_with_plan`] and
+//! evaluates, after every simulation event:
+//!
+//! - **Agreement** — no two untainted replicas finalize different batch
+//!   digests at the same sequence number;
+//! - **View monotonicity** — a replica's view never decreases;
+//! - **Checkpoint consistency** — no two untainted replicas announce
+//!   different state digests for the checkpoint at the same sequence
+//!   number;
+//! - **Linearizability** of the counter service as observed by clients,
+//!   including read-only replies (reads must never return a value older
+//!   than any operation that completed before they were invoked).
+//!
+//! Replicas the fault plan makes Byzantine are *tainted*: their local
+//! state is arbitrary by definition, so their audit records are drained
+//! but not checked (the protocol promises safety to correct replicas and
+//! clients, not to the adversary). Crashed replicas are fail-stop — their
+//! state stays honest — and remain checked.
+//!
+//! The counter-specific linearizability argument: `add(k)` returns the
+//! register value *after* the increment and `get` returns the current
+//! value, so every completed operation yields a point on the register's
+//! monotone timeline. If `m` is the largest value returned by any
+//! operation that completed before operation `X` was invoked, then the
+//! register was at least `m` for the whole of `X`'s lifetime — so `X`
+//! must return at least `m` (at least `m + k` for `add(k)`). Conversely
+//! `X` cannot return more than the sum of all increments invoked before
+//! it completed. Two different `add`s can never return the same value,
+//! and at quiescence the sorted `add` results must chain exactly
+//! (`v_i = v_{i-1} + k_i`).
+//!
+//! [`Cluster::run_with_plan`]: crate::cluster::Cluster::run_with_plan
+
+use crate::client::{Client, ClientDriver};
+use crate::cluster::Cluster;
+use crate::replica::Replica;
+use crate::service::Service;
+use crate::types::{ClientId, ReplicaId, SeqNum, Timestamp, View};
+use bft_crypto::md5::Digest;
+use std::collections::hash_map::Entry;
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::fmt;
+
+/// Safety-relevant events recorded by a replica for the checker: batches
+/// finalized with a commit certificate and checkpoints announced to the
+/// cluster. Drained via [`Replica::drain_audit`]; bounded when nobody
+/// drains so non-chaos runs pay only a small memory cost.
+#[derive(Debug, Clone, Default)]
+pub struct ReplicaAudit {
+    /// `(seq, batch digest)` for every batch executed as final.
+    pub committed: Vec<(SeqNum, Digest)>,
+    /// `(seq, state digest)` for every checkpoint announced.
+    pub checkpoints: Vec<(SeqNum, Digest)>,
+}
+
+impl ReplicaAudit {
+    /// Retention bound when the audit is never drained.
+    const CAP: usize = 8_192;
+
+    /// Records a finalized batch.
+    pub fn note_committed(&mut self, seq: SeqNum, digest: Digest) {
+        self.committed.push((seq, digest));
+        if self.committed.len() > Self::CAP {
+            self.committed.drain(..Self::CAP / 2);
+        }
+    }
+
+    /// Records an announced checkpoint.
+    pub fn note_checkpoint(&mut self, seq: SeqNum, digest: Digest) {
+        self.checkpoints.push((seq, digest));
+        if self.checkpoints.len() > Self::CAP {
+            self.checkpoints.drain(..Self::CAP / 2);
+        }
+    }
+}
+
+/// A client-observed operation event, recorded by [`crate::client::Client`]
+/// and consumed by the linearizability checker.
+#[derive(Debug, Clone)]
+pub enum OpEvent {
+    /// An operation was submitted.
+    Invoke {
+        /// The invoking client.
+        client: ClientId,
+        /// The client's timestamp for the operation.
+        timestamp: Timestamp,
+        /// The operation bytes (counter-service encoding).
+        op: Vec<u8>,
+        /// Simulated time of submission.
+        at_ns: u64,
+    },
+    /// An operation completed with an accepted reply quorum.
+    Complete {
+        /// The invoking client.
+        client: ClientId,
+        /// The client's timestamp for the operation.
+        timestamp: Timestamp,
+        /// The accepted result bytes.
+        result: Vec<u8>,
+        /// Simulated time of completion.
+        at_ns: u64,
+    },
+}
+
+impl OpEvent {
+    fn at_ns(&self) -> u64 {
+        match self {
+            OpEvent::Invoke { at_ns, .. } | OpEvent::Complete { at_ns, .. } => *at_ns,
+        }
+    }
+}
+
+/// A detected protocol invariant violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// Two replicas finalized different batches at one sequence number.
+    Agreement {
+        /// The disputed sequence number.
+        seq: SeqNum,
+        /// First replica and its digest.
+        a: (ReplicaId, Digest),
+        /// Second replica and its conflicting digest.
+        b: (ReplicaId, Digest),
+    },
+    /// A replica's view number decreased.
+    ViewRegression {
+        /// The regressing replica.
+        replica: ReplicaId,
+        /// The view it was seen in before.
+        from: View,
+        /// The smaller view it reported afterwards.
+        to: View,
+    },
+    /// Two replicas announced different digests for one checkpoint.
+    CheckpointDivergence {
+        /// The checkpoint sequence number.
+        seq: SeqNum,
+        /// First replica and its digest.
+        a: (ReplicaId, Digest),
+        /// Second replica and its conflicting digest.
+        b: (ReplicaId, Digest),
+    },
+    /// A client observed a non-linearizable counter history.
+    Linearizability {
+        /// The observing client.
+        client: ClientId,
+        /// The client timestamp of the offending operation.
+        timestamp: Timestamp,
+        /// Human-readable explanation.
+        detail: String,
+    },
+    /// The cluster failed to complete the workload after faults healed.
+    Liveness {
+        /// Human-readable explanation.
+        detail: String,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::Agreement { seq, a, b } => write!(
+                f,
+                "agreement: replica {} finalized {} at seq {seq} but replica {} finalized {}",
+                a.0, a.1, b.0, b.1
+            ),
+            Violation::ViewRegression { replica, from, to } => {
+                write!(f, "view regression: replica {replica} went from view {from} back to {to}")
+            }
+            Violation::CheckpointDivergence { seq, a, b } => write!(
+                f,
+                "checkpoint divergence at seq {seq}: replica {} announced {} but replica {} announced {}",
+                a.0, a.1, b.0, b.1
+            ),
+            Violation::Linearizability {
+                client,
+                timestamp,
+                detail,
+            } => write!(
+                f,
+                "linearizability: client {client} op ts {timestamp}: {detail}"
+            ),
+            Violation::Liveness { detail } => write!(f, "liveness: {detail}"),
+        }
+    }
+}
+
+/// What a pending (invoked, not yet completed) operation looks like to
+/// the linearizability checker.
+#[derive(Debug, Clone, Copy)]
+enum OpKind {
+    Add(u64),
+    Get,
+}
+
+fn parse_op(op: &[u8]) -> Option<OpKind> {
+    match op.first() {
+        Some(&0) => Some(OpKind::Add(u64::from(op.get(1).copied().unwrap_or(0)))),
+        Some(&1) => Some(OpKind::Get),
+        _ => None,
+    }
+}
+
+#[derive(Debug, Clone)]
+struct PendingLin {
+    kind: OpKind,
+    invoked_ns: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct DoneLin {
+    completed_ns: u64,
+    value: u64,
+}
+
+/// Incremental linearizability checker for the counter service.
+#[derive(Debug, Default)]
+struct CounterLinearizability {
+    pending: HashMap<(ClientId, Timestamp), PendingLin>,
+    /// Completed operations, used for the real-time lower bound.
+    done: Vec<DoneLin>,
+    /// `(invoke time, cumulative add amount invoked so far)`, in invoke
+    /// order; upper bound on any observable register value.
+    invoked_adds: Vec<(u64, u64)>,
+    /// Result value of each completed add -> its amount. Adds strictly
+    /// increase the register, so values must be unique and must chain.
+    add_values: BTreeMap<u64, (ClientId, Timestamp, u64)>,
+}
+
+impl CounterLinearizability {
+    fn invoke(
+        &mut self,
+        client: ClientId,
+        timestamp: Timestamp,
+        op: &[u8],
+        at_ns: u64,
+    ) -> Result<(), Violation> {
+        let Some(kind) = parse_op(op) else {
+            return Err(Violation::Linearizability {
+                client,
+                timestamp,
+                detail: format!("unrecognized counter op {op:?}"),
+            });
+        };
+        if let OpKind::Add(k) = kind {
+            let sum = self.invoked_adds.last().map_or(0, |&(_, s)| s) + k;
+            self.invoked_adds.push((at_ns, sum));
+        }
+        self.pending.insert(
+            (client, timestamp),
+            PendingLin {
+                kind,
+                invoked_ns: at_ns,
+            },
+        );
+        Ok(())
+    }
+
+    /// Sum of add amounts invoked at or before `t`.
+    fn invoked_sum_at(&self, t: u64) -> u64 {
+        match self.invoked_adds.partition_point(|&(at, _)| at <= t) {
+            0 => 0,
+            i => self.invoked_adds[i - 1].1,
+        }
+    }
+
+    fn complete(
+        &mut self,
+        client: ClientId,
+        timestamp: Timestamp,
+        result: &[u8],
+        at_ns: u64,
+    ) -> Result<(), Violation> {
+        let fail = |detail: String| Violation::Linearizability {
+            client,
+            timestamp,
+            detail,
+        };
+        let Some(p) = self.pending.remove(&(client, timestamp)) else {
+            return Err(fail("completion without a matching invocation".into()));
+        };
+        let Ok(bytes) = <[u8; 8]>::try_from(result) else {
+            return Err(fail(format!("malformed result ({} bytes)", result.len())));
+        };
+        let value = u64::from_le_bytes(bytes);
+        // Real-time lower bound: the largest value returned by any
+        // operation that completed before this one was invoked.
+        let floor = self
+            .done
+            .iter()
+            .filter(|d| d.completed_ns <= p.invoked_ns)
+            .map(|d| d.value)
+            .max()
+            .unwrap_or(0);
+        // Upper bound: everything invoked before this op completed.
+        let ceiling = self.invoked_sum_at(at_ns);
+        if value > ceiling {
+            return Err(fail(format!(
+                "returned {value} but only {ceiling} was ever added before completion"
+            )));
+        }
+        match p.kind {
+            OpKind::Get => {
+                if value < floor {
+                    return Err(fail(format!(
+                        "stale read: returned {value} after an op completed with {floor}"
+                    )));
+                }
+            }
+            OpKind::Add(k) => {
+                if value < floor + k {
+                    return Err(fail(format!(
+                        "add({k}) returned {value}, below the observed floor {floor} + {k}"
+                    )));
+                }
+                // Adds strictly increase the register: results are unique
+                // and neighbours on the value line must be k apart or more.
+                if let Some((&pv, &(pc, pt, _))) = self.add_values.range(..=value).next_back() {
+                    if pv == value {
+                        return Err(fail(format!(
+                            "add({k}) returned {value}, already returned to client {pc} ts {pt}"
+                        )));
+                    }
+                    if value - k < pv {
+                        return Err(fail(format!(
+                            "add({k}) returned {value}, overlapping the add that returned {pv}"
+                        )));
+                    }
+                }
+                if let Some((&nv, &(_, _, nk))) = self.add_values.range(value + 1..).next() {
+                    if nv - nk < value {
+                        return Err(fail(format!(
+                            "add({k}) returned {value}, overlapping the add that returned {nv}"
+                        )));
+                    }
+                }
+                self.add_values.insert(value, (client, timestamp, k));
+            }
+        }
+        self.done.push(DoneLin {
+            completed_ns: at_ns,
+            value,
+        });
+        Ok(())
+    }
+
+    /// Final check at quiescence: with no adds outstanding, the completed
+    /// adds must chain exactly from zero.
+    fn finish(&self) -> Result<(), Violation> {
+        let outstanding_add = self
+            .pending
+            .values()
+            .any(|p| matches!(p.kind, OpKind::Add(_)));
+        if outstanding_add {
+            return Ok(());
+        }
+        let mut prev = 0u64;
+        for (&v, &(client, timestamp, k)) in &self.add_values {
+            if v != prev + k {
+                return Err(Violation::Linearizability {
+                    client,
+                    timestamp,
+                    detail: format!(
+                        "add chain broken: add({k}) returned {v} but the previous total was {prev}"
+                    ),
+                });
+            }
+            prev = v;
+        }
+        Ok(())
+    }
+}
+
+/// The protocol invariant checker. Create one per run and pass it to
+/// [`Cluster::run_with_plan`]; call [`InvariantChecker::finish`] once the
+/// run reaches quiescence.
+///
+/// [`Cluster::run_with_plan`]: crate::cluster::Cluster::run_with_plan
+#[derive(Debug, Default)]
+pub struct InvariantChecker {
+    committed: HashMap<SeqNum, (ReplicaId, Digest)>,
+    checkpoints: HashMap<SeqNum, (ReplicaId, Digest)>,
+    views: HashMap<ReplicaId, View>,
+    tainted: HashSet<ReplicaId>,
+    lin: CounterLinearizability,
+}
+
+impl InvariantChecker {
+    /// Creates a fresh checker.
+    pub fn new() -> InvariantChecker {
+        InvariantChecker::default()
+    }
+
+    /// Marks a replica as Byzantine: its audit records are drained but no
+    /// longer checked. Called automatically when a fault plan applies a
+    /// Byzantine mutation.
+    pub fn mark_tainted(&mut self, replica: ReplicaId) {
+        self.tainted.insert(replica);
+    }
+
+    /// Drains every node's audit records and checks all invariants.
+    /// `S` and `D` are the cluster's service and client-driver types.
+    pub fn observe<S: Service, D: ClientDriver>(
+        &mut self,
+        cluster: &mut Cluster,
+    ) -> Result<(), Violation> {
+        for i in 0..cluster.cfg.n() {
+            let replica: &mut Replica<S> = cluster.replica_mut(i);
+            let view = replica.view();
+            let audit = replica.drain_audit();
+            if self.tainted.contains(&i) {
+                continue;
+            }
+            let prev = self.views.entry(i).or_insert(0);
+            if view < *prev {
+                return Err(Violation::ViewRegression {
+                    replica: i,
+                    from: *prev,
+                    to: view,
+                });
+            }
+            *prev = view;
+            for (seq, digest) in audit.committed {
+                match self.committed.entry(seq) {
+                    Entry::Occupied(e) => {
+                        let &(other, other_digest) = e.get();
+                        if other_digest != digest {
+                            return Err(Violation::Agreement {
+                                seq,
+                                a: (other, other_digest),
+                                b: (i, digest),
+                            });
+                        }
+                    }
+                    Entry::Vacant(v) => {
+                        v.insert((i, digest));
+                    }
+                }
+            }
+            for (seq, digest) in audit.checkpoints {
+                match self.checkpoints.entry(seq) {
+                    Entry::Occupied(e) => {
+                        let &(other, other_digest) = e.get();
+                        if other_digest != digest {
+                            return Err(Violation::CheckpointDivergence {
+                                seq,
+                                a: (other, other_digest),
+                                b: (i, digest),
+                            });
+                        }
+                    }
+                    Entry::Vacant(v) => {
+                        v.insert((i, digest));
+                    }
+                }
+            }
+        }
+        let mut events = Vec::new();
+        for id in cluster.clients.clone() {
+            let client: &mut Client<D> = cluster.client_mut(id);
+            events.extend(client.drain_audit());
+        }
+        // Drains may interleave clients; feed the checker in time order.
+        events.sort_by_key(OpEvent::at_ns);
+        for ev in events {
+            match ev {
+                OpEvent::Invoke {
+                    client,
+                    timestamp,
+                    op,
+                    at_ns,
+                } => self.lin.invoke(client, timestamp, &op, at_ns)?,
+                OpEvent::Complete {
+                    client,
+                    timestamp,
+                    result,
+                    at_ns,
+                } => self.lin.complete(client, timestamp, &result, at_ns)?,
+            }
+        }
+        Ok(())
+    }
+
+    /// Final quiescence checks (exact add-chain reconstruction).
+    pub fn finish(&self) -> Result<(), Violation> {
+        self.lin.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn add(k: u64) -> Vec<u8> {
+        vec![0, k as u8]
+    }
+    fn get() -> Vec<u8> {
+        vec![1]
+    }
+    fn val(v: u64) -> Vec<u8> {
+        v.to_le_bytes().to_vec()
+    }
+
+    #[test]
+    fn sequential_history_passes() {
+        let mut lin = CounterLinearizability::default();
+        lin.invoke(4, 1, &add(5), 0).unwrap();
+        lin.complete(4, 1, &val(5), 10).unwrap();
+        lin.invoke(4, 2, &get(), 20).unwrap();
+        lin.complete(4, 2, &val(5), 30).unwrap();
+        lin.invoke(5, 1, &add(3), 40).unwrap();
+        lin.complete(5, 1, &val(8), 50).unwrap();
+        lin.finish().unwrap();
+    }
+
+    #[test]
+    fn stale_read_is_caught() {
+        let mut lin = CounterLinearizability::default();
+        lin.invoke(4, 1, &add(5), 0).unwrap();
+        lin.complete(4, 1, &val(5), 10).unwrap();
+        // Read invoked after the add completed must not return 0.
+        lin.invoke(5, 1, &get(), 20).unwrap();
+        let err = lin.complete(5, 1, &val(0), 30).unwrap_err();
+        assert!(matches!(err, Violation::Linearizability { .. }));
+        assert!(err.to_string().contains("stale read"));
+    }
+
+    #[test]
+    fn forged_value_exceeding_invoked_sum_is_caught() {
+        let mut lin = CounterLinearizability::default();
+        lin.invoke(4, 1, &add(5), 0).unwrap();
+        assert!(lin.complete(4, 1, &val(500), 10).is_err());
+    }
+
+    #[test]
+    fn duplicate_add_result_is_caught() {
+        let mut lin = CounterLinearizability::default();
+        // Concurrent adds (neither completes before the other is invoked)
+        // must still return distinct totals.
+        lin.invoke(4, 1, &add(5), 0).unwrap();
+        lin.invoke(5, 1, &add(5), 1).unwrap();
+        lin.complete(4, 1, &val(5), 10).unwrap();
+        let err = lin.complete(5, 1, &val(5), 20).unwrap_err();
+        assert!(err.to_string().contains("already returned"));
+    }
+
+    #[test]
+    fn concurrent_reads_may_disagree_within_bounds() {
+        let mut lin = CounterLinearizability::default();
+        // Add in flight; two concurrent reads see old and new values.
+        lin.invoke(4, 1, &add(7), 0).unwrap();
+        lin.invoke(5, 1, &get(), 1).unwrap();
+        lin.invoke(6, 1, &get(), 2).unwrap();
+        lin.complete(5, 1, &val(7), 20).unwrap();
+        lin.complete(6, 1, &val(0), 21).unwrap();
+        lin.complete(4, 1, &val(7), 30).unwrap();
+        lin.finish().unwrap();
+    }
+
+    #[test]
+    fn broken_add_chain_is_caught_at_finish() {
+        let mut lin = CounterLinearizability::default();
+        lin.invoke(4, 1, &add(5), 0).unwrap();
+        lin.invoke(5, 1, &add(3), 1).unwrap();
+        // Both adds claim disjoint, non-chaining totals: 5 then 3+5=8 is
+        // correct; 5 then 7 is not reachable by add(3).
+        lin.complete(4, 1, &val(5), 10).unwrap();
+        assert!(lin.complete(5, 1, &val(7), 20).is_err());
+    }
+
+    #[test]
+    fn out_of_order_completions_chain() {
+        let mut lin = CounterLinearizability::default();
+        // Two concurrent adds complete in the opposite order of their
+        // linearization points.
+        lin.invoke(4, 1, &add(5), 0).unwrap();
+        lin.invoke(5, 1, &add(3), 1).unwrap();
+        lin.complete(5, 1, &val(8), 20).unwrap();
+        lin.complete(4, 1, &val(5), 21).unwrap();
+        lin.finish().unwrap();
+    }
+}

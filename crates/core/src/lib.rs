@@ -55,6 +55,8 @@ pub mod checkpoint;
 pub mod client;
 pub mod cluster;
 pub mod config;
+pub mod fuzz;
+pub mod invariants;
 pub mod log;
 pub mod messages;
 pub mod replica;
@@ -64,8 +66,9 @@ pub mod viewchange;
 pub mod wire;
 
 pub use client::{Client, ClientApi, ClientDriver};
-pub use cluster::Cluster;
+pub use cluster::{derive_seed, Cluster, ClusterBuilder};
 pub use config::{Config, Optimizations};
+pub use invariants::{InvariantChecker, OpEvent, ReplicaAudit, Violation};
 pub use messages::{Msg, Packet};
 pub use replica::{Behavior, Replica};
 pub use service::{CounterService, NullService, Service};
@@ -74,11 +77,13 @@ pub use types::{ClientId, Quorums, ReplicaId, SeqNum, Timestamp, View};
 /// Common imports for building and driving clusters.
 pub mod prelude {
     pub use crate::client::{Client, ClientApi, ClientDriver};
-    pub use crate::cluster::Cluster;
+    pub use crate::cluster::{derive_seed, Cluster, ClusterBuilder};
     pub use crate::config::{Config, Optimizations};
+    pub use crate::invariants::{InvariantChecker, Violation};
     pub use crate::messages::Packet;
     pub use crate::replica::{Behavior, Replica};
     pub use crate::service::{CounterService, NullService, Service};
     pub use crate::types::{ClientId, Quorums, ReplicaId};
+    pub use bft_sim::chaos::{ChaosConfig, FaultPlan};
     pub use bft_sim::{dur, NetConfig, SimTime};
 }

@@ -4,6 +4,7 @@
 
 use crate::checkpoint::{CheckpointSet, CheckpointTracker, OwnCheckpoint};
 use crate::config::Config;
+use crate::invariants::ReplicaAudit;
 use crate::log::Log;
 use crate::messages::*;
 use crate::service::Service;
@@ -45,6 +46,10 @@ pub enum Behavior {
     BadNewView,
     /// Serve corrupted snapshots to state-transfer requests.
     CorruptStateData,
+    /// Test-only: treat every executable slot as committed without
+    /// waiting for a quorum. Exists to deliberately violate agreement so
+    /// the invariant checker can be validated end to end.
+    BrokenQuorumCheck,
 }
 
 /// A cached last reply for one client (BFT's reply cache, part of the
@@ -141,6 +146,13 @@ pub struct Replica<S: Service> {
     vc_set: ViewChangeSet,
     vc_timer: Option<TimerId>,
     vc_timeout_ns: u64,
+    /// The NEW-VIEW that installed the current view, kept so it can be
+    /// retransmitted to replicas discovered to still be in an earlier
+    /// view (e.g. an ex-primary healed from a partition, which has no
+    /// other way to learn that the group moved on).
+    last_new_view: Option<NewView>,
+    /// Per-destination earliest time of the next NEW-VIEW retransmission.
+    nv_retx_after_ns: HashMap<ReplicaId, u64>,
     /// Pending piggybacked commit announcements.
     piggy_queue: Vec<(SeqNum, Digest)>,
     piggy_timer: Option<TimerId>,
@@ -155,6 +167,9 @@ pub struct Replica<S: Service> {
     backfill: HashMap<(SeqNum, Digest), HashSet<ReplicaId>>,
     waiting_ro: Vec<WaitingRo>,
     behavior: Behavior,
+    /// Safety events (finalized batches, announced checkpoints) for the
+    /// chaos invariant checker; drained via [`Replica::drain_audit`].
+    audit: ReplicaAudit,
 }
 
 impl<S: Service> Replica<S> {
@@ -210,6 +225,8 @@ impl<S: Service> Replica<S> {
             vc_set: ViewChangeSet::new(),
             vc_timer: None,
             vc_timeout_ns,
+            last_new_view: None,
+            nv_retx_after_ns: HashMap::new(),
             piggy_queue: Vec::new(),
             piggy_timer: None,
             fetching: None,
@@ -218,6 +235,7 @@ impl<S: Service> Replica<S> {
             backfill: HashMap::new(),
             waiting_ro: Vec::new(),
             behavior: Behavior::Correct,
+            audit: ReplicaAudit::default(),
         }
     }
 
@@ -259,6 +277,13 @@ impl<S: Service> Replica<S> {
     /// The configuration.
     pub fn config(&self) -> &Config {
         &self.cfg
+    }
+
+    /// Takes the accumulated safety audit (finalized batches and announced
+    /// checkpoints), leaving it empty. The chaos invariant checker drains
+    /// this after every simulation event.
+    pub fn drain_audit(&mut self) -> ReplicaAudit {
+        std::mem::take(&mut self.audit)
     }
 
     // ------------------------------------------------------------------
@@ -744,6 +769,12 @@ impl<S: Service> Replica<S> {
             || from != self.cfg.quorums.primary(pp.view)
             || !self.log.in_window(pp.seq)
         {
+            // A pre-prepare from the primary of an *earlier* view means
+            // that replica missed the view change entirely; show it the
+            // NEW-VIEW proof so it can rejoin.
+            if pp.view < self.view && from == self.cfg.quorums.primary(pp.view) {
+                self.retransmit_new_view(ctx, from);
+            }
             return;
         }
         // Reject a conflicting assignment for the same (view, seq).
@@ -906,11 +937,17 @@ impl<S: Service> Replica<S> {
 
     fn try_execute(&mut self, ctx: &mut Context<'_, Packet>) {
         let q = self.cfg.quorums;
+        // Deliberate fault injection: skip the quorum checks entirely.
+        let broken = self.behavior == Behavior::BrokenQuorumCheck;
         // Finalize the tentative batch once its commit certificate
         // completes (it sits *at* last_executed, before the loop's range).
         if self.last_executed > self.last_final {
             let seq = self.last_executed;
-            if self.log.slot(seq).is_some_and(|slot| slot.committed(&q)) {
+            if self
+                .log
+                .slot(seq)
+                .is_some_and(|slot| slot.committed(&q) || broken)
+            {
                 self.finalize_tentative(seq);
                 self.exec_progress = true;
             }
@@ -936,7 +973,7 @@ impl<S: Service> Replica<S> {
                 }
                 break;
             }
-            if slot.committed(&q) {
+            if slot.committed(&q) || broken {
                 if slot.executed_tentative {
                     self.finalize_tentative(next);
                 } else {
@@ -968,6 +1005,10 @@ impl<S: Service> Replica<S> {
         let announceable = self.checkpoints.announceable(self.last_final);
         for (seq, digest) in announceable {
             self.checkpoints.mark_announced(seq);
+            // Audit at announce time, not creation time: a checkpoint cut
+            // over a tentative batch may be rolled back and re-made, but
+            // announced checkpoints must agree across correct replicas.
+            self.audit.note_checkpoint(seq, digest);
             let cp = Checkpoint {
                 seq,
                 state_digest: digest,
@@ -1004,6 +1045,7 @@ impl<S: Service> Replica<S> {
         let slot = self.log.slot(seq).expect("slot exists");
         let requests: Vec<Request> = slot.requests.clone().unwrap_or_default();
         let is_null = slot.is_null;
+        let batch_digest = slot.digest;
         let mut ops = 0usize;
         if tentative {
             self.tentative_cache_undo.clear();
@@ -1076,6 +1118,9 @@ impl<S: Service> Replica<S> {
         } else {
             self.last_final = seq;
             self.service.commit_prefix(ops);
+            if let Some(d) = batch_digest {
+                self.audit.note_committed(seq, d);
+            }
         }
         // Checkpoint at interval boundaries.
         if seq.is_multiple_of(self.cfg.checkpoint_interval) {
@@ -1090,6 +1135,9 @@ impl<S: Service> Replica<S> {
         self.tentative_cache_undo.clear();
         self.last_final = seq;
         self.service.commit_prefix(ops);
+        if let Some(d) = self.log.slot(seq).and_then(|s| s.digest) {
+            self.audit.note_committed(seq, d);
+        }
         let view = self.view;
         {
             let slot = self.log.slot_mut(seq);
@@ -1708,8 +1756,35 @@ impl<S: Service> Replica<S> {
         self.maybe_build_new_view(ctx, target);
     }
 
+    /// Sends the NEW-VIEW that installed our current view to a replica
+    /// observed operating in an earlier view. Without this, a replica
+    /// that was cut off while the rest of the group changed views (the
+    /// asymmetric-partition scenario: an isolated primary that clients
+    /// can still reach) escalates solo view changes forever and never
+    /// rejoins. Rate-limited per destination.
+    fn retransmit_new_view(&mut self, ctx: &mut Context<'_, Packet>, to: ReplicaId) {
+        let Some(nv) = &self.last_new_view else {
+            return;
+        };
+        if nv.view != self.view || to == self.id {
+            return;
+        }
+        let now = ctx.now().nanos();
+        let gate = self.nv_retx_after_ns.entry(to).or_insert(0);
+        if now < *gate {
+            return;
+        }
+        *gate = now + self.cfg.resend_interval_ns.max(20_000_000);
+        let nv = nv.clone();
+        ctx.metrics().incr("replica.new_view_retransmits");
+        self.send_to(ctx, to, Msg::NewView(nv));
+    }
+
     fn handle_view_change(&mut self, ctx: &mut Context<'_, Packet>, vc: ViewChange) {
         if vc.new_view <= self.view {
+            // The voter is trying to leave a view we already left; it is
+            // lagging, not us — hand it the proof of the current view.
+            self.retransmit_new_view(ctx, vc.replica);
             return;
         }
         self.vc_set.add(vc.clone());
@@ -1782,6 +1857,9 @@ impl<S: Service> Replica<S> {
             batches: batches.clone(),
         };
         ctx.metrics().incr("replica.new_views_sent");
+        if self.behavior != Behavior::BadNewView {
+            self.last_new_view = Some(nv.clone());
+        }
         self.multicast(ctx, Msg::NewView(nv));
         if self.behavior != Behavior::BadNewView {
             self.install_new_view(ctx, target, plan, batches);
@@ -1802,6 +1880,7 @@ impl<S: Service> Replica<S> {
             }
         };
         self.rollback_tentative();
+        self.last_new_view = Some(nv.clone());
         self.install_new_view(ctx, nv.view, plan, nv.batches);
     }
 
@@ -2232,6 +2311,30 @@ impl<S: Service> Node<Packet> for Replica<S> {
 
     fn on_timer(&mut self, ctx: &mut Context<'_, Packet>, token: u64) {
         if self.behavior == Behavior::Crashed {
+            // A crash may be followed by a chaos-plan restart, so the
+            // recurring timers must stay armed (doing no work), and
+            // one-shot timer handles must be cleared — the fired timer's
+            // id is consumed, and a stale `Some` would block re-arming
+            // after the restart.
+            match token {
+                TIMER_RESEND => {
+                    ctx.set_timer(self.cfg.resend_interval_ns, TIMER_RESEND);
+                }
+                TIMER_KEY_REFRESH => {
+                    ctx.set_timer(self.cfg.key_refresh_interval_ns, TIMER_KEY_REFRESH);
+                }
+                TIMER_RECOVERY => {
+                    ctx.set_timer(self.cfg.proactive_recovery_interval_ns, TIMER_RECOVERY);
+                }
+                TIMER_VIEW_CHANGE => {
+                    self.vc_timer = None;
+                }
+                TIMER_PIGGY => {
+                    self.piggy_timer = None;
+                    self.piggy_queue.clear();
+                }
+                _ => {}
+            }
             return;
         }
         match token {

@@ -34,9 +34,10 @@ impl ClientDriver for LoopDriver {
 }
 
 fn cluster(seed: u64) -> Cluster {
-    Cluster::new(seed, NetConfig::SWITCHED_100MBPS, Config::new(1), |_| {
-        CounterService::default()
-    })
+    Cluster::builder(Config::new(1))
+        .seed(seed)
+        .net(NetConfig::SWITCHED_100MBPS)
+        .build_counter()
 }
 
 fn assert_correct_results(cluster: &Cluster, id: u32, n: u64) {
@@ -128,9 +129,10 @@ fn replayed_packets_are_idempotent() {
 #[test]
 fn two_equivocating_backups_with_f2() {
     // f = 2 (7 replicas): two corrupt-auth replicas are tolerated.
-    let mut c = Cluster::new(36, NetConfig::SWITCHED_100MBPS, Config::new(2), |_| {
-        CounterService::default()
-    });
+    let mut c = Cluster::builder(Config::new(2))
+        .seed(36)
+        .net(NetConfig::SWITCHED_100MBPS)
+        .build_counter();
     c.replica_mut::<CounterService>(2)
         .set_behavior(Behavior::CorruptAuth);
     c.replica_mut::<CounterService>(5)
@@ -191,9 +193,10 @@ fn corrupted_state_transfer_snapshot_is_detected() {
     let mut cfg = Config::new(1);
     cfg.checkpoint_interval = 8;
     cfg.log_window = 16;
-    let mut c = Cluster::new(40, NetConfig::SWITCHED_100MBPS, cfg, |_| {
-        CounterService::default()
-    });
+    let mut c = Cluster::builder(cfg)
+        .seed(40)
+        .net(NetConfig::SWITCHED_100MBPS)
+        .build_counter();
     c.replica_mut::<CounterService>(0)
         .set_behavior(Behavior::CorruptStateData);
     let id = c.add_client(LoopDriver::new(120));

@@ -1,0 +1,237 @@
+//! Randomized chaos fuzzing: seeded fault schedules against full clusters,
+//! with every protocol invariant checked after every event. The harness
+//! itself lives in [`bft_core::fuzz`] so the umbrella crate's tier-1
+//! suite can drive the same machinery; this file holds the core-crate
+//! entry points plus the directed chaos regression tests.
+//!
+//! Knobs (environment variables):
+//!
+//! - `CHAOS_SCHEDULES` — total seeded schedules across the four
+//!   `fuzz_smoke_*` tests (default 120; the nightly CI job raises it).
+//! - `CHAOS_BASE_SEED` — base seed the per-run seeds are derived from.
+//! - `CHAOS_SEED` (+ optional `CHAOS_F`) — replay exactly one run via the
+//!   `replay_one` test.
+
+use bft_core::fuzz::{
+    check_schedule, env_u64, failure_report, fuzz_config, fuzz_plan, run_fuzz_schedule,
+    ChaosDriver, Workload,
+};
+use bft_core::prelude::*;
+use bft_sim::chaos::{Fault, FaultEvent, NetFault};
+use bft_sim::dur;
+
+/// Fixed default base seed so a plain `cargo test` run is reproducible.
+const DEFAULT_BASE_SEED: u64 = 0xCA05_2026;
+
+/// One quarter of the smoke budget, so the four `fuzz_smoke_*` tests run
+/// in parallel under the default test harness.
+fn fuzz_quarter(quarter: u64) {
+    let total = env_u64("CHAOS_SCHEDULES", 120);
+    let base = env_u64("CHAOS_BASE_SEED", DEFAULT_BASE_SEED);
+    bft_core::fuzz::check_schedules(base, total, quarter, 4, 1);
+}
+
+#[test]
+fn fuzz_smoke_a() {
+    fuzz_quarter(0);
+}
+
+#[test]
+fn fuzz_smoke_b() {
+    fuzz_quarter(1);
+}
+
+#[test]
+fn fuzz_smoke_c() {
+    fuzz_quarter(2);
+}
+
+#[test]
+fn fuzz_smoke_d() {
+    fuzz_quarter(3);
+}
+
+/// A handful of schedules against the larger f = 2 (n = 7) group.
+#[test]
+fn fuzz_smoke_f2() {
+    let base = env_u64("CHAOS_BASE_SEED", DEFAULT_BASE_SEED);
+    for i in 0..6 {
+        check_schedule(derive_seed(base ^ 0xF2, i), 2);
+    }
+}
+
+/// Replays one run printed by a failing fuzz test:
+/// `CHAOS_SEED=<seed> [CHAOS_F=<f>] cargo test -p bft-core --test chaos replay_one -- --nocapture`
+#[test]
+fn replay_one() {
+    let Ok(seed) = std::env::var("CHAOS_SEED") else {
+        return; // nothing to replay; the fuzz tests are the default path
+    };
+    let seed: u64 = seed.parse().expect("CHAOS_SEED must be a u64");
+    let f = env_u64("CHAOS_F", 1) as u32;
+    let plan = fuzz_plan(seed, f);
+    println!("replaying seed {seed} (f = {f}) with plan:\n{plan}");
+    match run_fuzz_schedule(seed, f, &plan) {
+        Ok(()) => println!("seed {seed}: all invariants held"),
+        Err(v) => panic!("{}", failure_report(seed, f, &plan, &v)),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Directed tests
+// ---------------------------------------------------------------------
+
+/// A deliberately broken replica (quorum checks disabled behind the
+/// test-only [`Behavior::BrokenQuorumCheck`] flag) must be caught by the
+/// invariant checker and reported with a replayable seed.
+///
+/// Construction: the primary is cut off from backups 2 and 3 before any
+/// request is ordered, so its pre-prepares reach only backup 1, which
+/// executes them without a quorum. The view change that follows re-orders
+/// the same requests — batched differently, since by then both clients'
+/// retries sit in the new primary's queue — so backup 1's recorded
+/// commits disagree with what the cluster actually commits.
+#[test]
+fn injected_broken_quorum_check_is_caught() {
+    let seed = 0xB0B;
+    let mut cluster = Cluster::builder(fuzz_config(1)).seed(seed).build_counter();
+    cluster.add_client(ChaosDriver::new(seed, 6, Workload::Adds));
+    cluster.add_client(ChaosDriver::new(seed ^ 7, 6, Workload::Adds).delayed(dur::millis(5)));
+    cluster
+        .replica_mut::<CounterService>(1)
+        .set_behavior(Behavior::BrokenQuorumCheck);
+    let plan = FaultPlan {
+        events: vec![
+            FaultEvent {
+                at_ns: 0,
+                fault: Fault::Net(NetFault::Partition { a: 0, b: 2 }),
+            },
+            FaultEvent {
+                at_ns: 0,
+                fault: Fault::Net(NetFault::Partition { a: 0, b: 3 }),
+            },
+        ],
+    };
+    let mut checker = InvariantChecker::new();
+    let mut caught = None;
+    let empty = FaultPlan::empty();
+    for round in 0..20 {
+        let p = if round == 0 { &plan } else { &empty };
+        if let Err(v) =
+            cluster.run_with_plan::<CounterService, ChaosDriver>(p, dur::millis(250), &mut checker)
+        {
+            caught = Some(v);
+            break;
+        }
+    }
+    let v = caught.expect("the checker must catch the broken quorum check");
+    assert!(
+        matches!(
+            v,
+            Violation::Agreement { .. }
+                | Violation::CheckpointDivergence { .. }
+                | Violation::Linearizability { .. }
+        ),
+        "unexpected violation kind: {v}"
+    );
+    // The failure report must carry everything needed to replay the run.
+    let report = failure_report(seed, 1, &plan, &v);
+    assert!(report.contains(&format!("CHAOS_SEED={seed}")), "{report}");
+    assert!(report.contains("replay:"), "{report}");
+}
+
+/// Read-only operations that cannot assemble their 2f + 1 read-only
+/// quorum (here: the reader is partitioned from two replicas while
+/// writes commit concurrently) must be retried as read-write and must
+/// never return a stale value.
+#[test]
+fn read_only_conflicts_retry_as_read_write() {
+    let cfg = fuzz_config(1);
+    let mut cluster = Cluster::builder(cfg).seed(7).build_counter();
+    let writer = cluster.add_client(ChaosDriver::new(11, 40, Workload::Adds));
+    let reader = cluster.add_client(ChaosDriver::new(13, 10, Workload::Reads));
+    // The reader can reach only replicas 0 and 1: a read-only round trip
+    // cannot assemble its quorum and must fall back to the ordered path.
+    // (The client's adaptive retransmission backoff grows with each
+    // timed-out read, so the partition heals partway through — the early
+    // reads exercise the conflict path, the rest finish quickly.)
+    let plan = FaultPlan {
+        events: vec![
+            FaultEvent {
+                at_ns: 0,
+                fault: Fault::Net(NetFault::Partition { a: reader, b: 2 }),
+            },
+            FaultEvent {
+                at_ns: 0,
+                fault: Fault::Net(NetFault::Partition { a: reader, b: 3 }),
+            },
+            FaultEvent {
+                at_ns: dur::secs(5),
+                fault: Fault::Net(NetFault::HealNode(reader)),
+            },
+        ],
+    };
+    let mut checker = InvariantChecker::new();
+    cluster
+        .run_with_plan::<CounterService, ChaosDriver>(&plan, dur::secs(40), &mut checker)
+        .expect("no invariant may break");
+    checker.finish().expect("linearizability must hold");
+    assert_eq!(cluster.completed_ops(), 50, "all ops must complete");
+    assert_eq!(
+        cluster.client::<ChaosDriver>(reader).completed_ops(),
+        10,
+        "every read must complete despite the unreachable read-only quorum"
+    );
+    assert!(
+        cluster.sim.metrics().counter("client.retransmissions") > 0,
+        "reads must have timed out and retried as read-write"
+    );
+    let _ = writer;
+}
+
+/// View change under an asymmetric partition: the primary is cut off
+/// from every backup but still hears from clients. The backups must
+/// elect a new primary and resume progress; after the heal the isolated
+/// ex-primary must rejoin (via NEW-VIEW retransmission) and the cluster
+/// must settle within a bounded number of views.
+#[test]
+fn view_change_under_asymmetric_partition() {
+    // Enough closed-loop work that the clients are still busy for the
+    // whole fault window (an op completes in a couple of milliseconds).
+    let mut cluster = Cluster::builder(fuzz_config(1)).seed(21).build_counter();
+    cluster.add_client(ChaosDriver::new(31, 400, Workload::Mixed));
+    cluster.add_client(ChaosDriver::new(37, 400, Workload::Mixed));
+    let mut events = vec![];
+    for b in 1..4 {
+        events.push(FaultEvent {
+            at_ns: dur::millis(100),
+            fault: Fault::Net(NetFault::Partition { a: 0, b }),
+        });
+    }
+    events.push(FaultEvent {
+        at_ns: dur::millis(2_500),
+        fault: Fault::Net(NetFault::HealNode(0)),
+    });
+    let plan = FaultPlan { events };
+    let mut checker = InvariantChecker::new();
+    cluster
+        .run_with_plan::<CounterService, ChaosDriver>(&plan, dur::secs(8), &mut checker)
+        .expect("no invariant may break");
+    checker.finish().expect("linearizability must hold");
+    assert_eq!(cluster.completed_ops(), 800, "progress must resume");
+    assert!(
+        cluster
+            .sim
+            .metrics()
+            .counter("replica.view_changes_started")
+            > 0,
+        "the backups must have run a view change"
+    );
+    for i in 0..4 {
+        let view = cluster.replica::<CounterService>(i).view();
+        assert!(
+            (1..=4).contains(&view),
+            "replica {i} must have left view 0 and settled quickly, got view {view}"
+        );
+    }
+}

@@ -53,9 +53,10 @@ impl ClientDriver for LoopDriver {
 }
 
 fn counter_cluster(seed: u64, cfg: Config) -> Cluster {
-    Cluster::new(seed, NetConfig::LOSSLESS_100MBPS, cfg, |_| {
-        CounterService::default()
-    })
+    Cluster::builder(cfg)
+        .seed(seed)
+        .net(NetConfig::LOSSLESS_100MBPS)
+        .build_counter()
 }
 
 /// Asserts that all replicas that executed everything agree on state.

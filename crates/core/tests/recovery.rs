@@ -33,9 +33,10 @@ impl ClientDriver for LoopDriver {
 }
 
 fn cluster_with(cfg: Config, seed: u64, clients: u32, ops: u64) -> (Cluster, Vec<u32>) {
-    let mut cluster = Cluster::new(seed, NetConfig::SWITCHED_100MBPS, cfg, |_| {
-        CounterService::default()
-    });
+    let mut cluster = Cluster::builder(cfg)
+        .seed(seed)
+        .net(NetConfig::SWITCHED_100MBPS)
+        .build_counter();
     let ids = (0..clients)
         .map(|_| {
             cluster.add_client(LoopDriver {

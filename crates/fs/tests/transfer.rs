@@ -47,9 +47,10 @@ fn lagging_replica_recovers_via_partial_state_transfer() {
     let mut cfg = Config::new(1);
     cfg.checkpoint_interval = 8;
     cfg.log_window = 16;
-    let mut cluster = Cluster::new(77, NetConfig::SWITCHED_100MBPS, cfg, |_| {
-        FsService::in_memory()
-    });
+    let mut cluster = Cluster::builder(cfg)
+        .seed(77)
+        .net(NetConfig::SWITCHED_100MBPS)
+        .build(|_| FsService::in_memory());
 
     // Phase 1: build up a populated filesystem on all four replicas.
     let creates: Vec<NfsOp> = (0..40)

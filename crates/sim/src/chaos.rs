@@ -1,0 +1,429 @@
+//! Deterministic, seed-replayable fault schedules (the chaos engine).
+//!
+//! A [`FaultPlan`] is a time-ordered list of interventions — partitions
+//! and heals, loss/delay/jitter/duplication knob changes, replica crashes
+//! and restarts, and Byzantine mutations — that a driver applies to a
+//! running simulation at the scheduled instants. Plans are plain data:
+//! they can be written by hand for directed tests, generated from a seed
+//! by [`FaultPlan::generate`] for fuzzing, and shrunk by
+//! [`FaultPlan::minimize`] when a generated plan exposes a failure.
+//!
+//! Everything here is deterministic. The generator draws from its own
+//! `StdRng` seeded by the plan seed, so `(seed, config)` fully determines
+//! the plan, and the simulation's own RNG stream is untouched — replaying
+//! a printed seed reproduces the failing run bit-for-bit.
+
+use crate::network::{Network, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A Byzantine mutation mode, mirrored onto the protocol crate's
+/// fault-injection behaviours by the harness applying the plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ByzMode {
+    /// Process messages but never send anything.
+    Silent,
+    /// As primary, send conflicting pre-prepares to different backups.
+    Equivocate,
+    /// Execute correctly but reply with corrupted results.
+    WrongResult,
+    /// Send garbage authentication tags on every message.
+    CorruptAuth,
+    /// Serve corrupted snapshots to state-transfer requests.
+    CorruptStateData,
+}
+
+/// A node-level intervention.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeFault {
+    /// Fail-stop: the node stops processing everything.
+    Crash,
+    /// Resume correct operation (state intact, as after a pause).
+    Restart,
+    /// Switch the node to a Byzantine mutation mode.
+    Byzantine(ByzMode),
+}
+
+/// A network-level intervention, applied via [`NetFault::apply`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetFault {
+    /// Block traffic between `a` and `b` in both directions.
+    Partition {
+        /// One endpoint.
+        a: NodeId,
+        /// The other endpoint.
+        b: NodeId,
+    },
+    /// Block traffic from `src` to `dst` only.
+    PartitionOneWay {
+        /// Sender whose packets are blocked.
+        src: NodeId,
+        /// Destination that stops hearing from `src`.
+        dst: NodeId,
+    },
+    /// Cut `node` off from all `n_hosts` hosts in both directions.
+    Isolate {
+        /// The node to isolate.
+        node: NodeId,
+        /// Total number of hosts in the simulation.
+        n_hosts: u32,
+    },
+    /// Remove partitions touching `node`.
+    HealNode(NodeId),
+    /// Remove every partition.
+    HealAll,
+    /// Set the uniform packet-loss probability, in permille (0..=1000).
+    Loss(u16),
+    /// Set the fixed extra one-way delay on every packet.
+    ExtraDelay(u64),
+    /// Set the per-packet random delay bound (message reordering).
+    Jitter(u64),
+    /// Set the packet duplication probability, in permille (0..=1000).
+    Duplicate(u16),
+}
+
+impl NetFault {
+    /// Applies this intervention to the network.
+    pub fn apply(&self, net: &mut Network) {
+        match *self {
+            NetFault::Partition { a, b } => net.partition(a, b),
+            NetFault::PartitionOneWay { src, dst } => net.partition_one_way(src, dst),
+            NetFault::Isolate { node, n_hosts } => net.isolate(node, n_hosts),
+            NetFault::HealNode(node) => net.heal_node(node),
+            NetFault::HealAll => net.heal(),
+            NetFault::Loss(permille) => net.set_loss_probability(f64::from(permille) / 1000.0),
+            NetFault::ExtraDelay(ns) => net.set_extra_delay_ns(ns),
+            NetFault::Jitter(ns) => net.set_jitter_ns(ns),
+            NetFault::Duplicate(permille) => {
+                net.set_duplicate_probability(f64::from(permille) / 1000.0)
+            }
+        }
+    }
+}
+
+/// One intervention: either network-level or node-level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// A network intervention.
+    Net(NetFault),
+    /// A node intervention.
+    Node {
+        /// The target node.
+        node: NodeId,
+        /// What happens to it.
+        fault: NodeFault,
+    },
+}
+
+/// A fault scheduled at an absolute simulated time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// When the fault takes effect (nanoseconds of simulated time,
+    /// measured from the start of the run the plan is applied to).
+    pub at_ns: u64,
+    /// The intervention.
+    pub fault: Fault,
+}
+
+/// Parameters for [`FaultPlan::generate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChaosConfig {
+    /// Number of replicas (node ids `0..replicas`).
+    pub replicas: u32,
+    /// Number of clients (node ids `replicas..replicas + clients`).
+    pub clients: u32,
+    /// Maximum number of simultaneously crashed-or-Byzantine replicas.
+    /// Keep this at most `f`: with more, safety violations are expected
+    /// and the invariant checker would report true — but uninteresting —
+    /// failures.
+    pub max_faulty: u32,
+    /// Faults are scheduled inside `(horizon_ns / 10, horizon_ns * 9 / 10)`;
+    /// at `horizon_ns` the plan appends a cleanup (heal everything,
+    /// restart everyone) so liveness can be asserted afterwards.
+    pub horizon_ns: u64,
+    /// How many random fault events to schedule (before cleanup).
+    pub events: usize,
+}
+
+/// A deterministic, replayable schedule of faults.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FaultPlan {
+    /// Interventions sorted by `at_ns`.
+    pub events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no interventions).
+    pub fn empty() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Generates a random plan from `seed`. The same `(seed, cfg)` always
+    /// yields the same plan. The generated schedule keeps at most
+    /// `cfg.max_faulty` replicas simultaneously crashed or Byzantine and
+    /// ends with a cleanup phase at `cfg.horizon_ns` that heals all
+    /// partitions, zeroes every fault knob, and restarts every faulty
+    /// replica.
+    pub fn generate(seed: u64, cfg: &ChaosConfig) -> FaultPlan {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n_hosts = cfg.replicas + cfg.clients;
+        let lo = cfg.horizon_ns / 10;
+        let hi = cfg.horizon_ns * 9 / 10;
+        let mut times: Vec<u64> = (0..cfg.events).map(|_| rng.gen_range(lo..hi)).collect();
+        times.sort_unstable();
+        // Replicas currently crashed or Byzantine (the "fault budget").
+        let mut faulty: BTreeSet<NodeId> = BTreeSet::new();
+        let mut events = Vec::with_capacity(cfg.events + 8);
+        for at_ns in times {
+            let fault = Self::random_fault(&mut rng, cfg, n_hosts, &mut faulty);
+            events.push(FaultEvent { at_ns, fault });
+        }
+        // Cleanup: the run must be able to become live again.
+        let at_ns = cfg.horizon_ns;
+        for net in [
+            NetFault::HealAll,
+            NetFault::Loss(0),
+            NetFault::ExtraDelay(0),
+            NetFault::Jitter(0),
+            NetFault::Duplicate(0),
+        ] {
+            events.push(FaultEvent {
+                at_ns,
+                fault: Fault::Net(net),
+            });
+        }
+        for node in faulty {
+            events.push(FaultEvent {
+                at_ns,
+                fault: Fault::Node {
+                    node,
+                    fault: NodeFault::Restart,
+                },
+            });
+        }
+        FaultPlan { events }
+    }
+
+    fn random_fault(
+        rng: &mut StdRng,
+        cfg: &ChaosConfig,
+        n_hosts: u32,
+        faulty: &mut BTreeSet<NodeId>,
+    ) -> Fault {
+        // Weighted action table; node faults appear only while the budget
+        // (or, for restarts, the faulty set) allows them.
+        let mut actions: Vec<(u32, u32)> = vec![
+            (3, 0), // partition pair
+            (1, 1), // one-way partition
+            (2, 2), // isolate
+            (2, 3), // heal node
+            (2, 4), // heal all
+            (2, 5), // loss
+            (1, 6), // extra delay
+            (1, 7), // jitter
+            (1, 8), // duplicate
+        ];
+        if (faulty.len() as u32) < cfg.max_faulty {
+            actions.push((2, 9)); // crash
+            actions.push((1, 10)); // byzantine
+        }
+        if !faulty.is_empty() {
+            actions.push((2, 11)); // restart
+        }
+        let total: u32 = actions.iter().map(|&(w, _)| w).sum();
+        let mut roll = rng.gen_range(0..total);
+        let mut action = 0;
+        for &(w, a) in &actions {
+            if roll < w {
+                action = a;
+                break;
+            }
+            roll -= w;
+        }
+        let any_node = |rng: &mut StdRng| rng.gen_range(0..n_hosts);
+        let replica = |rng: &mut StdRng| rng.gen_range(0..cfg.replicas);
+        let correct_replica = |rng: &mut StdRng, faulty: &BTreeSet<NodeId>| {
+            let pool: Vec<NodeId> = (0..cfg.replicas).filter(|r| !faulty.contains(r)).collect();
+            pool[rng.gen_range(0..pool.len())]
+        };
+        match action {
+            0 => {
+                let a = any_node(rng);
+                let b = any_node(rng);
+                if a == b {
+                    Fault::Net(NetFault::HealNode(a))
+                } else {
+                    Fault::Net(NetFault::Partition { a, b })
+                }
+            }
+            1 => {
+                let src = any_node(rng);
+                let dst = replica(rng);
+                if src == dst {
+                    Fault::Net(NetFault::HealNode(src))
+                } else {
+                    Fault::Net(NetFault::PartitionOneWay { src, dst })
+                }
+            }
+            2 => Fault::Net(NetFault::Isolate {
+                node: any_node(rng),
+                n_hosts,
+            }),
+            3 => Fault::Net(NetFault::HealNode(any_node(rng))),
+            4 => Fault::Net(NetFault::HealAll),
+            5 => Fault::Net(NetFault::Loss(rng.gen_range(0..=150))),
+            6 => Fault::Net(NetFault::ExtraDelay(rng.gen_range(0..=5_000_000))),
+            7 => Fault::Net(NetFault::Jitter(rng.gen_range(0..=2_000_000))),
+            8 => Fault::Net(NetFault::Duplicate(rng.gen_range(0..=200))),
+            9 => {
+                let node = correct_replica(rng, faulty);
+                faulty.insert(node);
+                Fault::Node {
+                    node,
+                    fault: NodeFault::Crash,
+                }
+            }
+            10 => {
+                let node = correct_replica(rng, faulty);
+                faulty.insert(node);
+                let mode = match rng.gen_range(0..5u32) {
+                    0 => ByzMode::Silent,
+                    1 => ByzMode::Equivocate,
+                    2 => ByzMode::WrongResult,
+                    3 => ByzMode::CorruptAuth,
+                    _ => ByzMode::CorruptStateData,
+                };
+                Fault::Node {
+                    node,
+                    fault: NodeFault::Byzantine(mode),
+                }
+            }
+            _ => {
+                let pool: Vec<NodeId> = faulty.iter().copied().collect();
+                let node = pool[rng.gen_range(0..pool.len())];
+                faulty.remove(&node);
+                Fault::Node {
+                    node,
+                    fault: NodeFault::Restart,
+                }
+            }
+        }
+    }
+
+    /// Greedily shrinks the plan: repeatedly drops any single event whose
+    /// removal keeps `still_fails` true, until no single removal does.
+    /// Each probe re-runs the caller's predicate (typically a full
+    /// simulation), so this is meant for failure reporting, not hot paths.
+    pub fn minimize(&self, mut still_fails: impl FnMut(&FaultPlan) -> bool) -> FaultPlan {
+        let mut best = self.clone();
+        loop {
+            let mut improved = false;
+            let mut i = 0;
+            while i < best.events.len() {
+                let mut candidate = best.clone();
+                candidate.events.remove(i);
+                if still_fails(&candidate) {
+                    best = candidate;
+                    improved = true;
+                } else {
+                    i += 1;
+                }
+            }
+            if !improved {
+                return best;
+            }
+        }
+    }
+}
+
+impl fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.events.is_empty() {
+            return writeln!(f, "  (no faults)");
+        }
+        for ev in &self.events {
+            writeln!(f, "  {:>12} ns  {:?}", ev.at_ns, ev.fault)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::NetConfig;
+
+    fn cfg() -> ChaosConfig {
+        ChaosConfig {
+            replicas: 4,
+            clients: 2,
+            max_faulty: 1,
+            horizon_ns: 1_000_000_000,
+            events: 12,
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = FaultPlan::generate(7, &cfg());
+        let b = FaultPlan::generate(7, &cfg());
+        assert_eq!(a, b);
+        let c = FaultPlan::generate(8, &cfg());
+        assert_ne!(a, c, "different seeds give different plans");
+    }
+
+    #[test]
+    fn plans_are_sorted_and_end_with_cleanup() {
+        let plan = FaultPlan::generate(42, &cfg());
+        assert!(plan.events.windows(2).all(|w| w[0].at_ns <= w[1].at_ns));
+        assert!(plan
+            .events
+            .iter()
+            .any(|e| e.fault == Fault::Net(NetFault::HealAll) && e.at_ns == cfg().horizon_ns));
+    }
+
+    #[test]
+    fn fault_budget_is_respected() {
+        for seed in 0..50 {
+            let plan = FaultPlan::generate(seed, &cfg());
+            let mut down: BTreeSet<NodeId> = BTreeSet::new();
+            for ev in &plan.events {
+                if let Fault::Node { node, fault } = ev.fault {
+                    match fault {
+                        NodeFault::Restart => {
+                            down.remove(&node);
+                        }
+                        _ => {
+                            down.insert(node);
+                        }
+                    }
+                    assert!(down.len() <= 1, "budget exceeded in seed {seed}");
+                }
+            }
+            assert!(down.is_empty(), "cleanup must restart everyone");
+        }
+    }
+
+    #[test]
+    fn net_faults_apply() {
+        let mut net = Network::new(NetConfig::LOSSLESS_100MBPS);
+        NetFault::Partition { a: 0, b: 1 }.apply(&mut net);
+        NetFault::Loss(100).apply(&mut net);
+        NetFault::Jitter(1000).apply(&mut net);
+        NetFault::Duplicate(50).apply(&mut net);
+        NetFault::ExtraDelay(500).apply(&mut net);
+        NetFault::HealAll.apply(&mut net);
+        NetFault::Loss(0).apply(&mut net);
+    }
+
+    #[test]
+    fn minimize_converges_to_the_culprit() {
+        let plan = FaultPlan::generate(3, &cfg());
+        // Pretend exactly one specific event causes the failure.
+        let culprit = plan.events[4];
+        let min = plan.minimize(|p| p.events.contains(&culprit));
+        assert_eq!(min.events, vec![culprit]);
+    }
+}

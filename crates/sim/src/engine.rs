@@ -122,6 +122,42 @@ impl<M> Kernel<M> {
             kind,
         });
     }
+
+    /// Enqueues a delivery that the network accepted at `at`, plus an
+    /// extra copy when the fault configuration duplicates the frame.
+    fn deliver_with_duplicates(
+        &mut self,
+        slot: crate::network::TxSlot,
+        src: NodeId,
+        dst: NodeId,
+        at: SimTime,
+        msg: M,
+        wire_bytes: usize,
+    ) where
+        M: Clone,
+    {
+        if let Some(at2) = self.net.maybe_duplicate(slot, src, dst, &mut self.rng) {
+            self.metrics.incr("net.duplicated");
+            self.push(
+                at2,
+                dst,
+                EventKind::Deliver {
+                    from: src,
+                    msg: msg.clone(),
+                    wire_bytes,
+                },
+            );
+        }
+        self.push(
+            at,
+            dst,
+            EventKind::Deliver {
+                from: src,
+                msg,
+                wire_bytes,
+            },
+        );
+    }
 }
 
 /// The world as seen by a node's event handler.
@@ -156,10 +192,13 @@ impl<M> Context<'_, M> {
 
     /// Sends `msg` (`payload_bytes` on the wire) to `dst`. Dropped packets
     /// are counted in the metrics under `net.dropped`.
-    pub fn send(&mut self, dst: NodeId, msg: M, payload_bytes: usize) {
+    pub fn send(&mut self, dst: NodeId, msg: M, payload_bytes: usize)
+    where
+        M: Clone,
+    {
         let depart = self.kernel.now.after(self.cpu_used);
         if dst == self.id {
-            // Loopback bypasses the NIC.
+            // Loopback bypasses the NIC (and fault injection).
             let at = depart.after(1_000);
             self.kernel.push(
                 at,
@@ -178,15 +217,10 @@ impl<M> Context<'_, M> {
             .net
             .receive(slot, self.id, dst, &mut self.kernel.rng)
         {
-            Ok(at) => self.kernel.push(
-                at,
-                dst,
-                EventKind::Deliver {
-                    from: self.id,
-                    msg,
-                    wire_bytes: payload_bytes,
-                },
-            ),
+            Ok(at) => {
+                self.kernel
+                    .deliver_with_duplicates(slot, self.id, dst, at, msg, payload_bytes);
+            }
             Err(_) => {
                 self.kernel.metrics.incr("net.dropped");
                 self.kernel.metrics.incr(&format!("net.dropped.dst{dst}"));
@@ -221,15 +255,16 @@ impl<M> Context<'_, M> {
                 .net
                 .receive(slot, self.id, dst, &mut self.kernel.rng)
             {
-                Ok(at) => self.kernel.push(
-                    at,
-                    dst,
-                    EventKind::Deliver {
-                        from: self.id,
-                        msg: msg.clone(),
-                        wire_bytes: payload_bytes,
-                    },
-                ),
+                Ok(at) => {
+                    self.kernel.deliver_with_duplicates(
+                        slot,
+                        self.id,
+                        dst,
+                        at,
+                        msg.clone(),
+                        payload_bytes,
+                    );
+                }
                 Err(_) => {
                     self.kernel.metrics.incr("net.dropped");
                     self.kernel.metrics.incr(&format!("net.dropped.dst{dst}"));
@@ -369,6 +404,15 @@ impl<M: 'static> Simulation<M> {
     /// Total events processed so far.
     pub fn events_processed(&self) -> u64 {
         self.kernel.events_processed
+    }
+
+    /// The time of the earliest queued event, if any. Cancelled timers may
+    /// still appear here (they are skipped when stepped over), so the next
+    /// [`Simulation::step`] may process a later event — but never an
+    /// earlier one. Used by drivers that interleave outside interventions
+    /// (e.g. chaos fault plans) with stepping.
+    pub fn next_event_at(&self) -> Option<SimTime> {
+        self.kernel.queue.peek().map(|ev| ev.at)
     }
 
     /// Places `node` on the same machine as `host`, sharing its network

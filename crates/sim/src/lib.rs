@@ -12,6 +12,10 @@
 //! - [`network`]: full-duplex links with finite bandwidth, a switch with
 //!   hardware multicast, frame overheads/fragmentation, finite receive
 //!   buffers, and fault injection (loss, partitions, delay);
+//! - [`chaos`]: deterministic, seed-replayable fault schedules
+//!   ([`FaultPlan`]) — timed partitions/heals, loss, delay spikes,
+//!   reordering jitter, duplication, crashes/restarts and Byzantine
+//!   mutations — with a generator and a shrinking minimizer for fuzzing;
 //! - [`cost`]: the CPU cost model (MD5, UMAC, UDP stack, RSA) calibrated
 //!   to the paper's hardware;
 //! - [`metrics`]: counters and latency series the experiment harness reads;
@@ -20,12 +24,14 @@
 //! Everything is deterministic: a run is a pure function of the seed, the
 //! configuration, and the node implementations.
 
+pub mod chaos;
 pub mod cost;
 pub mod engine;
 pub mod metrics;
 pub mod network;
 pub mod time;
 
+pub use chaos::{ByzMode, ChaosConfig, Fault, FaultEvent, FaultPlan, NetFault, NodeFault};
 pub use cost::CostModel;
 pub use engine::{Context, Node, Simulation, TimerId};
 pub use metrics::{Metrics, Summary};

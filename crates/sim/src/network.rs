@@ -116,6 +116,11 @@ pub struct Network {
     partitions: HashSet<(NodeId, NodeId)>,
     /// Extra one-way delay added to every packet (fault injection).
     extra_delay_ns: u64,
+    /// Upper bound of a per-packet random delay (fault injection). Nonzero
+    /// jitter reorders packets relative to their send order.
+    jitter_ns: u64,
+    /// Probability that a delivered packet arrives twice (fault injection).
+    duplicate_probability: f64,
     /// Delivery stats, read by experiments.
     pub stats: NetStats,
 }
@@ -144,6 +149,8 @@ impl Network {
             loss_probability: 0.0,
             partitions: HashSet::new(),
             extra_delay_ns: 0,
+            jitter_ns: 0,
+            duplicate_probability: 0.0,
             stats: NetStats::default(),
         }
     }
@@ -218,6 +225,20 @@ impl Network {
         self.extra_delay_ns = ns;
     }
 
+    /// Adds a uniformly random delay in `0..=ns` to every packet. Nonzero
+    /// jitter makes later sends able to overtake earlier ones, which is
+    /// how the chaos engine exercises message reordering.
+    pub fn set_jitter_ns(&mut self, ns: u64) {
+        self.jitter_ns = ns;
+    }
+
+    /// Sets the probability that a delivered packet is delivered a second
+    /// time (switch-level duplication, fault injection).
+    pub fn set_duplicate_probability(&mut self, p: f64) {
+        assert!((0.0..=1.0).contains(&p));
+        self.duplicate_probability = p;
+    }
+
     /// Charges the sender's transmit link for a `payload`-byte datagram
     /// departing no earlier than `depart`. Returns the slot that receivers
     /// share; hardware multicast calls this once and [`Network::receive`]
@@ -251,10 +272,15 @@ impl Network {
             self.stats.dropped += 1;
             return Err(DropReason::InjectedLoss);
         }
-        let arrival = slot
+        let mut arrival = slot
             .done
             .after(self.cfg.latency_ns)
             .after(self.extra_delay_ns);
+        // The jitter roll happens only when enabled so runs that never
+        // touch the knob keep their exact RNG stream.
+        if self.jitter_ns > 0 {
+            arrival = arrival.after(rng.gen_range(0..=self.jitter_ns));
+        }
         let host = self.host(dst);
         let rx_start = arrival.max(self.rx_free[host]);
         if rx_start.since(arrival) > self.cfg.rx_buffer_ns {
@@ -266,6 +292,24 @@ impl Network {
         self.stats.delivered += 1;
         self.stats.bytes_delivered += slot.wire_bytes as u64;
         Ok(done)
+    }
+
+    /// Rolls for switch-level duplication of a frame that was just
+    /// delivered. Returns the arrival time of the extra copy, which is
+    /// routed (and charged) like any other frame and may itself be
+    /// dropped. The roll happens only when duplication is enabled so runs
+    /// that never touch the knob keep their exact RNG stream.
+    pub fn maybe_duplicate(
+        &mut self,
+        slot: TxSlot,
+        src: NodeId,
+        dst: NodeId,
+        rng: &mut StdRng,
+    ) -> Option<SimTime> {
+        if self.duplicate_probability <= 0.0 || rng.gen::<f64>() >= self.duplicate_probability {
+            return None;
+        }
+        self.receive(slot, src, dst, rng).ok()
     }
 }
 
@@ -443,6 +487,43 @@ mod tests {
             }
         }
         assert!((300..700).contains(&dropped), "got {dropped}");
+    }
+
+    #[test]
+    fn jitter_spreads_arrivals() {
+        let mut net = lossless();
+        net.set_jitter_ns(1_000_000);
+        let mut r = rng();
+        let base = {
+            let mut plain = lossless();
+            let slot = plain.transmit(SimTime::ZERO, 0, 10);
+            plain.receive(slot, 0, 1, &mut rng()).expect("ok")
+        };
+        let mut distinct = HashSet::new();
+        for _ in 0..20 {
+            // Fresh receiver each round so the rx link never queues.
+            let slot = net.transmit(SimTime::ZERO, 0, 10);
+            let t = net.receive(slot, 0, 1, &mut r).expect("ok");
+            assert!(t >= base, "jitter only delays");
+            assert!(t.since(base) <= 1_000_000, "bounded by the knob");
+            distinct.insert(t.since(base));
+            net.rx_free[1] = SimTime::ZERO;
+            net.tx_free[0] = SimTime::ZERO;
+        }
+        assert!(distinct.len() > 1, "jitter must vary per packet");
+    }
+
+    #[test]
+    fn duplication_rolls_only_when_enabled() {
+        let mut net = lossless();
+        let mut r = rng();
+        let slot = net.transmit(SimTime::ZERO, 0, 10);
+        net.receive(slot, 0, 1, &mut r).expect("ok");
+        assert_eq!(net.maybe_duplicate(slot, 0, 1, &mut r), None);
+        net.set_duplicate_probability(1.0);
+        let extra = net.maybe_duplicate(slot, 0, 1, &mut r);
+        assert!(extra.is_some(), "p=1 always duplicates");
+        assert_eq!(net.stats.delivered, 2);
     }
 
     #[test]

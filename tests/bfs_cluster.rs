@@ -90,9 +90,10 @@ fn workload() -> Vec<FileAction> {
 }
 
 fn bfs_cluster(seed: u64) -> Cluster {
-    Cluster::new(seed, NetConfig::SWITCHED_100MBPS, Config::new(1), |_| {
-        FsService::in_memory()
-    })
+    Cluster::builder(Config::new(1))
+        .seed(seed)
+        .net(NetConfig::SWITCHED_100MBPS)
+        .build(|_| FsService::in_memory())
 }
 
 fn check_run(cluster: &Cluster, client: u32) {

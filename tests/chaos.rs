@@ -3,6 +3,7 @@
 //! linearizability checking afterwards. Every schedule is deterministic
 //! in its seed, so a failure here is exactly reproducible.
 
+use pbft::core::fuzz;
 use pbft::core::prelude::*;
 use pbft::sim::dur;
 use rand::rngs::StdRng;
@@ -54,9 +55,10 @@ fn chaos_run(seed: u64, clients: u32, per_client: u64) {
     let mut cfg = Config::new(1);
     cfg.checkpoint_interval = 32;
     cfg.log_window = 64;
-    let mut cluster = Cluster::new(seed, NetConfig::SWITCHED_100MBPS, cfg, |_| {
-        CounterService::default()
-    });
+    let mut cluster = Cluster::builder(cfg)
+        .seed(seed)
+        .net(NetConfig::SWITCHED_100MBPS)
+        .build_counter();
     let ids: Vec<u32> = (0..clients)
         .map(|_| {
             cluster.add_client(Incrementer {
@@ -145,9 +147,10 @@ fn chaos_seed_4_with_byzantine_replica() {
     let mut cfg = Config::new(1);
     cfg.checkpoint_interval = 32;
     cfg.log_window = 64;
-    let mut cluster = Cluster::new(4, NetConfig::SWITCHED_100MBPS, cfg, |_| {
-        CounterService::default()
-    });
+    let mut cluster = Cluster::builder(cfg)
+        .seed(4)
+        .net(NetConfig::SWITCHED_100MBPS)
+        .build_counter();
     cluster
         .replica_mut::<CounterService>(2)
         .set_behavior(Behavior::WrongResult);
@@ -175,4 +178,29 @@ fn chaos_seed_4_with_byzantine_replica() {
     }
     all.sort_unstable();
     assert_eq!(all, (1..=60).collect::<Vec<u64>>());
+}
+
+// ---------------------------------------------------------------------
+// The deterministic chaos engine (bft_core::fuzz): seed-replayable
+// FaultPlan schedules with the full protocol invariant checker running
+// after every event. Two tests split the budget so they run in parallel.
+// On failure each panics with the seed, the minimized fault plan, and a
+// replay command (`CHAOS_SEED=… cargo test -p bft-core --test chaos
+// replay_one`). `CHAOS_SCHEDULES` scales the budget (nightly CI).
+// ---------------------------------------------------------------------
+
+const ENGINE_BASE_SEED: u64 = 0xCA05_2026;
+
+#[test]
+fn fuzz_engine_smoke_a() {
+    let total = fuzz::env_u64("CHAOS_SCHEDULES", 120);
+    let base = fuzz::env_u64("CHAOS_BASE_SEED", ENGINE_BASE_SEED);
+    fuzz::check_schedules(base, total, 0, 2, 1);
+}
+
+#[test]
+fn fuzz_engine_smoke_b() {
+    let total = fuzz::env_u64("CHAOS_SCHEDULES", 120);
+    let base = fuzz::env_u64("CHAOS_BASE_SEED", ENGINE_BASE_SEED);
+    fuzz::check_schedules(base, total, 1, 2, 1);
 }

@@ -25,9 +25,10 @@ impl ClientDriver for Incrementer {
 }
 
 fn run_and_check(mut tweak: impl FnMut(&mut Cluster), seed: u64, per_client: u64, clients: u32) {
-    let mut cluster = Cluster::new(seed, NetConfig::SWITCHED_100MBPS, Config::new(1), |_| {
-        CounterService::default()
-    });
+    let mut cluster = Cluster::builder(Config::new(1))
+        .seed(seed)
+        .net(NetConfig::SWITCHED_100MBPS)
+        .build_counter();
     let ids: Vec<u32> = (0..clients)
         .map(|_| {
             cluster.add_client(Incrementer {
@@ -106,12 +107,10 @@ fn linearizable_across_a_view_change() {
 
 #[test]
 fn linearizable_without_optimizations() {
-    let mut cluster = Cluster::new(
-        15,
-        NetConfig::SWITCHED_100MBPS,
-        Config::new(1).with_opts(Optimizations::NONE),
-        |_| CounterService::default(),
-    );
+    let mut cluster = Cluster::builder(Config::new(1).with_opts(Optimizations::NONE))
+        .seed(15)
+        .net(NetConfig::SWITCHED_100MBPS)
+        .build_counter();
     let ids: Vec<u32> = (0..4)
         .map(|_| {
             cluster.add_client(Incrementer {
