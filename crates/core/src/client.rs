@@ -12,7 +12,7 @@ use crate::types::{ClientId, ReplicaId, Timestamp, View};
 use crate::wire::Wire;
 use bft_crypto::keychain::KeyChain;
 use bft_crypto::md5::Digest;
-use bft_sim::{Context, Node, NodeId, SimTime, TimerId};
+use bft_sim::{Context, CostKind, Node, NodeId, SimTime, SpanEdge, TimerId, TraceMeta, TracePhase};
 use std::any::Any;
 use std::collections::HashMap;
 
@@ -111,8 +111,8 @@ impl ClientCore {
             auth: AuthTag::None, // replaced below
         };
         let cost = &self.cfg.cost;
-        ctx.charge(cost.digest(req.op.len() + 21));
-        ctx.charge(cost.authenticator(self.cfg.n(), 16));
+        ctx.charge_kind(CostKind::Digest, cost.digest(req.op.len() + 21));
+        ctx.charge_kind(CostKind::Mac, cost.authenticator(self.cfg.n(), 16));
         let d = req.digest();
         let auth = AuthTag::Vector(self.keychain.authenticate(d.as_bytes()));
         let req = Request { auth, ..req };
@@ -122,7 +122,7 @@ impl ClientCore {
                 && req.op.len() > self.cfg.inline_threshold);
         let packet = Packet::unauthenticated(Msg::Request(req));
         let wire = packet.wire_bytes();
-        ctx.charge(cost.send(wire));
+        ctx.charge_kind(CostKind::Net, cost.send(wire));
         if multicast {
             let all: Vec<NodeId> = (0..self.cfg.n()).collect();
             ctx.multicast(&all, packet, wire);
@@ -158,6 +158,15 @@ impl ClientCore {
             op: op.clone(),
             at_ns: ctx.now().nanos(),
         });
+        ctx.trace_now(
+            SpanEdge::Open,
+            TracePhase::Request,
+            TraceMeta {
+                client: self.id as u64,
+                timestamp: self.ts,
+                ..TraceMeta::default()
+            },
+        );
         self.pending = Some(PendingOp {
             timestamp: self.ts,
             op,
@@ -213,14 +222,14 @@ impl ClientCore {
             return None;
         }
         let cost = self.cfg.cost;
-        ctx.charge(cost.digest(body_bytes_len));
+        ctx.charge_kind(CostKind::Digest, cost.digest(body_bytes_len));
         let p = self.pending.as_ref()?;
         if reply.timestamp != p.timestamp {
             return None;
         }
         // Verify the point-to-point MAC.
         let AuthTag::Mac(mac) = auth else { return None };
-        ctx.charge(cost.mac(16));
+        ctx.charge_kind(CostKind::Mac, cost.mac(16));
         let mut body_buf = Vec::new();
         Msg::Reply(reply.clone()).encode(&mut body_buf);
         let d = bft_crypto::digest(&body_buf);
@@ -251,6 +260,19 @@ impl ClientCore {
         self.completed_ops += 1;
         ctx.metrics().incr("client.ops_completed");
         ctx.metrics().record("client.latency", latency);
+        // The span close is the reply-recv edge of the request lifecycle;
+        // `trace_now` stamps it at `now`, matching the latency recorded
+        // above (`now - sent_at`), so assembled phase times sum exactly
+        // to the measured end-to-end latency.
+        ctx.trace_now(
+            SpanEdge::Close,
+            TracePhase::Request,
+            TraceMeta {
+                client: self.id as u64,
+                timestamp: completed_ts,
+                ..TraceMeta::default()
+            },
+        );
         self.note_audit(OpEvent::Complete {
             client: self.id,
             timestamp: completed_ts,
@@ -402,7 +424,7 @@ impl<D: ClientDriver> Node<Packet> for Client<D> {
         packet: Packet,
         wire: usize,
     ) {
-        ctx.charge(self.core.cfg.cost.recv(wire));
+        ctx.charge_kind(CostKind::Net, self.core.cfg.cost.recv(wire));
         let Msg::Reply(reply) = packet.body else {
             return;
         };

@@ -30,16 +30,18 @@ pub struct ClusterBuilder {
     seed: u64,
     net: NetConfig,
     cfg: Config,
+    trace_capacity: usize,
 }
 
 impl ClusterBuilder {
-    /// Starts a builder for the given protocol configuration, with seed 0
-    /// and the lossless network model.
+    /// Starts a builder for the given protocol configuration, with seed 0,
+    /// the lossless network model, and tracing disabled.
     pub fn new(cfg: Config) -> ClusterBuilder {
         ClusterBuilder {
             seed: 0,
             net: NetConfig::LOSSLESS_100MBPS,
             cfg,
+            trace_capacity: 0,
         }
     }
 
@@ -55,6 +57,16 @@ impl ClusterBuilder {
         self
     }
 
+    /// Enables trace-event recording with the given per-node ring
+    /// capacity (0 = disabled). Tracing never changes simulation
+    /// behaviour — a traced run is event-for-event identical to an
+    /// untraced one — so the fuzz flight recorder can re-run a failing
+    /// seed with tracing on and capture exactly the failing execution.
+    pub fn trace_capacity(mut self, capacity: usize) -> ClusterBuilder {
+        self.trace_capacity = capacity;
+        self
+    }
+
     /// The seed this builder will use (for replay reporting).
     pub fn seed_value(&self) -> u64 {
         self.seed
@@ -67,7 +79,11 @@ impl ClusterBuilder {
         S: Service,
         F: FnMut(u32) -> S,
     {
-        Cluster::new(self.seed, self.net, self.cfg, make_service)
+        let mut cluster = Cluster::new(self.seed, self.net, self.cfg, make_service);
+        if self.trace_capacity > 0 {
+            cluster.sim.trace_mut().set_capacity(self.trace_capacity);
+        }
+        cluster
     }
 
     /// Builds a cluster of default counter services (the chaos workload).

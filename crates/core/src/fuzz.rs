@@ -155,12 +155,43 @@ pub fn fuzz_plan(seed: u64, f: u32) -> FaultPlan {
     )
 }
 
+/// Per-node flight-recorder ring capacity used by traced fuzz re-runs.
+pub const FLIGHT_RING: usize = 256;
+/// Events per node included in a flight-recorder dump.
+pub const FLIGHT_DUMP_LAST: usize = 24;
+
 /// Runs one seeded (plan, workload) pair to quiescence, checking every
 /// invariant after every event. The cluster construction must stay in
 /// lockstep with [`Cluster::with_seed_iter`]: a builder with the same
 /// seed, so `CHAOS_SEED=<seed>` reconstructs the identical run.
 pub fn run_fuzz_schedule(seed: u64, f: u32, plan: &FaultPlan) -> Result<(), Violation> {
-    let mut cluster = Cluster::builder(fuzz_config(f)).seed(seed).build_counter();
+    run_fuzz_schedule_inner(seed, f, plan, 0).map_err(|(v, _)| v)
+}
+
+/// [`run_fuzz_schedule`] with the flight recorder armed: trace rings of
+/// [`FLIGHT_RING`] events per node. On a violation, returns the dump of
+/// each node's last [`FLIGHT_DUMP_LAST`] events — what every replica and
+/// client was doing right up to the failure. Tracing does not perturb
+/// the simulation, so the traced run reproduces the untraced failure
+/// event for event.
+pub fn run_fuzz_schedule_traced(
+    seed: u64,
+    f: u32,
+    plan: &FaultPlan,
+) -> Result<(), (Violation, String)> {
+    run_fuzz_schedule_inner(seed, f, plan, FLIGHT_RING)
+}
+
+fn run_fuzz_schedule_inner(
+    seed: u64,
+    f: u32,
+    plan: &FaultPlan,
+    trace_capacity: usize,
+) -> Result<(), (Violation, String)> {
+    let mut cluster = Cluster::builder(fuzz_config(f))
+        .seed(seed)
+        .trace_capacity(trace_capacity)
+        .build_counter();
     for i in 0..FUZZ_CLIENTS {
         cluster.add_client(ChaosDriver::new(
             seed ^ (i + 1),
@@ -169,11 +200,15 @@ pub fn run_fuzz_schedule(seed: u64, f: u32, plan: &FaultPlan) -> Result<(), Viol
         ));
     }
     let mut checker = InvariantChecker::new();
-    cluster.run_with_plan::<CounterService, ChaosDriver>(
+    let flight = |cluster: &Cluster| cluster.sim.trace().flight_dump(FLIGHT_DUMP_LAST);
+    if let Err(v) = cluster.run_with_plan::<CounterService, ChaosDriver>(
         plan,
         FAULT_HORIZON_NS + dur::millis(1),
         &mut checker,
-    )?;
+    ) {
+        let dump = flight(&cluster);
+        return Err((v, dump));
+    }
     // The plan's cleanup events have healed the network and restarted
     // every faulted replica; the cluster must now finish the workload.
     let target = FUZZ_CLIENTS * FUZZ_OPS_PER_CLIENT;
@@ -181,35 +216,58 @@ pub fn run_fuzz_schedule(seed: u64, f: u32, plan: &FaultPlan) -> Result<(), Viol
     let mut rounds = 0;
     while cluster.completed_ops() < target {
         if rounds == LIVENESS_ROUNDS {
-            return Err(Violation::Liveness {
+            let v = Violation::Liveness {
                 detail: format!(
                     "{}/{} ops completed {} s after all faults healed",
                     cluster.completed_ops(),
                     target,
                     LIVENESS_ROUNDS * LIVENESS_ROUND_NS / 1_000_000_000,
                 ),
-            });
+            };
+            return Err((v, flight(&cluster)));
         }
-        cluster.run_with_plan::<CounterService, ChaosDriver>(
+        if let Err(v) = cluster.run_with_plan::<CounterService, ChaosDriver>(
             &empty,
             LIVENESS_ROUND_NS,
             &mut checker,
-        )?;
+        ) {
+            let dump = flight(&cluster);
+            return Err((v, dump));
+        }
         rounds += 1;
     }
-    checker.finish()
+    checker.finish().map_err(|v| {
+        let dump = flight(&cluster);
+        (v, dump)
+    })
 }
 
-/// Formats a violation with everything needed to replay the run.
-pub fn failure_report(seed: u64, f: u32, plan: &FaultPlan, v: &Violation) -> String {
-    format!(
+/// Formats a violation with everything needed to replay the run:
+/// the minimized plan, the one-command replay line, and (when a traced
+/// re-run captured one) the flight-recorder dump of each node's last
+/// events before the violation.
+pub fn failure_report(
+    seed: u64,
+    f: u32,
+    plan: &FaultPlan,
+    v: &Violation,
+    flight: Option<&str>,
+) -> String {
+    let mut report = format!(
         "\nchaos: invariant violated\n  violation: {v}\n  seed: {seed} (f = {f})\n  minimized fault plan ({} events):\n{plan}\n  replay: CHAOS_SEED={seed} CHAOS_F={f} cargo test -p bft-core --test chaos replay_one -- --nocapture\n",
         plan.events.len(),
-    )
+    );
+    if let Some(dump) = flight {
+        report.push_str("  flight recorder (last events per node before the violation):\n");
+        report.push_str(dump);
+    }
+    report
 }
 
 /// Runs one seed; on violation, greedily minimizes the plan (keeping the
-/// same violation kind) and panics with a replayable report.
+/// same violation kind), re-runs the minimized plan with the flight
+/// recorder armed, and panics with a replayable report that includes the
+/// last trace events of every node.
 pub fn check_schedule(seed: u64, f: u32) {
     let plan = fuzz_plan(seed, f);
     if let Err(v) = run_fuzz_schedule(seed, f, &plan) {
@@ -219,7 +277,13 @@ pub fn check_schedule(seed: u64, f: u32) {
                 .err()
                 .is_some_and(|e| std::mem::discriminant(&e) == kind)
         });
-        panic!("{}", failure_report(seed, f, &min, &v));
+        // The minimized plan reproduces the violation kind by
+        // construction; the traced re-run captures its flight recording.
+        let (v, flight) = match run_fuzz_schedule_traced(seed, f, &min) {
+            Err((v, dump)) => (v, Some(dump)),
+            Ok(()) => (v, None),
+        };
+        panic!("{}", failure_report(seed, f, &min, &v, flight.as_deref()));
     }
 }
 

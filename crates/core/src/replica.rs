@@ -13,7 +13,7 @@ use crate::viewchange::{compute_plan, validate_new_view, ViewChangeSet};
 use crate::wire::Wire;
 use bft_crypto::keychain::KeyChain;
 use bft_crypto::md5::Digest;
-use bft_sim::{Context, Node, NodeId, TimerId};
+use bft_sim::{Context, CostKind, Node, NodeId, SpanEdge, TimerId, TraceMeta, TracePhase};
 use std::any::Any;
 use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
 
@@ -337,13 +337,13 @@ impl<S: Service> Replica<S> {
         let body_bytes = msg.to_bytes();
         let d = bft_crypto::digest(&body_bytes);
         let cost = &self.cfg.cost;
-        ctx.charge(cost.digest(body_bytes.len()));
-        ctx.charge(cost.authenticator(self.cfg.n() - 1, 16));
+        ctx.charge_kind(CostKind::Digest, cost.digest(body_bytes.len()));
+        ctx.charge_kind(CostKind::Mac, cost.authenticator(self.cfg.n() - 1, 16));
         let auth = AuthTag::Vector(self.keychain.authenticate(d.as_bytes()));
         let auth = self.maybe_corrupt(auth);
         let packet = Packet { body: msg, auth };
         let wire = packet.wire_bytes();
-        ctx.charge(cost.send(wire));
+        ctx.charge_kind(CostKind::Net, cost.send(wire));
         ctx.multicast(&self.others(), packet, wire);
     }
 
@@ -355,13 +355,13 @@ impl<S: Service> Replica<S> {
         let body_bytes = msg.to_bytes();
         let d = bft_crypto::digest(&body_bytes);
         let cost = &self.cfg.cost;
-        ctx.charge(cost.digest(body_bytes.len()));
-        ctx.charge(cost.mac(16));
+        ctx.charge_kind(CostKind::Digest, cost.digest(body_bytes.len()));
+        ctx.charge_kind(CostKind::Mac, cost.mac(16));
         let auth = AuthTag::Mac(self.keychain.mac_for(dst, d.as_bytes()));
         let auth = self.maybe_corrupt(auth);
         let packet = Packet { body: msg, auth };
         let wire = packet.wire_bytes();
-        ctx.charge(cost.send(wire));
+        ctx.charge_kind(CostKind::Net, cost.send(wire));
         ctx.send(dst, packet, wire);
     }
 
@@ -374,7 +374,7 @@ impl<S: Service> Replica<S> {
     ) -> bool {
         let body_bytes = packet.body.to_bytes();
         let cost = &self.cfg.cost;
-        ctx.charge(cost.digest(body_bytes.len()));
+        ctx.charge_kind(CostKind::Digest, cost.digest(body_bytes.len()));
         let d = bft_crypto::digest(&body_bytes);
         match &packet.auth {
             AuthTag::None => {
@@ -382,11 +382,11 @@ impl<S: Service> Replica<S> {
                 matches!(packet.body, Msg::Request(_))
             }
             AuthTag::Mac(m) => {
-                ctx.charge(cost.mac(16));
+                ctx.charge_kind(CostKind::Mac, cost.mac(16));
                 self.keychain.verify_from(from, d.as_bytes(), m)
             }
             AuthTag::Vector(a) => {
-                ctx.charge(cost.mac(16));
+                ctx.charge_kind(CostKind::Mac, cost.mac(16));
                 self.keychain.verify_authenticator(from, d.as_bytes(), a)
             }
         }
@@ -395,8 +395,8 @@ impl<S: Service> Replica<S> {
     /// Verifies a request's embedded authenticator.
     fn verify_request(&mut self, ctx: &mut Context<'_, Packet>, req: &Request) -> bool {
         let cost = &self.cfg.cost;
-        ctx.charge(cost.digest(req.op.len() + 21));
-        ctx.charge(cost.mac(16));
+        ctx.charge_kind(CostKind::Digest, cost.digest(req.op.len() + 21));
+        ctx.charge_kind(CostKind::Mac, cost.mac(16));
         let d = req.digest();
         match &req.auth {
             AuthTag::Vector(a) => self
@@ -474,7 +474,14 @@ impl<S: Service> Replica<S> {
                 + cache_bytes.len() as u64;
             self.cfg.cost.partitioned_digest(total, full_bytes, total)
         };
-        ctx.charge(digest_ns);
+        let cp_meta = TraceMeta {
+            view: self.view,
+            seq,
+            ..TraceMeta::default()
+        };
+        ctx.trace(SpanEdge::Open, TracePhase::Checkpoint, cp_meta);
+        ctx.charge_kind(CostKind::Digest, digest_ns);
+        ctx.trace(SpanEdge::Close, TracePhase::Checkpoint, cp_meta);
         ctx.metrics().incr("replica.checkpoints_made");
         ctx.metrics().add("replica.checkpoint_digest_ns", digest_ns);
         let parts = if self.service.retain_checkpoint(seq) {
@@ -545,6 +552,17 @@ impl<S: Service> Replica<S> {
             ctx.metrics().incr("replica.bad_request_auth");
             return;
         }
+        ctx.trace(
+            SpanEdge::Instant,
+            TracePhase::RequestRecv,
+            TraceMeta {
+                client: req.client as u64,
+                timestamp: req.timestamp,
+                view: self.view,
+                bytes: req.op.len() as u64,
+                ..TraceMeta::default()
+            },
+        );
         // Reply-cache interaction: drop stale, answer executed.
         if let Some(cached) = self.reply_cache.get(&req.client) {
             if req.timestamp < cached.timestamp {
@@ -585,11 +603,11 @@ impl<S: Service> Replica<S> {
 
     fn execute_read_only(&mut self, ctx: &mut Context<'_, Packet>, req: Request) {
         let mut result = self.service.execute_read_only(req.client, &req.op);
-        ctx.charge(self.service.exec_cost_ns(&req.op, &result));
+        ctx.charge_kind(CostKind::Exec, self.service.exec_cost_ns(&req.op, &result));
         if self.behavior == Behavior::WrongResult {
             tamper(&mut result);
         }
-        ctx.charge(self.cfg.cost.digest(result.len()));
+        ctx.charge_kind(CostKind::Digest, self.cfg.cost.digest(result.len()));
         let send_full =
             !self.cfg.opts.digest_replies || req.replier == self.id || req.replier == REPLIER_ALL;
         let body = if send_full {
@@ -711,7 +729,7 @@ impl<S: Service> Replica<S> {
                 })
                 .collect();
             let d = batch_digest(&entries);
-            ctx.charge(self.cfg.cost.digest(entries.len() * 16));
+            ctx.charge_kind(CostKind::Digest, self.cfg.cost.digest(entries.len() * 16));
             {
                 let view = self.view;
                 let slot = self.log.slot_mut(seq);
@@ -729,6 +747,16 @@ impl<S: Service> Replica<S> {
                 piggy_commits: piggy,
             };
             ctx.metrics().incr("replica.batches_proposed");
+            ctx.trace(
+                SpanEdge::Open,
+                TracePhase::PrePrepare,
+                TraceMeta {
+                    view: self.view,
+                    seq,
+                    bytes: pp.entries.len() as u64,
+                    ..TraceMeta::default()
+                },
+            );
             if self.behavior == Behavior::EquivocatingPrimary {
                 self.equivocate(ctx, pp);
             } else {
@@ -793,7 +821,10 @@ impl<S: Service> Replica<S> {
             ctx.metrics().incr("replica.bad_batch_digest");
             return;
         }
-        ctx.charge(self.cfg.cost.digest(pp.entries.len() * 16));
+        ctx.charge_kind(
+            CostKind::Digest,
+            self.cfg.cost.digest(pp.entries.len() * 16),
+        );
         let mut resolved: Vec<Request> = Vec::with_capacity(pp.entries.len());
         let mut missing = false;
         for entry in &pp.entries {
@@ -836,6 +867,16 @@ impl<S: Service> Replica<S> {
             self.pending_requests.insert(entry.identity());
         }
         self.ensure_vc_timer(ctx);
+        ctx.trace(
+            SpanEdge::Open,
+            TracePhase::PrePrepare,
+            TraceMeta {
+                view: pp.view,
+                seq: pp.seq,
+                bytes: pp.entries.len() as u64,
+                ..TraceMeta::default()
+            },
+        );
         // Multicast our prepare.
         let piggy = self.take_piggy(ctx);
         let prep = Prepare {
@@ -886,6 +927,13 @@ impl<S: Service> Replica<S> {
             slot.commit_sent = true;
             slot.commits.insert(me, d);
         }
+        let prepared_meta = TraceMeta {
+            view: self.view,
+            seq,
+            ..TraceMeta::default()
+        };
+        ctx.trace(SpanEdge::Close, TracePhase::PrePrepare, prepared_meta);
+        ctx.trace(SpanEdge::Open, TracePhase::Commit, prepared_meta);
         if self.cfg.opts.piggyback_commits {
             self.piggy_queue.push((seq, d));
             if self.piggy_timer.is_none() {
@@ -948,6 +996,15 @@ impl<S: Service> Replica<S> {
                 .slot(seq)
                 .is_some_and(|slot| slot.committed(&q) || broken)
             {
+                ctx.trace(
+                    SpanEdge::Close,
+                    TracePhase::Commit,
+                    TraceMeta {
+                        view: self.view,
+                        seq,
+                        ..TraceMeta::default()
+                    },
+                );
                 self.finalize_tentative(seq);
                 self.exec_progress = true;
             }
@@ -975,6 +1032,15 @@ impl<S: Service> Replica<S> {
             }
             if slot.committed(&q) || broken {
                 if slot.executed_tentative {
+                    ctx.trace(
+                        SpanEdge::Close,
+                        TracePhase::Commit,
+                        TraceMeta {
+                            view: self.view,
+                            seq: next,
+                            ..TraceMeta::default()
+                        },
+                    );
                     self.finalize_tentative(next);
                 } else {
                     self.execute_batch(ctx, next, false);
@@ -1047,6 +1113,33 @@ impl<S: Service> Replica<S> {
         let is_null = slot.is_null;
         let batch_digest = slot.digest;
         let mut ops = 0usize;
+        let exec_phase = if tentative {
+            TracePhase::ExecuteTentative
+        } else {
+            TracePhase::Execute
+        };
+        if !tentative {
+            // Executing final means the commit certificate just completed.
+            ctx.trace(
+                SpanEdge::Close,
+                TracePhase::Commit,
+                TraceMeta {
+                    view: self.view,
+                    seq,
+                    ..TraceMeta::default()
+                },
+            );
+        }
+        ctx.trace(
+            SpanEdge::Open,
+            exec_phase,
+            TraceMeta {
+                view: self.view,
+                seq,
+                bytes: requests.len() as u64,
+                ..TraceMeta::default()
+            },
+        );
         if tentative {
             self.tentative_cache_undo.clear();
         }
@@ -1065,11 +1158,11 @@ impl<S: Service> Replica<S> {
             }
             let mut result = self.service.execute(req.client, &req.op);
             ops += 1;
-            ctx.charge(self.service.exec_cost_ns(&req.op, &result));
+            ctx.charge_kind(CostKind::Exec, self.service.exec_cost_ns(&req.op, &result));
             if self.behavior == Behavior::WrongResult {
                 tamper(&mut result);
             }
-            ctx.charge(self.cfg.cost.digest(result.len()));
+            ctx.charge_kind(CostKind::Digest, self.cfg.cost.digest(result.len()));
             let result_digest = bft_crypto::digest(&result);
             let send_full = !self.cfg.opts.digest_replies
                 || req.replier == self.id
@@ -1102,7 +1195,28 @@ impl<S: Service> Replica<S> {
             let client = req.client;
             self.send_to(ctx, client, Msg::Reply(reply));
             ctx.metrics().incr("replica.ops_executed");
+            ctx.trace(
+                SpanEdge::Instant,
+                TracePhase::ExecuteRequest,
+                TraceMeta {
+                    client: client as u64,
+                    timestamp: req.timestamp,
+                    view: self.view,
+                    seq,
+                    ..TraceMeta::default()
+                },
+            );
         }
+        ctx.trace(
+            SpanEdge::Close,
+            exec_phase,
+            TraceMeta {
+                view: self.view,
+                seq,
+                bytes: ops as u64,
+                ..TraceMeta::default()
+            },
+        );
         self.last_executed = seq;
         self.exec_progress = true;
         {
@@ -1221,6 +1335,15 @@ impl<S: Service> Replica<S> {
         self.fetching = Some(StateFetch::new(seq, digest, target));
         self.send_to(ctx, target, Msg::FetchState(FetchState { seq }));
         ctx.metrics().incr("replica.state_transfers_started");
+        ctx.trace(
+            SpanEdge::Open,
+            TracePhase::StateTransfer,
+            TraceMeta {
+                view: self.view,
+                seq,
+                ..TraceMeta::default()
+            },
+        );
     }
 
     /// Rotates the fetch target and re-sends the current phase's request
@@ -1263,7 +1386,7 @@ impl<S: Service> Replica<S> {
         }
         // Verify the advertised leaves against the quorum-agreed
         // checkpoint digest before trusting any of them.
-        ctx.charge(self.cfg.cost.digest(sm.leaves.len() * 16));
+        ctx.charge_kind(CostKind::Digest, self.cfg.cost.digest(sm.leaves.len() * 16));
         if CheckpointTracker::root_of(&sm.leaves) != fetch.digest {
             ctx.metrics().incr("replica.state_transfer_bad_meta");
             self.retry_state_transfer(ctx);
@@ -1275,7 +1398,7 @@ impl<S: Service> Replica<S> {
         let mut missing: BTreeSet<u32> = BTreeSet::new();
         let same_layout = count == self.service.partition_count();
         for p in 0..count {
-            ctx.charge(self.cfg.cost.digest_fixed_ns);
+            ctx.charge_kind(CostKind::Digest, self.cfg.cost.digest_fixed_ns);
             if !(same_layout && self.service.partition_digest(p) == sm.leaves[p as usize]) {
                 missing.insert(p);
             }
@@ -1349,7 +1472,7 @@ impl<S: Service> Replica<S> {
                 continue;
             }
             let leaf = fetch.leaves[p as usize];
-            ctx.charge(self.cfg.cost.digest(bytes.len()));
+            ctx.charge_kind(CostKind::Digest, self.cfg.cost.digest(bytes.len()));
             let ok = if p == cache_idx {
                 // The cache is installed atomically at the end; verify
                 // and hold the bytes for now.
@@ -1438,6 +1561,15 @@ impl<S: Service> Replica<S> {
         self.service.release_checkpoints_below(seq);
         self.log.collect_garbage(seq);
         ctx.metrics().incr("replica.state_transfers_completed");
+        ctx.trace(
+            SpanEdge::Close,
+            TracePhase::StateTransfer,
+            TraceMeta {
+                view: self.view,
+                seq,
+                ..TraceMeta::default()
+            },
+        );
         self.try_execute(ctx);
     }
 
@@ -1746,6 +1878,14 @@ impl<S: Service> Replica<S> {
         };
         self.vc_set.add(vc.clone());
         ctx.metrics().incr("replica.view_changes_started");
+        ctx.trace(
+            SpanEdge::Open,
+            TracePhase::ViewChange,
+            TraceMeta {
+                view: target,
+                ..TraceMeta::default()
+            },
+        );
         self.multicast(ctx, Msg::ViewChange(vc));
         // Wait for the new view with a doubled timeout.
         self.vc_timeout_ns = self.vc_timeout_ns.saturating_mul(2);
@@ -1992,6 +2132,14 @@ impl<S: Service> Replica<S> {
             }
         }
         ctx.metrics().incr("replica.views_installed");
+        ctx.trace(
+            SpanEdge::Close,
+            TracePhase::ViewChange,
+            TraceMeta {
+                view,
+                ..TraceMeta::default()
+            },
+        );
         // Forward pending requests so the new primary learns about them.
         if !is_primary {
             let primary = self.cfg.quorums.primary(view);
@@ -2008,7 +2156,7 @@ impl<S: Service> Replica<S> {
             for req in pending {
                 let packet = Packet::unauthenticated(Msg::Request(req));
                 let wire = packet.wire_bytes();
-                ctx.charge(self.cfg.cost.send(wire));
+                ctx.charge_kind(CostKind::Net, self.cfg.cost.send(wire));
                 ctx.send(primary, packet, wire);
             }
             if !self.pending_requests.is_empty() {
@@ -2056,7 +2204,8 @@ impl<S: Service> Replica<S> {
         ctx.metrics().incr("replica.key_refreshes");
         // Paper-era cost: the real NEW-KEY encrypts one session key per
         // principal under RSA and signs the message.
-        ctx.charge(
+        ctx.charge_kind(
+            CostKind::Rsa,
             self.cfg.cost.rsa_private_ns + self.cfg.cost.rsa_public_ns * (self.cfg.n() as u64 - 1),
         );
         let nk = NewKey {
@@ -2071,7 +2220,10 @@ impl<S: Service> Replica<S> {
             return;
         }
         // Verify + decrypt cost of the real NEW-KEY message.
-        ctx.charge(self.cfg.cost.rsa_public_ns + self.cfg.cost.rsa_private_ns);
+        ctx.charge_kind(
+            CostKind::Rsa,
+            self.cfg.cost.rsa_public_ns + self.cfg.cost.rsa_private_ns,
+        );
         self.keychain.set_peer_epoch(from, nk.epoch);
     }
 
@@ -2274,8 +2426,8 @@ impl<S: Service> Node<Packet> for Replica<S> {
         if self.behavior == Behavior::Crashed {
             return;
         }
-        ctx.charge(self.cfg.cost.recv(wire));
-        ctx.metrics().incr(&format!("msg.{}", packet.body.kind()));
+        ctx.charge_kind(CostKind::Net, self.cfg.cost.recv(wire));
+        ctx.metrics().incr(packet.body.metric_name());
         if !self.verify_packet(ctx, from, &packet) {
             ctx.metrics().incr("replica.bad_packet_auth");
             return;

@@ -13,8 +13,8 @@
 //!   `replay_one` test.
 
 use bft_core::fuzz::{
-    check_schedule, env_u64, failure_report, fuzz_config, fuzz_plan, run_fuzz_schedule,
-    ChaosDriver, Workload,
+    check_schedule, env_u64, failure_report, fuzz_config, fuzz_plan, run_fuzz_schedule_traced,
+    ChaosDriver, Workload, FLIGHT_DUMP_LAST, FLIGHT_RING,
 };
 use bft_core::prelude::*;
 use bft_sim::chaos::{Fault, FaultEvent, NetFault};
@@ -71,9 +71,9 @@ fn replay_one() {
     let f = env_u64("CHAOS_F", 1) as u32;
     let plan = fuzz_plan(seed, f);
     println!("replaying seed {seed} (f = {f}) with plan:\n{plan}");
-    match run_fuzz_schedule(seed, f, &plan) {
+    match run_fuzz_schedule_traced(seed, f, &plan) {
         Ok(()) => println!("seed {seed}: all invariants held"),
-        Err(v) => panic!("{}", failure_report(seed, f, &plan, &v)),
+        Err((v, flight)) => panic!("{}", failure_report(seed, f, &plan, &v, Some(&flight))),
     }
 }
 
@@ -94,7 +94,12 @@ fn replay_one() {
 #[test]
 fn injected_broken_quorum_check_is_caught() {
     let seed = 0xB0B;
-    let mut cluster = Cluster::builder(fuzz_config(1)).seed(seed).build_counter();
+    // Arm the flight recorder so the failure dumps what every node was
+    // doing right before the violation.
+    let mut cluster = Cluster::builder(fuzz_config(1))
+        .seed(seed)
+        .trace_capacity(FLIGHT_RING)
+        .build_counter();
     cluster.add_client(ChaosDriver::new(seed, 6, Workload::Adds));
     cluster.add_client(ChaosDriver::new(seed ^ 7, 6, Workload::Adds).delayed(dur::millis(5)));
     cluster
@@ -134,10 +139,20 @@ fn injected_broken_quorum_check_is_caught() {
         ),
         "unexpected violation kind: {v}"
     );
-    // The failure report must carry everything needed to replay the run.
-    let report = failure_report(seed, 1, &plan, &v);
+    // The failure report must carry everything needed to replay the run,
+    // with the flight-recorder trace next to the replay seed.
+    let flight = cluster.sim.trace().flight_dump(FLIGHT_DUMP_LAST);
+    let report = failure_report(seed, 1, &plan, &v, Some(&flight));
     assert!(report.contains(&format!("CHAOS_SEED={seed}")), "{report}");
     assert!(report.contains("replay:"), "{report}");
+    assert!(
+        report.contains("flight recorder"),
+        "report must embed the flight dump: {report}"
+    );
+    // The dump must show protocol activity on the broken replica (node 1
+    // executed batches without a commit quorum).
+    assert!(report.contains("node 1:"), "{report}");
+    assert!(report.contains("pre-prepare"), "{report}");
 }
 
 /// Read-only operations that cannot assemble their 2f + 1 read-only

@@ -14,6 +14,7 @@
 use crate::metrics::Metrics;
 use crate::network::{NetConfig, Network, NodeId};
 use crate::time::SimTime;
+use crate::trace::{CostKind, SpanEdge, TraceEvent, TraceMeta, TracePhase, TraceSink};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::any::Any;
@@ -100,6 +101,7 @@ struct Kernel<M> {
     net: Network,
     rng: StdRng,
     metrics: Metrics,
+    trace: TraceSink,
     cancelled: HashSet<u64>,
     next_timer: u64,
     stopped: bool,
@@ -223,7 +225,7 @@ impl<M> Context<'_, M> {
             }
             Err(_) => {
                 self.kernel.metrics.incr("net.dropped");
-                self.kernel.metrics.incr(&format!("net.dropped.dst{dst}"));
+                self.kernel.metrics.incr(format!("net.dropped.dst{dst}"));
             }
         }
     }
@@ -267,7 +269,7 @@ impl<M> Context<'_, M> {
                 }
                 Err(_) => {
                     self.kernel.metrics.incr("net.dropped");
-                    self.kernel.metrics.incr(&format!("net.dropped.dst{dst}"));
+                    self.kernel.metrics.incr(format!("net.dropped.dst{dst}"));
                 }
             }
         }
@@ -298,6 +300,48 @@ impl<M> Context<'_, M> {
     /// The shared metrics registry.
     pub fn metrics(&mut self) -> &mut Metrics {
         &mut self.kernel.metrics
+    }
+
+    /// Whether trace-event recording is enabled (cheap; lets emitters
+    /// skip building metadata when tracing is off).
+    pub fn trace_enabled(&self) -> bool {
+        self.kernel.trace.enabled()
+    }
+
+    /// Emits a trace event stamped at the end of the work charged so far
+    /// (`now + cpu_used`) — the simulated instant the edge takes effect,
+    /// and monotone per node because each node is a serial processor.
+    pub fn trace(&mut self, edge: SpanEdge, phase: TracePhase, meta: TraceMeta) {
+        if self.kernel.trace.enabled() {
+            let at_ns = self.kernel.now.after(self.cpu_used).nanos();
+            self.emit(at_ns, edge, phase, meta);
+        }
+    }
+
+    /// Emits a trace event stamped at the handler's start time (`now`),
+    /// matching latency measurements taken with [`Context::now`].
+    pub fn trace_now(&mut self, edge: SpanEdge, phase: TracePhase, meta: TraceMeta) {
+        if self.kernel.trace.enabled() {
+            let at_ns = self.kernel.now.nanos();
+            self.emit(at_ns, edge, phase, meta);
+        }
+    }
+
+    fn emit(&mut self, at_ns: u64, edge: SpanEdge, phase: TracePhase, meta: TraceMeta) {
+        self.kernel.trace.record(TraceEvent {
+            at_ns,
+            node: self.id,
+            edge,
+            phase,
+            meta,
+        });
+    }
+
+    /// Charges `ns` nanoseconds of CPU time attributed to `kind` in the
+    /// trace sink's per-node cost accounting.
+    pub fn charge_kind(&mut self, kind: CostKind, ns: u64) {
+        self.cpu_used += ns;
+        self.kernel.trace.record_cpu(self.id, kind, ns);
     }
 
     /// Requests that the run loop stop after this handler returns.
@@ -350,6 +394,7 @@ impl<M: 'static> Simulation<M> {
                 net: Network::new(net),
                 rng: StdRng::seed_from_u64(seed),
                 metrics: Metrics::new(),
+                trace: TraceSink::new(),
                 cancelled: HashSet::new(),
                 next_timer: 0,
                 stopped: false,
@@ -389,6 +434,17 @@ impl<M: 'static> Simulation<M> {
     /// measurement phases).
     pub fn metrics_mut(&mut self) -> &mut Metrics {
         &mut self.kernel.metrics
+    }
+
+    /// The trace sink (events and CPU-cost attribution).
+    pub fn trace(&self) -> &TraceSink {
+        &self.kernel.trace
+    }
+
+    /// Mutable trace-sink access (to enable recording via
+    /// [`TraceSink::set_capacity`] or clear between phases).
+    pub fn trace_mut(&mut self) -> &mut TraceSink {
+        &mut self.kernel.trace
     }
 
     /// The network, for fault injection.

@@ -18,7 +18,11 @@
 //!   mutations — with a generator and a shrinking minimizer for fuzzing;
 //! - [`cost`]: the CPU cost model (MD5, UMAC, UDP stack, RSA) calibrated
 //!   to the paper's hardware;
-//! - [`metrics`]: counters and latency series the experiment harness reads;
+//! - [`metrics`]: counters and log-bucketed latency histograms the
+//!   experiment harness reads;
+//! - [`trace`]: structured span tracing — bounded per-node event rings,
+//!   a per-request latency-breakdown assembler, a Chrome-trace exporter,
+//!   and the chaos flight recorder;
 //! - [`time`]: the nanosecond simulated clock.
 //!
 //! Everything is deterministic: a run is a pure function of the seed, the
@@ -30,10 +34,12 @@ pub mod engine;
 pub mod metrics;
 pub mod network;
 pub mod time;
+pub mod trace;
 
 pub use chaos::{ByzMode, ChaosConfig, Fault, FaultEvent, FaultPlan, NetFault, NodeFault};
 pub use cost::CostModel;
 pub use engine::{Context, Node, Simulation, TimerId};
-pub use metrics::{Metrics, Summary};
+pub use metrics::{Histogram, Metrics, Summary};
 pub use network::{DropReason, NetConfig, NetStats, Network, NodeId};
 pub use time::{dur, SimTime};
+pub use trace::{CostKind, SpanEdge, TraceEvent, TraceMeta, TracePhase, TraceSink};

@@ -1,16 +1,24 @@
-//! Measurement plumbing: counters and latency samples.
+//! Measurement plumbing: counters and log-bucketed latency histograms.
 //!
 //! Experiment drivers read these after a run to produce the paper's tables.
 //! Everything is keyed by string series names so protocol code can record
-//! without the harness pre-registering anything.
+//! without the harness pre-registering anything. Hot paths pass `&'static
+//! str` names, which are stored as borrowed [`Cow`]s — recording into an
+//! existing (or even a fresh) series never allocates a key.
+//!
+//! Sample series are [`Histogram`]s rather than raw `Vec<u64>` so that
+//! multi-hour fuzz sweeps and million-op benchmark runs stay bounded in
+//! memory: a histogram is at most ~8 KB regardless of how many samples it
+//! absorbs, at the price of ~3% relative error above 64.
 
+use std::borrow::Cow;
 use std::collections::HashMap;
 
-/// A set of named counters and sample series.
+/// A set of named counters and sample histograms.
 #[derive(Debug, Default, Clone)]
 pub struct Metrics {
-    counters: HashMap<String, u64>,
-    samples: HashMap<String, Vec<u64>>,
+    counters: HashMap<Cow<'static, str>, u64>,
+    samples: HashMap<Cow<'static, str>, Histogram>,
 }
 
 impl Metrics {
@@ -20,12 +28,12 @@ impl Metrics {
     }
 
     /// Adds `delta` to the counter `name`.
-    pub fn add(&mut self, name: &str, delta: u64) {
-        *self.counters.entry_ref_or_insert(name) += delta;
+    pub fn add(&mut self, name: impl Into<Cow<'static, str>>, delta: u64) {
+        *self.counters.entry(name.into()).or_insert(0) += delta;
     }
 
     /// Increments the counter `name` by one.
-    pub fn incr(&mut self, name: &str) {
+    pub fn incr(&mut self, name: impl Into<Cow<'static, str>>) {
         self.add(name, 1);
     }
 
@@ -34,23 +42,21 @@ impl Metrics {
         self.counters.get(name).copied().unwrap_or(0)
     }
 
-    /// Appends a sample (e.g. a latency in nanoseconds) to series `name`.
-    pub fn record(&mut self, name: &str, value: u64) {
-        if let Some(v) = self.samples.get_mut(name) {
-            v.push(value);
-        } else {
-            self.samples.insert(name.to_owned(), vec![value]);
-        }
+    /// Records a sample (e.g. a latency in nanoseconds) into series `name`.
+    pub fn record(&mut self, name: impl Into<Cow<'static, str>>, value: u64) {
+        self.samples.entry(name.into()).or_default().record(value);
     }
 
-    /// Returns the samples of a series (empty if never written).
-    pub fn series(&self, name: &str) -> &[u64] {
-        self.samples.get(name).map_or(&[], |v| v.as_slice())
+    /// The histogram behind series `name`, if any sample was recorded.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.samples.get(name)
     }
 
-    /// Summary statistics over a series.
+    /// Summary statistics over a series (zeroed if never written).
     pub fn summary(&self, name: &str) -> Summary {
-        Summary::of(self.series(name))
+        self.samples
+            .get(name)
+            .map_or_else(Summary::default, Histogram::summary)
     }
 
     /// Removes all data, keeping allocations where possible.
@@ -64,24 +70,152 @@ impl Metrics {
         let mut all: Vec<_> = self
             .counters
             .iter()
-            .map(|(k, v)| (k.as_str(), *v))
+            .map(|(k, v)| (k.as_ref(), *v))
             .collect();
         all.sort();
         all
     }
 }
 
-/// Helper trait: `entry` without allocating when the key exists.
-trait EntryRef {
-    fn entry_ref_or_insert(&mut self, name: &str) -> &mut u64;
+/// Sub-bucket precision: values ≥ [`LINEAR_BUCKETS`] land in one of
+/// `2^SUB_BITS` sub-buckets per power of two, bounding relative error to
+/// `2^-SUB_BITS` (≈ 3.1% hereunder, HDR-histogram style).
+const SUB_BITS: u32 = 4;
+/// Values below this are counted exactly, one bucket per value.
+const LINEAR_BUCKETS: u64 = 64;
+/// Smallest exponent handled by the logarithmic range (`2^6` = 64).
+const MIN_EXP: u32 = 6;
+/// Total bucket count: 64 exact + 16 per power of two for 2^6..2^63.
+const BUCKETS: usize = LINEAR_BUCKETS as usize + (64 - MIN_EXP as usize) * (1 << SUB_BITS);
+
+/// A log-bucketed histogram of `u64` samples with exact count/sum/min/max
+/// and ≈3% worst-case relative error on percentiles above 64.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
 }
 
-impl EntryRef for HashMap<String, u64> {
-    fn entry_ref_or_insert(&mut self, name: &str) -> &mut u64 {
-        if !self.contains_key(name) {
-            self.insert(name.to_owned(), 0);
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            counts: vec![0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
         }
-        self.get_mut(name).expect("just inserted")
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// The bucket index `value` falls into.
+    pub fn bucket_index(value: u64) -> usize {
+        if value < LINEAR_BUCKETS {
+            return value as usize;
+        }
+        let exp = 63 - value.leading_zeros();
+        let sub = (value >> (exp - SUB_BITS)) & ((1 << SUB_BITS) - 1);
+        LINEAR_BUCKETS as usize + ((exp - MIN_EXP) as usize) * (1 << SUB_BITS) + sub as usize
+    }
+
+    /// The inclusive lower bound of bucket `idx`.
+    pub fn bucket_lower(idx: usize) -> u64 {
+        if idx < LINEAR_BUCKETS as usize {
+            return idx as u64;
+        }
+        let log = idx - LINEAR_BUCKETS as usize;
+        let exp = (log / (1 << SUB_BITS)) as u32 + MIN_EXP;
+        let sub = (log % (1 << SUB_BITS)) as u64;
+        (1u64 << exp) + (sub << (exp - SUB_BITS))
+    }
+
+    /// The width of bucket `idx` (its exclusive upper bound is
+    /// `bucket_lower(idx) + bucket_width(idx)`).
+    pub fn bucket_width(idx: usize) -> u64 {
+        if idx < LINEAR_BUCKETS as usize {
+            return 1;
+        }
+        let exp = ((idx - LINEAR_BUCKETS as usize) / (1 << SUB_BITS)) as u32 + MIN_EXP;
+        1u64 << (exp - SUB_BITS)
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.counts[Self::bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum += value as u128;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact smallest sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Exact largest sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Exact arithmetic mean (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Nearest-rank percentile estimate: the midpoint of the bucket that
+    /// holds the sample of rank `ceil(p · count)`, clamped to the exact
+    /// observed `[min, max]` range.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((p * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let mid = Self::bucket_lower(idx) + Self::bucket_width(idx) / 2;
+                return mid.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Summary statistics over the recorded samples.
+    pub fn summary(&self) -> Summary {
+        Summary {
+            count: self.count as usize,
+            min: self.min(),
+            max: self.max(),
+            mean: self.mean(),
+            p50: self.percentile(0.50),
+            p90: self.percentile(0.90),
+            p99: self.percentile(0.99),
+            p999: self.percentile(0.999),
+        }
     }
 }
 
@@ -98,12 +232,18 @@ pub struct Summary {
     pub mean: f64,
     /// Median (0 when empty).
     pub p50: u64,
+    /// 90th percentile (0 when empty).
+    pub p90: u64,
     /// 99th percentile (0 when empty).
     pub p99: u64,
+    /// 99.9th percentile (0 when empty).
+    pub p999: u64,
 }
 
 impl Summary {
-    /// Computes summary statistics of `samples`.
+    /// Computes exact summary statistics of `samples` using the
+    /// nearest-rank method: the p-th percentile is the sample of rank
+    /// `ceil(p · count)` (1-based) in sorted order.
     pub fn of(samples: &[u64]) -> Summary {
         if samples.is_empty() {
             return Summary::default();
@@ -112,14 +252,19 @@ impl Summary {
         sorted.sort_unstable();
         let count = sorted.len();
         let sum: u128 = sorted.iter().map(|&x| x as u128).sum();
-        let pct = |p: f64| sorted[(((count - 1) as f64) * p).round() as usize];
+        let pct = |p: f64| {
+            let rank = ((p * count as f64).ceil() as usize).clamp(1, count);
+            sorted[rank - 1]
+        };
         Summary {
             count,
             min: sorted[0],
             max: sorted[count - 1],
             mean: sum as f64 / count as f64,
             p50: pct(0.50),
+            p90: pct(0.90),
             p99: pct(0.99),
+            p999: pct(0.999),
         }
     }
 }
@@ -127,6 +272,7 @@ impl Summary {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
 
     #[test]
     fn counters() {
@@ -155,7 +301,7 @@ mod tests {
     fn empty_summary_is_zeroed() {
         let m = Metrics::new();
         assert_eq!(m.summary("none"), Summary::default());
-        assert!(m.series("none").is_empty());
+        assert!(m.histogram("none").is_none());
     }
 
     #[test]
@@ -165,7 +311,7 @@ mod tests {
         m.record("b", 1);
         m.reset();
         assert_eq!(m.counter("a"), 0);
-        assert!(m.series("b").is_empty());
+        assert!(m.histogram("b").is_none());
     }
 
     #[test]
@@ -180,8 +326,90 @@ mod tests {
     #[test]
     fn p99_of_100_samples() {
         let s = Summary::of(&(1..=100u64).collect::<Vec<_>>());
+        // Nearest rank: p99 is the sample of rank ceil(0.99 · 100) = 99,
+        // p50 the sample of rank ceil(0.50 · 100) = 50.
         assert_eq!(s.p99, 99);
-        // Index round(99 · 0.5) = 50 → the 51st sample.
-        assert_eq!(s.p50, 51);
+        assert_eq!(s.p50, 50);
+        assert_eq!(s.p90, 90);
+        assert_eq!(s.p999, 100);
+    }
+
+    #[test]
+    fn histogram_is_exact_below_64() {
+        let mut h = Histogram::new();
+        for v in 0..64u64 {
+            h.record(v);
+        }
+        for p in [0.25f64, 0.5, 0.75, 1.0] {
+            let rank = (p * 64.0).ceil() as u64;
+            assert_eq!(h.percentile(p), rank - 1, "p{p}");
+        }
+        assert_eq!(h.count(), 64);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 63);
+    }
+
+    #[test]
+    fn histogram_relative_error_is_bounded() {
+        let mut h = Histogram::new();
+        for i in 1..=10_000u64 {
+            h.record(i * 977); // spread across many log buckets
+        }
+        for p in [0.5, 0.9, 0.99, 0.999] {
+            let exact = (p * 10_000f64).ceil() as u64 * 977;
+            let est = h.percentile(p);
+            let err = (est as f64 - exact as f64).abs() / exact as f64;
+            assert!(err < 0.04, "p{p}: est {est} vs exact {exact} (err {err})");
+        }
+    }
+
+    #[test]
+    fn histogram_matches_metrics_summary() {
+        let mut m = Metrics::new();
+        for v in [5u64, 5, 7, 100, 1000] {
+            m.record("x", v);
+        }
+        let s = m.summary("x");
+        assert_eq!(s.count, 5);
+        assert_eq!(s.min, 5);
+        assert_eq!(s.max, 1000);
+        assert_eq!(s.p50, 7);
+    }
+
+    proptest! {
+        /// Every recorded value falls inside the bounds of the bucket it
+        /// is assigned to, and bucket bounds tile the u64 line in order.
+        #[test]
+        fn bucket_round_trip(v in any::<u64>()) {
+            let idx = Histogram::bucket_index(v);
+            let lo = Histogram::bucket_lower(idx);
+            let w = Histogram::bucket_width(idx);
+            prop_assert!(lo <= v, "lower {lo} > value {v}");
+            prop_assert!(v - lo < w, "value {v} beyond bucket [{lo}, {lo}+{w})");
+            if idx + 1 < BUCKETS {
+                prop_assert_eq!(Histogram::bucket_lower(idx + 1), lo.saturating_add(w));
+            }
+        }
+
+        /// Percentile estimates stay within the histogram's error bound
+        /// of the exact nearest-rank answer.
+        #[test]
+        fn percentile_error_bound(mut vals in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+            let mut h = Histogram::new();
+            for &v in &vals {
+                h.record(v);
+            }
+            vals.sort_unstable();
+            for &(p, _) in &[(0.5, ()), (0.99, ())] {
+                let rank = ((p * vals.len() as f64).ceil() as usize).clamp(1, vals.len());
+                let exact = vals[rank - 1];
+                let est = h.percentile(p);
+                // Bucket width is < 1/16 of the value for log buckets and
+                // 1 below 64; allow one bucket of slack either way.
+                let slack = (exact / 16).max(1);
+                prop_assert!(est >= exact.saturating_sub(slack) && est <= exact + slack,
+                    "p{}: est {} vs exact {}", p, est, exact);
+            }
+        }
     }
 }

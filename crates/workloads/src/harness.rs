@@ -57,14 +57,17 @@ pub fn bft_latency(cfg: Config, shape: OpShape, samples: u64) -> Summary {
     cluster.add_client(
         MicroDriver::new(shape.arg, shape.result, shape.read_only).with_max_ops(samples + WARMUP),
     );
+    // Step one event at a time through the warmup operations, then reset
+    // the metrics so exactly the measured operations land in the latency
+    // histogram.
+    while cluster.completed_ops() < WARMUP && cluster.sim.step() {}
+    cluster.sim.metrics_mut().reset();
     let mut guard = 0;
-    while cluster.completed_ops() < samples + WARMUP && guard < 10_000 {
+    while cluster.completed_ops() < samples && guard < 10_000 {
         cluster.run_for(dur::millis(50));
         guard += 1;
     }
-    // Discard the warmup operations' latencies.
-    let series = cluster.sim.metrics().series("client.latency");
-    Summary::of(&series[series.len().min(WARMUP as usize)..])
+    cluster.sim.metrics().summary("client.latency")
 }
 
 /// Measures NO-REP invocation latency with a single client.
@@ -82,13 +85,15 @@ pub fn norep_latency(shape: OpShape, samples: u64) -> Summary {
             result_bytes: shape.result,
         },
     )));
+    // Warmup, reset, measure — as in [`bft_latency`].
+    while sim.metrics().counter("client.ops_completed") < 10 && sim.step() {}
+    sim.metrics_mut().reset();
     let mut guard = 0;
-    while sim.metrics().counter("client.ops_completed") < samples + 10 && guard < 10_000 {
+    while sim.metrics().counter("client.ops_completed") < samples && guard < 10_000 {
         sim.run_for(dur::millis(50));
         guard += 1;
     }
-    let series = sim.metrics().series("client.latency");
-    Summary::of(&series[series.len().min(10)..])
+    sim.metrics().summary("client.latency")
 }
 
 /// Result of a throughput measurement.
