@@ -33,7 +33,7 @@ fn bench_umac(c: &mut Criterion) {
 }
 
 fn bench_authenticator(c: &mut Criterion) {
-    let mut kc = KeyChain::new(0, 4, 1);
+    let mut kc = KeyChain::new(0, 4);
     let digest = *bft_crypto::digest(b"message").as_bytes();
     c.bench_function("authenticator_4_replicas", |b| {
         b.iter(|| kc.authenticate(std::hint::black_box(&digest)))

@@ -28,7 +28,7 @@ use crate::service::Service;
 use crate::types::{Quorums, ReplicaId, SeqNum};
 use bft_crypto::md5::Digest;
 use bft_crypto::merkle::MerkleTree;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 /// A checkpoint this replica produced locally.
 #[derive(Debug, Clone)]
@@ -183,7 +183,7 @@ pub struct CheckpointSet {
     /// Locally produced checkpoints, by sequence number.
     own: BTreeMap<SeqNum, OwnCheckpoint>,
     /// Claims received (including our own announcements).
-    claims: BTreeMap<SeqNum, HashMap<ReplicaId, Digest>>,
+    claims: BTreeMap<SeqNum, BTreeMap<ReplicaId, Digest>>,
     stable_seq: SeqNum,
     stable_digest: Digest,
 }
@@ -252,8 +252,10 @@ impl CheckpointSet {
         }
         let claims = self.claims.entry(cp.seq).or_default();
         claims.insert(cp.replica, cp.state_digest);
-        // Count the most common digest at this sequence number.
-        let mut counts: HashMap<Digest, usize> = HashMap::new();
+        // Count the most common digest at this sequence number. BTreeMap
+        // iteration makes the max_by_key tie-break deterministic (the
+        // largest digest among equally counted ones wins on every replica).
+        let mut counts: BTreeMap<Digest, usize> = BTreeMap::new();
         for &d in claims.values() {
             *counts.entry(d).or_insert(0) += 1;
         }
@@ -290,7 +292,7 @@ impl CheckpointSet {
             if seq <= horizon {
                 break;
             }
-            let mut counts: HashMap<Digest, usize> = HashMap::new();
+            let mut counts: BTreeMap<Digest, usize> = BTreeMap::new();
             for &d in claims.values() {
                 *counts.entry(d).or_insert(0) += 1;
             }

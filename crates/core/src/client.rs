@@ -14,7 +14,7 @@ use bft_crypto::keychain::KeyChain;
 use bft_crypto::md5::Digest;
 use bft_sim::{Context, CostKind, Node, NodeId, SimTime, SpanEdge, TimerId, TraceMeta, TracePhase};
 use std::any::Any;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 const TIMER_RETRY: u64 = 0;
 const DRIVER_TOKEN_BASE: u64 = 1_000;
@@ -44,10 +44,11 @@ struct PendingOp {
     sent_at: SimTime,
     broadcast: bool,
     retries: u32,
-    /// Per-replica (result digest, tentative) votes.
-    replies: HashMap<ReplicaId, (Digest, bool)>,
+    /// Per-replica (result digest, tentative) votes, in replica order so
+    /// quorum evaluation is independent of reply arrival hashing.
+    replies: BTreeMap<ReplicaId, (Digest, bool)>,
     /// Full result bytes seen, by result digest.
-    full: HashMap<Digest, Vec<u8>>,
+    full: BTreeMap<Digest, Vec<u8>>,
 }
 
 /// Client protocol state, separated from the driver so the two can be
@@ -74,7 +75,7 @@ impl ClientCore {
     fn new(id: ClientId, cfg: Config) -> ClientCore {
         cfg.validate();
         assert!(id >= cfg.n(), "client ids must not collide with replicas");
-        let keychain = KeyChain::new(id, cfg.n(), cfg.f());
+        let keychain = KeyChain::new(id, cfg.n());
         ClientCore {
             cfg,
             id,
@@ -175,8 +176,8 @@ impl ClientCore {
             sent_at: ctx.now(),
             broadcast: false,
             retries: 0,
-            replies: HashMap::new(),
-            full: HashMap::new(),
+            replies: BTreeMap::new(),
+            full: BTreeMap::new(),
         });
         self.send_request(ctx);
     }
@@ -186,8 +187,10 @@ impl ClientCore {
     fn check_complete(&mut self) -> Option<(Vec<u8>, SimTime)> {
         let q = &self.cfg.quorums;
         let p = self.pending.as_ref()?;
-        let mut committed: HashMap<Digest, usize> = HashMap::new();
-        let mut total: HashMap<Digest, usize> = HashMap::new();
+        // Ordered maps: if two digests ever both reach quorum (only
+        // possible with faulty replicas), every run picks the same one.
+        let mut committed: BTreeMap<Digest, usize> = BTreeMap::new();
+        let mut total: BTreeMap<Digest, usize> = BTreeMap::new();
         for &(d, tentative) in p.replies.values() {
             *total.entry(d).or_insert(0) += 1;
             if !tentative {
@@ -425,8 +428,29 @@ impl<D: ClientDriver> Node<Packet> for Client<D> {
         wire: usize,
     ) {
         ctx.charge_kind(CostKind::Net, self.core.cfg.cost.recv(wire));
-        let Msg::Reply(reply) = packet.body else {
-            return;
+        // Exhaustive over Msg (lint rule `catch-all`): a client consumes
+        // only REPLY; every replica-to-replica variant is named so adding
+        // a message type forces an explicit decision here.
+        let reply = match packet.body {
+            Msg::Reply(reply) => reply,
+            Msg::Request(_)
+            | Msg::PrePrepare(_)
+            | Msg::Prepare(_)
+            | Msg::Commit(_)
+            | Msg::Checkpoint(_)
+            | Msg::ViewChange(_)
+            | Msg::NewView(_)
+            | Msg::FetchState(_)
+            | Msg::StateMeta(_)
+            | Msg::FetchParts(_)
+            | Msg::PartData(_)
+            | Msg::FetchBatch(_)
+            | Msg::BatchData(_)
+            | Msg::FetchRequests(_)
+            | Msg::RequestData(_)
+            | Msg::Status(_)
+            | Msg::CommittedBatch(_)
+            | Msg::NewKey(_) => return,
         };
         let body_len = wire.saturating_sub(packet.auth.wire_bytes());
         if let Some((result, latency)) =

@@ -39,8 +39,8 @@ use crate::replica::Replica;
 use crate::service::Service;
 use crate::types::{ClientId, ReplicaId, SeqNum, Timestamp, View};
 use bft_crypto::md5::Digest;
-use std::collections::hash_map::Entry;
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::btree_map::Entry;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 /// Safety-relevant events recorded by a replica for the checker: batches
@@ -218,7 +218,7 @@ struct DoneLin {
 /// Incremental linearizability checker for the counter service.
 #[derive(Debug, Default)]
 struct CounterLinearizability {
-    pending: HashMap<(ClientId, Timestamp), PendingLin>,
+    pending: BTreeMap<(ClientId, Timestamp), PendingLin>,
     /// Completed operations, used for the real-time lower bound.
     done: Vec<DoneLin>,
     /// `(invoke time, cumulative add amount invoked so far)`, in invoke
@@ -380,10 +380,10 @@ impl CounterLinearizability {
 /// [`Cluster::run_with_plan`]: crate::cluster::Cluster::run_with_plan
 #[derive(Debug, Default)]
 pub struct InvariantChecker {
-    committed: HashMap<SeqNum, (ReplicaId, Digest)>,
-    checkpoints: HashMap<SeqNum, (ReplicaId, Digest)>,
-    views: HashMap<ReplicaId, View>,
-    tainted: HashSet<ReplicaId>,
+    committed: BTreeMap<SeqNum, (ReplicaId, Digest)>,
+    checkpoints: BTreeMap<SeqNum, (ReplicaId, Digest)>,
+    views: BTreeMap<ReplicaId, View>,
+    tainted: BTreeSet<ReplicaId>,
     lin: CounterLinearizability,
 }
 

@@ -4,7 +4,7 @@
 use crate::messages::{BatchEntry, Request, NULL_DIGEST};
 use crate::types::{Quorums, ReplicaId, SeqNum, View};
 use bft_crypto::md5::Digest;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 /// Protocol state for one sequence number.
 #[derive(Debug, Clone, Default)]
@@ -19,9 +19,11 @@ pub struct Slot {
     /// The raw batch entries as proposed (served to fetchers).
     pub raw_entries: Option<Vec<BatchEntry>>,
     /// Prepares received, by sender, with the digest each vouched for.
-    pub prepares: HashMap<ReplicaId, Digest>,
-    /// Commits received, by sender.
-    pub commits: HashMap<ReplicaId, Digest>,
+    /// Ordered (BTreeMap) so certificate iteration order can never leak
+    /// hasher randomness into protocol behaviour.
+    pub prepares: BTreeMap<ReplicaId, Digest>,
+    /// Commits received, by sender. Ordered for the same reason.
+    pub commits: BTreeMap<ReplicaId, Digest>,
     /// Whether this replica already multicast its prepare.
     pub prepare_sent: bool,
     /// Whether this replica already multicast (or queued) its commit.

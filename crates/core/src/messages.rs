@@ -1306,7 +1306,7 @@ mod tests {
             replica: 0,
         });
         let bare = Packet::unauthenticated(body.clone());
-        let mut kc = bft_crypto::KeyChain::new(0, 4, 1);
+        let mut kc = bft_crypto::KeyChain::new(0, 4);
         let auth = kc.authenticate(bare.body_digest().as_bytes());
         let sealed = Packet {
             body,

@@ -15,7 +15,7 @@ use bft_crypto::keychain::KeyChain;
 use bft_crypto::md5::Digest;
 use bft_sim::{Context, CostKind, Node, NodeId, SpanEdge, TimerId, TraceMeta, TracePhase};
 use std::any::Any;
-use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 /// Timer tokens.
 const TIMER_RESEND: u64 = 1;
@@ -125,21 +125,23 @@ pub struct Replica<S: Service> {
     /// Reply-cache entries displaced by the current tentative batch, for
     /// rollback.
     tentative_cache_undo: Vec<(ClientId, Option<CachedReply>)>,
-    reply_cache: HashMap<ClientId, CachedReply>,
+    /// Ordered (BTreeMap) so checkpoint encoding and retransmission scans
+    /// are independent of hasher randomness.
+    reply_cache: BTreeMap<ClientId, CachedReply>,
     /// Primary: last assigned sequence number.
     next_seq: SeqNum,
     /// Primary: requests waiting for a batch slot.
     pending_batch: VecDeque<Request>,
     /// Identities already queued or proposed, to drop duplicates cheaply.
-    queued: HashSet<(ClientId, Timestamp)>,
+    queued: BTreeSet<(ClientId, Timestamp)>,
     /// Request bodies known by digest (separate request transmission and
     /// recovery serving). Bounded by `store_order` eviction.
-    request_store: HashMap<Digest, Request>,
+    request_store: BTreeMap<Digest, Request>,
     /// Insertion order of `request_store`, for capacity eviction.
     store_order: VecDeque<Digest>,
     /// Requests this backup believes are outstanding (drives the
     /// view-change timer).
-    pending_requests: HashSet<(ClientId, Timestamp)>,
+    pending_requests: BTreeSet<(ClientId, Timestamp)>,
     in_view_change: bool,
     /// The view we are trying to move to while `in_view_change`.
     pending_view: View,
@@ -152,7 +154,7 @@ pub struct Replica<S: Service> {
     /// other way to learn that the group moved on).
     last_new_view: Option<NewView>,
     /// Per-destination earliest time of the next NEW-VIEW retransmission.
-    nv_retx_after_ns: HashMap<ReplicaId, u64>,
+    nv_retx_after_ns: BTreeMap<ReplicaId, u64>,
     /// Pending piggybacked commit announcements.
     piggy_queue: Vec<(SeqNum, Digest)>,
     piggy_timer: Option<TimerId>,
@@ -164,7 +166,7 @@ pub struct Replica<S: Service> {
     /// a primary that makes progress is not suspected.
     exec_progress: bool,
     /// Backfill votes: which peers asserted each (seq, digest) committed.
-    backfill: HashMap<(SeqNum, Digest), HashSet<ReplicaId>>,
+    backfill: BTreeMap<(SeqNum, Digest), BTreeSet<ReplicaId>>,
     waiting_ro: Vec<WaitingRo>,
     behavior: Behavior,
     /// Safety events (finalized batches, announced checkpoints) for the
@@ -181,8 +183,8 @@ impl<S: Service> Replica<S> {
     pub fn new(id: ReplicaId, cfg: Config, mut service: S) -> Replica<S> {
         cfg.validate();
         assert!(id < cfg.n(), "replica id out of range");
-        let keychain = KeyChain::new(id, cfg.n(), cfg.f());
-        let cache_bytes = Self::encode_cache(&HashMap::new());
+        let keychain = KeyChain::new(id, cfg.n());
+        let cache_bytes = Self::encode_cache(&BTreeMap::new());
         let tracker = CheckpointTracker::new(&service, &cache_bytes);
         // The tracker just digested every partition; drop any dirty marks
         // accumulated while the service was constructed.
@@ -213,26 +215,26 @@ impl<S: Service> Replica<S> {
             last_final: 0,
             tentative_ops: 0,
             tentative_cache_undo: Vec::new(),
-            reply_cache: HashMap::new(),
+            reply_cache: BTreeMap::new(),
             next_seq: 0,
             pending_batch: VecDeque::new(),
-            queued: HashSet::new(),
-            request_store: HashMap::new(),
+            queued: BTreeSet::new(),
+            request_store: BTreeMap::new(),
             store_order: VecDeque::new(),
-            pending_requests: HashSet::new(),
+            pending_requests: BTreeSet::new(),
             in_view_change: false,
             pending_view: 0,
             vc_set: ViewChangeSet::new(),
             vc_timer: None,
             vc_timeout_ns,
             last_new_view: None,
-            nv_retx_after_ns: HashMap::new(),
+            nv_retx_after_ns: BTreeMap::new(),
             piggy_queue: Vec::new(),
             piggy_timer: None,
             fetching: None,
             next_body_fetch_ns: 0,
             exec_progress: false,
-            backfill: HashMap::new(),
+            backfill: BTreeMap::new(),
             waiting_ro: Vec::new(),
             behavior: Behavior::Correct,
             audit: ReplicaAudit::default(),
@@ -413,12 +415,12 @@ impl<S: Service> Replica<S> {
 
     /// Canonical encoding of a reply cache — the content under the
     /// checkpoint tree's reply-cache leaf.
-    fn encode_cache(cache: &HashMap<ClientId, CachedReply>) -> Vec<u8> {
-        let mut entries: Vec<(&ClientId, &CachedReply)> = cache.iter().collect();
-        entries.sort_by_key(|(c, _)| **c);
+    fn encode_cache(cache: &BTreeMap<ClientId, CachedReply>) -> Vec<u8> {
+        // BTreeMap iteration is already client-id order, so the encoding
+        // is canonical without an explicit sort.
         let mut buf = Vec::new();
-        (entries.len() as u64).encode(&mut buf);
-        for (c, e) in entries {
+        (cache.len() as u64).encode(&mut buf);
+        for (c, e) in cache {
             c.encode(&mut buf);
             e.timestamp.encode(&mut buf);
             e.result.encode(&mut buf);
@@ -428,10 +430,10 @@ impl<S: Service> Replica<S> {
 
     /// Decodes a reply cache produced by [`Self::encode_cache`]. Entries
     /// restore as committed (`tentative: false`) in view `view`.
-    fn decode_cache(bytes: &[u8], view: View) -> Option<HashMap<ClientId, CachedReply>> {
+    fn decode_cache(bytes: &[u8], view: View) -> Option<BTreeMap<ClientId, CachedReply>> {
         let mut r = crate::wire::Reader::new(bytes);
         let n = u64::decode(&mut r).ok()?;
-        let mut cache = HashMap::new();
+        let mut cache = BTreeMap::new();
         for _ in 0..n {
             let client = u32::decode(&mut r).ok()?;
             let ts = u64::decode(&mut r).ok()?;
@@ -1636,7 +1638,7 @@ impl<S: Service> Replica<S> {
         }
         let votes = self.backfill.entry((cb.seq, cb.batch_digest)).or_default();
         votes.insert(from);
-        if votes.len() < self.cfg.f() as usize + 1 {
+        if votes.len() < self.cfg.quorums.witness_quorum() {
             // Stash the bodies either way; they are digest-bound.
             for entry in &cb.entries {
                 if let BatchEntry::Full(req) = entry {
@@ -2045,7 +2047,7 @@ impl<S: Service> Replica<S> {
         self.queued.clear();
         self.pending_batch.clear();
         // Absorb batch bodies shipped with the new view.
-        let mut shipped: HashMap<SeqNum, Vec<BatchEntry>> = batches.into_iter().collect();
+        let mut shipped: BTreeMap<SeqNum, Vec<BatchEntry>> = batches.into_iter().collect();
         // If the group's stable point is ahead of us, transfer state.
         if plan.min_s > self.checkpoints.stable_seq() {
             if plan.min_s > self.last_executed {

@@ -79,6 +79,14 @@ impl Quorums {
         2 * self.f as usize + 1
     }
 
+    /// Matching assertions from `f + 1` *distinct* replicas are
+    /// guaranteed to include one from a correct replica — the bound for
+    /// joining an in-progress view change and for trusting peer claims
+    /// that a batch committed (backfill).
+    pub fn witness_quorum(&self) -> usize {
+        self.f as usize + 1
+    }
+
     /// All replica ids.
     pub fn replicas(&self) -> impl Iterator<Item = ReplicaId> {
         0..self.n

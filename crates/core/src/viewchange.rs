@@ -9,12 +9,13 @@
 use crate::messages::{NewView, PreparedInfo, ViewChange, NULL_DIGEST};
 use crate::types::{Quorums, ReplicaId, SeqNum, View};
 use bft_crypto::md5::Digest;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
-/// Collected view-change votes, per target view.
+/// Collected view-change votes, per target view. Both levels are
+/// ordered maps so every replica walks votes in the same order.
 #[derive(Debug, Clone, Default)]
 pub struct ViewChangeSet {
-    votes: BTreeMap<View, HashMap<ReplicaId, ViewChange>>,
+    votes: BTreeMap<View, BTreeMap<ReplicaId, ViewChange>>,
 }
 
 impl ViewChangeSet {
@@ -34,7 +35,7 @@ impl ViewChangeSet {
 
     /// Number of distinct voters for `view`.
     pub fn count(&self, view: View) -> usize {
-        self.votes.get(&view).map_or(0, HashMap::len)
+        self.votes.get(&view).map_or(0, BTreeMap::len)
     }
 
     /// True if `replica` has voted for `view`.
@@ -52,12 +53,12 @@ impl ViewChangeSet {
         if votes.len() < q.view_change_quorum() {
             return None;
         }
-        let mut ids: Vec<ReplicaId> = votes.keys().copied().collect();
-        ids.sort_unstable();
+        // BTreeMap iteration is already replica-id order.
         Some(
-            ids.into_iter()
+            votes
+                .values()
                 .take(q.view_change_quorum())
-                .map(|r| votes[&r].clone())
+                .cloned()
                 .collect(),
         )
     }
@@ -68,7 +69,7 @@ impl ViewChangeSet {
     pub fn join_view(&self, current: View, q: &Quorums) -> Option<View> {
         self.votes
             .iter()
-            .find(|&(&v, m)| v > current && m.len() > q.f as usize)
+            .find(|&(&v, m)| v > current && m.len() >= q.witness_quorum())
             .map(|(&v, _)| v)
     }
 

@@ -118,6 +118,25 @@ impl<'a> Reader<'a> {
         self.pos += n;
         Ok(s)
     }
+
+    /// Takes a single byte.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Truncated`] if the input is exhausted.
+    pub fn take_byte(&mut self) -> Result<u8, WireError> {
+        self.take(1)?.first().copied().ok_or(WireError::Truncated)
+    }
+
+    /// Takes exactly `N` bytes as a fixed-size array, so decoders never
+    /// need a panicking slice-to-array conversion.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Truncated`] if fewer than `N` bytes remain.
+    pub fn take_array<const N: usize>(&mut self) -> Result<[u8; N], WireError> {
+        self.take(N)?.try_into().map_err(|_| WireError::Truncated)
+    }
 }
 
 impl Wire for u8 {
@@ -125,7 +144,7 @@ impl Wire for u8 {
         buf.push(*self);
     }
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
-        Ok(r.take(1)?[0])
+        r.take_byte()
     }
     fn wire_len(&self) -> usize {
         1
@@ -137,7 +156,7 @@ impl Wire for u32 {
         buf.extend_from_slice(&self.to_le_bytes());
     }
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
-        Ok(u32::from_le_bytes(r.take(4)?.try_into().expect("4 bytes")))
+        Ok(u32::from_le_bytes(r.take_array()?))
     }
     fn wire_len(&self) -> usize {
         4
@@ -149,7 +168,7 @@ impl Wire for u64 {
         buf.extend_from_slice(&self.to_le_bytes());
     }
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
-        Ok(u64::from_le_bytes(r.take(8)?.try_into().expect("8 bytes")))
+        Ok(u64::from_le_bytes(r.take_array()?))
     }
     fn wire_len(&self) -> usize {
         8
@@ -161,7 +180,7 @@ impl Wire for bool {
         buf.push(u8::from(*self));
     }
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
-        match r.take(1)?[0] {
+        match r.take_byte()? {
             0 => Ok(false),
             1 => Ok(true),
             t => Err(WireError::BadTag(t)),
@@ -210,7 +229,7 @@ impl<T: Wire> Wire for Option<T> {
         }
     }
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
-        match r.take(1)?[0] {
+        match r.take_byte()? {
             0 => Ok(None),
             1 => Ok(Some(T::decode(r)?)),
             t => Err(WireError::BadTag(t)),
@@ -239,7 +258,7 @@ impl Wire for Digest {
         buf.extend_from_slice(self.as_bytes());
     }
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
-        Ok(Digest(r.take(16)?.try_into().expect("16 bytes")))
+        Ok(Digest(r.take_array()?))
     }
     fn wire_len(&self) -> usize {
         16
@@ -253,7 +272,7 @@ impl Wire for Mac {
     }
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
         let nonce = u64::decode(r)?;
-        let tag = r.take(8)?.try_into().expect("8 bytes");
+        let tag = r.take_array()?;
         Ok(Mac { nonce, tag })
     }
     fn wire_len(&self) -> usize {

@@ -1,0 +1,130 @@
+//! Determinism regression: two clusters built from the same seed and fed
+//! the same schedule must behave *identically* — event for event, not
+//! just in aggregate. This is the property the `bft-lint` determinism
+//! rule protects: a single iteration over a `HashMap` in a protocol path
+//! can leak hasher randomness into message emission order and break it.
+//!
+//! The comparison is deliberately strict: the full trace ring of every
+//! node (replicas and clients), element-wise. A divergence anywhere in
+//! timing, view, sequence assignment, or batching shows up here.
+
+use bft_core::fuzz::{fuzz_config, fuzz_plan, ChaosDriver, Workload};
+use bft_core::prelude::*;
+use bft_sim::dur;
+use bft_sim::trace::TraceEvent;
+use bft_sim::NodeId;
+
+const OPS_PER_CLIENT: u64 = 8;
+const TRACE_CAPACITY: usize = 8192;
+
+/// Builds a traced cluster from `seed`, runs it for `rounds` fixed-size
+/// slices, and returns everything observable: per-node trace rings,
+/// completed-op count, total events processed, and each replica's
+/// final executed sequence number.
+fn run_once(seed: u64, plan: &FaultPlan, rounds: u32) -> RunFingerprint {
+    let cfg = fuzz_config(1);
+    let n = cfg.n();
+    let mut cluster = Cluster::builder(cfg)
+        .seed(seed)
+        .trace_capacity(TRACE_CAPACITY)
+        .build_counter();
+    cluster.add_client(ChaosDriver::new(seed ^ 1, OPS_PER_CLIENT, Workload::Adds));
+    cluster.add_client(ChaosDriver::new(seed ^ 2, OPS_PER_CLIENT, Workload::Mixed));
+
+    let mut checker = InvariantChecker::new();
+    let empty = FaultPlan::empty();
+    for round in 0..rounds {
+        let p = if round == 0 { plan } else { &empty };
+        cluster
+            .run_with_plan::<CounterService, ChaosDriver>(p, dur::millis(100), &mut checker)
+            .expect("invariants hold in both runs");
+    }
+
+    let sink = cluster.sim.trace();
+    let rings: Vec<Vec<TraceEvent>> = (0..sink.node_count() as NodeId)
+        .map(|node| sink.node_events(node).copied().collect())
+        .collect();
+    let executed: Vec<u64> = (0..n)
+        .map(|r| cluster.replica::<CounterService>(r).last_executed())
+        .collect();
+    RunFingerprint {
+        rings,
+        completed_ops: cluster.completed_ops(),
+        events_processed: cluster.sim.events_processed(),
+        now_ns: cluster.sim.now().0,
+        executed,
+    }
+}
+
+struct RunFingerprint {
+    rings: Vec<Vec<TraceEvent>>,
+    completed_ops: u64,
+    events_processed: u64,
+    now_ns: u64,
+    executed: Vec<u64>,
+}
+
+/// Asserts two runs are indistinguishable, with a pinpointed diagnostic
+/// (node + ring index + both events) on the first divergence.
+fn assert_identical(a: &RunFingerprint, b: &RunFingerprint) {
+    assert_eq!(a.completed_ops, b.completed_ops, "completed ops differ");
+    assert_eq!(
+        a.events_processed, b.events_processed,
+        "simulator event counts differ"
+    );
+    assert_eq!(a.now_ns, b.now_ns, "final simulated times differ");
+    assert_eq!(a.executed, b.executed, "executed sequence numbers differ");
+    assert_eq!(a.rings.len(), b.rings.len(), "node counts differ");
+    for (node, (ra, rb)) in a.rings.iter().zip(&b.rings).enumerate() {
+        assert_eq!(
+            ra.len(),
+            rb.len(),
+            "node {node}: trace ring lengths differ ({} vs {})",
+            ra.len(),
+            rb.len()
+        );
+        for (i, (ea, eb)) in ra.iter().zip(rb).enumerate() {
+            assert_eq!(ea, eb, "node {node}: traces diverge at ring index {i}");
+        }
+    }
+}
+
+/// Fault-free: same seed, same schedule, identical traces.
+#[test]
+fn identical_seeds_produce_identical_traces() {
+    let plan = FaultPlan::empty();
+    let a = run_once(0x0DE7_E121, &plan, 12);
+    assert!(
+        a.completed_ops >= OPS_PER_CLIENT,
+        "run must make progress to be a meaningful comparison"
+    );
+    let b = run_once(0x0DE7_E121, &plan, 12);
+    assert_identical(&a, &b);
+}
+
+/// Under chaos: a seeded fault schedule (partitions, delays, crashes)
+/// exercises the view-change, checkpoint, and backfill paths — exactly
+/// the code the BTreeMap migration covered. Still bit-identical.
+#[test]
+fn identical_seeds_identical_traces_under_chaos() {
+    for seed in [0xC4A05u64, 0xFEED_5EED] {
+        let plan = fuzz_plan(seed, 1);
+        let a = run_once(seed, &plan, 16);
+        let b = run_once(seed, &plan, 16);
+        assert_identical(&a, &b);
+    }
+}
+
+/// Different seeds must *not* be identical — guards against the
+/// comparison being vacuous (e.g. empty rings on both sides).
+#[test]
+fn different_seeds_diverge() {
+    let plan = FaultPlan::empty();
+    let a = run_once(1, &plan, 12);
+    let b = run_once(2, &plan, 12);
+    assert_ne!(
+        (a.events_processed, &a.rings),
+        (b.events_processed, &b.rings),
+        "different seeds should produce observably different runs"
+    );
+}

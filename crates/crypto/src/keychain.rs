@@ -61,8 +61,8 @@ impl Authenticator {
 /// ```
 /// use bft_crypto::keychain::KeyChain;
 ///
-/// let mut sender = KeyChain::new(0, 4, 1);
-/// let mut receiver = KeyChain::new(2, 4, 1);
+/// let mut sender = KeyChain::new(0, 4);
+/// let mut receiver = KeyChain::new(2, 4);
 /// let auth = sender.authenticate(b"pre-prepare");
 /// assert!(receiver.verify_authenticator(0, b"pre-prepare", &auth));
 /// ```
@@ -81,18 +81,12 @@ pub struct KeyChain {
 
 impl KeyChain {
     /// Creates the key chain for principal `my_id` in a group of
-    /// `n_replicas` replicas tolerating `f` faults.
+    /// `n_replicas` replicas.
     ///
-    /// # Panics
-    ///
-    /// Panics unless `n_replicas >= 3f + 1`.
-    pub fn new(my_id: PrincipalId, n_replicas: u32, f: u32) -> KeyChain {
-        assert!(
-            n_replicas > 3 * f,
-            "need at least 3f+1 replicas ({} < {})",
-            n_replicas,
-            3 * f + 1
-        );
+    /// Group sizing (`n >= 3f + 1`) is a protocol concern validated by
+    /// `Quorums`/`Config` in `bft-core`; the key chain only needs `n` to
+    /// tell replicas from clients and size authenticators.
+    pub fn new(my_id: PrincipalId, n_replicas: u32) -> KeyChain {
         KeyChain {
             my_id,
             n_replicas,
@@ -253,8 +247,8 @@ mod tests {
 
     #[test]
     fn point_to_point_roundtrip() {
-        let mut client = KeyChain::new(7, 4, 1);
-        let mut primary = KeyChain::new(0, 4, 1);
+        let mut client = KeyChain::new(7, 4);
+        let mut primary = KeyChain::new(0, 4);
         let mac = client.mac_for(0, b"request");
         assert!(primary.verify_from(7, b"request", &mac));
         assert!(!primary.verify_from(7, b"forged", &mac));
@@ -262,11 +256,11 @@ mod tests {
 
     #[test]
     fn authenticator_verified_by_every_backup() {
-        let mut primary = KeyChain::new(0, 4, 1);
+        let mut primary = KeyChain::new(0, 4);
         let auth = primary.authenticate(b"pre-prepare");
         assert_eq!(auth.entries.len(), 3);
         for backup in 1..4 {
-            let mut kc = KeyChain::new(backup, 4, 1);
+            let mut kc = KeyChain::new(backup, 4);
             assert!(
                 kc.verify_authenticator(0, b"pre-prepare", &auth),
                 "{backup}"
@@ -276,34 +270,34 @@ mod tests {
 
     #[test]
     fn authenticator_rejects_tampered_message() {
-        let mut primary = KeyChain::new(0, 4, 1);
+        let mut primary = KeyChain::new(0, 4);
         let auth = primary.authenticate(b"pre-prepare");
-        let mut kc = KeyChain::new(1, 4, 1);
+        let mut kc = KeyChain::new(1, 4);
         assert!(!kc.verify_authenticator(0, b"pre-prepared", &auth));
     }
 
     #[test]
     fn authenticator_rejects_wrong_sender() {
-        let mut r2 = KeyChain::new(2, 4, 1);
+        let mut r2 = KeyChain::new(2, 4);
         let auth = r2.authenticate(b"commit");
-        let mut r1 = KeyChain::new(1, 4, 1);
+        let mut r1 = KeyChain::new(1, 4);
         // Claimed sender 3 did not produce this authenticator.
         assert!(!r1.verify_authenticator(3, b"commit", &auth));
     }
 
     #[test]
     fn sender_has_no_entry_for_itself() {
-        let mut r0 = KeyChain::new(0, 4, 1);
+        let mut r0 = KeyChain::new(0, 4);
         let auth = r0.authenticate(b"x");
         assert!(auth.entry(0).is_none());
-        let mut same = KeyChain::new(0, 4, 1);
+        let mut same = KeyChain::new(0, 4);
         assert!(!same.verify_authenticator(0, b"x", &auth));
     }
 
     #[test]
     fn refresh_keeps_grace_window_then_invalidates() {
-        let mut sender = KeyChain::new(0, 4, 1);
-        let mut receiver = KeyChain::new(1, 4, 1);
+        let mut sender = KeyChain::new(0, 4);
+        let mut receiver = KeyChain::new(1, 4);
         let old_mac = sender.mac_for(1, b"msg");
         // One refresh: in-flight MACs under the previous epoch still pass.
         receiver.refresh();
@@ -319,7 +313,7 @@ mod tests {
 
     #[test]
     fn stale_epoch_announcements_are_ignored() {
-        let mut kc = KeyChain::new(0, 4, 1);
+        let mut kc = KeyChain::new(0, 4);
         kc.set_peer_epoch(1, 5);
         kc.set_peer_epoch(1, 3);
         assert_eq!(kc.peer_epoch(1), 5);
@@ -329,8 +323,8 @@ mod tests {
     fn directional_keys_differ() {
         // The key for 0→1 must differ from 1→0: a receiver cannot replay a
         // message back at its author.
-        let mut a = KeyChain::new(0, 4, 1);
-        let mut b = KeyChain::new(1, 4, 1);
+        let mut a = KeyChain::new(0, 4);
+        let mut b = KeyChain::new(1, 4);
         let mac = a.mac_for(1, b"msg");
         // Replayed to the original sender: must not verify.
         assert!(!a.verify_from(1, b"msg", &mac));
@@ -339,21 +333,15 @@ mod tests {
 
     #[test]
     fn seven_replica_authenticator() {
-        let mut primary = KeyChain::new(0, 7, 2);
+        let mut primary = KeyChain::new(0, 7);
         let auth = primary.authenticate(b"m");
         assert_eq!(auth.entries.len(), 6);
         assert_eq!(auth.wire_bytes(), 6 * 17);
     }
 
     #[test]
-    #[should_panic(expected = "3f+1")]
-    fn rejects_too_few_replicas() {
-        KeyChain::new(0, 3, 1);
-    }
-
-    #[test]
     fn nonces_are_unique_per_mac() {
-        let mut a = KeyChain::new(0, 4, 1);
+        let mut a = KeyChain::new(0, 4);
         let m1 = a.mac_for(1, b"x");
         let m2 = a.mac_for(1, b"x");
         assert_ne!(m1.nonce, m2.nonce);

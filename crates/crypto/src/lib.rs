@@ -29,7 +29,7 @@
 //! assert!(key.verify(b"message", 42, &mac.tag));
 //! assert!(!key.verify(b"tampered", 42, &mac.tag));
 //! let _ = d;
-//! let _ = KeyChain::new(0, 4, 1);
+//! let _ = KeyChain::new(0, 4);
 //! ```
 
 pub mod bignum;

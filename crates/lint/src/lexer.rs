@@ -1,0 +1,364 @@
+//! A minimal Rust lexer: just enough structure to let the rule engine
+//! match real code tokens while ignoring comments, string/char literal
+//! *contents*, and attributes' textual noise.
+//!
+//! The protocol docs in this workspace are saturated with literal
+//! `2f+1` / `3f+1` text, so stripping comments and string literals is
+//! not an optimisation — it is what makes the quorum-arithmetic rule
+//! usable at all.
+
+/// Token classification. Literal contents are deliberately dropped
+/// (`Literal` tokens carry an empty `text`) so rule patterns can never
+/// match inside strings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    /// Identifier or keyword.
+    Ident,
+    /// Numeric literal (text kept verbatim, suffix included).
+    Num,
+    /// Punctuation / operator (some two-character operators fused).
+    Punct,
+    /// Lifetime such as `'a`.
+    Lifetime,
+    /// String, byte-string, or char literal (content stripped).
+    Literal,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub line: u32,
+    pub text: String,
+    pub kind: Kind,
+}
+
+/// A comment, preserved verbatim so the pragma parser can read
+/// allow-directives (see the crate docs for the syntax).
+#[derive(Debug, Clone)]
+pub struct Comment {
+    pub line: u32,
+    pub text: String,
+}
+
+/// Lexer output: the token stream plus every comment encountered.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+}
+
+/// Two-character operators fused into single tokens. Order matters only
+/// in that each entry is tried before single-character fallback.
+const TWO_CHAR_OPS: &[&str] = &[
+    "=>", "::", "->", "..", "&&", "||", "<<", ">>", "==", "!=", "<=", ">=", "+=", "-=", "*=", "/=",
+    "%=", "^=", "|=", "&=",
+];
+
+pub fn lex(src: &str) -> Lexed {
+    let chars: Vec<char> = src.chars().collect();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+
+    let is_ident_start = |c: char| c.is_alphabetic() || c == '_';
+    let is_ident_cont = |c: char| c.is_alphanumeric() || c == '_';
+
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+
+        // Line comment.
+        if c == '/' && chars.get(i + 1) == Some(&'/') {
+            let start = i;
+            while i < chars.len() && chars[i] != '\n' {
+                i += 1;
+            }
+            out.comments.push(Comment {
+                line,
+                text: chars[start..i].iter().collect(),
+            });
+            continue;
+        }
+
+        // Block comment (Rust block comments nest).
+        if c == '/' && chars.get(i + 1) == Some(&'*') {
+            let start_line = line;
+            let start = i;
+            let mut depth = 1usize;
+            i += 2;
+            while i < chars.len() && depth > 0 {
+                if chars[i] == '\n' {
+                    line += 1;
+                    i += 1;
+                } else if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                    depth += 1;
+                    i += 2;
+                } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            out.comments.push(Comment {
+                line: start_line,
+                text: chars[start..i.min(chars.len())].iter().collect(),
+            });
+            continue;
+        }
+
+        // Raw strings: r"…", r#"…"#, and byte variants br…, b"…".
+        if c == 'r' || c == 'b' {
+            let mut j = i + 1;
+            if c == 'b' && chars.get(j) == Some(&'r') {
+                j += 1;
+            }
+            if c == 'b' && chars.get(j) == Some(&'"') {
+                // Plain byte string b"…".
+                i = consume_string(&chars, j, &mut line);
+                out.tokens.push(Token {
+                    line,
+                    text: String::new(),
+                    kind: Kind::Literal,
+                });
+                continue;
+            }
+            if (c == 'r' || (c == 'b' && j > i + 1)) && j > i {
+                let mut hashes = 0usize;
+                while chars.get(j + hashes) == Some(&'#') {
+                    hashes += 1;
+                }
+                if chars.get(j + hashes) == Some(&'"') {
+                    // Raw (byte) string: scan for `"` followed by `hashes` #s.
+                    let lit_line = line;
+                    let mut k = j + hashes + 1;
+                    while k < chars.len() {
+                        if chars[k] == '\n' {
+                            line += 1;
+                            k += 1;
+                            continue;
+                        }
+                        if chars[k] == '"' && chars[k + 1..].iter().take(hashes).all(|&h| h == '#')
+                        {
+                            k += 1 + hashes;
+                            break;
+                        }
+                        k += 1;
+                    }
+                    i = k;
+                    out.tokens.push(Token {
+                        line: lit_line,
+                        text: String::new(),
+                        kind: Kind::Literal,
+                    });
+                    continue;
+                }
+                // Not a raw string (e.g. the raw identifier `r#match`):
+                // fall through to identifier lexing below.
+            }
+        }
+
+        // String literal.
+        if c == '"' {
+            let lit_line = line;
+            i = consume_string(&chars, i, &mut line);
+            out.tokens.push(Token {
+                line: lit_line,
+                text: String::new(),
+                kind: Kind::Literal,
+            });
+            continue;
+        }
+
+        // Char literal vs lifetime.
+        if c == '\'' {
+            let next = chars.get(i + 1).copied();
+            let after = chars.get(i + 2).copied();
+            if next.is_some_and(is_ident_start) && after != Some('\'') {
+                // Lifetime: 'a, 'static, …
+                let mut j = i + 1;
+                while j < chars.len() && is_ident_cont(chars[j]) {
+                    j += 1;
+                }
+                out.tokens.push(Token {
+                    line,
+                    text: chars[i..j].iter().collect(),
+                    kind: Kind::Lifetime,
+                });
+                i = j;
+                continue;
+            }
+            // Char literal: consume until the unescaped closing quote.
+            let lit_line = line;
+            let mut j = i + 1;
+            while j < chars.len() {
+                match chars[j] {
+                    '\\' => j += 2,
+                    '\'' => {
+                        j += 1;
+                        break;
+                    }
+                    '\n' => {
+                        line += 1;
+                        j += 1;
+                    }
+                    _ => j += 1,
+                }
+            }
+            out.tokens.push(Token {
+                line: lit_line,
+                text: String::new(),
+                kind: Kind::Literal,
+            });
+            i = j;
+            continue;
+        }
+
+        // Numeric literal (hex/oct/bin/suffixes all glued into one token,
+        // so `0x2f` can never be mistaken for the identifier `f`).
+        if c.is_ascii_digit() {
+            let mut j = i + 1;
+            while j < chars.len() && (is_ident_cont(chars[j])) {
+                j += 1;
+            }
+            out.tokens.push(Token {
+                line,
+                text: chars[i..j].iter().collect(),
+                kind: Kind::Num,
+            });
+            i = j;
+            continue;
+        }
+
+        // Identifier / keyword (including raw identifiers r#ident).
+        if is_ident_start(c) {
+            let mut j = i;
+            if (c == 'r' || c == 'b') && chars.get(j + 1) == Some(&'#') {
+                j += 2; // raw identifier prefix
+            }
+            let word_start = j;
+            while j < chars.len() && is_ident_cont(chars[j]) {
+                j += 1;
+            }
+            out.tokens.push(Token {
+                line,
+                text: chars[word_start..j].iter().collect(),
+                kind: Kind::Ident,
+            });
+            i = j;
+            continue;
+        }
+
+        // Two-character operators, then single-character punctuation.
+        if i + 1 < chars.len() {
+            let pair: String = chars[i..i + 2].iter().collect();
+            if TWO_CHAR_OPS.contains(&pair.as_str()) {
+                out.tokens.push(Token {
+                    line,
+                    text: pair,
+                    kind: Kind::Punct,
+                });
+                i += 2;
+                continue;
+            }
+        }
+        out.tokens.push(Token {
+            line,
+            text: c.to_string(),
+            kind: Kind::Punct,
+        });
+        i += 1;
+    }
+
+    out
+}
+
+/// Consumes a `"`-delimited string starting at `open` (the quote);
+/// returns the index just past the closing quote and tracks newlines.
+fn consume_string(chars: &[char], open: usize, line: &mut u32) -> usize {
+    let mut j = open + 1;
+    while j < chars.len() {
+        match chars[j] {
+            '\\' => j += 2,
+            '"' => return j + 1,
+            '\n' => {
+                *line += 1;
+                j += 1;
+            }
+            _ => j += 1,
+        }
+    }
+    j
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<String> {
+        lex(src).tokens.into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn strips_comments_and_strings() {
+        let lexed = lex("let x = 1; // 2f+1 in a comment\nlet y = \"3 * f + 1\";");
+        assert!(lexed.tokens.iter().all(|t| t.text != "f"));
+        assert_eq!(lexed.comments.len(), 1);
+        assert!(lexed.comments[0].text.contains("2f+1"));
+    }
+
+    #[test]
+    fn doc_comments_are_comments() {
+        let lexed = lex("/// needs 2f+1 votes\nfn quorum() {}\n/** block\ndoc */\nstruct S;");
+        assert_eq!(lexed.comments.len(), 2);
+        assert!(texts("/// 2f+1\nfn g() {}").contains(&"fn".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str) -> char { 'x' }");
+        let lifetimes: Vec<_> = toks
+            .tokens
+            .iter()
+            .filter(|t| t.kind == Kind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert!(toks.tokens.iter().any(|t| t.kind == Kind::Literal));
+    }
+
+    #[test]
+    fn raw_strings_consumed() {
+        let toks = lex(r####"let s = r#"f + 1 inside raw"#; let t = 2;"####);
+        assert!(toks.tokens.iter().all(|t| t.text != "f"));
+        assert!(toks.tokens.iter().any(|t| t.text == "2"));
+    }
+
+    #[test]
+    fn hex_literal_is_one_token() {
+        let toks = texts("let v = 0x2f + 1;");
+        assert!(toks.contains(&"0x2f".to_string()));
+        assert!(!toks.contains(&"f".to_string()));
+    }
+
+    #[test]
+    fn two_char_ops_fused() {
+        let toks = texts("match x { _ => y::z }");
+        assert!(toks.contains(&"=>".to_string()));
+        assert!(toks.contains(&"::".to_string()));
+    }
+
+    #[test]
+    fn lines_tracked_across_multiline_strings() {
+        let lexed = lex("let a = \"line\none\";\nlet b = 9;");
+        let b = lexed.tokens.iter().find(|t| t.text == "b").unwrap();
+        assert_eq!(b.line, 3);
+    }
+}

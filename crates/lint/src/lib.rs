@@ -1,0 +1,869 @@
+//! `bft-lint`: protocol-aware static analysis for the BFT workspace.
+//!
+//! The correctness argument of the protocol (Castro & Liskov, DSN 2001)
+//! leans on invariants that ordinary type checking cannot see:
+//!
+//! 1. **determinism** — replicas are deterministic state machines, and
+//!    the seed-replayable simulator assumes it; iterating a
+//!    `HashMap`/`HashSet` in a protocol path lets hasher randomness
+//!    reach message emission order.
+//! 2. **quorum-math** — every quorum threshold (`2f+1`, `3f+1`, `f+1`)
+//!    must come from `bft_core::types::Quorums`; inline re-derivations
+//!    are where off-by-one safety bugs hide.
+//! 3. **catch-all** — replica/client dispatch over the `Msg` enum must
+//!    be exhaustive, so adding a message variant forces every handler
+//!    to make an explicit decision.
+//! 4. **decode-panic** — `wire.rs` decoders consume untrusted network
+//!    bytes; `unwrap`/`expect`/slice-indexing turn a Byzantine payload
+//!    into a crash instead of an `Err`.
+//!
+//! A finding may be suppressed with a *justified* pragma on the same
+//! line or the line above:
+//!
+//! ```text
+//! // bft-lint: allow(determinism) -- membership set, never iterated
+//! ```
+//!
+//! A pragma without a `-- reason` suppresses nothing and is itself
+//! reported, so every exemption in the tree carries its argument.
+
+pub mod lexer;
+
+use lexer::{Comment, Kind, Lexed, Token};
+use std::collections::BTreeSet;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Rule identifiers, as used in pragmas and reports.
+pub const RULE_DETERMINISM: &str = "determinism";
+pub const RULE_QUORUM: &str = "quorum-math";
+pub const RULE_CATCHALL: &str = "catch-all";
+pub const RULE_DECODE: &str = "decode-panic";
+pub const RULE_PRAGMA: &str = "pragma";
+
+/// All suppressible rules.
+pub const RULES: &[&str] = &[RULE_DETERMINISM, RULE_QUORUM, RULE_CATCHALL, RULE_DECODE];
+
+/// The enum whose dispatch must be exhaustive (rule 3).
+const DISPATCH_ENUM: &str = "Msg";
+
+/// Hash-ordered iteration methods flagged by rule 1. `retain`,
+/// `insert`, `get`, `contains_key`, and `len` are order-independent and
+/// deliberately not listed.
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "into_iter",
+    "into_keys",
+    "into_values",
+];
+
+/// One reported violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Workspace-relative path, forward slashes.
+    pub file: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// Rule identifier.
+    pub rule: &'static str,
+    /// Human-readable description of the violation.
+    pub message: String,
+    /// The trimmed offending source line.
+    pub snippet: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, out: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            out,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )?;
+        write!(out, "    {}", self.snippet)
+    }
+}
+
+/// Which rules apply to a given file.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Scope {
+    pub determinism: bool,
+    pub quorum: bool,
+    pub catchall: bool,
+    pub decode: bool,
+}
+
+impl Scope {
+    pub fn all() -> Scope {
+        Scope {
+            determinism: true,
+            quorum: true,
+            catchall: true,
+            decode: true,
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        *self == Scope::default()
+    }
+}
+
+/// Maps a workspace-relative path to the rules that apply there.
+///
+/// - `determinism`: the protocol paths — all of `crates/core/src` and
+///   `crates/sim/src`, minus the observer-only subsystems (`trace.rs`,
+///   `metrics.rs`), which post-process events and never feed state back
+///   into the protocol.
+/// - `quorum-math`: every `src/` file in the workspace except
+///   `crates/core/src/types.rs`, the one blessed home of the
+///   arithmetic.
+/// - `catch-all`: the two message-dispatch sites, `replica.rs` and
+///   `client.rs`.
+/// - `decode-panic`: the untrusted-byte decoders, `wire.rs` and
+///   `messages.rs`.
+pub fn scope_for(rel_path: &str) -> Scope {
+    let path = rel_path.replace('\\', "/");
+    if !path.ends_with(".rs") {
+        return Scope::default();
+    }
+    let in_src = path.contains("/src/") || path.starts_with("src/");
+    if !in_src {
+        return Scope::default();
+    }
+
+    let observer = path.ends_with("/trace.rs") || path.ends_with("/metrics.rs");
+    let protocol_crate =
+        path.starts_with("crates/core/src/") || path.starts_with("crates/sim/src/");
+
+    Scope {
+        determinism: protocol_crate && !observer,
+        quorum: path != "crates/core/src/types.rs",
+        catchall: path == "crates/core/src/replica.rs" || path == "crates/core/src/client.rs",
+        decode: path == "crates/core/src/wire.rs" || path == "crates/core/src/messages.rs",
+    }
+}
+
+/// Lints one file's source under the given scope. `rel_path` is used
+/// only for reporting.
+pub fn check_source(rel_path: &str, source: &str, scope: Scope) -> Vec<Finding> {
+    let lexed = lexer::lex(source);
+    let toks = active_tokens(&lexed);
+    let lines: Vec<&str> = source.lines().collect();
+    let snippet = |line: u32| -> String {
+        lines
+            .get(line.saturating_sub(1) as usize)
+            .map(|s| s.trim().to_string())
+            .unwrap_or_default()
+    };
+
+    let mut findings = Vec::new();
+    if scope.determinism {
+        rule_determinism(rel_path, &toks, &snippet, &mut findings);
+    }
+    if scope.quorum {
+        rule_quorum(rel_path, &toks, &snippet, &mut findings);
+    }
+    if scope.catchall {
+        rule_catchall(rel_path, &toks, &snippet, &mut findings);
+    }
+    if scope.decode {
+        rule_decode(rel_path, &toks, &snippet, &mut findings);
+    }
+
+    findings.sort_by_key(|fnd| (fnd.line, fnd.rule));
+    findings.dedup_by_key(|fnd| (fnd.line, fnd.rule));
+
+    apply_pragmas(rel_path, &lexed.comments, findings, &snippet)
+}
+
+/// Lints every `src/` tree in the workspace rooted at `root`.
+pub fn check_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
+    let mut files: Vec<PathBuf> = Vec::new();
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        for entry in std::fs::read_dir(&crates_dir)? {
+            let src = entry?.path().join("src");
+            if src.is_dir() {
+                collect_rs(&src, &mut files)?;
+            }
+        }
+    }
+    let root_src = root.join("src");
+    if root_src.is_dir() {
+        collect_rs(&root_src, &mut files)?;
+    }
+    files.sort();
+
+    let mut findings = Vec::new();
+    for file in &files {
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let scope = scope_for(&rel);
+        if scope.is_empty() {
+            continue;
+        }
+        let source = std::fs::read_to_string(file)?;
+        findings.extend(check_source(&rel, &source, scope));
+    }
+    Ok(findings)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|ext| ext == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// Token preprocessing
+// ---------------------------------------------------------------------
+
+/// Returns the token stream with `#[cfg(test)]`-gated items removed.
+/// The lint targets production protocol code; test modules may build
+/// whatever scaffolding they like.
+fn active_tokens(lexed: &Lexed) -> Vec<Token> {
+    let toks = &lexed.tokens;
+    let mut skip = vec![false; toks.len()];
+    let mut i = 0usize;
+    while i < toks.len() {
+        if toks[i].text == "#" && i + 1 < toks.len() && toks[i + 1].text == "[" {
+            let close = matching(toks, i + 1, "[", "]");
+            let attr = &toks[i + 2..close.min(toks.len())];
+            let is_cfg_test =
+                attr.iter().any(|t| t.text == "cfg") && attr.iter().any(|t| t.text == "test");
+            if is_cfg_test {
+                // Skip from the attribute through the gated item's body.
+                // Only applied when the item introduces a block (mod/fn),
+                // which is every use in this workspace.
+                let mut j = close + 1;
+                let mut saw_item = false;
+                while j < toks.len() && j < close + 8 {
+                    if toks[j].text == "mod" || toks[j].text == "fn" {
+                        saw_item = true;
+                    }
+                    if toks[j].text == "{" {
+                        break;
+                    }
+                    j += 1;
+                }
+                if saw_item && j < toks.len() && toks[j].text == "{" {
+                    let body_close = matching(toks, j, "{", "}");
+                    for flag in skip.iter_mut().take(body_close + 1).skip(i) {
+                        *flag = true;
+                    }
+                    i = body_close + 1;
+                    continue;
+                }
+            }
+        }
+        i += 1;
+    }
+    toks.iter()
+        .zip(&skip)
+        .filter(|(_, skipped)| !**skipped)
+        .map(|(t, _)| t.clone())
+        .collect()
+}
+
+/// Index of the token matching the opener at `open` (which must hold
+/// `open_text`). Returns the last index if unbalanced.
+fn matching(toks: &[Token], open: usize, open_text: &str, close_text: &str) -> usize {
+    let mut depth = 0usize;
+    for (j, tok) in toks.iter().enumerate().skip(open) {
+        if tok.text == open_text {
+            depth += 1;
+        } else if tok.text == close_text {
+            depth -= 1;
+            if depth == 0 {
+                return j;
+            }
+        }
+    }
+    toks.len().saturating_sub(1)
+}
+
+// ---------------------------------------------------------------------
+// Rule 1: determinism — no hash-ordered iteration in protocol paths
+// ---------------------------------------------------------------------
+
+fn rule_determinism(
+    file: &str,
+    toks: &[Token],
+    snippet: &dyn Fn(u32) -> String,
+    findings: &mut Vec<Finding>,
+) {
+    let tracked = tracked_hash_names(toks);
+    if tracked.is_empty() {
+        return;
+    }
+
+    // Direct iteration-method calls: `name.keys()`, `self.name.iter()`, …
+    for i in 2..toks.len() {
+        if toks[i].kind == Kind::Ident
+            && ITER_METHODS.contains(&toks[i].text.as_str())
+            && toks[i - 1].text == "."
+            && toks.get(i + 1).map(|t| t.text.as_str()) == Some("(")
+            && toks[i - 2].kind == Kind::Ident
+            && tracked.contains(&toks[i - 2].text)
+        {
+            findings.push(Finding {
+                file: file.to_string(),
+                line: toks[i].line,
+                rule: RULE_DETERMINISM,
+                message: format!(
+                    "iteration over hash-ordered `{}` (`.{}()`); hasher randomness can reach \
+                     protocol order — use BTreeMap/BTreeSet or sort at emission",
+                    toks[i - 2].text,
+                    toks[i].text
+                ),
+                snippet: snippet(toks[i].line),
+            });
+        }
+    }
+
+    // `for … in <expr over a tracked container> { … }`
+    let mut i = 0usize;
+    while i < toks.len() {
+        if toks[i].text == "for" && toks[i].kind == Kind::Ident {
+            let mut depth = 0i32;
+            let mut j = i + 1;
+            let mut in_idx = None;
+            while j < toks.len() {
+                match toks[j].text.as_str() {
+                    "(" | "[" => depth += 1,
+                    ")" | "]" => depth -= 1,
+                    "{" if depth == 0 => break,
+                    ";" if depth == 0 => break,
+                    "in" if depth == 0 && toks[j].kind == Kind::Ident && in_idx.is_none() => {
+                        in_idx = Some(j);
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            if let Some(start) = in_idx {
+                for tok in &toks[start + 1..j.min(toks.len())] {
+                    if tok.kind == Kind::Ident && tracked.contains(&tok.text) {
+                        findings.push(Finding {
+                            file: file.to_string(),
+                            line: tok.line,
+                            rule: RULE_DETERMINISM,
+                            message: format!(
+                                "`for … in` over hash-ordered `{}`; iteration order is \
+                                 hasher-dependent — use BTreeMap/BTreeSet",
+                                tok.text
+                            ),
+                            snippet: snippet(tok.line),
+                        });
+                        break;
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+}
+
+/// Collects identifiers bound to a `HashMap`/`HashSet` type in this
+/// file: struct fields, fn params, `let` bindings (annotated or
+/// constructed via `HashMap::new()`-style calls).
+fn tracked_hash_names(toks: &[Token]) -> BTreeSet<String> {
+    let mut tracked = BTreeSet::new();
+    for (i, tok) in toks.iter().enumerate() {
+        if tok.kind != Kind::Ident || (tok.text != "HashMap" && tok.text != "HashSet") {
+            continue;
+        }
+        // Walk left across type-ish tokens to the binding site.
+        let mut j = i as isize - 1;
+        while j >= 0 {
+            let t = &toks[j as usize];
+            match t.text.as_str() {
+                ":" => {
+                    if j >= 1 && toks[j as usize - 1].kind == Kind::Ident {
+                        tracked.insert(toks[j as usize - 1].text.clone());
+                    }
+                    break;
+                }
+                "=" => {
+                    // `let [mut] name = HashMap::new()` — scan for the `let`.
+                    let mut k = j - 1;
+                    let floor = (j - 8).max(0);
+                    while k >= floor {
+                        let lt = &toks[k as usize];
+                        if lt.text == "let" {
+                            let mut name_idx = k as usize + 1;
+                            while name_idx < toks.len()
+                                && matches!(toks[name_idx].text.as_str(), "mut" | "ref")
+                            {
+                                name_idx += 1;
+                            }
+                            if toks[name_idx].kind == Kind::Ident {
+                                tracked.insert(toks[name_idx].text.clone());
+                            }
+                            break;
+                        }
+                        if matches!(lt.text.as_str(), ";" | "{" | "}") {
+                            break;
+                        }
+                        k -= 1;
+                    }
+                    break;
+                }
+                "::" | "<" | ">" | "," | "&" | "(" | ")" | "mut" => j -= 1,
+                _ if t.kind == Kind::Ident || t.kind == Kind::Lifetime => j -= 1,
+                _ => break,
+            }
+        }
+    }
+    tracked
+}
+
+// ---------------------------------------------------------------------
+// Rule 2: quorum-math — thresholds come from Quorums, nowhere else
+// ---------------------------------------------------------------------
+
+fn rule_quorum(
+    file: &str,
+    toks: &[Token],
+    snippet: &dyn Fn(u32) -> String,
+    findings: &mut Vec<Finding>,
+) {
+    let num_is = |tok: &Token, value: &[&str]| -> bool {
+        if tok.kind != Kind::Num {
+            return false;
+        }
+        let digits: String = tok
+            .text
+            .chars()
+            .take_while(|c| c.is_ascii_digit())
+            .collect();
+        value.contains(&digits.as_str())
+    };
+
+    let mut hit = |line: u32, shape: &str| {
+        findings.push(Finding {
+            file: file.to_string(),
+            line,
+            rule: RULE_QUORUM,
+            message: format!(
+                "inline quorum arithmetic ({shape}); thresholds must come from \
+                 `bft_core::types::Quorums`"
+            ),
+            snippet: snippet(line),
+        });
+    };
+
+    // `2 * f…`, `3 * f…` and `1 + f…` (forward forms).
+    for i in 0..toks.len() {
+        if num_is(&toks[i], &["2", "3"])
+            && toks.get(i + 1).map(|t| t.text.as_str()) == Some("*")
+            && f_path_forward(toks, i + 2).is_some()
+        {
+            hit(toks[i].line, "k * f");
+        }
+        if num_is(&toks[i], &["1"])
+            && toks.get(i + 1).map(|t| t.text.as_str()) == Some("+")
+            && f_path_forward(toks, i + 2).is_some()
+        {
+            hit(toks[i].line, "1 + f");
+        }
+    }
+
+    // Backward forms anchored on a terminal `f`: `f… * k`, `f… + 1`,
+    // allowing a call `()` and `as <ty>` casts in between.
+    for i in 0..toks.len() {
+        if !(toks[i].kind == Kind::Ident && toks[i].text == "f") {
+            continue;
+        }
+        // Terminal: not a path segment (`f.something`).
+        if toks.get(i + 1).map(|t| t.text.as_str()) == Some(".") {
+            continue;
+        }
+        let mut end = i;
+        if toks.get(end + 1).map(|t| t.text.as_str()) == Some("(")
+            && toks.get(end + 2).map(|t| t.text.as_str()) == Some(")")
+        {
+            end += 2;
+        }
+        while toks.get(end + 1).map(|t| t.text.as_str()) == Some("as")
+            && toks.get(end + 2).map(|t| t.kind) == Some(Kind::Ident)
+        {
+            end += 2;
+        }
+        let next = toks.get(end + 1).map(|t| t.text.as_str());
+        if next == Some("+") && toks.get(end + 2).is_some_and(|t| num_is(t, &["1"])) {
+            hit(toks[i].line, "f + 1");
+        }
+        if next == Some("*") && toks.get(end + 2).is_some_and(|t| num_is(t, &["2", "3"])) {
+            hit(toks[i].line, "f * k");
+        }
+    }
+}
+
+/// If the tokens starting at `start` form a dotted path whose terminal
+/// identifier is `f` (e.g. `f`, `self.f`, `cfg.f()`), returns the index
+/// of that terminal token.
+fn f_path_forward(toks: &[Token], start: usize) -> Option<usize> {
+    let mut k = start;
+    loop {
+        let tok = toks.get(k)?;
+        if tok.kind != Kind::Ident {
+            return None;
+        }
+        if toks.get(k + 1).map(|t| t.text.as_str()) == Some(".") {
+            k += 2;
+            continue;
+        }
+        return if tok.text == "f" { Some(k) } else { None };
+    }
+}
+
+// ---------------------------------------------------------------------
+// Rule 3: catch-all — Msg dispatch must be exhaustive
+// ---------------------------------------------------------------------
+
+fn rule_catchall(
+    file: &str,
+    toks: &[Token],
+    snippet: &dyn Fn(u32) -> String,
+    findings: &mut Vec<Finding>,
+) {
+    for i in 0..toks.len() {
+        if !(toks[i].kind == Kind::Ident && toks[i].text == "match") {
+            continue;
+        }
+        if i > 0 && matches!(toks[i - 1].text.as_str(), "." | "::") {
+            continue; // a method or path segment named `match`, not the keyword
+        }
+        // Find the match body: the first `{` outside any scrutinee parens.
+        let mut depth = 0i32;
+        let mut open = None;
+        let mut j = i + 1;
+        while j < toks.len() {
+            match toks[j].text.as_str() {
+                "(" | "[" => depth += 1,
+                ")" | "]" => depth -= 1,
+                "{" if depth == 0 => {
+                    open = Some(j);
+                    break;
+                }
+                ";" if depth == 0 => break,
+                _ => {}
+            }
+            j += 1;
+        }
+        let Some(open) = open else { continue };
+        let close = matching(toks, open, "{", "}");
+
+        // Parse arms: pattern tokens up to each top-level `=>`.
+        let mut pos = open + 1;
+        let mut dispatches_enum = false;
+        let mut wildcard_lines: Vec<u32> = Vec::new();
+        while pos < close {
+            let pat_start = pos;
+            let mut depth = 0i32;
+            while pos < close {
+                match toks[pos].text.as_str() {
+                    "(" | "[" | "{" => depth += 1,
+                    ")" | "]" | "}" => depth -= 1,
+                    "=>" if depth == 0 => break,
+                    _ => {}
+                }
+                pos += 1;
+            }
+            if pos >= close {
+                break;
+            }
+            let pattern = &toks[pat_start..pos];
+            // Strip a trailing `if <guard>` for the wildcard check.
+            let guard_at = pattern
+                .iter()
+                .position(|t| t.text == "if" && t.kind == Kind::Ident)
+                .unwrap_or(pattern.len());
+            let head = &pattern[..guard_at];
+            if pattern
+                .windows(2)
+                .any(|w| w[0].text == DISPATCH_ENUM && w[1].text == "::")
+            {
+                dispatches_enum = true;
+            }
+            if head.len() == 1 && head[0].text == "_" {
+                wildcard_lines.push(head[0].line);
+            }
+
+            // Skip the arm body.
+            pos += 1; // past `=>`
+            if pos < close && toks[pos].text == "{" {
+                pos = matching(toks, pos, "{", "}") + 1;
+            } else {
+                let mut depth = 0i32;
+                while pos < close {
+                    match toks[pos].text.as_str() {
+                        "(" | "[" | "{" => depth += 1,
+                        ")" | "]" | "}" => depth -= 1,
+                        "," if depth == 0 => {
+                            pos += 1;
+                            break;
+                        }
+                        _ => {}
+                    }
+                    pos += 1;
+                }
+            }
+            // Consume a trailing comma after block bodies.
+            if pos < close && toks[pos].text == "," {
+                pos += 1;
+            }
+        }
+
+        if dispatches_enum {
+            for line in wildcard_lines {
+                findings.push(Finding {
+                    file: file.to_string(),
+                    line,
+                    rule: RULE_CATCHALL,
+                    message: format!(
+                        "`_ =>` catch-all in a `{DISPATCH_ENUM}` dispatch; handle every \
+                         variant explicitly so new messages cannot be silently dropped"
+                    ),
+                    snippet: snippet(line),
+                });
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Rule 4: decode-panic — decoders must be total over arbitrary bytes
+// ---------------------------------------------------------------------
+
+fn rule_decode(
+    file: &str,
+    toks: &[Token],
+    snippet: &dyn Fn(u32) -> String,
+    findings: &mut Vec<Finding>,
+) {
+    const PANIC_MACROS: &[&str] = &[
+        "panic",
+        "unreachable",
+        "todo",
+        "unimplemented",
+        "assert",
+        "assert_eq",
+        "assert_ne",
+        "debug_assert",
+        "debug_assert_eq",
+        "debug_assert_ne",
+    ];
+
+    for i in 0..toks.len() {
+        if !(toks[i].text == "fn"
+            && toks
+                .get(i + 1)
+                .is_some_and(|t| t.text == "decode" || t.text == "from_bytes"))
+        {
+            continue;
+        }
+        // Find the body block.
+        let mut depth = 0i32;
+        let mut open = None;
+        let mut j = i + 2;
+        while j < toks.len() {
+            match toks[j].text.as_str() {
+                "(" | "[" => depth += 1,
+                ")" | "]" => depth -= 1,
+                "{" if depth == 0 => {
+                    open = Some(j);
+                    break;
+                }
+                ";" if depth == 0 => break, // trait method without default body
+                _ => {}
+            }
+            j += 1;
+        }
+        let Some(open) = open else { continue };
+        let close = matching(toks, open, "{", "}");
+        let fn_name = &toks[i + 1].text;
+
+        for k in open + 1..close {
+            let tok = &toks[k];
+            if tok.kind == Kind::Ident
+                && matches!(tok.text.as_str(), "unwrap" | "expect" | "unwrap_unchecked")
+                && toks[k - 1].text == "."
+                && toks.get(k + 1).map(|t| t.text.as_str()) == Some("(")
+            {
+                findings.push(Finding {
+                    file: file.to_string(),
+                    line: tok.line,
+                    rule: RULE_DECODE,
+                    message: format!(
+                        "`.{}()` in `fn {fn_name}`; decoders consume untrusted bytes and \
+                         must return Err, never panic",
+                        tok.text
+                    ),
+                    snippet: snippet(tok.line),
+                });
+            }
+            if tok.kind == Kind::Ident
+                && PANIC_MACROS.contains(&tok.text.as_str())
+                && toks.get(k + 1).map(|t| t.text.as_str()) == Some("!")
+            {
+                findings.push(Finding {
+                    file: file.to_string(),
+                    line: tok.line,
+                    rule: RULE_DECODE,
+                    message: format!(
+                        "`{}!` in `fn {fn_name}`; decoders must be total over arbitrary input",
+                        tok.text
+                    ),
+                    snippet: snippet(tok.line),
+                });
+            }
+            // `expr[i]` / `expr?[0]` — indexing panics on short input.
+            // (`#[attr]` and type syntax `<[u8; 16]>` are preceded by `#`
+            // or `<` and never match; keywords before `[` are array
+            // literals or patterns, not indexing.)
+            const KEYWORDS: &[&str] = &[
+                "for", "in", "return", "as", "if", "else", "match", "let", "mut", "ref", "move",
+                "break", "continue", "where", "impl", "dyn", "box", "while", "loop", "yield",
+            ];
+            let prev = &toks[k - 1];
+            let prev_indexable = matches!(prev.text.as_str(), ")" | "]" | "?")
+                || (prev.kind == Kind::Ident && !KEYWORDS.contains(&prev.text.as_str()));
+            if tok.text == "[" && prev_indexable {
+                findings.push(Finding {
+                    file: file.to_string(),
+                    line: tok.line,
+                    rule: RULE_DECODE,
+                    message: format!(
+                        "slice indexing in `fn {fn_name}`; out-of-range access panics on \
+                         truncated input — use a checked take"
+                    ),
+                    snippet: snippet(tok.line),
+                });
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Pragmas
+// ---------------------------------------------------------------------
+
+#[derive(Debug)]
+struct Pragma {
+    line: u32,
+    rules: Vec<String>,
+    justified: bool,
+}
+
+fn parse_pragmas(comments: &[Comment]) -> (Vec<Pragma>, Vec<(u32, String)>) {
+    let mut pragmas = Vec::new();
+    let mut malformed = Vec::new();
+    for comment in comments {
+        let Some(at) = comment.text.find("bft-lint:") else {
+            continue;
+        };
+        let rest = comment.text[at + "bft-lint:".len()..].trim();
+        let Some(inner) = rest
+            .strip_prefix("allow")
+            .map(str::trim_start)
+            .and_then(|s| s.strip_prefix('('))
+            .and_then(|s| s.split_once(')'))
+        else {
+            malformed.push((
+                comment.line,
+                "malformed pragma; expected `bft-lint: allow(<rule>) -- <reason>`".to_string(),
+            ));
+            continue;
+        };
+        let (rule_list, tail) = inner;
+        let rules: Vec<String> = rule_list
+            .split(',')
+            .map(|r| r.trim().to_string())
+            .filter(|r| !r.is_empty())
+            .collect();
+        let unknown: Vec<&String> = rules
+            .iter()
+            .filter(|r| !RULES.contains(&r.as_str()))
+            .collect();
+        if rules.is_empty() || !unknown.is_empty() {
+            malformed.push((
+                comment.line,
+                format!(
+                    "pragma names unknown rule(s) {:?}; known rules: {:?}",
+                    unknown, RULES
+                ),
+            ));
+            continue;
+        }
+        let justified = tail
+            .trim_start()
+            .strip_prefix("--")
+            .map(|reason| !reason.trim().is_empty())
+            .unwrap_or(false);
+        pragmas.push(Pragma {
+            line: comment.line,
+            rules,
+            justified,
+        });
+    }
+    (pragmas, malformed)
+}
+
+fn apply_pragmas(
+    file: &str,
+    comments: &[Comment],
+    findings: Vec<Finding>,
+    snippet: &dyn Fn(u32) -> String,
+) -> Vec<Finding> {
+    let (pragmas, malformed) = parse_pragmas(comments);
+    let mut out: Vec<Finding> = findings
+        .into_iter()
+        .filter(|fnd| {
+            !pragmas.iter().any(|p| {
+                p.justified
+                    && (p.line == fnd.line || p.line + 1 == fnd.line)
+                    && p.rules.iter().any(|r| r == fnd.rule)
+            })
+        })
+        .collect();
+    for pragma in &pragmas {
+        if !pragma.justified {
+            out.push(Finding {
+                file: file.to_string(),
+                line: pragma.line,
+                rule: RULE_PRAGMA,
+                message: format!(
+                    "allow({}) pragma without a `-- <reason>` justification suppresses nothing",
+                    pragma.rules.join(", ")
+                ),
+                snippet: snippet(pragma.line),
+            });
+        }
+    }
+    for (line, message) in malformed {
+        out.push(Finding {
+            file: file.to_string(),
+            line,
+            rule: RULE_PRAGMA,
+            message,
+            snippet: snippet(line),
+        });
+    }
+    out.sort_by_key(|fnd| (fnd.line, fnd.rule));
+    out
+}

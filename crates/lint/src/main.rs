@@ -1,0 +1,94 @@
+//! CLI entry point: `cargo run -p bft-lint -- --check`
+//!
+//! Scans every `src/` tree in the workspace, prints each finding as
+//! `file:line: [rule] message` plus the offending snippet, and (with
+//! `--check`) exits nonzero if any unjustified finding remains.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut check = false;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--check" => check = true,
+            "--root" => match args.next() {
+                Some(path) => root = Some(PathBuf::from(path)),
+                None => {
+                    eprintln!("--root requires a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("bft-lint: protocol-aware static analysis");
+                println!();
+                println!("USAGE: bft-lint [--check] [--root <workspace>]");
+                println!();
+                println!("  --check   exit nonzero if any unjustified finding remains");
+                println!("  --root    workspace root (default: auto-detected)");
+                println!();
+                println!("Rules: {}", bft_lint::RULES.join(", "));
+                println!("Suppress with: // bft-lint: allow(<rule>) -- <reason>");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let root = match root.or_else(find_workspace_root) {
+        Some(root) => root,
+        None => {
+            eprintln!("could not locate the workspace root; pass --root");
+            return ExitCode::from(2);
+        }
+    };
+
+    let findings = match bft_lint::check_workspace(&root) {
+        Ok(findings) => findings,
+        Err(err) => {
+            eprintln!("bft-lint: failed to scan {}: {err}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    for finding in &findings {
+        println!("{finding}");
+    }
+    if findings.is_empty() {
+        println!("bft-lint: clean ({} rules)", bft_lint::RULES.len());
+        ExitCode::SUCCESS
+    } else {
+        println!("bft-lint: {} finding(s)", findings.len());
+        if check {
+            ExitCode::FAILURE
+        } else {
+            ExitCode::SUCCESS
+        }
+    }
+}
+
+/// Walks up from the current directory looking for a `Cargo.toml` that
+/// declares a `[workspace]`; falls back to the location this crate was
+/// built from (two levels above its manifest).
+fn find_workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok();
+    while let Some(d) = dir {
+        if is_workspace_root(&d) {
+            return Some(d);
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    let baked = Path::new(env!("CARGO_MANIFEST_DIR")).ancestors().nth(2)?;
+    is_workspace_root(baked).then(|| baked.to_path_buf())
+}
+
+fn is_workspace_root(dir: &Path) -> bool {
+    std::fs::read_to_string(dir.join("Cargo.toml"))
+        .map(|s| s.contains("[workspace]"))
+        .unwrap_or(false)
+}

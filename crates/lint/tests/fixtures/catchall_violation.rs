@@ -1,0 +1,23 @@
+//! Fixture: wildcard arm in a Msg dispatch (rule: catch-all).
+
+pub enum Msg {
+    Request(u32),
+    Prepare(u64),
+    Commit(u64),
+}
+
+pub fn dispatch(msg: Msg) -> u64 {
+    match msg {
+        Msg::Request(client) => u64::from(client),
+        Msg::Prepare(seq) => seq,
+        _ => 0,
+    }
+}
+
+pub fn timer_token(token: u64) -> u64 {
+    // A wildcard over a plain integer is fine; must NOT be flagged.
+    match token {
+        1 => 10,
+        _ => 0,
+    }
+}

@@ -1,0 +1,49 @@
+//! Fixture: a file every rule accepts — BTree containers, thresholds via
+//! Quorums, exhaustive Msg dispatch, total decode.
+use std::collections::{BTreeMap, BTreeSet};
+
+pub struct Quorums {
+    pub f: u32,
+}
+
+impl Quorums {
+    pub fn commit_quorum(&self) -> usize {
+        // (The real arithmetic lives in crates/core/src/types.rs, which
+        // is exempt; this fixture just calls through.)
+        self.f as usize
+    }
+}
+
+pub enum Msg {
+    Request(u32),
+    Prepare(u64),
+}
+
+pub struct Slot {
+    pub prepares: BTreeMap<u32, u64>,
+    pub seen: BTreeSet<u32>,
+}
+
+pub fn ordered_votes(slot: &Slot, q: &Quorums) -> bool {
+    let mut count = 0;
+    for (_, _) in slot.prepares.iter() {
+        count += 1;
+    }
+    count >= q.commit_quorum() && !slot.seen.is_empty()
+}
+
+pub fn dispatch(msg: Msg) -> u64 {
+    match msg {
+        Msg::Request(client) => u64::from(client),
+        Msg::Prepare(seq) => seq,
+    }
+}
+
+pub fn decode(bytes: &[u8]) -> Result<u32, String> {
+    let raw: [u8; 4] = bytes
+        .get(..4)
+        .ok_or("truncated")?
+        .try_into()
+        .map_err(|_| "truncated")?;
+    Ok(u32::from_le_bytes(raw))
+}

@@ -1,0 +1,28 @@
+//! Fixture: panicking constructs in untrusted decoders (rule: decode-panic).
+
+pub struct Reader<'a> {
+    pub data: &'a [u8],
+    pub pos: usize,
+}
+
+pub struct Thing {
+    pub tag: u8,
+    pub value: u32,
+}
+
+impl Thing {
+    pub fn decode(r: &mut Reader<'_>) -> Result<Thing, String> {
+        let tag = r.data[r.pos];
+        let raw: [u8; 4] = r.data[r.pos + 1..r.pos + 5].try_into().expect("4 bytes");
+        Ok(Thing {
+            tag,
+            value: u32::from_le_bytes(raw),
+        })
+    }
+
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        // Panics outside decode paths are out of scope for this rule.
+        assert!(out.len() < 1024);
+        out.push(self.tag);
+    }
+}

@@ -1,0 +1,26 @@
+//! Fixture: hash-ordered iteration in a protocol path (rule: determinism).
+use std::collections::{HashMap, HashSet};
+
+pub struct Slot {
+    pub prepares: HashMap<u32, u64>,
+}
+
+pub fn broadcast_order(slot: &Slot, peers: &HashSet<u32>) -> Vec<u32> {
+    let mut out = Vec::new();
+    for (&replica, _) in slot.prepares.iter() {
+        out.push(replica);
+    }
+    for &peer in peers {
+        out.push(peer);
+    }
+    out
+}
+
+pub fn first_vote(slot: &Slot) -> Option<u64> {
+    slot.prepares.values().next().copied()
+}
+
+pub fn lookup_only(slot: &Slot, replica: u32) -> Option<u64> {
+    // Point lookups are order-independent and must NOT be flagged.
+    slot.prepares.get(&replica).copied()
+}

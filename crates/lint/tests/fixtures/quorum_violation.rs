@@ -1,0 +1,29 @@
+//! Fixture: inline quorum arithmetic (rule: quorum-math).
+//! Doc text like 2f+1 or `3 * f + 1` in comments must NOT be flagged.
+
+pub struct Cfg {
+    pub f: u32,
+}
+
+impl Cfg {
+    pub fn f(&self) -> u32 {
+        self.f
+    }
+}
+
+pub fn commit_quorum_inline(cfg: &Cfg) -> usize {
+    2 * cfg.f as usize + 1
+}
+
+pub fn group_size_inline(f: u32) -> u32 {
+    3 * f + 1
+}
+
+pub fn reply_quorum_inline(cfg: &Cfg) -> usize {
+    cfg.f() as usize + 1
+}
+
+pub fn not_a_threshold(frames: u32) -> u32 {
+    // `frames` does not end in the identifier `f`; must NOT be flagged.
+    2 * frames + 1
+}

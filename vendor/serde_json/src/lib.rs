@@ -296,7 +296,7 @@ mod tests {
             0.1
         );
         assert_eq!(from_str::<i64>("-7").expect("de"), -7);
-        assert_eq!(from_str::<bool>("true").expect("de"), true);
+        assert!(from_str::<bool>("true").expect("de"));
     }
 
     #[test]
