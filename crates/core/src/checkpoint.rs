@@ -215,6 +215,13 @@ impl CheckpointSet {
         self.stable_digest
     }
 
+    /// The (seq, digest) pair a peer attests to a recovering replica —
+    /// its stable checkpoint, the newest state backed by a quorum
+    /// certificate rather than local trust.
+    pub fn stable_proof(&self) -> (SeqNum, Digest) {
+        (self.stable_seq, self.stable_digest)
+    }
+
     /// Records a locally produced checkpoint (not yet announced).
     pub fn note_own(&mut self, seq: SeqNum, checkpoint: OwnCheckpoint) {
         self.own.insert(seq, checkpoint);

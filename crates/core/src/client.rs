@@ -292,7 +292,13 @@ impl ClientCore {
         p.broadcast = true;
         // A timed-out read-only operation is retransmitted as a regular
         // read-write request (Section 3.1). Replies already collected stay
-        // valid — they are matched by timestamp and result digest.
+        // valid — they are matched by timestamp and result digest. This
+        // fallback is what keeps reads live when a recovering replica
+        // withholds its tentative reply and the remaining matches cannot
+        // reach 2f+1 (arXiv:2107.11144).
+        if p.read_only {
+            ctx.metrics().incr("client.ro_fallbacks");
+        }
         p.read_only = false;
         p.replier = REPLIER_ALL;
         ctx.metrics().incr("client.retransmissions");
@@ -450,7 +456,9 @@ impl<D: ClientDriver> Node<Packet> for Client<D> {
             | Msg::RequestData(_)
             | Msg::Status(_)
             | Msg::CommittedBatch(_)
-            | Msg::NewKey(_) => return,
+            | Msg::NewKey(_)
+            | Msg::Recover(_)
+            | Msg::RecoverAttest(_) => return,
         };
         let body_len = wire.saturating_sub(packet.auth.wire_bytes());
         if let Some((result, latency)) =

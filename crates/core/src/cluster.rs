@@ -247,6 +247,17 @@ impl Cluster {
                 let behavior = match fault {
                     NodeFault::Crash => Behavior::Crashed,
                     NodeFault::Restart => Behavior::Correct,
+                    NodeFault::StaleState => Behavior::StaleState,
+                    NodeFault::SilentCorruption { salt } => {
+                        // Not a behaviour switch: mutate the service state
+                        // in place and tell the checker, which suspends
+                        // (revocably) this replica's checkpoint-
+                        // consistency check until a recovery heals it.
+                        let now = self.sim.now().nanos();
+                        self.replica_mut::<S>(*node).corrupt_state(*salt);
+                        checker.mark_corrupted(*node, now);
+                        return;
+                    }
                     NodeFault::Byzantine(mode) => {
                         // Byzantine state is arbitrary by definition;
                         // exempt the replica from the safety audit.

@@ -98,6 +98,11 @@ pub struct Config {
     /// Backup timer: how long a request may stay un-executed before the
     /// backup suspects the primary and starts a view change.
     pub view_change_timeout_ns: u64,
+    /// Ceiling for the exponential view-change timeout doubling. Without
+    /// a cap, a long partition doubles the timeout unboundedly and the
+    /// healed group waits minutes before re-electing; with one, the first
+    /// election after a heal starts within this bound.
+    pub view_change_timeout_max_ns: u64,
     /// Client retransmission timeout.
     pub client_retry_timeout_ns: u64,
     /// Period of the replica's retransmission sweep over stalled slots.
@@ -111,6 +116,11 @@ pub struct Config {
     /// 0 disables. See Section 2 of the paper: proactive recovery bounds
     /// the window of vulnerability.
     pub proactive_recovery_interval_ns: u64,
+    /// How long peers reserve the single in-recovery slot for a replica
+    /// that announced RECOVER. A watchdog that fires while another
+    /// replica's lease is live defers, so staggered recoveries never
+    /// overlap even when timers drift together.
+    pub recovery_lease_ns: u64,
 }
 
 impl Config {
@@ -129,11 +139,13 @@ impl Config {
             incremental_checkpoints: true,
             cost: CostModel::PIII_600,
             view_change_timeout_ns: dur::millis(2_000),
+            view_change_timeout_max_ns: dur::millis(16_000),
             client_retry_timeout_ns: dur::millis(250),
             resend_interval_ns: dur::millis(100),
             piggyback_flush_ns: dur::micros(500),
             key_refresh_interval_ns: 0,
             proactive_recovery_interval_ns: 0,
+            recovery_lease_ns: dur::millis(300),
         }
     }
 
@@ -163,6 +175,10 @@ impl Config {
         assert!(self.batch_window >= 1);
         assert!(self.max_batch_requests >= 1);
         assert!(self.max_batch_bytes >= 1);
+        assert!(
+            self.view_change_timeout_max_ns >= self.view_change_timeout_ns,
+            "view-change timeout cap must be at least the base timeout"
+        );
     }
 
     /// Number of replicas.
@@ -214,5 +230,15 @@ mod tests {
     fn with_opts_replaces_toggles() {
         let c = Config::default().with_opts(Optimizations::NONE);
         assert!(!c.opts.batching);
+    }
+
+    #[test]
+    #[should_panic(expected = "timeout cap")]
+    fn bad_timeout_cap_rejected() {
+        let c = Config {
+            view_change_timeout_max_ns: 1,
+            ..Config::default()
+        };
+        c.validate();
     }
 }

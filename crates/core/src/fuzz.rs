@@ -151,6 +151,40 @@ pub fn fuzz_plan(seed: u64, f: u32) -> FaultPlan {
             max_faulty: cfg.f(),
             horizon_ns: FAULT_HORIZON_NS,
             events: 12,
+            recovery_faults: false,
+        },
+    )
+}
+
+/// [`fuzz_config`] plus proactive recovery: a staggered watchdog every
+/// 600 ms per replica with a 150 ms in-recovery lease, so several full
+/// recovery cycles fit inside one fuzz run.
+pub fn recovery_fuzz_config(f: u32) -> Config {
+    let mut cfg = fuzz_config(f);
+    cfg.proactive_recovery_interval_ns = dur::millis(600);
+    cfg.recovery_lease_ns = dur::millis(150);
+    cfg
+}
+
+/// *Bounded heal*: a silently corrupted replica must complete a clean
+/// recovery within this long of the corruption (several watchdog periods
+/// plus state-transfer time, with slack for lease deferrals and
+/// partitions that outlast the fault window).
+pub const HEAL_DEADLINE_NS: u64 = 8_000_000_000;
+
+/// The fault schedule for one recovery-fuzz iteration: the regular chaos
+/// vocabulary plus silent corruption and stale-state faults.
+pub fn recovery_fuzz_plan(seed: u64, f: u32) -> FaultPlan {
+    let cfg = recovery_fuzz_config(f);
+    FaultPlan::generate(
+        seed,
+        &ChaosConfig {
+            replicas: cfg.n(),
+            clients: FUZZ_CLIENTS as u32,
+            max_faulty: cfg.f(),
+            horizon_ns: FAULT_HORIZON_NS,
+            events: 12,
+            recovery_faults: true,
         },
     )
 }
@@ -165,7 +199,7 @@ pub const FLIGHT_DUMP_LAST: usize = 24;
 /// lockstep with [`Cluster::with_seed_iter`]: a builder with the same
 /// seed, so `CHAOS_SEED=<seed>` reconstructs the identical run.
 pub fn run_fuzz_schedule(seed: u64, f: u32, plan: &FaultPlan) -> Result<(), Violation> {
-    run_fuzz_schedule_inner(seed, f, plan, 0).map_err(|(v, _)| v)
+    run_fuzz_schedule_inner(seed, fuzz_config(f), 0, plan, 0).map_err(|(v, _)| v)
 }
 
 /// [`run_fuzz_schedule`] with the flight recorder armed: trace rings of
@@ -179,16 +213,40 @@ pub fn run_fuzz_schedule_traced(
     f: u32,
     plan: &FaultPlan,
 ) -> Result<(), (Violation, String)> {
-    run_fuzz_schedule_inner(seed, f, plan, FLIGHT_RING)
+    run_fuzz_schedule_inner(seed, fuzz_config(f), 0, plan, FLIGHT_RING)
+}
+
+/// One recovery-fuzz iteration: [`recovery_fuzz_config`] (watchdogs on),
+/// the bounded-heal deadline armed, and the run extended past workload
+/// completion until every corrupted replica has provably healed.
+pub fn run_recovery_fuzz_schedule(seed: u64, f: u32, plan: &FaultPlan) -> Result<(), Violation> {
+    run_fuzz_schedule_inner(seed, recovery_fuzz_config(f), HEAL_DEADLINE_NS, plan, 0)
+        .map_err(|(v, _)| v)
+}
+
+/// [`run_recovery_fuzz_schedule`] with the flight recorder armed.
+pub fn run_recovery_fuzz_schedule_traced(
+    seed: u64,
+    f: u32,
+    plan: &FaultPlan,
+) -> Result<(), (Violation, String)> {
+    run_fuzz_schedule_inner(
+        seed,
+        recovery_fuzz_config(f),
+        HEAL_DEADLINE_NS,
+        plan,
+        FLIGHT_RING,
+    )
 }
 
 fn run_fuzz_schedule_inner(
     seed: u64,
-    f: u32,
+    cfg: Config,
+    heal_deadline_ns: u64,
     plan: &FaultPlan,
     trace_capacity: usize,
 ) -> Result<(), (Violation, String)> {
-    let mut cluster = Cluster::builder(fuzz_config(f))
+    let mut cluster = Cluster::builder(cfg)
         .seed(seed)
         .trace_capacity(trace_capacity)
         .build_counter();
@@ -200,6 +258,7 @@ fn run_fuzz_schedule_inner(
         ));
     }
     let mut checker = InvariantChecker::new();
+    checker.set_heal_deadline(heal_deadline_ns);
     let flight = |cluster: &Cluster| cluster.sim.trace().flight_dump(FLIGHT_DUMP_LAST);
     if let Err(v) = cluster.run_with_plan::<CounterService, ChaosDriver>(
         plan,
@@ -210,17 +269,21 @@ fn run_fuzz_schedule_inner(
         return Err((v, dump));
     }
     // The plan's cleanup events have healed the network and restarted
-    // every faulted replica; the cluster must now finish the workload.
+    // every faulted replica; the cluster must now finish the workload —
+    // and, for recovery plans, every corrupted replica must heal before
+    // its bounded-heal deadline (the checker enforces the deadline; this
+    // loop just keeps the simulation running long enough to reach it).
     let target = FUZZ_CLIENTS * FUZZ_OPS_PER_CLIENT;
     let empty = FaultPlan::empty();
     let mut rounds = 0;
-    while cluster.completed_ops() < target {
+    while cluster.completed_ops() < target || checker.corrupted_replicas().next().is_some() {
         if rounds == LIVENESS_ROUNDS {
             let v = Violation::Liveness {
                 detail: format!(
-                    "{}/{} ops completed {} s after all faults healed",
+                    "{}/{} ops completed ({} replicas still corrupt) {} s after all faults healed",
                     cluster.completed_ops(),
                     target,
+                    checker.corrupted_replicas().count(),
                     LIVENESS_ROUNDS * LIVENESS_ROUND_NS / 1_000_000_000,
                 ),
             };
@@ -253,8 +316,22 @@ pub fn failure_report(
     v: &Violation,
     flight: Option<&str>,
 ) -> String {
+    failure_report_for(seed, f, plan, v, flight, "replay_one")
+}
+
+/// [`failure_report`] with an explicit replay test name, for fuzz
+/// families with their own replay entry point (e.g. recovery schedules
+/// replay through `replay_recovery_one`, which arms the watchdogs).
+pub fn failure_report_for(
+    seed: u64,
+    f: u32,
+    plan: &FaultPlan,
+    v: &Violation,
+    flight: Option<&str>,
+    replay_test: &str,
+) -> String {
     let mut report = format!(
-        "\nchaos: invariant violated\n  violation: {v}\n  seed: {seed} (f = {f})\n  minimized fault plan ({} events):\n{plan}\n  replay: CHAOS_SEED={seed} CHAOS_F={f} cargo test -p bft-core --test chaos replay_one -- --nocapture\n",
+        "\nchaos: invariant violated\n  violation: {v}\n  seed: {seed} (f = {f})\n  minimized fault plan ({} events):\n{plan}\n  replay: CHAOS_SEED={seed} CHAOS_F={f} cargo test -p bft-core --test chaos {replay_test} -- --nocapture\n",
         plan.events.len(),
     );
     if let Some(dump) = flight {
@@ -297,6 +374,41 @@ pub fn check_schedules(base: u64, total: u64, offset: u64, stride: u64, f: u32) 
     {
         if i as u64 % stride == offset {
             check_schedule(builder.seed_value(), f);
+        }
+    }
+}
+
+/// [`check_schedule`] for the recovery-fault family: corruption and
+/// stale-state faults in the plan, watchdogs armed, bounded-heal and
+/// recovery-completeness checked alongside every existing invariant.
+pub fn check_recovery_schedule(seed: u64, f: u32) {
+    let plan = recovery_fuzz_plan(seed, f);
+    if let Err(v) = run_recovery_fuzz_schedule(seed, f, &plan) {
+        let kind = std::mem::discriminant(&v);
+        let min = plan.minimize(|p| {
+            run_recovery_fuzz_schedule(seed, f, p)
+                .err()
+                .is_some_and(|e| std::mem::discriminant(&e) == kind)
+        });
+        let (v, flight) = match run_recovery_fuzz_schedule_traced(seed, f, &min) {
+            Err((v, dump)) => (v, Some(dump)),
+            Ok(()) => (v, None),
+        };
+        panic!(
+            "{}",
+            failure_report_for(seed, f, &min, &v, flight.as_deref(), "replay_recovery_one")
+        );
+    }
+}
+
+/// Strided sweep over recovery-fault schedules (see [`check_schedules`]).
+pub fn check_recovery_schedules(base: u64, total: u64, offset: u64, stride: u64, f: u32) {
+    for (i, builder) in Cluster::with_seed_iter(base, recovery_fuzz_config(f))
+        .enumerate()
+        .take(total as usize)
+    {
+        if i as u64 % stride == offset {
+            check_recovery_schedule(builder.seed_value(), f);
         }
     }
 }

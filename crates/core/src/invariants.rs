@@ -53,6 +53,10 @@ pub struct ReplicaAudit {
     pub committed: Vec<(SeqNum, Digest)>,
     /// `(seq, state digest)` for every checkpoint announced.
     pub checkpoints: Vec<(SeqNum, Digest)>,
+    /// `(seq, state digest, completed at ns)` for every proactive
+    /// recovery completed: the attested checkpoint the replica's state
+    /// was audited against.
+    pub recoveries: Vec<(SeqNum, Digest, u64)>,
 }
 
 impl ReplicaAudit {
@@ -72,6 +76,14 @@ impl ReplicaAudit {
         self.checkpoints.push((seq, digest));
         if self.checkpoints.len() > Self::CAP {
             self.checkpoints.drain(..Self::CAP / 2);
+        }
+    }
+
+    /// Records a completed proactive recovery.
+    pub fn note_recovery(&mut self, seq: SeqNum, digest: Digest, at_ns: u64) {
+        self.recoveries.push((seq, digest, at_ns));
+        if self.recoveries.len() > Self::CAP {
+            self.recoveries.drain(..Self::CAP / 2);
         }
     }
 }
@@ -156,6 +168,29 @@ pub enum Violation {
         /// Human-readable explanation.
         detail: String,
     },
+    /// *Recovery completeness*: a replica finished a proactive recovery
+    /// with a state root that disagrees with the honest quorum's digest
+    /// for the same checkpoint — the audit let corrupt state through.
+    RecoveryDivergence {
+        /// The recovered replica.
+        replica: ReplicaId,
+        /// The checkpoint it claims to have been audited against.
+        seq: SeqNum,
+        /// The digest the recovered replica reports.
+        ours: Digest,
+        /// The digest the honest quorum announced for that checkpoint.
+        quorum: Digest,
+    },
+    /// *Bounded heal*: a silently corrupted replica did not complete a
+    /// clean recovery within the configured deadline after corruption.
+    UnhealedCorruption {
+        /// The still-corrupt replica.
+        replica: ReplicaId,
+        /// When the corruption was injected (ns).
+        corrupted_at_ns: u64,
+        /// The deadline it missed (ns).
+        deadline_ns: u64,
+    },
 }
 
 impl fmt::Display for Violation {
@@ -183,6 +218,25 @@ impl fmt::Display for Violation {
                 "linearizability: client {client} op ts {timestamp}: {detail}"
             ),
             Violation::Liveness { detail } => write!(f, "liveness: {detail}"),
+            Violation::RecoveryDivergence {
+                replica,
+                seq,
+                ours,
+                quorum,
+            } => write!(
+                f,
+                "recovery divergence: replica {replica} rejoined at seq {seq} with state {ours} \
+                 but the quorum's checkpoint digest is {quorum}"
+            ),
+            Violation::UnhealedCorruption {
+                replica,
+                corrupted_at_ns,
+                deadline_ns,
+            } => write!(
+                f,
+                "unhealed corruption: replica {replica} corrupted at {corrupted_at_ns}ns had not \
+                 completed a clean recovery by {deadline_ns}ns"
+            ),
         }
     }
 }
@@ -384,6 +438,16 @@ pub struct InvariantChecker {
     checkpoints: BTreeMap<SeqNum, (ReplicaId, Digest)>,
     views: BTreeMap<ReplicaId, View>,
     tainted: BTreeSet<ReplicaId>,
+    /// Replicas with silently corrupted service state, keyed by injection
+    /// time. Unlike `tainted` this exemption is *revocable*: it only
+    /// suspends the checkpoint-consistency check (the replica's state
+    /// digests legitimately diverge until it heals) and is lifted the
+    /// moment a completed recovery's attested root matches the honest
+    /// quorum — after which the replica is held to every invariant again.
+    corrupted: BTreeMap<ReplicaId, u64>,
+    /// *Bounded heal* deadline: a corrupted replica must complete a clean
+    /// recovery within this many ns of the corruption. 0 disables.
+    heal_deadline_ns: u64,
     lin: CounterLinearizability,
 }
 
@@ -395,9 +459,39 @@ impl InvariantChecker {
 
     /// Marks a replica as Byzantine: its audit records are drained but no
     /// longer checked. Called automatically when a fault plan applies a
-    /// Byzantine mutation.
+    /// Byzantine mutation. Taint subsumes any pending corruption-heal
+    /// obligation: a Byzantine replica's state is arbitrary by
+    /// definition, so there is nothing meaningful left to heal (plan
+    /// minimization can produce corrupt-then-Byzantine orderings the
+    /// generator's budget never would).
     pub fn mark_tainted(&mut self, replica: ReplicaId) {
         self.tainted.insert(replica);
+        self.corrupted.remove(&replica);
+    }
+
+    /// Marks a replica as silently corrupted at `at_ns`. Called
+    /// automatically when a fault plan injects state corruption. The
+    /// earliest injection time is kept so the heal deadline cannot be
+    /// pushed out by corrupting the same replica twice. Corrupting an
+    /// already-tainted replica is a no-op for the same reason taint
+    /// clears the corruption mark above.
+    pub fn mark_corrupted(&mut self, replica: ReplicaId, at_ns: u64) {
+        if self.tainted.contains(&replica) {
+            return;
+        }
+        self.corrupted.entry(replica).or_insert(at_ns);
+    }
+
+    /// Sets the *bounded heal* deadline (0 disables). With a deadline,
+    /// [`InvariantChecker::observe`] reports a violation for any replica
+    /// still corrupt `deadline` ns after its corruption was injected.
+    pub fn set_heal_deadline(&mut self, deadline_ns: u64) {
+        self.heal_deadline_ns = deadline_ns;
+    }
+
+    /// Replicas currently marked corrupt (and not yet cleanly recovered).
+    pub fn corrupted_replicas(&self) -> impl Iterator<Item = ReplicaId> + '_ {
+        self.corrupted.keys().copied()
     }
 
     /// Drains every node's audit records and checks all invariants.
@@ -439,21 +533,70 @@ impl InvariantChecker {
                     }
                 }
             }
-            for (seq, digest) in audit.checkpoints {
+            // A corrupted replica's checkpoint digests legitimately
+            // diverge until it heals; its batch digests and views above
+            // do not (corruption touches service state, not the log), so
+            // only this check is suspended — and never used as the
+            // reference other replicas are compared against.
+            if !self.corrupted.contains_key(&i) {
+                for (seq, digest) in audit.checkpoints {
+                    match self.checkpoints.entry(seq) {
+                        Entry::Occupied(e) => {
+                            let &(other, other_digest) = e.get();
+                            if other_digest != digest {
+                                return Err(Violation::CheckpointDivergence {
+                                    seq,
+                                    a: (other, other_digest),
+                                    b: (i, digest),
+                                });
+                            }
+                        }
+                        Entry::Vacant(v) => {
+                            v.insert((i, digest));
+                        }
+                    }
+                }
+            }
+            // *Recovery completeness*: a completed recovery's attested
+            // root must agree with the honest quorum's digest for that
+            // checkpoint. A match also heals a corrupted replica — the
+            // audit provably brought its state back to the quorum root —
+            // which revokes its checkpoint exemption from here on.
+            for (seq, digest, _at_ns) in audit.recoveries {
                 match self.checkpoints.entry(seq) {
                     Entry::Occupied(e) => {
-                        let &(other, other_digest) = e.get();
-                        if other_digest != digest {
-                            return Err(Violation::CheckpointDivergence {
+                        let &(_, quorum) = e.get();
+                        if quorum != digest {
+                            return Err(Violation::RecoveryDivergence {
+                                replica: i,
                                 seq,
-                                a: (other, other_digest),
-                                b: (i, digest),
+                                ours: digest,
+                                quorum,
                             });
                         }
                     }
                     Entry::Vacant(v) => {
+                        // No honest announcement seen yet for this seq;
+                        // the recovered root carried f+1 attestations, so
+                        // it can serve as the reference.
                         v.insert((i, digest));
                     }
+                }
+                self.corrupted.remove(&i);
+            }
+        }
+        // *Bounded heal*: every corrupted replica must have completed a
+        // clean recovery within the deadline of its injection.
+        if self.heal_deadline_ns > 0 {
+            let now = cluster.sim.now().nanos();
+            for (&replica, &at_ns) in &self.corrupted {
+                let deadline = at_ns.saturating_add(self.heal_deadline_ns);
+                if now > deadline && !self.tainted.contains(&replica) {
+                    return Err(Violation::UnhealedCorruption {
+                        replica,
+                        corrupted_at_ns: at_ns,
+                        deadline_ns: deadline,
+                    });
                 }
             }
         }

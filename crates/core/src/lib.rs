@@ -59,6 +59,7 @@ pub mod fuzz;
 pub mod invariants;
 pub mod log;
 pub mod messages;
+pub mod recovery;
 pub mod replica;
 pub mod service;
 pub mod types;
@@ -70,6 +71,7 @@ pub use cluster::{derive_seed, Cluster, ClusterBuilder};
 pub use config::{Config, Optimizations};
 pub use invariants::{InvariantChecker, OpEvent, ReplicaAudit, Violation};
 pub use messages::{Msg, Packet};
+pub use recovery::{RecoveryManager, RecoveryStage};
 pub use replica::{Behavior, Replica};
 pub use service::{CounterService, NullService, Service};
 pub use types::{ClientId, Quorums, ReplicaId, SeqNum, Timestamp, View};

@@ -176,6 +176,21 @@ impl Log {
         }
     }
 
+    /// Clears execution markers on every slot above `seq`. Adopting a
+    /// fetched checkpoint can move execution *backwards* (a recovery
+    /// audit targets the group's stable point, which may trail what this
+    /// replica executed while the fetch was in flight); slots above the
+    /// adopted state must then re-execute, and a stale tentative marker
+    /// would otherwise wedge the execution loop in `finalize_tentative`.
+    pub fn clear_executed_above(&mut self, seq: SeqNum) {
+        for (&s, slot) in self.slots.iter_mut() {
+            if s > seq {
+                slot.executed_tentative = false;
+                slot.executed_final = false;
+            }
+        }
+    }
+
     /// Discards everything and restarts the window at `low` (proactive
     /// recovery: the replica rebuilds its log from its stable checkpoint).
     pub fn reset(&mut self, low: SeqNum) {

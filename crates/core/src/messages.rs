@@ -863,6 +863,72 @@ impl Wire for NewKey {
     }
 }
 
+/// RECOVER: a replica announces it is proactively recovering. Peers grant
+/// it a recovery lease (so staggered watchdogs keep at most one replica
+/// in-recovery at a time), adopt the fresh MAC epoch carried here, and
+/// answer with a [`RecoverAttest`] for their stable checkpoint. A second
+/// RECOVER with `done` set releases the lease early.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Recover {
+    /// The recovering replica.
+    pub replica: ReplicaId,
+    /// Its freshly rotated inbound-key epoch.
+    pub epoch: u64,
+    /// True when recovery completed and the lease can be released.
+    pub done: bool,
+}
+
+impl Wire for Recover {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.replica.encode(buf);
+        self.epoch.encode(buf);
+        self.done.encode(buf);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(Recover {
+            replica: u32::decode(r)?,
+            epoch: u64::decode(r)?,
+            done: bool::decode(r)?,
+        })
+    }
+    fn wire_len(&self) -> usize {
+        4 + 8 + 1
+    }
+}
+
+/// RECOVER-ATTEST: a peer's point-to-point answer to [`Recover`], naming
+/// its stable checkpoint. The recovering replica trusts nothing it holds
+/// locally, so it waits for `f+1` matching attestations — at least one
+/// from a correct replica — before auditing its state against the
+/// attested Merkle root.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoverAttest {
+    /// The attester's stable checkpoint sequence number.
+    pub seq: SeqNum,
+    /// The checkpoint's Merkle root.
+    pub state_digest: Digest,
+    /// The attesting replica.
+    pub replica: ReplicaId,
+}
+
+impl Wire for RecoverAttest {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.seq.encode(buf);
+        self.state_digest.encode(buf);
+        self.replica.encode(buf);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(RecoverAttest {
+            seq: u64::decode(r)?,
+            state_digest: Digest::decode(r)?,
+            replica: u32::decode(r)?,
+        })
+    }
+    fn wire_len(&self) -> usize {
+        8 + 16 + 4
+    }
+}
+
 /// All protocol messages.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Msg {
@@ -904,6 +970,10 @@ pub enum Msg {
     CommittedBatch(CommittedBatch),
     /// Inbound-key epoch announcement.
     NewKey(NewKey),
+    /// Proactive-recovery announcement (lease + fresh epoch).
+    Recover(Recover),
+    /// Stable-checkpoint attestation for a recovering replica.
+    RecoverAttest(RecoverAttest),
 }
 
 impl Msg {
@@ -929,6 +999,8 @@ impl Msg {
             Msg::Status(_) => "status",
             Msg::CommittedBatch(_) => "committed-batch",
             Msg::NewKey(_) => "new-key",
+            Msg::Recover(_) => "recover",
+            Msg::RecoverAttest(_) => "recover-attest",
         }
     }
 
@@ -955,6 +1027,8 @@ impl Msg {
             Msg::Status(_) => "msg.status",
             Msg::CommittedBatch(_) => "msg.committed-batch",
             Msg::NewKey(_) => "msg.new-key",
+            Msg::Recover(_) => "msg.recover",
+            Msg::RecoverAttest(_) => "msg.recover-attest",
         }
     }
 }
@@ -1038,6 +1112,14 @@ impl Wire for Msg {
                 buf.push(16);
                 m.encode(buf);
             }
+            Msg::Recover(m) => {
+                buf.push(19);
+                m.encode(buf);
+            }
+            Msg::RecoverAttest(m) => {
+                buf.push(20);
+                m.encode(buf);
+            }
         }
     }
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
@@ -1061,6 +1143,8 @@ impl Wire for Msg {
             16 => Msg::NewKey(NewKey::decode(r)?),
             17 => Msg::FetchParts(FetchParts::decode(r)?),
             18 => Msg::PartData(PartData::decode(r)?),
+            19 => Msg::Recover(Recover::decode(r)?),
+            20 => Msg::RecoverAttest(RecoverAttest::decode(r)?),
             t => return Err(WireError::BadTag(t)),
         })
     }
@@ -1085,6 +1169,8 @@ impl Wire for Msg {
             Msg::Status(m) => m.wire_len(),
             Msg::CommittedBatch(m) => m.wire_len(),
             Msg::NewKey(m) => m.wire_len(),
+            Msg::Recover(m) => m.wire_len(),
+            Msg::RecoverAttest(m) => m.wire_len(),
         }
     }
 }
@@ -1253,6 +1339,21 @@ mod tests {
         roundtrip(Msg::NewKey(NewKey {
             replica: 2,
             epoch: 7,
+        }));
+        roundtrip(Msg::Recover(Recover {
+            replica: 1,
+            epoch: 3,
+            done: false,
+        }));
+        roundtrip(Msg::Recover(Recover {
+            replica: 1,
+            epoch: 3,
+            done: true,
+        }));
+        roundtrip(Msg::RecoverAttest(RecoverAttest {
+            seq: 128,
+            state_digest: d,
+            replica: 0,
         }));
     }
 

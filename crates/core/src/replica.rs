@@ -7,12 +7,14 @@ use crate::config::Config;
 use crate::invariants::ReplicaAudit;
 use crate::log::Log;
 use crate::messages::*;
+use crate::recovery::{RecoveryManager, RecoveryStage};
 use crate::service::Service;
 use crate::types::{ClientId, ReplicaId, SeqNum, Timestamp, View};
 use crate::viewchange::{compute_plan, validate_new_view, ViewChangeSet};
 use crate::wire::Wire;
 use bft_crypto::keychain::KeyChain;
 use bft_crypto::md5::Digest;
+use bft_sim::time::dur;
 use bft_sim::{Context, CostKind, Node, NodeId, SpanEdge, TimerId, TraceMeta, TracePhase};
 use std::any::Any;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
@@ -46,6 +48,11 @@ pub enum Behavior {
     BadNewView,
     /// Serve corrupted snapshots to state-transfer requests.
     CorruptStateData,
+    /// Stop producing checkpoints (a wedged background digester or full
+    /// disk): the replica keeps ordering and executing but its stable
+    /// point freezes, so it stalls at the log-window edge and limps along
+    /// through repeated state transfers until healed.
+    StaleState,
     /// Test-only: treat every executable slot as committed without
     /// waiting for a quorum. Exists to deliberately violate agreement so
     /// the invariant checker can be validated end to end.
@@ -168,6 +175,8 @@ pub struct Replica<S: Service> {
     /// Backfill votes: which peers asserted each (seq, digest) committed.
     backfill: BTreeMap<(SeqNum, Digest), BTreeSet<ReplicaId>>,
     waiting_ro: Vec<WaitingRo>,
+    /// Proactive-recovery state: our own recovery stage plus peer leases.
+    recovery: RecoveryManager,
     behavior: Behavior,
     /// Safety events (finalized batches, announced checkpoints) for the
     /// chaos invariant checker; drained via [`Replica::drain_audit`].
@@ -236,6 +245,7 @@ impl<S: Service> Replica<S> {
             exec_progress: false,
             backfill: BTreeMap::new(),
             waiting_ro: Vec::new(),
+            recovery: RecoveryManager::new(),
             behavior: Behavior::Correct,
             audit: ReplicaAudit::default(),
         }
@@ -244,6 +254,18 @@ impl<S: Service> Replica<S> {
     /// Sets the fault-injection behaviour.
     pub fn set_behavior(&mut self, behavior: Behavior) {
         self.behavior = behavior;
+    }
+
+    /// Chaos hook: silently corrupts the live service state (no crash, no
+    /// dirty marks — see [`Service::corrupt_silently`]). Only a proactive
+    /// recovery audit against a quorum-attested root can undo this.
+    pub fn corrupt_state(&mut self, salt: u64) {
+        self.service.corrupt_silently(salt);
+    }
+
+    /// True while this replica's own proactive recovery is in progress.
+    pub fn recovering(&self) -> bool {
+        self.recovery.in_progress()
     }
 
     /// Current view.
@@ -269,6 +291,13 @@ impl<S: Service> Replica<S> {
     /// The last stable checkpoint sequence number.
     pub fn stable_checkpoint(&self) -> SeqNum {
         self.checkpoints.stable_seq()
+    }
+
+    /// The last stable checkpoint as `(seq, state root)` — the Merkle
+    /// root over the service's partition digests, i.e. what a recovering
+    /// replica's peers attest to and what convergence tests compare.
+    pub fn stable_proof(&self) -> (SeqNum, Digest) {
+        self.checkpoints.stable_proof()
     }
 
     /// Read access to the replicated service.
@@ -460,6 +489,13 @@ impl<S: Service> Replica<S> {
     /// records a *lazy* checkpoint — partition bytes are serialized only
     /// when the service cannot retain a copy-on-write version itself.
     fn make_checkpoint(&mut self, ctx: &mut Context<'_, Packet>, seq: SeqNum) {
+        if self.behavior == Behavior::StaleState {
+            // Fault injection: the checkpointing machinery is wedged. The
+            // replica keeps executing but never produces (or announces)
+            // this checkpoint, so its stable point freezes.
+            ctx.metrics().incr("replica.checkpoints_skipped_stale");
+            return;
+        }
         let cache_bytes = Self::encode_cache(&self.reply_cache);
         let stats = self.tracker.refresh(&mut self.service, &cache_bytes);
         let total = self.tracker.partition_count() + 1;
@@ -505,8 +541,12 @@ impl<S: Service> Replica<S> {
     /// `seq` (eagerly serialized parts or the service's retained
     /// copy-on-write versions). Returns `false` — leaving state
     /// unspecified — if any partition is unavailable or fails
-    /// verification; callers only pass checkpoints we produced, so that
-    /// indicates a bug.
+    /// verification. For checkpoints we produced while healthy that
+    /// indicates a bug, but a recovery audit may legitimately hit this
+    /// when silent corruption reached the retained copies; the caller
+    /// then falls back to fetching from peers (live partition digests are
+    /// recomputed during the fetch, so an unspecified intermediate state
+    /// is safe).
     fn restore_own_checkpoint(&mut self, seq: SeqNum) -> bool {
         let Some(own) = self.checkpoints.own(seq) else {
             return false;
@@ -585,6 +625,16 @@ impl<S: Service> Replica<S> {
             }
         }
         if req.read_only && self.cfg.opts.read_only && self.service.is_read_only(&req.op) {
+            if self.recovery.in_progress() {
+                // Our state is suspect until the recovery audit completes;
+                // a read-only reply computed from it could break
+                // linearizability. Dropping the request makes the client
+                // assemble its 2f+1 quorum from the healthy replicas or
+                // retry through the ordered read-write path
+                // (arXiv:2107.11144's read-liveness concern).
+                ctx.metrics().incr("replica.ro_dropped_in_recovery");
+                return;
+            }
             self.execute_read_only(ctx, req);
             return;
         }
@@ -1233,6 +1283,12 @@ impl<S: Service> Replica<S> {
             self.tentative_ops = ops;
         } else {
             self.last_final = seq;
+            // A slot can reach finality without ever having been proposed
+            // by us (backfilled `force_committed` slots after a recovery
+            // or view change). The next proposal must start above it, or
+            // a primary whose `next_seq` lags finality would assign
+            // sequence numbers that collide with committed slots forever.
+            self.next_seq = self.next_seq.max(seq);
             self.service.commit_prefix(ops);
             if let Some(d) = batch_digest {
                 self.audit.note_committed(seq, d);
@@ -1250,6 +1306,7 @@ impl<S: Service> Replica<S> {
         self.tentative_ops = 0;
         self.tentative_cache_undo.clear();
         self.last_final = seq;
+        self.next_seq = self.next_seq.max(seq);
         self.service.commit_prefix(ops);
         if let Some(d) = self.log.slot(seq).and_then(|s| s.digest) {
             self.audit.note_committed(seq, d);
@@ -1544,6 +1601,10 @@ impl<S: Service> Replica<S> {
         self.tentative_ops = 0;
         self.tentative_cache_undo.clear();
         self.waiting_ro.clear();
+        // Adoption may move execution backwards (recovery audits target
+        // the group's stable point); anything above must re-execute from
+        // the restored state, so stale execution markers are poison.
+        self.log.clear_executed_above(seq);
         self.last_executed = seq;
         self.last_final = seq;
         self.next_seq = self.next_seq.max(seq);
@@ -1572,6 +1633,12 @@ impl<S: Service> Replica<S> {
                 ..TraceMeta::default()
             },
         );
+        // If this transfer was a recovery audit (or subsumed one aimed at
+        // an older checkpoint), every partition now provably matches a
+        // quorum-attested root: the recovery is complete.
+        if self.recovery.auditing_seq().is_some_and(|a| a <= seq) {
+            self.complete_recovery(ctx, seq, digest);
+        }
         self.try_execute(ctx);
     }
 
@@ -1889,8 +1956,13 @@ impl<S: Service> Replica<S> {
             },
         );
         self.multicast(ctx, Msg::ViewChange(vc));
-        // Wait for the new view with a doubled timeout.
-        self.vc_timeout_ns = self.vc_timeout_ns.saturating_mul(2);
+        // Wait for the new view with a doubled timeout, capped so a long
+        // partition cannot inflate it unboundedly — after a heal the next
+        // election starts within the configured ceiling.
+        self.vc_timeout_ns = self
+            .vc_timeout_ns
+            .saturating_mul(2)
+            .min(self.cfg.view_change_timeout_max_ns);
         if let Some(t) = self.vc_timer.take() {
             ctx.cancel_timer(t);
         }
@@ -2229,58 +2301,252 @@ impl<S: Service> Replica<S> {
         self.keychain.set_peer_epoch(from, nk.epoch);
     }
 
-    /// Proactive recovery (Section 2: "BFT can recover replicas
-    /// proactively ... even if all replicas fail provided less than 1/3
-    /// become faulty within a window of vulnerability"). The replica
-    /// behaves as if rebooted: it discards its protocol state, restores
-    /// its last stable checkpoint, announces fresh keys, and rejoins via
-    /// the normal catch-up machinery (status gossip, backfill, state
-    /// transfer).
-    pub fn proactive_recover(&mut self, ctx: &mut Context<'_, Packet>) {
-        if self.behavior == Behavior::Crashed {
+    // ------------------------------------------------------------------
+    // Proactive recovery (Section 2: "BFT can recover replicas
+    // proactively ... even if all replicas fail provided less than 1/3
+    // become faulty within a window of vulnerability")
+    // ------------------------------------------------------------------
+
+    /// Watchdog fire: start a recovery, unless one is already running or
+    /// another replica holds the single in-recovery slot (its lease).
+    /// Deferral re-arms the timer for just past the blocking lease's
+    /// expiry, so staggered recoveries never overlap — the same ≤f budget
+    /// discipline the chaos engine enforces for injected faults.
+    fn on_recovery_timer(&mut self, ctx: &mut Context<'_, Packet>) {
+        let interval = self.cfg.proactive_recovery_interval_ns;
+        if self.recovery.in_progress() {
+            // A stalled recovery keeps its slot; try again next period.
+            ctx.set_timer(interval, TIMER_RECOVERY);
             return;
         }
+        let now = ctx.now().nanos();
+        if let Some(until) = self.recovery.lease_blocking(self.id, now) {
+            ctx.metrics().incr("replica.recovery_deferred");
+            ctx.set_timer(until.saturating_sub(now) + dur::millis(1), TIMER_RECOVERY);
+            return;
+        }
+        self.begin_recovery(ctx);
+        ctx.set_timer(interval, TIMER_RECOVERY);
+    }
+
+    /// First phase of a recovery "reboot": rotate the MAC key epoch (a
+    /// stolen session key dies here), drop tentative execution, and ask
+    /// the group to attest its stable checkpoint root. Nothing local is
+    /// trusted until a witness quorum (`f+1`) agrees on that root.
+    fn begin_recovery(&mut self, ctx: &mut Context<'_, Packet>) {
         ctx.metrics().incr("replica.proactive_recoveries");
+        ctx.trace(
+            SpanEdge::Open,
+            TracePhase::Recovery,
+            TraceMeta {
+                view: self.view,
+                seq: self.checkpoints.stable_seq(),
+                ..TraceMeta::default()
+            },
+        );
         self.refresh_keys(ctx);
         self.rollback_tentative();
-        // Restore the stable checkpoint (what survives the "reboot").
-        let stable = self.checkpoints.stable_seq();
-        if self.checkpoints.own(stable).is_some() {
-            let ok = self.restore_own_checkpoint(stable);
-            debug_assert!(ok, "own stable checkpoint must restore");
+        self.recovery.begin(ctx.now().nanos());
+        let rc = Recover {
+            replica: self.id,
+            epoch: self.keychain.epoch(),
+            done: false,
+        };
+        self.multicast(ctx, Msg::Recover(rc));
+    }
+
+    /// A peer announced the start (`done == false`) or end (`done ==
+    /// true`) of its recovery. On start we grant it the in-recovery
+    /// lease, adopt its fresh key epoch, and attest our stable checkpoint
+    /// root point-to-point; on end we release the lease so the next
+    /// staggered watchdog can fire.
+    fn handle_recover(&mut self, ctx: &mut Context<'_, Packet>, from: NodeId, rc: Recover) {
+        if rc.replica != from || from >= self.cfg.n() || from == self.id {
+            return;
         }
-        self.last_executed = stable;
-        self.last_final = stable;
-        self.tentative_ops = 0;
-        self.tentative_cache_undo.clear();
-        self.log.reset(stable);
+        // No signature of its own: the fresh epoch was announced by the
+        // signed NEW-KEY the recovering replica multicast an instant
+        // earlier (already charged in `handle_new_key`); RECOVER just
+        // repeats it so the race between the two messages is harmless,
+        // and is MAC-authenticated under the fresh epoch like any packet.
+        self.keychain.set_peer_epoch(from, rc.epoch);
+        if rc.done {
+            self.recovery.release_lease(from);
+            return;
+        }
+        let now = ctx.now().nanos();
+        self.recovery
+            .grant_lease(from, now + self.cfg.recovery_lease_ns);
+        ctx.metrics().incr("replica.recover_leases_granted");
+        let (seq, state_digest) = self.checkpoints.stable_proof();
+        let ra = RecoverAttest {
+            seq,
+            state_digest,
+            replica: self.id,
+        };
+        self.send_to(ctx, from, Msg::RecoverAttest(ra));
+    }
+
+    /// An attestation for our in-flight recovery. Once `f+1` peers vouch
+    /// for the same (seq, root) — at least one of them honest — that root
+    /// is trustworthy and the state audit can begin against it.
+    fn handle_recover_attest(
+        &mut self,
+        ctx: &mut Context<'_, Packet>,
+        from: NodeId,
+        ra: RecoverAttest,
+    ) {
+        if ra.replica != from || from >= self.cfg.n() || from == self.id {
+            return;
+        }
+        self.recovery.note_vote(from, ra.seq, ra.state_digest);
+        if let Some((seq, digest)) = self.recovery.attested(&self.cfg.quorums) {
+            self.complete_attested_recovery(ctx, seq, digest);
+        }
+    }
+
+    /// A witness quorum agreed on a stable checkpoint root: discard every
+    /// piece of protocol state above it (all of it is suspect) and audit
+    /// our service state against the attested root. If our own copy of
+    /// that checkpoint carries the attested root, restoring it *is* the
+    /// audit — `restore_own_checkpoint` verifies every partition against
+    /// the leaves before applying it. Otherwise we run the partial
+    /// state-transfer path, whose STATE-META diff recomputes each live
+    /// partition digest and fetches only the mismatches.
+    fn complete_attested_recovery(
+        &mut self,
+        ctx: &mut Context<'_, Packet>,
+        seq: SeqNum,
+        digest: Digest,
+    ) {
+        // Our recorded stable certificate required 2f+1 claims (≥ f+1
+        // honest), so if it is newer than what the attestation quorum
+        // agreed on, prefer it — regressing the log window would only add
+        // churn for the same guarantee.
+        let (seq, digest) = {
+            let own = self.checkpoints.stable_proof();
+            if own.0 > seq {
+                own
+            } else {
+                (seq, digest)
+            }
+        };
+        // The "reboot": drop everything above the attested checkpoint.
+        self.log.reset(seq);
         self.pending_batch.clear();
         self.queued.clear();
-        self.pending_requests.clear();
+        // `pending_requests` survives the reboot: it holds bare client
+        // identities (no protocol state to distrust), and it is what the
+        // view-change timer checks at expiry. Clearing it every recovery
+        // would leave the timer with an empty set whenever the client's
+        // retransmission backoff outpaces the recovery interval, silently
+        // vetoing every view change. Execution prunes it as usual.
         self.piggy_queue.clear();
         if let Some(t) = self.piggy_timer.take() {
             ctx.cancel_timer(t);
         }
-        if let Some(t) = self.vc_timer.take() {
-            ctx.cancel_timer(t);
+        // Deliberately NOT touched: the view-change timer, `in_view_change`
+        // and `pending_view`. The timer measures how long the oldest
+        // outstanding client work has been stuck, and an in-flight view
+        // change is the cluster's joint escape hatch from a dead primary;
+        // recovery churn must not silence the one or abort the other.
+        // With a short recovery interval, resetting them here would
+        // restart the countdown (or cancel the round) on every rejoin,
+        // and a view whose new primary is crashed could never be skipped.
+        if !self.in_view_change {
+            // Rejoin with a fresh view-change timeout: pre-recovery
+            // doubling reflected pre-recovery suspicion. Mid-view-change
+            // the doubled value stays — it is what paces the next round.
+            self.vc_timeout_ns = self.cfg.view_change_timeout_ns;
         }
-        self.in_view_change = false;
-        self.pending_view = self.view;
         self.waiting_ro.clear();
         self.fetching = None;
         self.backfill.clear();
+        self.tentative_ops = 0;
+        self.tentative_cache_undo.clear();
         // Do NOT reset next_seq: a recovering primary must never reuse a
         // sequence number it may already have assigned in this view.
-        // Ask the group where it is; peers backfill from here.
+        self.recovery.start_audit(seq);
+        let own_matches = self
+            .checkpoints
+            .own(seq)
+            .is_some_and(|own| CheckpointTracker::root_of(&own.leaves) == digest);
+        if own_matches && self.restore_own_checkpoint(seq) {
+            // Every partition verified against the attested root locally.
+            self.last_executed = seq;
+            self.last_final = seq;
+            self.next_seq = self.next_seq.max(seq);
+            self.checkpoints.mark_announced(seq);
+            self.checkpoints.make_stable(seq, digest);
+            self.service.release_checkpoints_below(seq);
+            self.complete_recovery(ctx, seq, digest);
+        } else {
+            // Local copy is missing, stale, or corrupt: audit against the
+            // group. Only mismatched partitions cross the network.
+            ctx.metrics().incr("replica.recovery_audit_refetch");
+            let target = (self.id + 1) % self.cfg.n();
+            self.fetching = Some(StateFetch::new(seq, digest, target));
+            ctx.trace(
+                SpanEdge::Open,
+                TracePhase::StateTransfer,
+                TraceMeta {
+                    view: self.view,
+                    seq,
+                    ..TraceMeta::default()
+                },
+            );
+            self.send_to(ctx, target, Msg::FetchState(FetchState { seq }));
+        }
+    }
+
+    /// The audit passed: our state provably matches the attested root.
+    /// Announce completion so peers release the in-recovery lease, and
+    /// gossip status so they backfill what committed while we recovered.
+    fn complete_recovery(&mut self, ctx: &mut Context<'_, Packet>, seq: SeqNum, digest: Digest) {
+        let now = ctx.now().nanos();
+        let heal_ns = now.saturating_sub(self.recovery.since_ns().unwrap_or(now));
+        ctx.metrics().add("replica.recovery_heal_ns", heal_ns);
+        ctx.metrics().incr("replica.recoveries_completed");
+        self.recovery.finish();
+        self.audit.note_recovery(seq, digest, ctx.now().nanos());
+        ctx.trace(
+            SpanEdge::Close,
+            TracePhase::Recovery,
+            TraceMeta {
+                view: self.view,
+                seq,
+                ..TraceMeta::default()
+            },
+        );
+        let rc = Recover {
+            replica: self.id,
+            epoch: self.keychain.epoch(),
+            done: true,
+        };
+        self.multicast(ctx, Msg::Recover(rc));
         let status = Status {
             view: self.view,
-            last_stable: stable,
-            last_executed: stable,
+            last_stable: self.checkpoints.stable_seq(),
+            last_executed: self.last_executed,
         };
         self.multicast(ctx, Msg::Status(status));
     }
 
     fn on_resend_timer(&mut self, ctx: &mut Context<'_, Packet>) {
+        // A recovery stuck waiting for attestations (lost announcement or
+        // a partitioned quorum) would stall forever without this: peers
+        // attest once per RECOVER received, so re-announce.
+        if matches!(
+            self.recovery.stage(),
+            RecoveryStage::AwaitingAttestation { .. }
+        ) {
+            let rc = Recover {
+                replica: self.id,
+                epoch: self.keychain.epoch(),
+                done: false,
+            };
+            self.multicast(ctx, Msg::Recover(rc));
+        }
         if self.in_view_change {
             return;
         }
@@ -2459,6 +2725,8 @@ impl<S: Service> Node<Packet> for Replica<S> {
             Msg::Status(st) => self.handle_status(ctx, from, st),
             Msg::CommittedBatch(cb) => self.handle_committed_batch(ctx, from, cb),
             Msg::NewKey(nk) => self.handle_new_key(ctx, from, nk),
+            Msg::Recover(rc) => self.handle_recover(ctx, from, rc),
+            Msg::RecoverAttest(ra) => self.handle_recover_attest(ctx, from, ra),
             Msg::Reply(_) => { /* replicas do not consume replies */ }
         }
     }
@@ -2512,10 +2780,7 @@ impl<S: Service> Node<Packet> for Replica<S> {
                 self.refresh_keys(ctx);
                 ctx.set_timer(self.cfg.key_refresh_interval_ns, TIMER_KEY_REFRESH);
             }
-            TIMER_RECOVERY => {
-                self.proactive_recover(ctx);
-                ctx.set_timer(self.cfg.proactive_recovery_interval_ns, TIMER_RECOVERY);
-            }
+            TIMER_RECOVERY => self.on_recovery_timer(ctx),
             _ => {}
         }
     }

@@ -170,6 +170,17 @@ pub trait Service: 'static {
     /// Discards retained checkpoint versions older than `token`; their
     /// copy-on-write saves may be freed.
     fn release_checkpoints_below(&mut self, _token: u64) {}
+
+    // --- Chaos hooks ---------------------------------------------------
+
+    /// Test-only fault injection: silently flip bits in the live state
+    /// *without* marking anything dirty, modelling memory corruption or a
+    /// latent disk fault. The incremental checkpoint tracker must not
+    /// notice (that is the point — only a proactive-recovery audit against
+    /// a quorum-attested root can catch it). `salt` makes distinct
+    /// corruptions distinguishable and seed-reproducible. The default does
+    /// nothing, so services that cannot model corruption are unaffected.
+    fn corrupt_silently(&mut self, _salt: u64) {}
 }
 
 /// A service with no state whose operations return empty results. The
@@ -337,6 +348,20 @@ impl Service for CounterService {
     fn release_checkpoints_below(&mut self, token: u64) {
         self.retained = self.retained.split_off(&token);
     }
+
+    fn corrupt_silently(&mut self, salt: u64) {
+        // Deliberately does NOT set `dirty`: the incremental tracker must
+        // keep digesting the stale value it believes is current.
+        self.value ^= 1 << (salt % 64);
+        if salt & 1 == 1 {
+            // Also corrupt the retained checkpoint copies, so recovery
+            // cannot heal from a local restore and must exercise the
+            // re-fetch path (restore_partition's verify fails).
+            for v in self.retained.values_mut() {
+                *v ^= 1 << (salt % 64);
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -480,6 +505,30 @@ mod tests {
         );
         assert!(!s.retain_checkpoint(1), "default cannot retain");
         assert_eq!(s.retained_partition(1, 0), None);
+    }
+
+    #[test]
+    fn silent_corruption_changes_state_without_dirtying() {
+        let mut s = CounterService::default();
+        s.execute(1, &CounterService::add_op(5));
+        s.take_dirty_partitions();
+        let before = s.state_digest();
+        s.corrupt_silently(2);
+        assert_ne!(s.state_digest(), before, "the state really changed");
+        assert!(
+            s.take_dirty_partitions().is_empty(),
+            "corruption must be invisible to the dirty tracker"
+        );
+        // Odd salts also poison retained checkpoint copies.
+        let mut t = CounterService::default();
+        t.execute(1, &CounterService::add_op(5));
+        assert!(t.retain_checkpoint(3));
+        t.corrupt_silently(7);
+        assert_ne!(
+            t.retained_partition(3, 0),
+            Some(5u64.to_le_bytes().to_vec()),
+            "odd salt corrupts retained versions too"
+        );
     }
 
     #[test]

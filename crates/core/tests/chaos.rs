@@ -11,13 +11,18 @@
 //! - `CHAOS_BASE_SEED` — base seed the per-run seeds are derived from.
 //! - `CHAOS_SEED` (+ optional `CHAOS_F`) — replay exactly one run via the
 //!   `replay_one` test.
+//! - `CHAOS_RECOVERY_SCHEDULES` — seeded schedules for the recovery-fault
+//!   family (`fuzz_smoke_recovery`, default 24; nightly raises it), with
+//!   `replay_recovery_one` as the matching replay entry point.
 
 use bft_core::fuzz::{
-    check_schedule, env_u64, failure_report, fuzz_config, fuzz_plan, run_fuzz_schedule_traced,
-    ChaosDriver, Workload, FLIGHT_DUMP_LAST, FLIGHT_RING,
+    check_schedule, env_u64, failure_report, fuzz_config, fuzz_plan, recovery_fuzz_config,
+    recovery_fuzz_plan, run_fuzz_schedule_traced, run_recovery_fuzz_schedule,
+    run_recovery_fuzz_schedule_traced, ChaosDriver, Workload, FLIGHT_DUMP_LAST, FLIGHT_RING,
+    HEAL_DEADLINE_NS,
 };
 use bft_core::prelude::*;
-use bft_sim::chaos::{Fault, FaultEvent, NetFault};
+use bft_sim::chaos::{Fault, FaultEvent, NetFault, NodeFault};
 use bft_sim::dur;
 
 /// Fixed default base seed so a plain `cargo test` run is reproducible.
@@ -77,9 +82,106 @@ fn replay_one() {
     }
 }
 
+/// Seeded schedules drawing from the recovery-fault family: silent
+/// corruption and stale-state faults with proactive-recovery watchdogs
+/// armed, checked against bounded-heal and recovery-completeness on top
+/// of every existing invariant.
+#[test]
+fn fuzz_smoke_recovery() {
+    let total = env_u64("CHAOS_RECOVERY_SCHEDULES", 24);
+    let base = env_u64("CHAOS_BASE_SEED", DEFAULT_BASE_SEED);
+    bft_core::fuzz::check_recovery_schedules(base ^ 0x9EC0, total, 0, 1, 1);
+}
+
+/// Replays one run printed by a failing recovery-fault fuzz test:
+/// `CHAOS_SEED=<seed> [CHAOS_F=<f>] cargo test -p bft-core --test chaos replay_recovery_one -- --nocapture`
+#[test]
+fn replay_recovery_one() {
+    let Ok(seed) = std::env::var("CHAOS_SEED") else {
+        return; // nothing to replay; the fuzz tests are the default path
+    };
+    let seed: u64 = seed.parse().expect("CHAOS_SEED must be a u64");
+    let f = env_u64("CHAOS_F", 1) as u32;
+    let plan = recovery_fuzz_plan(seed, f);
+    println!("replaying seed {seed} (f = {f}) with plan:\n{plan}");
+    match run_recovery_fuzz_schedule_traced(seed, f, &plan) {
+        Ok(()) => println!("seed {seed}: all invariants held"),
+        Err((v, flight)) => panic!("{}", failure_report(seed, f, &plan, &v, Some(&flight))),
+    }
+}
+
 // ---------------------------------------------------------------------
 // Directed tests
 // ---------------------------------------------------------------------
+
+/// Acceptance scenario for proactive recovery: a schedule that silently
+/// corrupts one replica (no crash, no dirty marks) must converge — the
+/// corrupted replica's recovery slot fires, the audit catches the bad
+/// partition against the `f+1`-attested root, and within the heal
+/// deadline every non-faulty replica's partition digests agree again.
+/// The run is seed-replayable (`CHAOS_SEED=<seed> ... replay_recovery_one`)
+/// and minimizing the plan against "still violates" leaves it empty,
+/// because no subset of this plan breaks any invariant.
+#[test]
+fn silent_corruption_converges_after_recovery() {
+    let seed = 0x00C0_FFEE;
+    let f = 1;
+    let plan = FaultPlan {
+        events: vec![FaultEvent {
+            at_ns: dur::millis(400),
+            fault: Fault::Node {
+                node: 2,
+                fault: NodeFault::SilentCorruption { salt: 0xD1CE },
+            },
+        }],
+    };
+    run_recovery_fuzz_schedule(seed, f, &plan).expect("corruption must heal inside the deadline");
+    // The set of failing sub-plans is empty: the minimizer, asked for a
+    // sub-plan that still violates an invariant, cannot shed a single
+    // event (there is nothing failing to shrink towards).
+    let min = plan.minimize(|p| run_recovery_fuzz_schedule(seed, f, p).is_err());
+    assert_eq!(min, plan, "no failing sub-plan may exist");
+    // Directly examine the healed cluster: run the same schedule by hand
+    // and compare every replica's attested partition-digest root (the
+    // stable checkpoint's Merkle root) at the end.
+    let cfg = recovery_fuzz_config(f);
+    let mut cluster = Cluster::builder(cfg).seed(seed).build_counter();
+    cluster.add_client(ChaosDriver::new(seed, 60, Workload::Adds));
+    cluster.add_client(ChaosDriver::new(seed ^ 3, 60, Workload::Mixed).delayed(dur::millis(2)));
+    let mut checker = InvariantChecker::new();
+    checker.set_heal_deadline(HEAL_DEADLINE_NS);
+    cluster
+        .run_with_plan::<CounterService, ChaosDriver>(&plan, dur::secs(12), &mut checker)
+        .expect("no invariant may break");
+    checker.finish().expect("linearizability must hold");
+    assert_eq!(
+        checker.corrupted_replicas().count(),
+        0,
+        "the corrupted replica must have healed"
+    );
+    assert!(
+        cluster
+            .sim
+            .metrics()
+            .counter("replica.recoveries_completed")
+            > 0,
+        "the recovery watchdog must have fired"
+    );
+    // Every replica (the ex-corrupt one included) has converged to the
+    // same stable checkpoint root — the Merkle root over its partition
+    // digests — within the heal window. Live state is compared at
+    // checkpoint granularity because a proactive recovery may be mid-
+    // backfill at the instant the run ends.
+    let reference = cluster.replica::<CounterService>(0).stable_proof();
+    assert!(reference.0 > 0, "the run must have produced a checkpoint");
+    for r in 1..4 {
+        assert_eq!(
+            cluster.replica::<CounterService>(r).stable_proof(),
+            reference,
+            "replica {r} partition digests diverge after the heal window"
+        );
+    }
+}
 
 /// A deliberately broken replica (quorum checks disabled behind the
 /// test-only [`Behavior::BrokenQuorumCheck`] flag) must be caught by the

@@ -54,6 +54,7 @@ proptest! {
             FetchState, StateMeta, FetchParts, PartData,
             FetchBatch, FetchRequests, RequestData, BatchData,
             Status, CommittedBatch, NewKey,
+            Recover, RecoverAttest,
             Msg,
         );
     }

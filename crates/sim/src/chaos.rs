@@ -44,6 +44,18 @@ pub enum NodeFault {
     Restart,
     /// Switch the node to a Byzantine mutation mode.
     Byzantine(ByzMode),
+    /// Flip bits in the node's service state without crashing it (a
+    /// latent disk/memory fault). Unlike [`NodeFault::Restart`]able
+    /// faults, only a proactive recovery audit heals this — the node
+    /// keeps running on corrupt state until then.
+    SilentCorruption {
+        /// Deterministic corruption pattern selector.
+        salt: u64,
+    },
+    /// Freeze the node's checkpointing: it keeps ordering and executing
+    /// but never produces a checkpoint, so its stable point stops
+    /// advancing and it eventually stalls at the log-window edge.
+    StaleState,
 }
 
 /// A network-level intervention, applied via [`NetFault::apply`].
@@ -145,6 +157,14 @@ pub struct ChaosConfig {
     pub horizon_ns: u64,
     /// How many random fault events to schedule (before cleanup).
     pub events: usize,
+    /// Also draw recovery-era faults ([`NodeFault::SilentCorruption`] and
+    /// [`NodeFault::StaleState`]). Off by default so plans generated by
+    /// earlier seeds stay byte-identical; corruption shares the
+    /// `max_faulty` budget but — not being `Restart`able — holds its
+    /// budget slot for the rest of the plan and is excluded from cleanup
+    /// (healing it is the recovery subsystem's job, which the harness
+    /// asserts via the bounded-heal invariant).
+    pub recovery_faults: bool,
 }
 
 /// A deterministic, replayable schedule of faults.
@@ -173,11 +193,13 @@ impl FaultPlan {
         let hi = cfg.horizon_ns * 9 / 10;
         let mut times: Vec<u64> = (0..cfg.events).map(|_| rng.gen_range(lo..hi)).collect();
         times.sort_unstable();
-        // Replicas currently crashed or Byzantine (the "fault budget").
+        // Replicas currently crashed or Byzantine (the "fault budget"),
+        // and replicas silently corrupted (budgeted but not restartable).
         let mut faulty: BTreeSet<NodeId> = BTreeSet::new();
+        let mut corrupted: BTreeSet<NodeId> = BTreeSet::new();
         let mut events = Vec::with_capacity(cfg.events + 8);
         for at_ns in times {
-            let fault = Self::random_fault(&mut rng, cfg, n_hosts, &mut faulty);
+            let fault = Self::random_fault(&mut rng, cfg, n_hosts, &mut faulty, &mut corrupted);
             events.push(FaultEvent { at_ns, fault });
         }
         // Cleanup: the run must be able to become live again.
@@ -211,9 +233,13 @@ impl FaultPlan {
         cfg: &ChaosConfig,
         n_hosts: u32,
         faulty: &mut BTreeSet<NodeId>,
+        corrupted: &mut BTreeSet<NodeId>,
     ) -> Fault {
         // Weighted action table; node faults appear only while the budget
-        // (or, for restarts, the faulty set) allows them.
+        // (or, for restarts, the faulty set) allows them. Corrupted
+        // replicas hold a budget slot until the plan ends: the generator
+        // cannot observe the recovery that would heal them.
+        let budget_free = ((faulty.len() + corrupted.len()) as u32) < cfg.max_faulty;
         let mut actions: Vec<(u32, u32)> = vec![
             (3, 0), // partition pair
             (1, 1), // one-way partition
@@ -225,12 +251,16 @@ impl FaultPlan {
             (1, 7), // jitter
             (1, 8), // duplicate
         ];
-        if (faulty.len() as u32) < cfg.max_faulty {
+        if budget_free {
             actions.push((2, 9)); // crash
             actions.push((1, 10)); // byzantine
         }
         if !faulty.is_empty() {
             actions.push((2, 11)); // restart
+        }
+        if cfg.recovery_faults && budget_free {
+            actions.push((2, 12)); // silent corruption
+            actions.push((1, 13)); // stale state
         }
         let total: u32 = actions.iter().map(|&(w, _)| w).sum();
         let mut roll = rng.gen_range(0..total);
@@ -244,10 +274,13 @@ impl FaultPlan {
         }
         let any_node = |rng: &mut StdRng| rng.gen_range(0..n_hosts);
         let replica = |rng: &mut StdRng| rng.gen_range(0..cfg.replicas);
-        let correct_replica = |rng: &mut StdRng, faulty: &BTreeSet<NodeId>| {
-            let pool: Vec<NodeId> = (0..cfg.replicas).filter(|r| !faulty.contains(r)).collect();
-            pool[rng.gen_range(0..pool.len())]
-        };
+        let correct_replica =
+            |rng: &mut StdRng, faulty: &BTreeSet<NodeId>, corrupted: &BTreeSet<NodeId>| {
+                let pool: Vec<NodeId> = (0..cfg.replicas)
+                    .filter(|r| !faulty.contains(r) && !corrupted.contains(r))
+                    .collect();
+                pool[rng.gen_range(0..pool.len())]
+            };
         match action {
             0 => {
                 let a = any_node(rng);
@@ -278,7 +311,7 @@ impl FaultPlan {
             7 => Fault::Net(NetFault::Jitter(rng.gen_range(0..=2_000_000))),
             8 => Fault::Net(NetFault::Duplicate(rng.gen_range(0..=200))),
             9 => {
-                let node = correct_replica(rng, faulty);
+                let node = correct_replica(rng, faulty, corrupted);
                 faulty.insert(node);
                 Fault::Node {
                     node,
@@ -286,7 +319,7 @@ impl FaultPlan {
                 }
             }
             10 => {
-                let node = correct_replica(rng, faulty);
+                let node = correct_replica(rng, faulty, corrupted);
                 faulty.insert(node);
                 let mode = match rng.gen_range(0..5u32) {
                     0 => ByzMode::Silent,
@@ -300,13 +333,29 @@ impl FaultPlan {
                     fault: NodeFault::Byzantine(mode),
                 }
             }
-            _ => {
+            11 => {
                 let pool: Vec<NodeId> = faulty.iter().copied().collect();
                 let node = pool[rng.gen_range(0..pool.len())];
                 faulty.remove(&node);
                 Fault::Node {
                     node,
                     fault: NodeFault::Restart,
+                }
+            }
+            12 => {
+                let node = correct_replica(rng, faulty, corrupted);
+                corrupted.insert(node);
+                Fault::Node {
+                    node,
+                    fault: NodeFault::SilentCorruption { salt: rng.gen() },
+                }
+            }
+            _ => {
+                let node = correct_replica(rng, faulty, corrupted);
+                faulty.insert(node);
+                Fault::Node {
+                    node,
+                    fault: NodeFault::StaleState,
                 }
             }
         }
@@ -362,6 +411,7 @@ mod tests {
             max_faulty: 1,
             horizon_ns: 1_000_000_000,
             events: 12,
+            recovery_faults: false,
         }
     }
 
@@ -404,6 +454,63 @@ mod tests {
             }
             assert!(down.is_empty(), "cleanup must restart everyone");
         }
+    }
+
+    #[test]
+    fn recovery_faults_are_gated_and_budgeted() {
+        // Gating: with the flag off, no plan ever contains the new faults.
+        for seed in 0..50 {
+            let plan = FaultPlan::generate(seed, &cfg());
+            assert!(plan.events.iter().all(|e| !matches!(
+                e.fault,
+                Fault::Node {
+                    fault: NodeFault::SilentCorruption { .. } | NodeFault::StaleState,
+                    ..
+                }
+            )));
+        }
+        // Budget: with it on, corrupted + down never exceeds max_faulty,
+        // corruption holds its slot for the whole plan, and cleanup
+        // restarts every restartable fault.
+        let rcfg = ChaosConfig {
+            recovery_faults: true,
+            ..cfg()
+        };
+        let mut saw_corruption = false;
+        let mut saw_stale = false;
+        for seed in 0..200 {
+            let plan = FaultPlan::generate(seed, &rcfg);
+            let mut down: BTreeSet<NodeId> = BTreeSet::new();
+            let mut corrupt: BTreeSet<NodeId> = BTreeSet::new();
+            for ev in &plan.events {
+                if let Fault::Node { node, fault } = ev.fault {
+                    match fault {
+                        NodeFault::Restart => {
+                            down.remove(&node);
+                        }
+                        NodeFault::SilentCorruption { .. } => {
+                            saw_corruption = true;
+                            assert!(!down.contains(&node), "corrupted a down replica");
+                            corrupt.insert(node);
+                        }
+                        NodeFault::StaleState => {
+                            saw_stale = true;
+                            down.insert(node);
+                        }
+                        _ => {
+                            down.insert(node);
+                        }
+                    }
+                    assert!(
+                        down.union(&corrupt).count() <= 1,
+                        "budget exceeded in seed {seed}"
+                    );
+                }
+            }
+            assert!(down.is_empty(), "cleanup must restart everyone");
+        }
+        assert!(saw_corruption, "200 seeds never drew a corruption");
+        assert!(saw_stale, "200 seeds never drew a stale-state fault");
     }
 
     #[test]

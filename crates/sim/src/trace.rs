@@ -60,6 +60,8 @@ pub enum TracePhase {
     StateTransfer,
     /// View change: started → new view installed.
     ViewChange,
+    /// Proactive recovery: watchdog fired → state audited and rejoined.
+    Recovery,
 }
 
 impl TracePhase {
@@ -76,6 +78,7 @@ impl TracePhase {
             TracePhase::Checkpoint => "checkpoint",
             TracePhase::StateTransfer => "state-transfer",
             TracePhase::ViewChange => "view-change",
+            TracePhase::Recovery => "recovery",
         }
     }
 
@@ -87,9 +90,10 @@ impl TracePhase {
             TracePhase::Execute | TracePhase::ExecuteTentative | TracePhase::ExecuteRequest => {
                 "execution"
             }
-            TracePhase::Checkpoint | TracePhase::StateTransfer | TracePhase::ViewChange => {
-                "recovery"
-            }
+            TracePhase::Checkpoint
+            | TracePhase::StateTransfer
+            | TracePhase::ViewChange
+            | TracePhase::Recovery => "recovery",
         }
     }
 }
