@@ -9,6 +9,12 @@
 //! next to the independently measured end-to-end latency, plus the
 //! replica CPU attribution per [`CostKind`].
 //!
+//! Every workload runs twice — classic three-phase and with the
+//! optimistic fast path (`Config::fast_path`) armed — and a comparison
+//! table reports the commit-lag delta: how much sooner a tentatively
+//! executed request's commit certificate lands when a fast quorum of
+//! prepares replaces the commit round.
+//!
 //! Usage:
 //!
 //! ```text
@@ -65,6 +71,7 @@ struct CpuShare {
 #[derive(serde::Serialize)]
 struct Report {
     workload: String,
+    fast_path: bool,
     arg_bytes: u64,
     result_bytes: u64,
     requests: u64,
@@ -83,8 +90,9 @@ struct RunOutput {
     chrome_json: String,
 }
 
-fn run_workload(spec: &WorkloadSpec, samples: u64) -> RunOutput {
-    let cfg = Config::new(1);
+fn run_workload(spec: &WorkloadSpec, samples: u64, fast_path: bool) -> RunOutput {
+    let mut cfg = Config::new(1);
+    cfg.fast_path = fast_path;
     let replicas = cfg.n();
     let mut cluster = Cluster::builder(cfg)
         .seed(SEED)
@@ -140,6 +148,7 @@ fn run_workload(spec: &WorkloadSpec, samples: u64) -> RunOutput {
     RunOutput {
         report: Report {
             workload: spec.label.to_string(),
+            fast_path,
             arg_bytes: spec.arg_bytes as u64,
             result_bytes: spec.result_bytes as u64,
             requests: b.requests,
@@ -158,8 +167,9 @@ fn run_workload(spec: &WorkloadSpec, samples: u64) -> RunOutput {
 }
 
 fn print_report(r: &Report) {
+    let path = if r.fast_path { "fast path" } else { "classic" };
     println!(
-        "workload {} (request {} B, reply {} B) — {} assembled requests",
+        "workload {} [{path}] (request {} B, reply {} B) — {} assembled requests",
         r.workload, r.arg_bytes, r.result_bytes, r.requests
     );
     println!("  {:<42} {:>10} {:>8}", "phase", "mean (µs)", "share");
@@ -189,6 +199,35 @@ fn print_report(r: &Report) {
         .map(|c| format!("{} {:.1}", c.kind, c.us_per_request))
         .collect();
     println!("  replica CPU per request (µs): {}", cpu_line.join(", "));
+    println!();
+}
+
+/// The fast-path headline: per workload, how much sooner the commit
+/// certificate lands (and what that does to end-to-end latency) when a
+/// fast quorum of prepares replaces the commit round.
+fn print_comparison(classic: &[Report], fast: &[Report]) {
+    println!("fast path vs classic:");
+    println!(
+        "  {:<10} {:>16} {:>13} {:>9} {:>8} {:>14} {:>13}",
+        "workload", "commit lag (µs)", "fast (µs)", "delta", "saved", "e2e (µs)", "fast e2e"
+    );
+    for (c, f) in classic.iter().zip(fast) {
+        let saved = if c.commit_lag_us > 0.0 {
+            (c.commit_lag_us - f.commit_lag_us) / c.commit_lag_us * 100.0
+        } else {
+            0.0
+        };
+        println!(
+            "  {:<10} {:>16.1} {:>13.1} {:>9.1} {:>7.1}% {:>14.1} {:>13.1}",
+            c.workload,
+            c.commit_lag_us,
+            f.commit_lag_us,
+            f.commit_lag_us - c.commit_lag_us,
+            saved,
+            c.measured_e2e_us,
+            f.measured_e2e_us,
+        );
+    }
     println!();
 }
 
@@ -286,42 +325,55 @@ fn main() {
     // A 4-replica (f=1) cluster plus one client = 5 nodes.
     let node_count = Config::new(1).n() as u64 + 1;
     let mut failures: Vec<String> = Vec::new();
-    let mut reports = Vec::new();
-    for spec in &WORKLOADS {
-        let out = run_workload(spec, samples);
-        if validate {
-            match validate_chrome_trace(&out.chrome_json, node_count) {
-                Ok(n) => eprintln!(
-                    "validate {}: {} events conform to the schema",
-                    spec.label, n
-                ),
-                Err(e) => failures.push(format!("{}: chrome trace schema: {e}", spec.label)),
+    let mut classic = Vec::new();
+    let mut fast = Vec::new();
+    for fast_path in [false, true] {
+        for spec in &WORKLOADS {
+            let out = run_workload(spec, samples, fast_path);
+            let tag = if fast_path { "fast" } else { "classic" };
+            if validate {
+                match validate_chrome_trace(&out.chrome_json, node_count) {
+                    Ok(n) => eprintln!(
+                        "validate {} [{tag}]: {} events conform to the schema",
+                        spec.label, n
+                    ),
+                    Err(e) => {
+                        failures.push(format!("{} [{tag}]: chrome trace schema: {e}", spec.label))
+                    }
+                }
+                if out.report.error_pct > 5.0 {
+                    failures.push(format!(
+                        "{} [{tag}]: assembled phase sum off by {:.2}% from measured latency \
+                         (limit 5%)",
+                        spec.label, out.report.error_pct
+                    ));
+                }
             }
-            if out.report.error_pct > 5.0 {
-                failures.push(format!(
-                    "{}: assembled phase sum off by {:.2}% from measured latency (limit 5%)",
-                    spec.label, out.report.error_pct
-                ));
+            if spec.label == "0/0" && !fast_path {
+                if let Some(path) = &export_path {
+                    std::fs::write(path, &out.chrome_json).expect("write --export file");
+                    eprintln!("wrote Chrome trace JSON to {path}");
+                }
+            }
+            if fast_path {
+                fast.push(out.report);
+            } else {
+                classic.push(out.report);
             }
         }
-        if spec.label == "0/0" {
-            if let Some(path) = &export_path {
-                std::fs::write(path, &out.chrome_json).expect("write --export file");
-                eprintln!("wrote Chrome trace JSON to {path}");
-            }
-        }
-        reports.push(out.report);
     }
 
     if json_out {
+        let reports: Vec<&Report> = classic.iter().chain(&fast).collect();
         println!(
             "{}",
             serde_json::to_string(&reports).expect("reports serialize")
         );
     } else {
-        for r in &reports {
+        for r in classic.iter().chain(&fast) {
             print_report(r);
         }
+        print_comparison(&classic, &fast);
     }
 
     if !failures.is_empty() {

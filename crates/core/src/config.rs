@@ -93,6 +93,17 @@ pub struct Config {
     /// protocol behaviour is identical, only the simulated CPU cost
     /// changes.
     pub incremental_checkpoints: bool,
+    /// *Optimistic fast path*: a slot commits in two rounds when every
+    /// replica's prepare vote arrives (a fast quorum,
+    /// [`Quorums::fast_quorum`]), skipping the commit phase entirely.
+    /// Each slot falls back to the classic three-phase path on timeout,
+    /// conflicting votes, or a peer's explicit COMMIT. Off by default:
+    /// the classic path is the paper's protocol.
+    pub fast_path: bool,
+    /// How long a prepared slot waits for the full fast quorum before
+    /// falling back to the classic commit phase. Only meaningful with
+    /// [`Config::fast_path`] on.
+    pub fast_path_timeout_ns: u64,
     /// CPU cost model for all principals.
     pub cost: CostModel,
     /// Backup timer: how long a request may stay un-executed before the
@@ -137,6 +148,8 @@ impl Config {
             inline_threshold: 255,
             opts: Optimizations::LIBRARY,
             incremental_checkpoints: true,
+            fast_path: false,
+            fast_path_timeout_ns: dur::millis(1),
             cost: CostModel::PIII_600,
             view_change_timeout_ns: dur::millis(2_000),
             view_change_timeout_max_ns: dur::millis(16_000),
@@ -179,6 +192,12 @@ impl Config {
             self.view_change_timeout_max_ns >= self.view_change_timeout_ns,
             "view-change timeout cap must be at least the base timeout"
         );
+        if self.fast_path {
+            assert!(
+                self.fast_path_timeout_ns > 0,
+                "fast-path fallback timeout must be positive"
+            );
+        }
     }
 
     /// Number of replicas.

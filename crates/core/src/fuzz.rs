@@ -189,6 +189,35 @@ pub fn recovery_fuzz_plan(seed: u64, f: u32) -> FaultPlan {
     )
 }
 
+/// [`fuzz_config`] with the optimistic fast path armed and a short
+/// fallback window, so partitions, loss, and Byzantine primaries force
+/// plenty of mid-stream fast→classic fallbacks per run.
+pub fn fastpath_fuzz_config(f: u32) -> Config {
+    let mut cfg = fuzz_config(f);
+    cfg.fast_path = true;
+    cfg.fast_path_timeout_ns = dur::micros(800);
+    cfg
+}
+
+/// The fault schedule for one fast-path fuzz iteration: the regular
+/// chaos vocabulary (partitions, loss, delay, crashes, Byzantine modes)
+/// run against a fast-path cluster, checked by the fast-commit safety
+/// invariant on top of every existing one.
+pub fn fastpath_fuzz_plan(seed: u64, f: u32) -> FaultPlan {
+    let cfg = fastpath_fuzz_config(f);
+    FaultPlan::generate(
+        seed,
+        &ChaosConfig {
+            replicas: cfg.n(),
+            clients: FUZZ_CLIENTS as u32,
+            max_faulty: cfg.f(),
+            horizon_ns: FAULT_HORIZON_NS,
+            events: 12,
+            recovery_faults: false,
+        },
+    )
+}
+
 /// Per-node flight-recorder ring capacity used by traced fuzz re-runs.
 pub const FLIGHT_RING: usize = 256;
 /// Events per node included in a flight-recorder dump.
@@ -237,6 +266,21 @@ pub fn run_recovery_fuzz_schedule_traced(
         plan,
         FLIGHT_RING,
     )
+}
+
+/// One fast-path fuzz iteration: [`fastpath_fuzz_config`] (fast path
+/// on, short fallback window) against the standard chaos vocabulary.
+pub fn run_fastpath_fuzz_schedule(seed: u64, f: u32, plan: &FaultPlan) -> Result<(), Violation> {
+    run_fuzz_schedule_inner(seed, fastpath_fuzz_config(f), 0, plan, 0).map_err(|(v, _)| v)
+}
+
+/// [`run_fastpath_fuzz_schedule`] with the flight recorder armed.
+pub fn run_fastpath_fuzz_schedule_traced(
+    seed: u64,
+    f: u32,
+    plan: &FaultPlan,
+) -> Result<(), (Violation, String)> {
+    run_fuzz_schedule_inner(seed, fastpath_fuzz_config(f), 0, plan, FLIGHT_RING)
 }
 
 fn run_fuzz_schedule_inner(
@@ -409,6 +453,42 @@ pub fn check_recovery_schedules(base: u64, total: u64, offset: u64, stride: u64,
     {
         if i as u64 % stride == offset {
             check_recovery_schedule(builder.seed_value(), f);
+        }
+    }
+}
+
+/// [`check_schedule`] for the fast-path family: the same chaos
+/// vocabulary against a fast-path cluster, so partitions, loss, and
+/// Byzantine primaries force mid-stream fast→classic fallbacks checked
+/// by the fast-commit safety invariant.
+pub fn check_fastpath_schedule(seed: u64, f: u32) {
+    let plan = fastpath_fuzz_plan(seed, f);
+    if let Err(v) = run_fastpath_fuzz_schedule(seed, f, &plan) {
+        let kind = std::mem::discriminant(&v);
+        let min = plan.minimize(|p| {
+            run_fastpath_fuzz_schedule(seed, f, p)
+                .err()
+                .is_some_and(|e| std::mem::discriminant(&e) == kind)
+        });
+        let (v, flight) = match run_fastpath_fuzz_schedule_traced(seed, f, &min) {
+            Err((v, dump)) => (v, Some(dump)),
+            Ok(()) => (v, None),
+        };
+        panic!(
+            "{}",
+            failure_report_for(seed, f, &min, &v, flight.as_deref(), "replay_fastpath_one")
+        );
+    }
+}
+
+/// Strided sweep over fast-path schedules (see [`check_schedules`]).
+pub fn check_fastpath_schedules(base: u64, total: u64, offset: u64, stride: u64, f: u32) {
+    for (i, builder) in Cluster::with_seed_iter(base, fastpath_fuzz_config(f))
+        .enumerate()
+        .take(total as usize)
+    {
+        if i as u64 % stride == offset {
+            check_fastpath_schedule(builder.seed_value(), f);
         }
     }
 }

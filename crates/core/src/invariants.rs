@@ -51,6 +51,9 @@ use std::fmt;
 pub struct ReplicaAudit {
     /// `(seq, batch digest)` for every batch executed as final.
     pub committed: Vec<(SeqNum, Digest)>,
+    /// `(seq, batch digest)` for every batch committed via the fast
+    /// path (the full fast quorum of prepare votes, no commit phase).
+    pub fast_committed: Vec<(SeqNum, Digest)>,
     /// `(seq, state digest)` for every checkpoint announced.
     pub checkpoints: Vec<(SeqNum, Digest)>,
     /// `(seq, state digest, completed at ns)` for every proactive
@@ -68,6 +71,14 @@ impl ReplicaAudit {
         self.committed.push((seq, digest));
         if self.committed.len() > Self::CAP {
             self.committed.drain(..Self::CAP / 2);
+        }
+    }
+
+    /// Records a fast-path commit.
+    pub fn note_fast_committed(&mut self, seq: SeqNum, digest: Digest) {
+        self.fast_committed.push((seq, digest));
+        if self.fast_committed.len() > Self::CAP {
+            self.fast_committed.drain(..Self::CAP / 2);
         }
     }
 
@@ -129,6 +140,17 @@ impl OpEvent {
 pub enum Violation {
     /// Two replicas finalized different batches at one sequence number.
     Agreement {
+        /// The disputed sequence number.
+        seq: SeqNum,
+        /// First replica and its digest.
+        a: (ReplicaId, Digest),
+        /// Second replica and its conflicting digest.
+        b: (ReplicaId, Digest),
+    },
+    /// *Fast-commit safety*: two replicas fast-committed different
+    /// batches at one sequence number, or a fast commit disagrees with
+    /// what the cluster finalized there.
+    FastCommitDivergence {
         /// The disputed sequence number.
         seq: SeqNum,
         /// First replica and its digest.
@@ -199,6 +221,12 @@ impl fmt::Display for Violation {
             Violation::Agreement { seq, a, b } => write!(
                 f,
                 "agreement: replica {} finalized {} at seq {seq} but replica {} finalized {}",
+                a.0, a.1, b.0, b.1
+            ),
+            Violation::FastCommitDivergence { seq, a, b } => write!(
+                f,
+                "fast-commit divergence: replica {} fast-committed {} at seq {seq} but replica {} \
+                 holds {}",
                 a.0, a.1, b.0, b.1
             ),
             Violation::ViewRegression { replica, from, to } => {
@@ -435,6 +463,7 @@ impl CounterLinearizability {
 #[derive(Debug, Default)]
 pub struct InvariantChecker {
     committed: BTreeMap<SeqNum, (ReplicaId, Digest)>,
+    fast_committed: BTreeMap<SeqNum, (ReplicaId, Digest)>,
     checkpoints: BTreeMap<SeqNum, (ReplicaId, Digest)>,
     views: BTreeMap<ReplicaId, View>,
     tainted: BTreeSet<ReplicaId>,
@@ -517,11 +546,51 @@ impl InvariantChecker {
             }
             *prev = view;
             for (seq, digest) in audit.committed {
+                if let Some(&(other, other_digest)) = self.fast_committed.get(&seq) {
+                    if other_digest != digest {
+                        return Err(Violation::FastCommitDivergence {
+                            seq,
+                            a: (other, other_digest),
+                            b: (i, digest),
+                        });
+                    }
+                }
                 match self.committed.entry(seq) {
                     Entry::Occupied(e) => {
                         let &(other, other_digest) = e.get();
                         if other_digest != digest {
                             return Err(Violation::Agreement {
+                                seq,
+                                a: (other, other_digest),
+                                b: (i, digest),
+                            });
+                        }
+                    }
+                    Entry::Vacant(v) => {
+                        v.insert((i, digest));
+                    }
+                }
+            }
+            // *Fast-commit safety*: fast commits must agree across
+            // replicas and with whatever the cluster finalizes at the
+            // same sequence number — a per-slot fallback or a view
+            // change must never land a different batch there, and no two
+            // replicas may fast-commit different batches at one seq.
+            for (seq, digest) in audit.fast_committed {
+                if let Some(&(other, other_digest)) = self.committed.get(&seq) {
+                    if other_digest != digest {
+                        return Err(Violation::FastCommitDivergence {
+                            seq,
+                            a: (i, digest),
+                            b: (other, other_digest),
+                        });
+                    }
+                }
+                match self.fast_committed.entry(seq) {
+                    Entry::Occupied(e) => {
+                        let &(other, other_digest) = e.get();
+                        if other_digest != digest {
+                            return Err(Violation::FastCommitDivergence {
                                 seq,
                                 a: (other, other_digest),
                                 b: (i, digest),

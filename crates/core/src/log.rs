@@ -37,6 +37,16 @@ pub struct Slot {
     /// Set when `f+1` peers asserted this batch committed (backfill); the
     /// committed predicate then holds without local certificates.
     pub force_committed: bool,
+    /// Fast path: prepared and waiting for the full fast quorum of
+    /// prepare votes before committing (commit deliberately withheld).
+    pub fast_wait: bool,
+    /// Fast path: this slot fell back to the classic commit phase
+    /// (timeout, conflicting votes, or a peer's explicit commit) and
+    /// must not re-enter the fast wait.
+    pub fast_fallback: bool,
+    /// Fast path: the full fast quorum of matching prepare votes was
+    /// observed; the slot is committed without a commit certificate.
+    pub fast_committed: bool,
 }
 
 impl Slot {
@@ -64,10 +74,11 @@ impl Slot {
     }
 
     /// The *committed-local* predicate: prepared plus `2f+1` matching
-    /// commits (own commit included once sent).
+    /// commits (own commit included once sent), or a completed fast
+    /// quorum, or a backfill assertion.
     pub fn committed(&self, q: &Quorums) -> bool {
         let Some(d) = self.digest else { return false };
-        if self.force_committed {
+        if self.force_committed || self.fast_committed {
             return true;
         }
         if !self.prepared(q) {
@@ -75,6 +86,43 @@ impl Slot {
         }
         let matching = self.commits.values().filter(|&&cd| cd == d).count();
         matching >= q.commit_quorum()
+    }
+
+    /// Number of fast-path prepare votes observed for the accepted
+    /// digest: the primary's pre-prepare counts as its vote, every
+    /// non-primary vote arrives as a prepare (own prepare included once
+    /// sent).
+    fn fast_votes(&self, q: &Quorums) -> usize {
+        let Some(d) = self.digest else { return 0 };
+        let primary = q.primary(self.view);
+        1 + self
+            .prepares
+            .iter()
+            .filter(|&(&r, &pd)| r != primary && pd == d)
+            .count()
+    }
+
+    /// True once every replica's prepare vote for the accepted digest has
+    /// been observed — the fast-path commit certificate.
+    pub fn fast_quorum_complete(&self, q: &Quorums) -> bool {
+        self.fast_votes(q) >= q.fast_quorum()
+    }
+
+    /// True when the fast quorum can no longer complete: some replica
+    /// voted for a *different* digest, so even with every missing vote
+    /// arriving the matching count stays short. (The primary cannot
+    /// conflict — its vote *is* the accepted pre-prepare.)
+    pub fn fast_quorum_unreachable(&self, q: &Quorums) -> bool {
+        let Some(d) = self.digest else { return false };
+        let primary = q.primary(self.view);
+        let conflicting = self
+            .prepares
+            .iter()
+            .filter(|&(&r, &pd)| r != primary && pd != d)
+            .count();
+        // Max achievable votes = n - conflicting (conflicting voters
+        // never re-vote; correct replicas vote once per view and seq).
+        q.n as usize - conflicting < q.fast_quorum()
     }
 }
 
@@ -161,6 +209,34 @@ impl Log {
             .collect()
     }
 
+    /// Summaries of batches this replica *voted* for (accepted the
+    /// pre-prepare and multicast its prepare, or proposed as primary) —
+    /// the fast-vote report for a view-change message. A fast-committed
+    /// batch is provable in the new view because all `n` replicas voted,
+    /// so any view-change quorum carries `f+1` correct matching reports;
+    /// a bare vote that never fast-committed is harmless to adopt (it is
+    /// a valid proposal from the old view, deduplicated on execution by
+    /// the reply cache).
+    pub fn fast_vote_infos(
+        &self,
+        me: ReplicaId,
+        q: &Quorums,
+    ) -> Vec<crate::messages::PreparedInfo> {
+        self.slots
+            .iter()
+            .filter(|(_, slot)| {
+                slot.digest.is_some()
+                    && slot.digest != Some(NULL_DIGEST)
+                    && (slot.prepare_sent || q.primary(slot.view) == me)
+            })
+            .map(|(&seq, slot)| crate::messages::PreparedInfo {
+                seq,
+                view: slot.view,
+                batch_digest: slot.digest.expect("filtered on digest"),
+            })
+            .collect()
+    }
+
     /// Resets certificate state for a new view, preserving request bodies
     /// (so the new primary can re-propose them and fetches can be served)
     /// and execution flags.
@@ -172,6 +248,9 @@ impl Log {
             slot.prepare_sent = false;
             slot.commit_sent = false;
             slot.force_committed = false;
+            slot.fast_wait = false;
+            slot.fast_fallback = false;
+            slot.fast_committed = false;
             // requests/raw_entries retained; executed_* retained.
         }
     }
@@ -271,6 +350,77 @@ mod tests {
             slot.commits.insert(r, digest(1));
         }
         assert!(!slot.committed(&q()), "no prepared certificate");
+    }
+
+    #[test]
+    fn fast_quorum_needs_every_vote() {
+        let mut slot = accepted_slot(0, digest(1));
+        // Primary of view 0 is replica 0: its vote is the pre-prepare.
+        slot.prepares.insert(1, digest(1));
+        slot.prepares.insert(2, digest(1));
+        assert!(slot.prepared(&q()));
+        assert!(!slot.fast_quorum_complete(&q()), "one vote still missing");
+        assert!(!slot.fast_quorum_unreachable(&q()));
+        slot.prepares.insert(3, digest(1));
+        assert!(slot.fast_quorum_complete(&q()));
+    }
+
+    #[test]
+    fn conflicting_vote_makes_fast_quorum_unreachable() {
+        let mut slot = accepted_slot(0, digest(1));
+        slot.prepares.insert(1, digest(1));
+        slot.prepares.insert(2, digest(1));
+        slot.prepares.insert(3, digest(2));
+        assert!(slot.prepared(&q()));
+        assert!(!slot.fast_quorum_complete(&q()));
+        assert!(slot.fast_quorum_unreachable(&q()), "3 voted elsewhere");
+    }
+
+    #[test]
+    fn fast_committed_flag_satisfies_committed() {
+        let mut slot = accepted_slot(0, digest(1));
+        assert!(!slot.committed(&q()));
+        slot.fast_committed = true;
+        assert!(slot.committed(&q()));
+    }
+
+    #[test]
+    fn fast_vote_infos_reports_own_votes() {
+        let mut log = Log::new(256);
+        {
+            let s = log.slot_mut(5);
+            s.view = 0;
+            s.digest = Some(digest(7));
+            s.prepare_sent = true; // backup voted
+        }
+        {
+            let s = log.slot_mut(6);
+            s.view = 0;
+            s.digest = Some(digest(8));
+            // no prepare sent and not the primary: not a vote
+        }
+        // Backup 1's report: only seq 5.
+        let infos = log.fast_vote_infos(1, &q());
+        assert_eq!(infos.len(), 1);
+        assert_eq!(infos[0].seq, 5);
+        // Primary 0's report: both (its pre-prepares are its votes).
+        let infos = log.fast_vote_infos(0, &q());
+        assert_eq!(infos.len(), 2);
+    }
+
+    #[test]
+    fn reset_for_view_clears_fast_state() {
+        let mut log = Log::new(256);
+        {
+            let s = log.slot_mut(3);
+            s.digest = Some(digest(1));
+            s.fast_wait = true;
+            s.fast_fallback = true;
+            s.fast_committed = true;
+        }
+        log.reset_for_view();
+        let s = log.slot(3).expect("slot kept");
+        assert!(!s.fast_wait && !s.fast_fallback && !s.fast_committed);
     }
 
     #[test]

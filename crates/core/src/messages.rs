@@ -511,6 +511,12 @@ pub struct ViewChange {
     pub stable_digest: Digest,
     /// Prepared certificates with sequence numbers above `last_stable`.
     pub prepared: Vec<PreparedInfo>,
+    /// Fast-path vote reports above `last_stable`: every batch this
+    /// replica voted for (pre-prepare accepted and prepare multicast, or
+    /// proposed as primary), whether or not it assembled a prepared
+    /// certificate. `f+1` matching reports prove a fast-committed batch
+    /// into the new view. Empty when the fast path is disabled.
+    pub fast_votes: Vec<PreparedInfo>,
     /// Sending replica.
     pub replica: ReplicaId,
 }
@@ -521,6 +527,7 @@ impl Wire for ViewChange {
         self.last_stable.encode(buf);
         self.stable_digest.encode(buf);
         self.prepared.encode(buf);
+        self.fast_votes.encode(buf);
         self.replica.encode(buf);
     }
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
@@ -529,11 +536,12 @@ impl Wire for ViewChange {
             last_stable: u64::decode(r)?,
             stable_digest: Digest::decode(r)?,
             prepared: Vec::<PreparedInfo>::decode(r)?,
+            fast_votes: Vec::<PreparedInfo>::decode(r)?,
             replica: u32::decode(r)?,
         })
     }
     fn wire_len(&self) -> usize {
-        8 + 8 + 16 + self.prepared.wire_len() + 4
+        8 + 8 + 16 + self.prepared.wire_len() + self.fast_votes.wire_len() + 4
     }
 }
 
@@ -1286,6 +1294,11 @@ mod tests {
             stable_digest: d,
             prepared: vec![PreparedInfo {
                 seq: 130,
+                view: 1,
+                batch_digest: d,
+            }],
+            fast_votes: vec![PreparedInfo {
+                seq: 131,
                 view: 1,
                 batch_digest: d,
             }],

@@ -5,7 +5,7 @@
 use crate::checkpoint::{CheckpointSet, CheckpointTracker, OwnCheckpoint};
 use crate::config::Config;
 use crate::invariants::ReplicaAudit;
-use crate::log::Log;
+use crate::log::{Log, Slot};
 use crate::messages::*;
 use crate::recovery::{RecoveryManager, RecoveryStage};
 use crate::service::Service;
@@ -25,6 +25,9 @@ const TIMER_VIEW_CHANGE: u64 = 2;
 const TIMER_PIGGY: u64 = 3;
 const TIMER_KEY_REFRESH: u64 = 4;
 const TIMER_RECOVERY: u64 = 5;
+/// One-shot fast-path fallback timers: token is `TIMER_FASTPATH_BASE + seq`
+/// (well above every sequence number a log window can reach).
+const TIMER_FASTPATH_BASE: u64 = 1 << 32;
 
 /// Fault-injection behaviours for testing. A correct deployment uses
 /// [`Behavior::Correct`]; the others make this replica Byzantine in a
@@ -948,7 +951,14 @@ impl<S: Service> Replica<S> {
         self.check_prepared(ctx, pp.seq);
     }
 
-    fn handle_prepare(&mut self, ctx: &mut Context<'_, Packet>, prep: Prepare) {
+    fn handle_prepare(&mut self, ctx: &mut Context<'_, Packet>, from: NodeId, prep: Prepare) {
+        // The MAC proves the packet came from `from`; a vote claiming
+        // another replica's id is a forgery (one Byzantine replica could
+        // otherwise single-handedly complete a vote quorum).
+        if prep.replica != from {
+            ctx.metrics().incr("replica.spoofed_sender");
+            return;
+        }
         self.process_piggy(ctx, prep.replica, &prep.piggy_commits);
         if self.in_view_change || prep.view != self.view || !self.log.in_window(prep.seq) {
             return;
@@ -968,8 +978,12 @@ impl<S: Service> Replica<S> {
         let Some(slot) = self.log.slot(seq) else {
             return;
         };
-        if !slot.prepared(&q) || slot.commit_sent {
+        if !slot.prepared(&q) || slot.commit_sent || slot.fast_committed {
             self.try_execute(ctx);
+            return;
+        }
+        if self.cfg.fast_path && !slot.fast_fallback {
+            self.advance_fast_path(ctx, seq);
             return;
         }
         let d = slot.digest.expect("prepared implies digest");
@@ -1003,7 +1017,125 @@ impl<S: Service> Replica<S> {
         self.try_execute(ctx);
     }
 
-    fn handle_commit(&mut self, ctx: &mut Context<'_, Packet>, c: Commit) {
+    /// Fast-path bookkeeping for a prepared slot that is withholding its
+    /// commit: arm the fallback timer on first entry, fast-commit once
+    /// every replica's vote is in, fall back early once a conflicting
+    /// vote proves the fast quorum can never complete.
+    fn advance_fast_path(&mut self, ctx: &mut Context<'_, Packet>, seq: SeqNum) {
+        let q = self.cfg.quorums;
+        if self.log.slot(seq).is_none_or(|slot| !slot.prepared(&q)) {
+            return;
+        }
+        if !self.log.slot(seq).expect("checked above").fast_wait {
+            let meta = TraceMeta {
+                view: self.view,
+                seq,
+                ..TraceMeta::default()
+            };
+            ctx.trace(SpanEdge::Close, TracePhase::PrePrepare, meta);
+            ctx.trace(SpanEdge::Open, TracePhase::FastCommit, meta);
+            ctx.set_timer(self.cfg.fast_path_timeout_ns, TIMER_FASTPATH_BASE + seq);
+            self.log.slot_mut(seq).fast_wait = true;
+        }
+        let slot = self.log.slot(seq).expect("checked above");
+        if slot.fast_quorum_complete(&q) {
+            let d = slot.digest.expect("prepared implies digest");
+            self.log.slot_mut(seq).fast_committed = true;
+            ctx.metrics().incr("replica.fast_commits");
+            self.audit.note_fast_committed(seq, d);
+            self.try_execute(ctx);
+        } else if slot.fast_quorum_unreachable(&q) {
+            self.fall_back_to_classic(ctx, seq);
+        } else {
+            self.try_execute(ctx);
+        }
+    }
+
+    /// Classic fallback for a fast-waiting slot: multicast the commit the
+    /// fast path was withholding and proceed three-phase. Idempotent.
+    fn fall_back_to_classic(&mut self, ctx: &mut Context<'_, Packet>, seq: SeqNum) {
+        let q = self.cfg.quorums;
+        let Some(slot) = self.log.slot(seq) else {
+            return;
+        };
+        if slot.commit_sent || slot.fast_committed || !slot.prepared(&q) {
+            return;
+        }
+        let d = slot.digest.expect("prepared implies digest");
+        let was_waiting = slot.fast_wait;
+        {
+            let me = self.id;
+            let slot = self.log.slot_mut(seq);
+            slot.fast_fallback = true;
+            slot.commit_sent = true;
+            slot.commits.insert(me, d);
+        }
+        ctx.metrics().incr("replica.fast_fallbacks");
+        let meta = TraceMeta {
+            view: self.view,
+            seq,
+            ..TraceMeta::default()
+        };
+        if was_waiting {
+            ctx.trace(SpanEdge::Close, TracePhase::FastCommit, meta);
+        }
+        ctx.trace(SpanEdge::Open, TracePhase::Commit, meta);
+        let commit = Commit {
+            view: self.view,
+            seq,
+            batch_digest: d,
+            replica: self.id,
+        };
+        self.multicast(ctx, Msg::Commit(commit));
+        self.try_execute(ctx);
+    }
+
+    /// Fast-path reaction to a peer's commit for `seq` in the current
+    /// view: the sender abandoned (or never entered) the fast path on
+    /// that slot, so waiting for the full fast quorum can only lose time
+    /// — join the fallback. And a replica that already fast-committed
+    /// never multicast a commit; it must answer once so the peer's
+    /// classic certificate can complete (fast-committed implies
+    /// prepared, so the commit is valid).
+    fn note_peer_commit(&mut self, ctx: &mut Context<'_, Packet>, seq: SeqNum) {
+        if !self.cfg.fast_path {
+            return;
+        }
+        let Some(slot) = self.log.slot(seq) else {
+            return;
+        };
+        if slot.commit_sent {
+            return;
+        }
+        if slot.fast_committed {
+            let d = slot.digest.expect("fast-committed implies digest");
+            let me = self.id;
+            {
+                let slot = self.log.slot_mut(seq);
+                slot.commit_sent = true;
+                slot.commits.insert(me, d);
+            }
+            let commit = Commit {
+                view: self.view,
+                seq,
+                batch_digest: d,
+                replica: me,
+            };
+            self.multicast(ctx, Msg::Commit(commit));
+        } else if slot.fast_wait {
+            self.fall_back_to_classic(ctx, seq);
+        } else {
+            self.log.slot_mut(seq).fast_fallback = true;
+        }
+    }
+
+    fn handle_commit(&mut self, ctx: &mut Context<'_, Packet>, from: NodeId, c: Commit) {
+        // Same sender check as prepares: a commit claiming another
+        // replica's id is a forgery.
+        if c.replica != from {
+            ctx.metrics().incr("replica.spoofed_sender");
+            return;
+        }
         if self.in_view_change || c.view != self.view || !self.log.in_window(c.seq) {
             return;
         }
@@ -1011,6 +1143,7 @@ impl<S: Service> Replica<S> {
             .slot_mut(c.seq)
             .commits
             .insert(c.replica, c.batch_digest);
+        self.note_peer_commit(ctx, c.seq);
         self.try_execute(ctx);
     }
 
@@ -1025,6 +1158,7 @@ impl<S: Service> Replica<S> {
                 continue;
             }
             self.log.slot_mut(seq).commits.insert(from, d);
+            self.note_peer_commit(ctx, seq);
         }
         if !piggy.is_empty() {
             self.try_execute(ctx);
@@ -1035,6 +1169,18 @@ impl<S: Service> Replica<S> {
     // Execution
     // ------------------------------------------------------------------
 
+    /// Which ordering span is open on `slot` when finality arrives: the
+    /// fast-commit span while the fast path is in charge, the classic
+    /// commit span otherwise (including after fallback, which closed the
+    /// fast span and opened a commit span).
+    fn commit_close_phase(slot: &Slot) -> TracePhase {
+        if slot.fast_wait && !slot.fast_fallback {
+            TracePhase::FastCommit
+        } else {
+            TracePhase::Commit
+        }
+    }
+
     fn try_execute(&mut self, ctx: &mut Context<'_, Packet>) {
         let q = self.cfg.quorums;
         // Deliberate fault injection: skip the quorum checks entirely.
@@ -1043,14 +1189,15 @@ impl<S: Service> Replica<S> {
         // completes (it sits *at* last_executed, before the loop's range).
         if self.last_executed > self.last_final {
             let seq = self.last_executed;
-            if self
+            let close_phase = self
                 .log
                 .slot(seq)
-                .is_some_and(|slot| slot.committed(&q) || broken)
-            {
+                .filter(|slot| slot.committed(&q) || broken)
+                .map(Self::commit_close_phase);
+            if let Some(phase) = close_phase {
                 ctx.trace(
                     SpanEdge::Close,
-                    TracePhase::Commit,
+                    phase,
                     TraceMeta {
                         view: self.view,
                         seq,
@@ -1084,9 +1231,10 @@ impl<S: Service> Replica<S> {
             }
             if slot.committed(&q) || broken {
                 if slot.executed_tentative {
+                    let phase = Self::commit_close_phase(slot);
                     ctx.trace(
                         SpanEdge::Close,
-                        TracePhase::Commit,
+                        phase,
                         TraceMeta {
                             view: self.view,
                             seq: next,
@@ -1172,9 +1320,10 @@ impl<S: Service> Replica<S> {
         };
         if !tentative {
             // Executing final means the commit certificate just completed.
+            let phase = Self::commit_close_phase(slot);
             ctx.trace(
                 SpanEdge::Close,
-                TracePhase::Commit,
+                phase,
                 TraceMeta {
                     view: self.view,
                     seq,
@@ -1943,6 +2092,13 @@ impl<S: Service> Replica<S> {
             last_stable: self.checkpoints.stable_seq(),
             stable_digest: self.checkpoints.stable_digest(),
             prepared: self.log.prepared_infos(&self.cfg.quorums),
+            // Fast-path vote reports: `f+1` matching ones prove a
+            // fast-committed batch into the new view.
+            fast_votes: if self.cfg.fast_path {
+                self.log.fast_vote_infos(self.id, &self.cfg.quorums)
+            } else {
+                Vec::new()
+            },
             replica: self.id,
         };
         self.vc_set.add(vc.clone());
@@ -2027,7 +2183,7 @@ impl<S: Service> Replica<S> {
         let Some(votes) = self.vc_set.quorum(target, &self.cfg.quorums) else {
             return;
         };
-        let plan = compute_plan(&votes);
+        let plan = compute_plan(&votes, &self.cfg.quorums);
         // Attach the batch bodies we have for re-proposed digests — but
         // keep the NEW-VIEW small enough to survive congested links;
         // backups recover anything else through the fetch path.
@@ -2641,6 +2797,23 @@ impl<S: Service> Replica<S> {
         }
     }
 
+    /// One-shot fast-path fallback timer fired for `seq`. Stale firings
+    /// (the slot fast-committed, fell back already, or the view changed
+    /// and cleared its fast state) are no-ops.
+    fn on_fastpath_timer(&mut self, ctx: &mut Context<'_, Packet>, seq: SeqNum) {
+        if self.in_view_change || !self.log.in_window(seq) {
+            return;
+        }
+        let waiting = self
+            .log
+            .slot(seq)
+            .is_some_and(|slot| slot.fast_wait && !slot.fast_committed && !slot.commit_sent);
+        if waiting {
+            ctx.metrics().incr("replica.fast_timeouts");
+            self.fall_back_to_classic(ctx, seq);
+        }
+    }
+
     fn flush_piggy(&mut self, ctx: &mut Context<'_, Packet>) {
         self.piggy_timer = None;
         let queue = std::mem::take(&mut self.piggy_queue);
@@ -2709,8 +2882,8 @@ impl<S: Service> Node<Packet> for Replica<S> {
                 }
             }
             Msg::PrePrepare(pp) => self.handle_pre_prepare(ctx, from, pp),
-            Msg::Prepare(p) => self.handle_prepare(ctx, p),
-            Msg::Commit(c) => self.handle_commit(ctx, c),
+            Msg::Prepare(p) => self.handle_prepare(ctx, from, p),
+            Msg::Commit(c) => self.handle_commit(ctx, from, c),
             Msg::Checkpoint(cp) => self.handle_checkpoint(ctx, cp),
             Msg::ViewChange(vc) => self.handle_view_change(ctx, vc),
             Msg::NewView(nv) => self.handle_new_view(ctx, from, nv),
@@ -2781,6 +2954,9 @@ impl<S: Service> Node<Packet> for Replica<S> {
                 ctx.set_timer(self.cfg.key_refresh_interval_ns, TIMER_KEY_REFRESH);
             }
             TIMER_RECOVERY => self.on_recovery_timer(ctx),
+            t if t >= TIMER_FASTPATH_BASE => {
+                self.on_fastpath_timer(ctx, t - TIMER_FASTPATH_BASE);
+            }
             _ => {}
         }
     }

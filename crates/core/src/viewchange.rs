@@ -9,7 +9,7 @@
 use crate::messages::{NewView, PreparedInfo, ViewChange, NULL_DIGEST};
 use crate::types::{Quorums, ReplicaId, SeqNum, View};
 use bft_crypto::md5::Digest;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Collected view-change votes, per target view. Both levels are
 /// ordered maps so every replica walks votes in the same order.
@@ -95,7 +95,7 @@ pub struct NewViewPlan {
 }
 
 /// Computes the new-view plan from a quorum of view-change messages.
-pub fn compute_plan(view_changes: &[ViewChange]) -> NewViewPlan {
+pub fn compute_plan(view_changes: &[ViewChange], q: &Quorums) -> NewViewPlan {
     let (min_s, min_s_digest) = view_changes
         .iter()
         .map(|vc| (vc.last_stable, vc.stable_digest))
@@ -116,6 +116,51 @@ pub fn compute_plan(view_changes: &[ViewChange]) -> NewViewPlan {
                 _ => {
                     best.insert(info.seq, *info);
                 }
+            }
+        }
+    }
+
+    // Fast-path candidates: a batch backed by `f+1` *distinct* replicas'
+    // matching fast-vote reports is adopted like a prepared certificate.
+    // A fast-committed batch always clears this bar — all `n` replicas
+    // voted for it, so any `2f+1` view-change quorum carries at least
+    // `f+1` correct matching reports — while a conflicting candidate at
+    // the same view cannot: correct replicas vote once per (view, seq),
+    // so a second digest can only be backed by the `≤ f` Byzantine
+    // replicas. Candidates that merely gathered votes without
+    // fast-committing are safe to adopt too (they are valid proposals
+    // from the old view; the reply cache deduplicates re-execution).
+    // Classic certificates win ties at the same view: a classically
+    // committed batch is only guaranteed a certificate reporter — not
+    // `f+1` fast-vote reporters — in a worst-case quorum, so the
+    // certificate must not be outvoted by a bare-vote candidate.
+    let mut support: BTreeMap<(SeqNum, View, Digest), BTreeSet<ReplicaId>> = BTreeMap::new();
+    for vc in view_changes {
+        for info in &vc.fast_votes {
+            if info.seq <= min_s {
+                continue;
+            }
+            support
+                .entry((info.seq, info.view, info.batch_digest))
+                .or_default()
+                .insert(vc.replica);
+        }
+    }
+    for (&(seq, view, digest), reporters) in &support {
+        if reporters.len() < q.witness_quorum() {
+            continue;
+        }
+        match best.get(&seq) {
+            Some(cur) if cur.view >= view => {}
+            _ => {
+                best.insert(
+                    seq,
+                    PreparedInfo {
+                        seq,
+                        view,
+                        batch_digest: digest,
+                    },
+                );
             }
         }
     }
@@ -169,7 +214,7 @@ pub fn validate_new_view(nv: &NewView, q: &Quorums) -> Result<NewViewPlan, NewVi
     if nv.view_changes.iter().any(|vc| vc.new_view != nv.view) {
         return Err(NewViewError::MixedViews);
     }
-    let plan = compute_plan(&nv.view_changes);
+    let plan = compute_plan(&nv.view_changes, q);
     if plan.pre_prepares != nv.pre_prepares {
         return Err(NewViewError::WrongComputation);
     }
@@ -199,7 +244,21 @@ mod tests {
             last_stable,
             stable_digest: d(last_stable as u8),
             prepared,
+            fast_votes: vec![],
             replica,
+        }
+    }
+
+    fn vcf(
+        replica: ReplicaId,
+        new_view: View,
+        last_stable: SeqNum,
+        prepared: Vec<PreparedInfo>,
+        fast_votes: Vec<PreparedInfo>,
+    ) -> ViewChange {
+        ViewChange {
+            fast_votes,
+            ..vc(replica, new_view, last_stable, prepared)
         }
     }
 
@@ -266,7 +325,7 @@ mod tests {
             vc(1, 1, 100, vec![pi(132, 0, 9)]),
             vc(2, 1, 128, vec![]),
         ];
-        let plan = compute_plan(&votes);
+        let plan = compute_plan(&votes, &q());
         assert_eq!(plan.min_s, 128);
         assert_eq!(plan.max_s, 132);
         assert_eq!(
@@ -287,8 +346,88 @@ mod tests {
             vc(1, 2, 0, vec![pi(1, 1, 9)]),
             vc(2, 2, 0, vec![]),
         ];
-        let plan = compute_plan(&votes);
+        let plan = compute_plan(&votes, &q());
         assert_eq!(plan.pre_prepares, vec![(1, d(9))]);
+    }
+
+    #[test]
+    fn fast_candidate_with_witness_support_is_adopted() {
+        // No prepared certificate anywhere, but f+1 = 2 distinct replicas
+        // report having voted for the same batch: the plan must carry it
+        // (this is how a fast-committed batch survives the view change).
+        let votes = [
+            vcf(0, 1, 0, vec![], vec![pi(1, 0, 7)]),
+            vcf(1, 1, 0, vec![], vec![pi(1, 0, 7)]),
+            vcf(2, 1, 0, vec![], vec![]),
+        ];
+        let plan = compute_plan(&votes, &q());
+        assert_eq!(plan.pre_prepares, vec![(1, d(7))]);
+    }
+
+    #[test]
+    fn fast_candidate_below_witness_support_is_ignored() {
+        let votes = [
+            vcf(0, 1, 0, vec![], vec![pi(1, 0, 7)]),
+            vcf(1, 1, 0, vec![], vec![]),
+            vcf(2, 1, 0, vec![], vec![]),
+        ];
+        let plan = compute_plan(&votes, &q());
+        assert!(
+            plan.pre_prepares.is_empty(),
+            "a single report may be Byzantine; it must not enter the plan"
+        );
+    }
+
+    #[test]
+    fn classic_certificate_beats_fast_candidate_at_same_view() {
+        // An equivocating primary left a prepared certificate for d(7)
+        // and a victim's lone-plus-Byzantine fast votes for d(9) in the
+        // same view. The certificate must win: d(7) may be classically
+        // committed, while d(9) provably never fast-committed (a fast
+        // commit would have made every correct replica vote d(9)).
+        let votes = [
+            vcf(0, 1, 0, vec![pi(1, 0, 7)], vec![pi(1, 0, 9)]),
+            vcf(1, 1, 0, vec![], vec![pi(1, 0, 9)]),
+            vcf(2, 1, 0, vec![], vec![]),
+        ];
+        let plan = compute_plan(&votes, &q());
+        assert_eq!(plan.pre_prepares, vec![(1, d(7))]);
+    }
+
+    #[test]
+    fn higher_view_fast_candidate_beats_older_certificate() {
+        let votes = [
+            vcf(0, 2, 0, vec![pi(1, 0, 7)], vec![]),
+            vcf(1, 2, 0, vec![], vec![pi(1, 1, 9)]),
+            vcf(2, 2, 0, vec![], vec![pi(1, 1, 9)]),
+        ];
+        let plan = compute_plan(&votes, &q());
+        assert_eq!(plan.pre_prepares, vec![(1, d(9))]);
+    }
+
+    #[test]
+    fn duplicate_fast_reports_from_one_replica_do_not_inflate_support() {
+        // A Byzantine replica lists the same candidate twice in one
+        // message: support counts distinct reporters, so it stays at 1.
+        let votes = [
+            vcf(0, 1, 0, vec![], vec![pi(1, 0, 7), pi(1, 0, 7)]),
+            vcf(1, 1, 0, vec![], vec![]),
+            vcf(2, 1, 0, vec![], vec![]),
+        ];
+        let plan = compute_plan(&votes, &q());
+        assert!(plan.pre_prepares.is_empty());
+    }
+
+    #[test]
+    fn fast_votes_below_min_s_are_dropped() {
+        let votes = [
+            vcf(0, 1, 128, vec![], vec![pi(100, 0, 7)]),
+            vcf(1, 1, 128, vec![], vec![pi(100, 0, 7)]),
+            vcf(2, 1, 128, vec![], vec![]),
+        ];
+        let plan = compute_plan(&votes, &q());
+        assert_eq!(plan.max_s, 128);
+        assert!(plan.pre_prepares.is_empty());
     }
 
     #[test]
@@ -298,14 +437,14 @@ mod tests {
             vc(1, 1, 128, vec![]),
             vc(2, 1, 128, vec![]),
         ];
-        let plan = compute_plan(&votes);
+        let plan = compute_plan(&votes, &q());
         assert_eq!(plan.max_s, 128);
         assert!(plan.pre_prepares.is_empty());
     }
 
     #[test]
     fn empty_votes_plan_is_empty() {
-        let plan = compute_plan(&[]);
+        let plan = compute_plan(&[], &q());
         assert_eq!(plan.min_s, 0);
         assert!(plan.pre_prepares.is_empty());
     }
@@ -317,7 +456,7 @@ mod tests {
             vc(1, 1, 0, vec![]),
             vc(2, 1, 0, vec![]),
         ];
-        let plan = compute_plan(&votes);
+        let plan = compute_plan(&votes, &q());
         let nv = NewView {
             view: 1,
             view_changes: votes,

@@ -14,15 +14,18 @@
 //! - `CHAOS_RECOVERY_SCHEDULES` — seeded schedules for the recovery-fault
 //!   family (`fuzz_smoke_recovery`, default 24; nightly raises it), with
 //!   `replay_recovery_one` as the matching replay entry point.
+//! - `CHAOS_FASTPATH_SCHEDULES` — seeded schedules for the fast-path
+//!   family (`fuzz_smoke_fastpath`, default 24; nightly raises it), with
+//!   `replay_fastpath_one` as the matching replay entry point.
 
 use bft_core::fuzz::{
-    check_schedule, env_u64, failure_report, fuzz_config, fuzz_plan, recovery_fuzz_config,
-    recovery_fuzz_plan, run_fuzz_schedule_traced, run_recovery_fuzz_schedule,
-    run_recovery_fuzz_schedule_traced, ChaosDriver, Workload, FLIGHT_DUMP_LAST, FLIGHT_RING,
-    HEAL_DEADLINE_NS,
+    check_schedule, env_u64, failure_report, fastpath_fuzz_config, fastpath_fuzz_plan, fuzz_config,
+    fuzz_plan, recovery_fuzz_config, recovery_fuzz_plan, run_fastpath_fuzz_schedule_traced,
+    run_fuzz_schedule_traced, run_recovery_fuzz_schedule, run_recovery_fuzz_schedule_traced,
+    ChaosDriver, Workload, FLIGHT_DUMP_LAST, FLIGHT_RING, HEAL_DEADLINE_NS,
 };
 use bft_core::prelude::*;
-use bft_sim::chaos::{Fault, FaultEvent, NetFault, NodeFault};
+use bft_sim::chaos::{ByzMode, Fault, FaultEvent, NetFault, NodeFault};
 use bft_sim::dur;
 
 /// Fixed default base seed so a plain `cargo test` run is reproducible.
@@ -110,9 +113,110 @@ fn replay_recovery_one() {
     }
 }
 
+/// Seeded schedules drawing from the fast-path family: the regular
+/// chaos vocabulary (partitions, loss, Byzantine primaries) run against
+/// a cluster with the optimistic fast path armed and a short fallback
+/// window, so runs constantly cross the fast→classic boundary mid-slot.
+/// Checked by the fast-commit safety invariant on top of every existing
+/// one.
+#[test]
+fn fuzz_smoke_fastpath() {
+    let total = env_u64("CHAOS_FASTPATH_SCHEDULES", 24);
+    let base = env_u64("CHAOS_BASE_SEED", DEFAULT_BASE_SEED);
+    bft_core::fuzz::check_fastpath_schedules(base ^ 0xFA57, total, 0, 1, 1);
+}
+
+/// Replays one run printed by a failing fast-path fuzz test:
+/// `CHAOS_SEED=<seed> [CHAOS_F=<f>] cargo test -p bft-core --test chaos replay_fastpath_one -- --nocapture`
+#[test]
+fn replay_fastpath_one() {
+    let Ok(seed) = std::env::var("CHAOS_SEED") else {
+        return; // nothing to replay; the fuzz tests are the default path
+    };
+    let seed: u64 = seed.parse().expect("CHAOS_SEED must be a u64");
+    let f = env_u64("CHAOS_F", 1) as u32;
+    let plan = fastpath_fuzz_plan(seed, f);
+    println!("replaying seed {seed} (f = {f}) with plan:\n{plan}");
+    match run_fastpath_fuzz_schedule_traced(seed, f, &plan) {
+        Ok(()) => println!("seed {seed}: all invariants held"),
+        Err((v, flight)) => panic!("{}", failure_report(seed, f, &plan, &v, Some(&flight))),
+    }
+}
+
 // ---------------------------------------------------------------------
 // Directed tests
 // ---------------------------------------------------------------------
+
+/// Fault-free fast path: with no faults every slot should assemble its
+/// fast quorum (all n prepare votes) and commit in two rounds — no
+/// replica ever falls back, no commit messages are sent for fast slots,
+/// and all client ops still complete.
+#[test]
+fn fastpath_fault_free_commits_without_commit_round() {
+    let mut cluster = Cluster::builder(fastpath_fuzz_config(1))
+        .seed(0xFA_01)
+        .build_counter();
+    cluster.add_client(ChaosDriver::new(0xFA_02, 40, Workload::Adds));
+    cluster.add_client(ChaosDriver::new(0xFA_03, 40, Workload::Mixed));
+    let mut checker = InvariantChecker::new();
+    cluster
+        .run_with_plan::<CounterService, ChaosDriver>(
+            &FaultPlan::empty(),
+            dur::secs(8),
+            &mut checker,
+        )
+        .expect("no invariant may break");
+    checker.finish().expect("linearizability must hold");
+    assert_eq!(cluster.completed_ops(), 80, "all ops must complete");
+    let metrics = cluster.sim.metrics();
+    assert!(
+        metrics.counter("replica.fast_commits") > 0,
+        "fault-free slots must fast-commit"
+    );
+    assert_eq!(
+        metrics.counter("replica.fast_fallbacks"),
+        0,
+        "no fault-free slot may fall back to the classic path"
+    );
+}
+
+/// A silent Byzantine backup caps participation at `n - 1` prepare
+/// votes, one short of the fast quorum: every slot arms its fast-path
+/// timer, times out, and falls back to the classic three-phase path.
+/// All ops must still complete (2f + 1 honest votes suffice for a
+/// classic commit) and the fast-commit safety invariant must hold
+/// across the mixed fast/classic history.
+#[test]
+fn silent_backup_forces_classic_fallback() {
+    let mut cluster = Cluster::builder(fastpath_fuzz_config(1))
+        .seed(0xFA_11)
+        .build_counter();
+    cluster.add_client(ChaosDriver::new(0xFA_12, 30, Workload::Adds));
+    let plan = FaultPlan {
+        events: vec![FaultEvent {
+            at_ns: 0,
+            fault: Fault::Node {
+                node: 3,
+                fault: NodeFault::Byzantine(ByzMode::Silent),
+            },
+        }],
+    };
+    let mut checker = InvariantChecker::new();
+    cluster
+        .run_with_plan::<CounterService, ChaosDriver>(&plan, dur::secs(10), &mut checker)
+        .expect("no invariant may break");
+    checker.finish().expect("linearizability must hold");
+    assert_eq!(cluster.completed_ops(), 30, "all ops must complete");
+    let metrics = cluster.sim.metrics();
+    assert!(
+        metrics.counter("replica.fast_fallbacks") > 0,
+        "sub-fast-quorum participation must fall back to the classic path"
+    );
+    assert!(
+        metrics.counter("replica.fast_timeouts") > 0,
+        "the per-slot fast-path timer must have fired"
+    );
+}
 
 /// Acceptance scenario for proactive recovery: a schedule that silently
 /// corrupts one replica (no crash, no dirty marks) must converge — the

@@ -7,9 +7,11 @@
 //!    the seed-replayable simulator assumes it; iterating a
 //!    `HashMap`/`HashSet` in a protocol path lets hasher randomness
 //!    reach message emission order.
-//! 2. **quorum-math** — every quorum threshold (`2f+1`, `3f+1`, `f+1`)
-//!    must come from `bft_core::types::Quorums`; inline re-derivations
-//!    are where off-by-one safety bugs hide.
+//! 2. **quorum-math** — every quorum threshold (`2f+1`, `3f+1`, `f+1`,
+//!    and participation bounds like `n - f`) must come from
+//!    `bft_core::types::Quorums`; inline re-derivations are where
+//!    off-by-one safety bugs hide (`n - f` as a fast quorum being the
+//!    canonical example — see `Quorums::fast_quorum`).
 //! 3. **catch-all** — replica/client dispatch over the `Msg` enum must
 //!    be exhaustive, so adding a message variant forces every handler
 //!    to make an explicit decision.
@@ -509,6 +511,38 @@ fn rule_quorum(
         }
         if next == Some("*") && toks.get(end + 2).is_some_and(|t| num_is(t, &["2", "3"])) {
             hit(toks[i].line, "f * k");
+        }
+    }
+
+    // `n… - f…`: a participation threshold derived by hand. `n - f` is
+    // the classic wrong fast quorum — its intersection with a 2f+1
+    // view-change quorum can be a single (possibly Byzantine) replica —
+    // and the correct value (`n`, see `Quorums::fast_quorum`) is easy to
+    // get wrong when rederived inline, so any `n - f` outside `Quorums`
+    // is a finding. Anchored on a terminal `n` (not a path segment),
+    // allowing a call `()` and `as <ty>` casts before the `-`.
+    for i in 0..toks.len() {
+        if !(toks[i].kind == Kind::Ident && toks[i].text == "n") {
+            continue;
+        }
+        if toks.get(i + 1).map(|t| t.text.as_str()) == Some(".") {
+            continue;
+        }
+        let mut end = i;
+        if toks.get(end + 1).map(|t| t.text.as_str()) == Some("(")
+            && toks.get(end + 2).map(|t| t.text.as_str()) == Some(")")
+        {
+            end += 2;
+        }
+        while toks.get(end + 1).map(|t| t.text.as_str()) == Some("as")
+            && toks.get(end + 2).map(|t| t.kind) == Some(Kind::Ident)
+        {
+            end += 2;
+        }
+        if toks.get(end + 1).map(|t| t.text.as_str()) == Some("-")
+            && f_path_forward(toks, end + 2).is_some()
+        {
+            hit(toks[i].line, "n - f");
         }
     }
 }

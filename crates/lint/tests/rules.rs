@@ -9,6 +9,7 @@ use bft_lint::{
 
 const DETERMINISM_FIXTURE: &str = include_str!("fixtures/determinism_violation.rs");
 const QUORUM_FIXTURE: &str = include_str!("fixtures/quorum_violation.rs");
+const FASTQUORUM_FIXTURE: &str = include_str!("fixtures/fastquorum_violation.rs");
 const CATCHALL_FIXTURE: &str = include_str!("fixtures/catchall_violation.rs");
 const DECODE_FIXTURE: &str = include_str!("fixtures/decode_violation.rs");
 const CLEAN_FIXTURE: &str = include_str!("fixtures/clean.rs");
@@ -44,6 +45,19 @@ fn quorum_rule_catches_inline_thresholds() {
     // Comments mentioning 2f+1 and `frames` arithmetic stay clean.
     assert!(!lines.contains(&2));
     assert!(!lines.contains(&28));
+}
+
+#[test]
+fn quorum_rule_catches_inline_fast_quorum() {
+    let findings = check_source("fixture.rs", FASTQUORUM_FIXTURE, Scope::all());
+    let lines = lines_for(&findings, RULE_QUORUM);
+    assert!(lines.contains(&21), "cfg.n as usize - cfg.f: {findings:#?}");
+    assert!(lines.contains(&25), "cfg.n() - cfg.f()");
+    assert!(lines.contains(&29), "bare n - f");
+    // `len - f` and `n - skipped` stay clean, as do the comments.
+    assert!(!lines.contains(&34), "findings: {findings:#?}");
+    assert!(!lines.contains(&39), "findings: {findings:#?}");
+    assert!(!lines.contains(&3));
 }
 
 #[test]
