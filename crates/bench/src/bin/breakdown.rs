@@ -33,6 +33,7 @@ use bft_core::config::Config;
 use bft_sim::trace::{assemble, breakdown, Breakdown, CostKind, PHASE_LABELS};
 use bft_sim::{dur, NetConfig};
 use bft_workloads::micro::{MicroDriver, SimpleService};
+use bft_workloads::mix::ReadMixDriver;
 
 const SEED: u64 = 7;
 const WARMUP_OPS: u64 = 50;
@@ -292,6 +293,47 @@ fn validate_chrome_trace(json: &str, node_count: u64) -> Result<usize, String> {
     Ok(doc.traceEvents.len())
 }
 
+/// The read-lease path run: a read-mostly leased workload (1% counter
+/// writes) whose exported trace must carry `lease-read` instant events.
+/// Returns the Chrome trace JSON plus the lease-read and fallback
+/// counters.
+fn run_lease_workload(samples: u64) -> (String, u64, u64) {
+    let mut cfg = Config::new(1);
+    cfg.read_leases = true;
+    cfg.read_lease_ns = dur::millis(100);
+    let mut cluster = Cluster::builder(cfg)
+        .seed(SEED)
+        .net(NetConfig::SWITCHED_100MBPS)
+        .trace_capacity(TRACE_CAPACITY)
+        .build_counter();
+    cluster.add_client(ReadMixDriver::new(10, SEED).with_max_ops(samples));
+    let mut guard = 0;
+    while cluster.completed_ops() < samples && guard < 10_000 {
+        cluster.run_for(dur::millis(10));
+        guard += 1;
+    }
+    assert!(
+        cluster.completed_ops() >= samples,
+        "lease workload stalled at {}/{samples} requests",
+        cluster.completed_ops()
+    );
+    let lease_reads = cluster.sim.metrics().counter("replica.lease_reads");
+    let fallbacks = cluster.sim.metrics().counter("client.ro_fallbacks");
+    (
+        cluster.sim.trace().chrome_trace_json(),
+        lease_reads,
+        fallbacks,
+    )
+}
+
+/// Counts trace events with the given name (used to require that the
+/// lease workload actually exercised the lease-read path).
+fn count_events(json: &str, name: &str) -> Result<usize, String> {
+    let doc: ChromeDoc =
+        serde_json::from_str(json).map_err(|e| format!("document does not parse: {e:?}"))?;
+    Ok(doc.traceEvents.iter().filter(|e| e.name == name).count())
+}
+
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut samples: u64 = 200;
@@ -360,6 +402,33 @@ fn main() {
             } else {
                 classic.push(out.report);
             }
+        }
+    }
+
+    // The lease-read path never joins the ordered span chain (it is a
+    // single instant event at the serving holder), so it gets its own
+    // validation run instead of a phase table: the exported trace must
+    // conform to the schema, contain lease-read events, and the workload
+    // must complete without a single ordered-path fallback.
+    if validate {
+        let (lease_json, lease_reads, fallbacks) = run_lease_workload(samples);
+        match validate_chrome_trace(&lease_json, node_count) {
+            Ok(n) => eprintln!("validate lease [read-mix]: {n} events conform to the schema"),
+            Err(e) => failures.push(format!("lease [read-mix]: chrome trace schema: {e}")),
+        }
+        match count_events(&lease_json, "lease-read") {
+            Ok(0) => failures
+                .push("lease [read-mix]: no lease-read events in exported trace".to_string()),
+            Ok(n) => eprintln!(
+                "validate lease [read-mix]: {n} lease-read events ({lease_reads} lease reads \
+                 served, {fallbacks} fallbacks)"
+            ),
+            Err(e) => failures.push(format!("lease [read-mix]: {e}")),
+        }
+        if fallbacks > 0 {
+            failures.push(format!(
+                "lease [read-mix]: {fallbacks} reads fell back to the ordered path"
+            ));
         }
     }
 

@@ -1,0 +1,84 @@
+//! Read/write-mix latency table for read leases (arXiv:2107.11144): read
+//! p50/p99 and write p50 across conflict rates (share of counter writes
+//! in the mix), with leases on vs off, on a clean LAN and on a jittery
+//! network. Reads hit the stateful counter service, so replicas
+//! answering at diverging states return mismatched replies: with leases
+//! off the read-only optimization must then retry and ultimately fall
+//! back to the ordered path, while lease holders always answer from
+//! their committed prefix in one round — `ro_fallbacks` must read zero.
+//!
+//! Run with `cargo run -p bft-bench --bin readmix [--release]`.
+
+use bft_bench::{figure_header, observe, table_header, table_row};
+use bft_core::config::Config;
+use bft_sim::dur;
+use bft_workloads::read_mix_run;
+
+const CLIENTS: u32 = 4;
+const OPS_PER_CLIENT: u64 = 250;
+const SEED: u64 = 0xbf7_2107;
+
+fn run_table(jitter_ns: u64) {
+    table_header(&[
+        "writes",
+        "leases",
+        "read p50",
+        "read p99",
+        "write p50",
+        "lease reads",
+        "ro retries",
+        "fallbacks",
+    ]);
+    for write_permille in [0u32, 10, 100] {
+        for leases in [false, true] {
+            let mut cfg = Config::new(1);
+            cfg.read_leases = leases;
+            cfg.read_lease_ns = dur::millis(100);
+            let stats = read_mix_run(
+                cfg,
+                CLIENTS,
+                OPS_PER_CLIENT,
+                write_permille,
+                jitter_ns,
+                SEED,
+            );
+            table_row(&[
+                format!("{:.1}%", write_permille as f64 / 10.0),
+                if leases { "on" } else { "off" }.into(),
+                format!("{:.0} us", stats.read_p50_us),
+                format!("{:.0} us", stats.read_p99_us),
+                if stats.writes > 0 {
+                    format!("{:.0} us", stats.write_p50_us)
+                } else {
+                    "-".into()
+                },
+                format!("{}", stats.lease_reads),
+                format!("{}", stats.ro_retries),
+                format!("{}", stats.ro_fallbacks),
+            ]);
+        }
+    }
+}
+
+fn main() {
+    figure_header(
+        "Read mix (LAN)",
+        "read latency vs conflict rate, leases on/off (4 clients, counter service)",
+        "leased reads stay one round — and their tail flat — under concurrent writes",
+    );
+    run_table(0);
+    observe("on a clean LAN replicas converge between writes, so the leases-off");
+    observe("read-only path rarely conflicts; leases trade a sub-millisecond fence");
+    observe("tail (reads parked during revoke-order-regrant) for never relying on it.");
+
+    figure_header(
+        "Read mix (jittery network)",
+        "same mix with 500 us of uniform per-message jitter",
+        "without leases, reads against diverging replicas retry and fall back",
+    );
+    run_table(dur::micros(500));
+    observe("jitter widens the window in which replicas answer reads at diverging");
+    observe("states: with leases off, conflicted reads burn retries and fall back to");
+    observe("the ordered path; with leases on, holders keep answering in one round");
+    observe("from their committed prefix and fallbacks stay at zero.");
+}

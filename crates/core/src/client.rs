@@ -135,7 +135,11 @@ impl ClientCore {
         // the recently observed latency — premature retransmissions under
         // load amplify the congestion that delayed the reply.
         let adaptive = (self.latency_ewma * 4.0) as u64;
-        let timeout = self.cfg.client_retry_timeout_ns.max(adaptive) << p.retries.min(4);
+        // Capped: a latency estimate poisoned by a few ops that limped
+        // through a view change must not push the next retransmission
+        // past the cluster's recovery (see `client_retry_timeout_max_ns`).
+        let timeout = (self.cfg.client_retry_timeout_ns.max(adaptive) << p.retries.min(4))
+            .min(self.cfg.client_retry_timeout_max_ns);
         if let Some(t) = self.retry_timer.take() {
             ctx.cancel_timer(t);
         }
@@ -250,7 +254,10 @@ impl ClientCore {
             p.full.insert(result_digest, bytes);
         }
         p.replies.insert(from, (result_digest, reply.tentative));
-        let (result, sent_at) = self.check_complete()?;
+        let Some((result, sent_at)) = self.check_complete() else {
+            self.maybe_fast_ro_retry(ctx);
+            return None;
+        };
         if let Some(t) = self.retry_timer.take() {
             ctx.cancel_timer(t);
         }
@@ -285,11 +292,89 @@ impl ClientCore {
         Some((result, latency))
     }
 
+    /// Re-issues a read-only round immediately once it is provably dead.
+    /// Two ways a round dies when holders answer on both sides of a
+    /// write's revoke/regrant boundary:
+    ///
+    /// - *split*: enough replicas answered that no result digest can
+    ///   still reach a reply quorum;
+    /// - *body starvation*: a digest can (or did) reach quorum, but only
+    ///   the designated replier sends full results, it already answered
+    ///   with a different (stale) digest, and no outstanding reply will
+    ///   carry the body either.
+    ///
+    /// Either way the round cannot complete; waiting out the
+    /// retransmission timer would park a "one-round" read for the full
+    /// client timeout.
+    fn maybe_fast_ro_retry(&mut self, ctx: &mut Context<'_, Packet>) {
+        let q = self.cfg.quorums;
+        let n = self.cfg.n() as usize;
+        let Some(p) = &mut self.pending else { return };
+        if !p.read_only || !self.cfg.read_leases || p.retries >= 2 {
+            return;
+        }
+        let remaining = n - p.replies.len();
+        let mut committed: BTreeMap<Digest, usize> = BTreeMap::new();
+        let mut total: BTreeMap<Digest, usize> = BTreeMap::new();
+        for &(d, tentative) in p.replies.values() {
+            *total.entry(d).or_insert(0) += 1;
+            if !tentative {
+                *committed.entry(d).or_insert(0) += 1;
+            }
+        }
+        // A digest is viable only if the outstanding replies could still
+        // push it to a quorum AND a full result body for it is present
+        // or could still arrive: from the designated replier if it has
+        // not answered yet, or — when every replica sends full bodies —
+        // from any outstanding reply. An as-yet-unseen digest is covered
+        // by the (None, 0, 0) case.
+        let replier_pending = p.replier != REPLIER_ALL && !p.replies.contains_key(&p.replier);
+        let viable = |d: Option<&Digest>, n_total: usize, n_committed: usize| {
+            let counts_ok = n_committed + remaining >= q.reply_quorum()
+                || n_total + remaining >= q.tentative_reply_quorum();
+            let body_ok = d.is_some_and(|d| p.full.contains_key(d))
+                || replier_pending
+                || (p.replier == REPLIER_ALL && remaining > 0);
+            counts_ok && body_ok
+        };
+        let any_viable = viable(None, 0, 0)
+            || total
+                .iter()
+                .any(|(d, &t)| viable(Some(d), t, committed.get(d).copied().unwrap_or(0)));
+        if any_viable {
+            return;
+        }
+        p.retries += 1;
+        p.replier = REPLIER_ALL;
+        p.broadcast = true;
+        ctx.metrics().incr("client.ro_retries");
+        ctx.metrics().incr("client.ro_split_retries");
+        ctx.metrics().incr("client.retransmissions");
+        self.send_request(ctx);
+    }
+
     fn on_retry_timer(&mut self, ctx: &mut Context<'_, Packet>) {
         self.retry_timer = None;
         let Some(p) = &mut self.pending else { return };
         p.retries += 1;
         p.broadcast = true;
+        // With read leases, a timed-out read retries read-only first:
+        // a write burst that held replies back lifts within a lease
+        // revocation round, and falling straight back to read-write
+        // would forfeit the one-round path exactly when it matters.
+        // Every replica answers the retry (`REPLIER_ALL`), so one
+        // recovering or slow replica cannot starve the 2f+1 match.
+        // After two read-only retries the usual fallback applies — a
+        // dead primary stops granting leases, and only the read-write
+        // path (whose pending requests arm the view-change timer) can
+        // then re-elect.
+        if p.read_only && self.cfg.read_leases && p.retries <= 2 {
+            p.replier = REPLIER_ALL;
+            ctx.metrics().incr("client.ro_retries");
+            ctx.metrics().incr("client.retransmissions");
+            self.send_request(ctx);
+            return;
+        }
         // A timed-out read-only operation is retransmitted as a regular
         // read-write request (Section 3.1). Replies already collected stay
         // valid — they are matched by timestamp and result digest. This
@@ -458,7 +543,10 @@ impl<D: ClientDriver> Node<Packet> for Client<D> {
             | Msg::CommittedBatch(_)
             | Msg::NewKey(_)
             | Msg::Recover(_)
-            | Msg::RecoverAttest(_) => return,
+            | Msg::RecoverAttest(_)
+            | Msg::Lease(_)
+            | Msg::LeaseRenew(_)
+            | Msg::LeaseRevoke(_) => return,
         };
         let body_len = wire.saturating_sub(packet.auth.wire_bytes());
         if let Some((result, latency)) =

@@ -116,6 +116,14 @@ pub struct Config {
     pub view_change_timeout_max_ns: u64,
     /// Client retransmission timeout.
     pub client_retry_timeout_ns: u64,
+    /// Ceiling for the client's retransmission backoff (the base timeout
+    /// scaled by observed latency and doubled per retry). Without a cap,
+    /// a few pathologically slow operations — e.g. ops that each limp
+    /// through a view-change cycle — poison the latency estimate and the
+    /// next retransmission waits out minutes, long after the cluster
+    /// recovered; with one, a healed cluster hears from the client again
+    /// within this bound.
+    pub client_retry_timeout_max_ns: u64,
     /// Period of the replica's retransmission sweep over stalled slots.
     pub resend_interval_ns: u64,
     /// How long pending piggybacked commits may wait for a carrier message
@@ -132,6 +140,17 @@ pub struct Config {
     /// replica's lease is live defers, so staggered recoveries never
     /// overlap even when timers drift together.
     pub recovery_lease_ns: u64,
+    /// *Read leases* (arXiv:2107.11144): the primary grants backups
+    /// time-bounded read leases and fences writes against them, so
+    /// read-only requests stay one round trip — and linearizable — even
+    /// under concurrent writes, instead of falling back to the ordered
+    /// read-write path. Off by default: the paper's read-only
+    /// optimization alone retries conflicted reads as read-write.
+    pub read_leases: bool,
+    /// Read-lease validity window, measured from receipt at each holder.
+    /// The primary renews at half this period while reads are being
+    /// served. Only meaningful with [`Config::read_leases`] on.
+    pub read_lease_ns: u64,
 }
 
 impl Config {
@@ -154,11 +173,14 @@ impl Config {
             view_change_timeout_ns: dur::millis(2_000),
             view_change_timeout_max_ns: dur::millis(16_000),
             client_retry_timeout_ns: dur::millis(250),
+            client_retry_timeout_max_ns: dur::secs(5),
             resend_interval_ns: dur::millis(100),
             piggyback_flush_ns: dur::micros(500),
             key_refresh_interval_ns: 0,
             proactive_recovery_interval_ns: 0,
             recovery_lease_ns: dur::millis(300),
+            read_leases: false,
+            read_lease_ns: dur::millis(100),
         }
     }
 
@@ -192,10 +214,34 @@ impl Config {
             self.view_change_timeout_max_ns >= self.view_change_timeout_ns,
             "view-change timeout cap must be at least the base timeout"
         );
+        assert!(
+            self.client_retry_timeout_max_ns >= self.client_retry_timeout_ns,
+            "client retry cap must be at least the base timeout"
+        );
         if self.fast_path {
             assert!(
                 self.fast_path_timeout_ns > 0,
                 "fast-path fallback timeout must be positive"
+            );
+        }
+        if self.read_leases {
+            assert!(
+                self.read_lease_ns > 0,
+                "read-lease duration must be positive"
+            );
+            assert!(
+                self.opts.read_only,
+                "read leases require the read-only optimization"
+            );
+            // The grant-evidence window (2 × duration) plus the lease
+            // duration itself must fit inside the view-change timeout:
+            // a primary partitioned from the group must stop granting
+            // (and its last leases expire) before the group can have
+            // re-elected and started ordering writes the stranded
+            // holders never saw.
+            assert!(
+                3 * self.read_lease_ns <= self.view_change_timeout_ns,
+                "read-lease duration too long: 3x must fit in the view-change timeout"
             );
         }
     }
@@ -249,6 +295,38 @@ mod tests {
     fn with_opts_replaces_toggles() {
         let c = Config::default().with_opts(Optimizations::NONE);
         assert!(!c.opts.batching);
+    }
+
+    #[test]
+    #[should_panic(expected = "read-lease duration")]
+    fn zero_lease_duration_rejected() {
+        let c = Config {
+            read_leases: true,
+            read_lease_ns: 0,
+            ..Config::default()
+        };
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "read-only optimization")]
+    fn leases_without_read_only_rejected() {
+        let c = Config {
+            read_leases: true,
+            ..Config::default().with_opts(Optimizations::NONE)
+        };
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "duration too long")]
+    fn oversized_lease_duration_rejected() {
+        let c = Config {
+            read_leases: true,
+            read_lease_ns: dur::millis(1_000),
+            ..Config::default()
+        };
+        c.validate();
     }
 
     #[test]

@@ -55,6 +55,9 @@ pub enum Workload {
     Adds,
     /// Read-only gets only.
     Reads,
+    /// ~1/100 adds, the rest read-only gets — the read-dominated mix
+    /// where read leases pay off (arXiv:2107.11144).
+    ReadMostly,
 }
 
 /// Closed-loop counter-service driver shared by the fuzz loop and the
@@ -98,6 +101,7 @@ impl ChaosDriver {
             Workload::Mixed => h.is_multiple_of(4),
             Workload::Adds => false,
             Workload::Reads => true,
+            Workload::ReadMostly => !h.is_multiple_of(100),
         };
         if read {
             api.submit(CounterService::get_op(), true);
@@ -218,6 +222,40 @@ pub fn fastpath_fuzz_plan(seed: u64, f: u32) -> FaultPlan {
     )
 }
 
+/// [`fuzz_config`] with read leases armed (arXiv:2107.11144) on top of
+/// the proactive-recovery watchdogs: a 60 ms lease (renewed every 30 ms,
+/// expiring mid-read under partitions; `3 × 60 ms` fits the 400 ms
+/// view-change timeout) while replicas also reboot every 600 ms — so one
+/// run exercises lease expiry, revokes lost in partitions, view changes
+/// with outstanding leases, and recovery of a lease holder, all checked
+/// by the stale-lease-read invariant.
+pub fn lease_fuzz_config(f: u32) -> Config {
+    let mut cfg = fuzz_config(f);
+    cfg.read_leases = true;
+    cfg.read_lease_ns = dur::millis(60);
+    cfg.proactive_recovery_interval_ns = dur::millis(600);
+    cfg.recovery_lease_ns = dur::millis(150);
+    cfg
+}
+
+/// The fault schedule for one lease-fuzz iteration: the full chaos
+/// vocabulary including corruption and stale-state faults, so lease
+/// holders get partitioned, deposed, crashed, and rebooted mid-lease.
+pub fn lease_fuzz_plan(seed: u64, f: u32) -> FaultPlan {
+    let cfg = lease_fuzz_config(f);
+    FaultPlan::generate(
+        seed,
+        &ChaosConfig {
+            replicas: cfg.n(),
+            clients: FUZZ_CLIENTS as u32,
+            max_faulty: cfg.f(),
+            horizon_ns: FAULT_HORIZON_NS,
+            events: 12,
+            recovery_faults: true,
+        },
+    )
+}
+
 /// Per-node flight-recorder ring capacity used by traced fuzz re-runs.
 pub const FLIGHT_RING: usize = 256;
 /// Events per node included in a flight-recorder dump.
@@ -281,6 +319,29 @@ pub fn run_fastpath_fuzz_schedule_traced(
     plan: &FaultPlan,
 ) -> Result<(), (Violation, String)> {
     run_fuzz_schedule_inner(seed, fastpath_fuzz_config(f), 0, plan, FLIGHT_RING)
+}
+
+/// One lease-fuzz iteration: [`lease_fuzz_config`] (read leases on,
+/// watchdogs on) with the bounded-heal deadline armed, against the full
+/// recovery-fault chaos vocabulary.
+pub fn run_lease_fuzz_schedule(seed: u64, f: u32, plan: &FaultPlan) -> Result<(), Violation> {
+    run_fuzz_schedule_inner(seed, lease_fuzz_config(f), HEAL_DEADLINE_NS, plan, 0)
+        .map_err(|(v, _)| v)
+}
+
+/// [`run_lease_fuzz_schedule`] with the flight recorder armed.
+pub fn run_lease_fuzz_schedule_traced(
+    seed: u64,
+    f: u32,
+    plan: &FaultPlan,
+) -> Result<(), (Violation, String)> {
+    run_fuzz_schedule_inner(
+        seed,
+        lease_fuzz_config(f),
+        HEAL_DEADLINE_NS,
+        plan,
+        FLIGHT_RING,
+    )
 }
 
 fn run_fuzz_schedule_inner(
@@ -489,6 +550,43 @@ pub fn check_fastpath_schedules(base: u64, total: u64, offset: u64, stride: u64,
     {
         if i as u64 % stride == offset {
             check_fastpath_schedule(builder.seed_value(), f);
+        }
+    }
+}
+
+/// [`check_schedule`] for the read-lease family: chaos plus recovery
+/// faults against a leased cluster, so lease expiry mid-read, revokes
+/// lost in partitions, view changes with outstanding leases, and
+/// recoveries of lease holders are all exercised — checked by the
+/// stale-lease-read invariant on top of every existing one.
+pub fn check_lease_schedule(seed: u64, f: u32) {
+    let plan = lease_fuzz_plan(seed, f);
+    if let Err(v) = run_lease_fuzz_schedule(seed, f, &plan) {
+        let kind = std::mem::discriminant(&v);
+        let min = plan.minimize(|p| {
+            run_lease_fuzz_schedule(seed, f, p)
+                .err()
+                .is_some_and(|e| std::mem::discriminant(&e) == kind)
+        });
+        let (v, flight) = match run_lease_fuzz_schedule_traced(seed, f, &min) {
+            Err((v, dump)) => (v, Some(dump)),
+            Ok(()) => (v, None),
+        };
+        panic!(
+            "{}",
+            failure_report_for(seed, f, &min, &v, flight.as_deref(), "replay_lease_one")
+        );
+    }
+}
+
+/// Strided sweep over read-lease schedules (see [`check_schedules`]).
+pub fn check_lease_schedules(base: u64, total: u64, offset: u64, stride: u64, f: u32) {
+    for (i, builder) in Cluster::with_seed_iter(base, lease_fuzz_config(f))
+        .enumerate()
+        .take(total as usize)
+    {
+        if i as u64 % stride == offset {
+            check_lease_schedule(builder.seed_value(), f);
         }
     }
 }

@@ -60,6 +60,13 @@ pub struct ReplicaAudit {
     /// recovery completed: the attested checkpoint the replica's state
     /// was audited against.
     pub recoveries: Vec<(SeqNum, Digest, u64)>,
+    /// `(client, timestamp, served at ns, result)` for every read-only
+    /// request answered locally under a read lease (arXiv:2107.11144).
+    /// The checker holds each one to the global linearization order: at
+    /// its serve instant the value must be at least the largest value any
+    /// completed operation returned, and at most the sum of increments
+    /// invoked so far.
+    pub lease_reads: Vec<(ClientId, Timestamp, u64, Vec<u8>)>,
 }
 
 impl ReplicaAudit {
@@ -95,6 +102,20 @@ impl ReplicaAudit {
         self.recoveries.push((seq, digest, at_ns));
         if self.recoveries.len() > Self::CAP {
             self.recoveries.drain(..Self::CAP / 2);
+        }
+    }
+
+    /// Records a read-only request answered locally under a read lease.
+    pub fn note_lease_read(
+        &mut self,
+        client: ClientId,
+        timestamp: Timestamp,
+        at_ns: u64,
+        result: Vec<u8>,
+    ) {
+        self.lease_reads.push((client, timestamp, at_ns, result));
+        if self.lease_reads.len() > Self::CAP {
+            self.lease_reads.drain(..Self::CAP / 2);
         }
     }
 }
@@ -203,6 +224,21 @@ pub enum Violation {
         /// The digest the honest quorum announced for that checkpoint.
         quorum: Digest,
     },
+    /// *Lease-read linearizability*: a replica answered a read-only
+    /// request locally under a read lease with a value inconsistent with
+    /// the global linearization order at the serve instant — older than
+    /// something a completed operation already observed, or newer than
+    /// everything invoked so far.
+    StaleLeaseRead {
+        /// The serving replica.
+        replica: ReplicaId,
+        /// The client whose read was served.
+        client: ClientId,
+        /// The client timestamp of the read.
+        timestamp: Timestamp,
+        /// Human-readable explanation.
+        detail: String,
+    },
     /// *Bounded heal*: a silently corrupted replica did not complete a
     /// clean recovery within the configured deadline after corruption.
     UnhealedCorruption {
@@ -255,6 +291,15 @@ impl fmt::Display for Violation {
                 f,
                 "recovery divergence: replica {replica} rejoined at seq {seq} with state {ours} \
                  but the quorum's checkpoint digest is {quorum}"
+            ),
+            Violation::StaleLeaseRead {
+                replica,
+                client,
+                timestamp,
+                detail,
+            } => write!(
+                f,
+                "stale lease read: replica {replica} served client {client} ts {timestamp}: {detail}"
             ),
             Violation::UnhealedCorruption {
                 replica,
@@ -428,6 +473,48 @@ impl CounterLinearizability {
         Ok(())
     }
 
+    /// Checks a lease-served read against the linearization order at its
+    /// serve instant: the value must cover everything any completed
+    /// operation already observed, without exceeding what was invoked.
+    fn check_lease_read(
+        &self,
+        replica: ReplicaId,
+        client: ClientId,
+        timestamp: Timestamp,
+        serve_ns: u64,
+        result: &[u8],
+    ) -> Result<(), Violation> {
+        let fail = |detail: String| Violation::StaleLeaseRead {
+            replica,
+            client,
+            timestamp,
+            detail,
+        };
+        let Ok(bytes) = <[u8; 8]>::try_from(result) else {
+            return Err(fail(format!("malformed result ({} bytes)", result.len())));
+        };
+        let value = u64::from_le_bytes(bytes);
+        let floor = self
+            .done
+            .iter()
+            .filter(|d| d.completed_ns <= serve_ns)
+            .map(|d| d.value)
+            .max()
+            .unwrap_or(0);
+        if value < floor {
+            return Err(fail(format!(
+                "served {value} at {serve_ns}ns after an op had completed with {floor}"
+            )));
+        }
+        let ceiling = self.invoked_sum_at(serve_ns);
+        if value > ceiling {
+            return Err(fail(format!(
+                "served {value} at {serve_ns}ns but only {ceiling} was ever added by then"
+            )));
+        }
+        Ok(())
+    }
+
     /// Final check at quiescence: with no adds outstanding, the completed
     /// adds must chain exactly from zero.
     fn finish(&self) -> Result<(), Violation> {
@@ -529,6 +616,10 @@ impl InvariantChecker {
         &mut self,
         cluster: &mut Cluster,
     ) -> Result<(), Violation> {
+        // Lease-served reads are checked only after this round's client
+        // events are fed to the linearizability model below: a completion
+        // that precedes the serve instant may sit in the same drain batch.
+        let mut lease_reads: Vec<(ReplicaId, ClientId, Timestamp, u64, Vec<u8>)> = Vec::new();
         for i in 0..cluster.cfg.n() {
             let replica: &mut Replica<S> = cluster.replica_mut(i);
             let view = replica.view();
@@ -536,6 +627,9 @@ impl InvariantChecker {
             if self.tainted.contains(&i) {
                 continue;
             }
+            // Captured before the checkpoint loop below, which may heal
+            // (and unmark) the replica within this same drain batch.
+            let corrupt_since_ns = self.corrupted.get(&i).copied();
             let prev = self.views.entry(i).or_insert(0);
             if view < *prev {
                 return Err(Violation::ViewRegression {
@@ -653,6 +747,18 @@ impl InvariantChecker {
                 }
                 self.corrupted.remove(&i);
             }
+            for (client, timestamp, at_ns, result) in audit.lease_reads {
+                // A silently corrupted replica serves garbage until its
+                // recovery audit heals it; the client's 2f+1 matching
+                // rule discards those replies, so they are excused here
+                // exactly like the checkpoint-digest check above — the
+                // lease invariant binds only reads served from state no
+                // fault was injected into.
+                if corrupt_since_ns.is_some_and(|at| at_ns >= at) {
+                    continue;
+                }
+                lease_reads.push((i, client, timestamp, at_ns, result));
+            }
         }
         // *Bounded heal*: every corrupted replica must have completed a
         // clean recovery within the deadline of its injection.
@@ -691,6 +797,12 @@ impl InvariantChecker {
                     at_ns,
                 } => self.lin.complete(client, timestamp, &result, at_ns)?,
             }
+        }
+        // *Lease-read linearizability*: every locally served read must be
+        // consistent with the global order at its serve instant.
+        for (replica, client, timestamp, at_ns, result) in lease_reads {
+            self.lin
+                .check_lease_read(replica, client, timestamp, at_ns, &result)?;
         }
         Ok(())
     }
@@ -780,6 +892,49 @@ mod tests {
         // correct; 5 then 7 is not reachable by add(3).
         lin.complete(4, 1, &val(5), 10).unwrap();
         assert!(lin.complete(5, 1, &val(7), 20).is_err());
+    }
+
+    #[test]
+    fn lease_read_within_bounds_passes() {
+        let mut lin = CounterLinearizability::default();
+        lin.invoke(4, 1, &add(5), 0).unwrap();
+        lin.complete(4, 1, &val(5), 10).unwrap();
+        // A concurrent add is in flight; serving either 5 or 8 is fine.
+        lin.invoke(5, 1, &add(3), 15).unwrap();
+        lin.check_lease_read(2, 6, 1, 20, &val(5)).unwrap();
+        lin.check_lease_read(2, 6, 1, 20, &val(8)).unwrap();
+    }
+
+    #[test]
+    fn stale_lease_read_is_caught() {
+        let mut lin = CounterLinearizability::default();
+        lin.invoke(4, 1, &add(5), 0).unwrap();
+        lin.complete(4, 1, &val(5), 10).unwrap();
+        // Served after the add completed, yet missing it: stale.
+        let err = lin.check_lease_read(2, 6, 1, 20, &val(0)).unwrap_err();
+        assert!(matches!(err, Violation::StaleLeaseRead { replica: 2, .. }));
+        assert!(err.to_string().contains("completed with 5"));
+    }
+
+    #[test]
+    fn forged_lease_read_is_caught() {
+        let mut lin = CounterLinearizability::default();
+        lin.invoke(4, 1, &add(5), 0).unwrap();
+        // Serving a value above everything invoked: fabricated state.
+        let err = lin.check_lease_read(2, 6, 1, 20, &val(9)).unwrap_err();
+        assert!(err.to_string().contains("ever added"));
+    }
+
+    #[test]
+    fn lease_read_before_completion_may_lag() {
+        let mut lin = CounterLinearizability::default();
+        lin.invoke(4, 1, &add(5), 0).unwrap();
+        // The add has not completed anywhere; a read served at 5ns may
+        // legitimately predate its execution.
+        lin.check_lease_read(2, 6, 1, 5, &val(0)).unwrap();
+        lin.complete(4, 1, &val(5), 10).unwrap();
+        // But a serve instant after the completion must reflect it.
+        assert!(lin.check_lease_read(2, 6, 1, 11, &val(0)).is_err());
     }
 
     #[test]

@@ -270,10 +270,33 @@ impl Log {
         }
     }
 
-    /// Discards everything and restarts the window at `low` (proactive
-    /// recovery: the replica rebuilds its log from its stable checkpoint).
-    pub fn reset(&mut self, low: SeqNum) {
-        self.slots.clear();
+    /// Restarts the window at `low` for a proactive recovery, keeping
+    /// every slot above it that accepted a pre-prepare — certificates
+    /// and all. Recovery must not forget certificate state: a batch this
+    /// replica *finalized* is client-visible (a view change racing the
+    /// recovery would otherwise find no prepared certificate anywhere
+    /// and legally re-order that sequence number), and a batch it merely
+    /// *prepared* may be exactly the certificate protecting someone
+    /// else's commit — PBFT's commit safety counts on every honest
+    /// preparer reporting it in the next view change. Batch bodies are
+    /// re-verified against the accepted digest (null batches carry
+    /// nothing to check); a mismatch strips just the bodies — the
+    /// certificate survives and the bodies are re-fetched from peers
+    /// before execution.
+    pub fn reset_keep_certs(&mut self, low: SeqNum) {
+        self.slots
+            .retain(|&s, slot| s > low && slot.has_pre_prepare());
+        for slot in self.slots.values_mut() {
+            let bodies_ok = slot.is_null
+                || slot
+                    .raw_entries
+                    .as_deref()
+                    .is_some_and(|e| Some(crate::messages::batch_digest(e)) == slot.digest);
+            if !bodies_ok {
+                slot.raw_entries = None;
+                slot.requests = None;
+            }
+        }
         self.low = low;
     }
 
@@ -440,6 +463,66 @@ mod tests {
     fn slot_outside_window_panics() {
         let mut log = Log::new(256);
         log.slot_mut(1000);
+    }
+
+    #[test]
+    fn reset_keep_certs_retains_certificates_and_verified_bodies() {
+        use crate::messages::{batch_digest, BatchEntry};
+        let entries = vec![BatchEntry::Ref {
+            client: 1,
+            timestamp: 1,
+            digest: digest(9),
+        }];
+        let mut log = Log::new(256);
+        // Finalized, digest-verified: survives whole.
+        {
+            let s = log.slot_mut(49);
+            s.digest = Some(batch_digest(&entries));
+            s.raw_entries = Some(entries.clone());
+            s.executed_final = true;
+            s.prepares.insert(1, batch_digest(&entries));
+        }
+        // Stored batch no longer matches its digest: the certificate
+        // survives but the bodies are stripped for re-fetch.
+        {
+            let s = log.slot_mut(50);
+            s.digest = Some(digest(2));
+            s.raw_entries = Some(entries.clone());
+            s.prepares.insert(1, digest(2));
+            s.prepares.insert(3, digest(2));
+        }
+        // Prepared but never committed: survives — this certificate may
+        // be what protects a partitioned peer's commit at the next view
+        // change.
+        {
+            let s = log.slot_mut(51);
+            s.digest = Some(batch_digest(&entries));
+            s.raw_entries = Some(entries);
+            s.prepares.insert(1, digest(1));
+        }
+        log.reset_keep_certs(48);
+        assert_eq!(log.low(), 48);
+        let kept = log.slot(49).expect("finalized slot survives recovery");
+        assert!(kept.executed_final);
+        assert_eq!(kept.prepares.len(), 1, "certificates survive with it");
+        let stripped = log.slot(50).expect("certificate survives mismatch");
+        assert!(
+            stripped.raw_entries.is_none(),
+            "corrupt bodies are stripped"
+        );
+        assert!(stripped.requests.is_none());
+        assert_eq!(stripped.prepares.len(), 2);
+        assert!(log.slot(51).is_some(), "prepared-only slots survive");
+    }
+
+    #[test]
+    fn reset_keep_certs_drops_everything_at_or_below_checkpoint() {
+        let mut log = Log::new(256);
+        log.slot_mut(5).digest = Some(digest(1));
+        log.slot_mut(48).digest = Some(digest(2));
+        log.reset_keep_certs(48);
+        assert!(log.is_empty());
+        assert_eq!(log.low(), 48);
     }
 
     #[test]

@@ -937,6 +937,125 @@ impl Wire for RecoverAttest {
     }
 }
 
+/// LEASE: the primary of `view` grants every backup a time-bounded read
+/// lease (arXiv:2107.11144). While a holder's lease is valid it answers
+/// read-only requests locally in one round; the primary defers ordering
+/// writes until every grant is revoked ([`LeaseRevoke`]) or has expired,
+/// so all up-to-date holders reply from the same quiescent state and the
+/// client's `2f+1` matching rule completes without a read-write fallback.
+///
+/// `epoch` totally orders grants and revokes within a view: a holder
+/// ignores any lease message carrying an epoch below the highest it has
+/// seen, so a grant delayed past its own revoke cannot resurrect a lease.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Lease {
+    /// The granting view (a lease is void outside it).
+    pub view: View,
+    /// Grant/revoke sequence counter, primary-local per view.
+    pub epoch: u64,
+    /// The primary's highest assigned sequence number at grant time; a
+    /// holder serves reads only once it has executed through it.
+    pub seq: SeqNum,
+    /// Lease validity window, measured from receipt.
+    pub duration_ns: u64,
+}
+
+impl Wire for Lease {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.view.encode(buf);
+        self.epoch.encode(buf);
+        self.seq.encode(buf);
+        self.duration_ns.encode(buf);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(Lease {
+            view: u64::decode(r)?,
+            epoch: u64::decode(r)?,
+            seq: u64::decode(r)?,
+            duration_ns: u64::decode(r)?,
+        })
+    }
+    fn wire_len(&self) -> usize {
+        8 + 8 + 8 + 8
+    }
+}
+
+/// LEASE-RENEW: a holder's acknowledgment of a [`Lease`] grant — echoes
+/// the acked epoch and reports the holder's execution progress. Doubles
+/// as the primary's per-backup liveness evidence: a primary that stops
+/// hearing these (and other view-matching traffic) from `2f` backups
+/// withholds further grants, so a partitioned or deposed primary's
+/// outstanding leases drain out within one duration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LeaseRenew {
+    /// The granting view.
+    pub view: View,
+    /// The grant epoch being acknowledged.
+    pub epoch: u64,
+    /// The acknowledging holder.
+    pub replica: ReplicaId,
+    /// The holder's highest executed sequence number (telemetry: how far
+    /// behind the grant's `seq` the holder was at accept time).
+    pub seq: SeqNum,
+}
+
+impl Wire for LeaseRenew {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.view.encode(buf);
+        self.epoch.encode(buf);
+        self.replica.encode(buf);
+        self.seq.encode(buf);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(LeaseRenew {
+            view: u64::decode(r)?,
+            epoch: u64::decode(r)?,
+            replica: u32::decode(r)?,
+            seq: u64::decode(r)?,
+        })
+    }
+    fn wire_len(&self) -> usize {
+        8 + 8 + 4 + 8
+    }
+}
+
+/// LEASE-REVOKE: with `ack == false`, the primary's write fence — holders
+/// must drop their lease and answer with `ack == true`. The primary
+/// resumes ordering once every backup acked
+/// ([`crate::types::Quorums::lease_revoke_quorum`]) or the last grant's
+/// conservative expiry passed, whichever comes first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LeaseRevoke {
+    /// The view whose leases are being revoked.
+    pub view: View,
+    /// Epoch of the revocation (supersedes lower-epoch grants).
+    pub epoch: u64,
+    /// The sender (primary for requests, holder for acks).
+    pub replica: ReplicaId,
+    /// False: revoke request from the primary. True: holder's ack.
+    pub ack: bool,
+}
+
+impl Wire for LeaseRevoke {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.view.encode(buf);
+        self.epoch.encode(buf);
+        self.replica.encode(buf);
+        self.ack.encode(buf);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(LeaseRevoke {
+            view: u64::decode(r)?,
+            epoch: u64::decode(r)?,
+            replica: u32::decode(r)?,
+            ack: bool::decode(r)?,
+        })
+    }
+    fn wire_len(&self) -> usize {
+        8 + 8 + 4 + 1
+    }
+}
+
 /// All protocol messages.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Msg {
@@ -982,6 +1101,12 @@ pub enum Msg {
     Recover(Recover),
     /// Stable-checkpoint attestation for a recovering replica.
     RecoverAttest(RecoverAttest),
+    /// Read-lease grant from the primary.
+    Lease(Lease),
+    /// Read-lease grant acknowledgment (holder to primary).
+    LeaseRenew(LeaseRenew),
+    /// Read-lease revocation (request or ack).
+    LeaseRevoke(LeaseRevoke),
 }
 
 impl Msg {
@@ -1009,6 +1134,9 @@ impl Msg {
             Msg::NewKey(_) => "new-key",
             Msg::Recover(_) => "recover",
             Msg::RecoverAttest(_) => "recover-attest",
+            Msg::Lease(_) => "lease",
+            Msg::LeaseRenew(_) => "lease-renew",
+            Msg::LeaseRevoke(_) => "lease-revoke",
         }
     }
 
@@ -1037,6 +1165,9 @@ impl Msg {
             Msg::NewKey(_) => "msg.new-key",
             Msg::Recover(_) => "msg.recover",
             Msg::RecoverAttest(_) => "msg.recover-attest",
+            Msg::Lease(_) => "msg.lease",
+            Msg::LeaseRenew(_) => "msg.lease-renew",
+            Msg::LeaseRevoke(_) => "msg.lease-revoke",
         }
     }
 }
@@ -1128,6 +1259,18 @@ impl Wire for Msg {
                 buf.push(20);
                 m.encode(buf);
             }
+            Msg::Lease(m) => {
+                buf.push(21);
+                m.encode(buf);
+            }
+            Msg::LeaseRenew(m) => {
+                buf.push(22);
+                m.encode(buf);
+            }
+            Msg::LeaseRevoke(m) => {
+                buf.push(23);
+                m.encode(buf);
+            }
         }
     }
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
@@ -1153,6 +1296,9 @@ impl Wire for Msg {
             18 => Msg::PartData(PartData::decode(r)?),
             19 => Msg::Recover(Recover::decode(r)?),
             20 => Msg::RecoverAttest(RecoverAttest::decode(r)?),
+            21 => Msg::Lease(Lease::decode(r)?),
+            22 => Msg::LeaseRenew(LeaseRenew::decode(r)?),
+            23 => Msg::LeaseRevoke(LeaseRevoke::decode(r)?),
             t => return Err(WireError::BadTag(t)),
         })
     }
@@ -1179,6 +1325,9 @@ impl Wire for Msg {
             Msg::NewKey(m) => m.wire_len(),
             Msg::Recover(m) => m.wire_len(),
             Msg::RecoverAttest(m) => m.wire_len(),
+            Msg::Lease(m) => m.wire_len(),
+            Msg::LeaseRenew(m) => m.wire_len(),
+            Msg::LeaseRevoke(m) => m.wire_len(),
         }
     }
 }
@@ -1367,6 +1516,30 @@ mod tests {
             seq: 128,
             state_digest: d,
             replica: 0,
+        }));
+        roundtrip(Msg::Lease(Lease {
+            view: 2,
+            epoch: 9,
+            seq: 140,
+            duration_ns: 100_000_000,
+        }));
+        roundtrip(Msg::LeaseRenew(LeaseRenew {
+            view: 2,
+            epoch: 10,
+            replica: 3,
+            seq: 145,
+        }));
+        roundtrip(Msg::LeaseRevoke(LeaseRevoke {
+            view: 2,
+            epoch: 11,
+            replica: 0,
+            ack: false,
+        }));
+        roundtrip(Msg::LeaseRevoke(LeaseRevoke {
+            view: 2,
+            epoch: 11,
+            replica: 3,
+            ack: true,
         }));
     }
 

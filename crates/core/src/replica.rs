@@ -25,9 +25,15 @@ const TIMER_VIEW_CHANGE: u64 = 2;
 const TIMER_PIGGY: u64 = 3;
 const TIMER_KEY_REFRESH: u64 = 4;
 const TIMER_RECOVERY: u64 = 5;
+const TIMER_LEASE: u64 = 6;
 /// One-shot fast-path fallback timers: token is `TIMER_FASTPATH_BASE + seq`
 /// (well above every sequence number a log window can reach).
 const TIMER_FASTPATH_BASE: u64 = 1 << 32;
+
+/// Bound on reads queued at a lease holder waiting for the next servable
+/// window (lease handoff or state catch-up). Beyond it the oldest queued
+/// read is dropped — the client's retransmission covers the loss.
+const LEASE_RO_CAP: usize = 256;
 
 /// Fault-injection behaviours for testing. A correct deployment uses
 /// [`Behavior::Correct`]; the others make this replica Byzantine in a
@@ -77,6 +83,38 @@ struct CachedReply {
 struct WaitingRo {
     client: ClientId,
     reply: Reply,
+}
+
+/// Primary-side record of the outstanding read-lease grant round
+/// (arXiv:2107.11144). One record covers all backups: grants are
+/// multicast, and the write fence holds until every backup acked the
+/// revoke or the conservative expiry passed.
+#[derive(Debug, Clone)]
+struct LeaseGrant {
+    /// Conservative expiry at the primary: grant send time + duration.
+    /// A holder measures from receipt, so its lease outlives this bound
+    /// by at most one network delay — strictly less than the three
+    /// delays the first post-fence write needs to complete, so the
+    /// overhang cannot produce a stale read of a completed write.
+    expires_at_ns: u64,
+    /// A revoke is in flight for this grant.
+    revoking: bool,
+    /// The epoch the in-flight revoke carries (acks must echo it).
+    revoke_epoch: u64,
+    /// Backups that acked the revoke; the fence lifts at
+    /// [`crate::types::Quorums::lease_revoke_quorum`] of them.
+    acks: BTreeSet<ReplicaId>,
+}
+
+/// Holder-side record of the current read lease.
+#[derive(Debug, Clone, Copy)]
+struct HeldLease {
+    /// Reads are served only once `last_executed` reached this sequence
+    /// number (the primary's highest assignment at grant time), so the
+    /// served state includes every write ordered before the grant.
+    seq: SeqNum,
+    /// Local expiry, measured from grant receipt.
+    expires_at_ns: u64,
 }
 
 /// An in-flight hierarchical state transfer. The fetcher first obtains
@@ -175,9 +213,39 @@ pub struct Replica<S: Service> {
     /// Set when execution advanced, so the view-change timer restarts —
     /// a primary that makes progress is not suspected.
     exec_progress: bool,
+    /// Highest sequence number ever executed (never regressed — not by
+    /// view changes, not by recoveries). Only executions beyond it count
+    /// as progress for the view-change timer: a recovery replaying its
+    /// retained finalized suffix re-executes old sequence numbers every
+    /// interval, and counting that as liveness evidence would let a
+    /// wedged primary sit unsuspected forever.
+    exec_high_water: SeqNum,
     /// Backfill votes: which peers asserted each (seq, digest) committed.
     backfill: BTreeMap<(SeqNum, Digest), BTreeSet<ReplicaId>>,
     waiting_ro: Vec<WaitingRo>,
+    /// Primary: per-view grant/revoke epoch counter. Epochs totally order
+    /// lease messages within a view, so a grant delayed past its own
+    /// revoke cannot resurrect a lease.
+    lease_epoch: u64,
+    /// Primary: the outstanding read-lease grant round, if any.
+    lease_grant: Option<LeaseGrant>,
+    /// Primary: per-backup timestamps of view-matching liveness evidence
+    /// (prepares, commits, status gossip, lease acks carrying our view).
+    /// Grants are withheld without fresh evidence from `2f` backups, so a
+    /// deposed or partitioned primary stops extending leases and its
+    /// holders drain out within one duration.
+    lease_evidence_ns: BTreeMap<ReplicaId, u64>,
+    /// Primary: no new batch is proposed before this instant — the
+    /// post-view-change wait-out for leases the previous primary granted.
+    lease_order_gate_ns: u64,
+    /// Holder: highest grant/revoke epoch seen in the current view.
+    lease_epoch_seen: u64,
+    /// Holder: the current read lease, if any.
+    held_lease: Option<HeldLease>,
+    /// Holder: reads queued for the next servable window (waiting out a
+    /// write burst, a lease handoff, or state catch-up). Bounded by
+    /// [`LEASE_RO_CAP`].
+    waiting_lease_ro: Vec<Request>,
     /// Proactive-recovery state: our own recovery stage plus peer leases.
     recovery: RecoveryManager,
     behavior: Behavior,
@@ -246,8 +314,16 @@ impl<S: Service> Replica<S> {
             fetching: None,
             next_body_fetch_ns: 0,
             exec_progress: false,
+            exec_high_water: 0,
             backfill: BTreeMap::new(),
             waiting_ro: Vec::new(),
+            lease_epoch: 0,
+            lease_grant: None,
+            lease_evidence_ns: BTreeMap::new(),
+            lease_order_gate_ns: 0,
+            lease_epoch_seen: 0,
+            held_lease: None,
+            waiting_lease_ro: Vec::new(),
             recovery: RecoveryManager::new(),
             behavior: Behavior::Correct,
             audit: ReplicaAudit::default(),
@@ -638,7 +714,26 @@ impl<S: Service> Replica<S> {
                 ctx.metrics().incr("replica.ro_dropped_in_recovery");
                 return;
             }
-            self.execute_read_only(ctx, req);
+            if self.cfg.read_leases && !self.is_primary() {
+                // Lease path: answer only inside a servable window (valid
+                // lease, state caught up through the grant's sequence
+                // number, nothing tentative outstanding) so every
+                // up-to-date holder replies from the same quiescent state
+                // and the client's 2f+1 matching rule completes in one
+                // round. Otherwise queue the read for the next window
+                // rather than answering from a state that cannot match.
+                if self.lease_servable(ctx.now().nanos()) {
+                    self.execute_read_only(ctx, req, true);
+                } else {
+                    if self.waiting_lease_ro.len() >= LEASE_RO_CAP {
+                        self.waiting_lease_ro.remove(0);
+                    }
+                    self.waiting_lease_ro.push(req);
+                    ctx.metrics().incr("replica.lease_reads_queued");
+                }
+                return;
+            }
+            self.execute_read_only(ctx, req, false);
             return;
         }
         let identity = (req.client, req.timestamp);
@@ -656,13 +751,35 @@ impl<S: Service> Replica<S> {
         }
     }
 
-    fn execute_read_only(&mut self, ctx: &mut Context<'_, Packet>, req: Request) {
+    fn execute_read_only(&mut self, ctx: &mut Context<'_, Packet>, req: Request, leased: bool) {
         let mut result = self.service.execute_read_only(req.client, &req.op);
         ctx.charge_kind(CostKind::Exec, self.service.exec_cost_ns(&req.op, &result));
         if self.behavior == Behavior::WrongResult {
             tamper(&mut result);
         }
         ctx.charge_kind(CostKind::Digest, self.cfg.cost.digest(result.len()));
+        if leased {
+            // Record what was actually served, so the chaos checker can
+            // cross-check every lease-served read against the global
+            // linearization order (Violation::StaleLeaseRead).
+            self.audit.note_lease_read(
+                req.client,
+                req.timestamp,
+                ctx.now().nanos(),
+                result.clone(),
+            );
+            ctx.metrics().incr("replica.lease_reads");
+            ctx.trace(
+                SpanEdge::Instant,
+                TracePhase::LeaseRead,
+                TraceMeta {
+                    client: req.client as u64,
+                    timestamp: req.timestamp,
+                    view: self.view,
+                    ..TraceMeta::default()
+                },
+            );
+        }
         let send_full =
             !self.cfg.opts.digest_replies || req.replier == self.id || req.replier == REPLIER_ALL;
         let body = if send_full {
@@ -693,6 +810,318 @@ impl<S: Service> Replica<S> {
         ctx.metrics().incr("replica.read_only_execs");
     }
 
+    // ------------------------------------------------------------------
+    // Read leases (arXiv:2107.11144)
+    // ------------------------------------------------------------------
+
+    /// True while this holder may answer read-only requests locally: the
+    /// lease is unexpired, the state is caught up through the grant's
+    /// sequence number, and nothing tentative is outstanding (the served
+    /// prefix is fully committed).
+    fn lease_servable(&self, now: u64) -> bool {
+        if self.in_view_change || self.recovery.in_progress() {
+            return false;
+        }
+        let Some(l) = &self.held_lease else {
+            return false;
+        };
+        now < l.expires_at_ns
+            && self.last_executed >= l.seq
+            && self.last_executed == self.last_final
+    }
+
+    /// Notes view-matching liveness evidence from a backup. Grants
+    /// require fresh evidence from `2f` distinct backups, so a primary
+    /// cut off from the majority — or deposed by a view change it has not
+    /// learned about — stops extending leases within one evidence window.
+    fn note_lease_evidence(&mut self, from: NodeId, now: u64) {
+        if from < self.cfg.n() && from != self.id {
+            self.lease_evidence_ns.insert(from, now);
+        }
+    }
+
+    fn lease_evidence_ok(&self, now: u64) -> bool {
+        let window = 2 * self.cfg.read_lease_ns;
+        let fresh = self
+            .lease_evidence_ns
+            .values()
+            .filter(|&&t| now.saturating_sub(t) <= window)
+            .count();
+        fresh >= self.cfg.quorums.lease_evidence_quorum()
+    }
+
+    /// Serves every queued read once a servable window opens (a fresh
+    /// grant arrived, or execution caught up to the grant's sequence
+    /// number and finality).
+    fn flush_lease_reads(&mut self, ctx: &mut Context<'_, Packet>) {
+        if self.waiting_lease_ro.is_empty() || !self.lease_servable(ctx.now().nanos()) {
+            return;
+        }
+        let queued = std::mem::take(&mut self.waiting_lease_ro);
+        for req in queued {
+            self.execute_read_only(ctx, req, true);
+        }
+    }
+
+    /// Drops all lease state a view change or recovery invalidates:
+    /// the held lease, the grant round, and queued reads (the client's
+    /// retransmission covers those).
+    fn drop_lease_state(&mut self) {
+        self.held_lease = None;
+        self.lease_grant = None;
+        self.waiting_lease_ro.clear();
+    }
+
+    /// The recurring lease tick (period: half the lease duration). The
+    /// primary renews the group-wide grant — or, with writes pending,
+    /// re-sends a possibly lost revoke and re-checks the fence. Holders
+    /// only use it for expiry hygiene.
+    fn on_lease_timer(&mut self, ctx: &mut Context<'_, Packet>) {
+        let now = ctx.now().nanos();
+        if self.held_lease.is_some_and(|l| now >= l.expires_at_ns) {
+            self.held_lease = None;
+        }
+        if !self.is_primary() || self.in_view_change || self.recovery.in_progress() {
+            return;
+        }
+        if !self.pending_batch.is_empty() {
+            // Writes take priority over renewal: re-send the revoke in
+            // case the first multicast was lost (a holder that never
+            // hears it keeps serving until expiry, which only delays the
+            // fence — never breaks it), and re-run the fence check so an
+            // expired grant lifts it without waiting for more traffic.
+            if let Some(g) = &self.lease_grant {
+                if g.revoking && now < g.expires_at_ns {
+                    let rv = LeaseRevoke {
+                        view: self.view,
+                        epoch: g.revoke_epoch,
+                        replica: self.id,
+                        ack: false,
+                    };
+                    self.multicast(ctx, Msg::LeaseRevoke(rv));
+                }
+            }
+            self.try_propose(ctx);
+            return;
+        }
+        self.issue_lease_grant(ctx);
+    }
+
+    /// Multicasts a fresh group-wide grant (or renewal), evidence
+    /// permitting. The grant's sequence number is `next_seq`, so holders
+    /// behind any in-flight writes refuse to serve until they execute
+    /// past them — granting while writes are still committing is safe.
+    fn issue_lease_grant(&mut self, ctx: &mut Context<'_, Packet>) {
+        let now = ctx.now().nanos();
+        if !self.lease_evidence_ok(now) {
+            ctx.metrics().incr("replica.lease_grants_withheld");
+            return;
+        }
+        self.lease_epoch += 1;
+        let lease = Lease {
+            view: self.view,
+            epoch: self.lease_epoch,
+            seq: self.next_seq,
+            duration_ns: self.cfg.read_lease_ns,
+        };
+        self.lease_grant = Some(LeaseGrant {
+            expires_at_ns: now + self.cfg.read_lease_ns,
+            revoking: false,
+            revoke_epoch: 0,
+            acks: BTreeSet::new(),
+        });
+        ctx.metrics().incr("replica.lease_grants");
+        self.multicast(ctx, Msg::Lease(lease));
+    }
+
+    /// Re-grants as soon as a write burst drains rather than waiting out
+    /// the half-period renewal tick: holders park conflicting reads in
+    /// `waiting_lease_ro` from revoke until the next grant, so leaving
+    /// the re-grant to the timer stretches the read tail to half a lease
+    /// period (tens of milliseconds) under even a 1% write mix.
+    fn regrant_after_writes(&mut self, ctx: &mut Context<'_, Packet>) {
+        if !self.cfg.read_leases
+            || !self.is_primary()
+            || self.in_view_change
+            || self.recovery.in_progress()
+            || self.lease_grant.is_some()
+            || !self.pending_batch.is_empty()
+            || !self.queued.is_empty()
+        {
+            return;
+        }
+        self.issue_lease_grant(ctx);
+    }
+
+    /// The primary's write fence: true while an unexpired grant is
+    /// outstanding and not every backup has acked its revoke, or while
+    /// the post-view-change wait-out is running. Sends the revoke on
+    /// first entry. [`Replica::try_propose`] defers while this holds.
+    fn lease_fence_holds(&mut self, ctx: &mut Context<'_, Packet>) -> bool {
+        let now = ctx.now().nanos();
+        if now < self.lease_order_gate_ns {
+            // Leases granted by the previous primary are still draining;
+            // ordering a write now could race one of them.
+            return true;
+        }
+        let Some(g) = &self.lease_grant else {
+            return false;
+        };
+        if now >= g.expires_at_ns {
+            ctx.metrics().incr("replica.lease_fence_expiries");
+            self.lease_grant = None;
+            return false;
+        }
+        if g.acks.len() >= self.cfg.quorums.lease_revoke_quorum() {
+            self.lease_grant = None;
+            return false;
+        }
+        if !g.revoking {
+            self.lease_epoch += 1;
+            let epoch = self.lease_epoch;
+            let g = self.lease_grant.as_mut().expect("checked above");
+            g.revoking = true;
+            g.revoke_epoch = epoch;
+            ctx.metrics().incr("replica.lease_revokes");
+            let rv = LeaseRevoke {
+                view: self.view,
+                epoch,
+                replica: self.id,
+                ack: false,
+            };
+            self.multicast(ctx, Msg::LeaseRevoke(rv));
+        }
+        true
+    }
+
+    /// A grant (or renewal) from the current primary. Epochs below the
+    /// highest seen are reordered leftovers and ignored; a recovering
+    /// holder refuses the lease outright (its state is suspect).
+    fn handle_lease(&mut self, ctx: &mut Context<'_, Packet>, from: NodeId, l: Lease) {
+        if !self.cfg.read_leases {
+            return;
+        }
+        if l.view < self.view {
+            // A deposed primary is still granting: show it the NEW-VIEW
+            // proof so it stops and rejoins.
+            self.retransmit_new_view(ctx, from);
+            return;
+        }
+        if l.view != self.view
+            || self.in_view_change
+            || from != self.cfg.quorums.primary(l.view)
+            || from == self.id
+        {
+            return;
+        }
+        if l.epoch <= self.lease_epoch_seen {
+            return;
+        }
+        self.lease_epoch_seen = l.epoch;
+        if self.recovery.in_progress() {
+            return;
+        }
+        let now = ctx.now().nanos();
+        self.held_lease = Some(HeldLease {
+            seq: l.seq,
+            expires_at_ns: now + l.duration_ns,
+        });
+        ctx.metrics().incr("replica.leases_held");
+        // The ack doubles as the primary's liveness evidence: a primary
+        // that stops hearing these (and other view-matching traffic)
+        // stops granting.
+        let ack = LeaseRenew {
+            view: l.view,
+            epoch: l.epoch,
+            replica: self.id,
+            seq: self.last_executed,
+        };
+        self.send_to(ctx, from, Msg::LeaseRenew(ack));
+        self.flush_lease_reads(ctx);
+    }
+
+    /// A holder's grant acknowledgment (primary side).
+    fn handle_lease_renew(&mut self, ctx: &mut Context<'_, Packet>, from: NodeId, lr: LeaseRenew) {
+        if lr.replica != from {
+            ctx.metrics().incr("replica.spoofed_sender");
+            return;
+        }
+        if !self.cfg.read_leases {
+            return;
+        }
+        if lr.view < self.view {
+            self.retransmit_new_view(ctx, from);
+            return;
+        }
+        if lr.view != self.view || !self.is_primary() || self.in_view_change {
+            return;
+        }
+        self.note_lease_evidence(from, ctx.now().nanos());
+    }
+
+    /// A revoke request (`ack == false`, holder side) or a revoke ack
+    /// (`ack == true`, primary side).
+    fn handle_lease_revoke(
+        &mut self,
+        ctx: &mut Context<'_, Packet>,
+        from: NodeId,
+        rv: LeaseRevoke,
+    ) {
+        if rv.replica != from {
+            ctx.metrics().incr("replica.spoofed_sender");
+            return;
+        }
+        if !self.cfg.read_leases {
+            return;
+        }
+        if rv.view < self.view {
+            self.retransmit_new_view(ctx, from);
+            return;
+        }
+        if rv.view != self.view || self.in_view_change {
+            return;
+        }
+        if rv.ack {
+            if !self.is_primary() {
+                return;
+            }
+            self.note_lease_evidence(from, ctx.now().nanos());
+            let Some(g) = self.lease_grant.as_mut() else {
+                return;
+            };
+            if !g.revoking || rv.epoch != g.revoke_epoch {
+                return;
+            }
+            g.acks.insert(rv.replica);
+            if g.acks.len() >= self.cfg.quorums.lease_revoke_quorum() {
+                self.lease_grant = None;
+                ctx.metrics().incr("replica.lease_fence_acked");
+                self.try_propose(ctx);
+            }
+        } else {
+            if from != self.cfg.quorums.primary(rv.view) {
+                return;
+            }
+            if rv.epoch < self.lease_epoch_seen {
+                // Superseded by a newer grant or revoke.
+                return;
+            }
+            // Equal epochs re-ack: the revoke may be a retransmission
+            // whose first ack was lost, and a missing ack stalls the
+            // primary's fence until expiry.
+            self.lease_epoch_seen = rv.epoch;
+            self.held_lease = None;
+            ctx.metrics().incr("replica.lease_revoke_acks");
+            let ack = LeaseRevoke {
+                view: rv.view,
+                epoch: rv.epoch,
+                replica: self.id,
+                ack: true,
+            };
+            self.send_to(ctx, from, Msg::LeaseRevoke(ack));
+        }
+    }
+
     fn take_piggy(&mut self, ctx: &mut Context<'_, Packet>) -> Vec<(SeqNum, Digest)> {
         if self.piggy_queue.is_empty() {
             return Vec::new();
@@ -705,6 +1134,14 @@ impl<S: Service> Replica<S> {
 
     fn try_propose(&mut self, ctx: &mut Context<'_, Packet>) {
         if !self.is_primary() || self.in_view_change {
+            return;
+        }
+        if self.cfg.read_leases && !self.pending_batch.is_empty() && self.lease_fence_holds(ctx) {
+            // An unexpired lease is outstanding: revoke it (done inside
+            // the fence check) and defer ordering until every holder
+            // acked or the conservative expiry passed. Otherwise a
+            // holder could serve a pre-write read while the write
+            // commits — a linearizability violation.
             return;
         }
         loop {
@@ -819,6 +1256,7 @@ impl<S: Service> Replica<S> {
             }
             self.check_prepared(ctx, seq);
         }
+        self.regrant_after_writes(ctx);
     }
 
     /// Byzantine primary: half the backups get the real pre-prepare, the
@@ -960,6 +1398,9 @@ impl<S: Service> Replica<S> {
             return;
         }
         self.process_piggy(ctx, prep.replica, &prep.piggy_commits);
+        if self.cfg.read_leases && prep.view == self.view {
+            self.note_lease_evidence(from, ctx.now().nanos());
+        }
         if self.in_view_change || prep.view != self.view || !self.log.in_window(prep.seq) {
             return;
         }
@@ -1136,6 +1577,9 @@ impl<S: Service> Replica<S> {
             ctx.metrics().incr("replica.spoofed_sender");
             return;
         }
+        if self.cfg.read_leases && c.view == self.view {
+            self.note_lease_evidence(from, ctx.now().nanos());
+        }
         if self.in_view_change || c.view != self.view || !self.log.in_window(c.seq) {
             return;
         }
@@ -1205,7 +1649,7 @@ impl<S: Service> Replica<S> {
                     },
                 );
                 self.finalize_tentative(seq);
-                self.exec_progress = true;
+                self.note_exec_progress(seq);
             }
         }
         loop {
@@ -1242,6 +1686,19 @@ impl<S: Service> Replica<S> {
                         },
                     );
                     self.finalize_tentative(next);
+                } else if self.last_executed > self.last_final && !broken {
+                    // A tentative batch is pending at `last_executed`
+                    // without a commit certificate (commits are per-slot;
+                    // loss can complete `next`'s certificate first).
+                    // Final-executing `next` on top of it would promote
+                    // the uncertified batch to de-facto finality —
+                    // `last_final` jumps over it, its slot never turns
+                    // `executed_final`, and a view change may still
+                    // re-order that sequence number with a different
+                    // batch. Wait for the predecessor's certificate
+                    // (retransmission, backfill, or a view-change
+                    // rollback all unblock this).
+                    break;
                 } else {
                     self.execute_batch(ctx, next, false);
                 }
@@ -1266,6 +1723,11 @@ impl<S: Service> Replica<S> {
             for w in waiting {
                 self.send_to(ctx, w.client, Msg::Reply(w.reply));
             }
+        }
+        // Execution progress may have opened a lease-servable window
+        // (caught up to the grant's sequence number, tentative drained).
+        if self.cfg.read_leases {
+            self.flush_lease_reads(ctx);
         }
         // Announce checkpoints whose batches have committed.
         let announceable = self.checkpoints.announceable(self.last_final);
@@ -1349,7 +1811,16 @@ impl<S: Service> Replica<S> {
                 break;
             }
             let identity = (req.client, req.timestamp);
-            self.pending_requests.remove(&identity);
+            // Only FINAL execution settles outstanding work. A tentative
+            // execution may never commit (its certificate can stall when
+            // peers recover or fall behind), leaving the client one reply
+            // short of its 2f+1 tentative quorum forever — exactly the
+            // wedge the view-change timer exists to break. Clearing the
+            // pending entry here at tentative time disarms that timer on
+            // the very replicas that hold the stalled batch.
+            if !tentative {
+                self.pending_requests.remove(&identity);
+            }
             self.queued.remove(&identity);
             // Skip duplicates that slipped past queue-level dedup.
             if let Some(cached) = self.reply_cache.get(&req.client) {
@@ -1419,7 +1890,7 @@ impl<S: Service> Replica<S> {
             },
         );
         self.last_executed = seq;
-        self.exec_progress = true;
+        self.note_exec_progress(seq);
         {
             let slot = self.log.slot_mut(seq);
             if tentative {
@@ -1464,6 +1935,14 @@ impl<S: Service> Replica<S> {
         {
             let slot = self.log.slot_mut(seq);
             slot.executed_final = true;
+        }
+        // The batch's requests are settled only now that it is final —
+        // execution left them pending so the view-change timer keeps
+        // covering a tentative batch whose certificate stalls.
+        if let Some(requests) = self.log.slot(seq).and_then(|s| s.requests.as_ref()) {
+            for req in requests {
+                self.pending_requests.remove(&(req.client, req.timestamp));
+            }
         }
         // Upgrade cached replies so retransmissions get committed replies.
         for entry in self.reply_cache.values_mut() {
@@ -1792,6 +2271,12 @@ impl<S: Service> Replica<S> {
     }
 
     fn handle_status(&mut self, ctx: &mut Context<'_, Packet>, from: NodeId, st: Status) {
+        // Status gossip carrying our view is liveness evidence for lease
+        // grants — it flows even when the group is idle, so a quiet but
+        // connected primary keeps granting.
+        if self.cfg.read_leases && st.view == self.view && from < self.cfg.n() {
+            self.note_lease_evidence(from, ctx.now().nanos());
+        }
         // Backfill a lagging peer with batches we know committed. Slots at
         // or below our stable checkpoint are gone; the peer will recover
         // those via state transfer driven by checkpoint claims.
@@ -2070,6 +2555,18 @@ impl<S: Service> Replica<S> {
         self.try_execute(ctx);
     }
 
+    /// Records execution of `seq` as view-change-timer progress — but
+    /// only the first time that sequence number executes. Re-execution
+    /// (a recovery replaying its retained finalized suffix, a new view
+    /// re-driving old slots) completes no outstanding work and says
+    /// nothing about the current primary's health.
+    fn note_exec_progress(&mut self, seq: SeqNum) {
+        if seq > self.exec_high_water {
+            self.exec_high_water = seq;
+            self.exec_progress = true;
+        }
+    }
+
     // ------------------------------------------------------------------
     // View changes
     // ------------------------------------------------------------------
@@ -2087,6 +2584,10 @@ impl<S: Service> Replica<S> {
         self.in_view_change = true;
         self.pending_view = target;
         self.rollback_tentative();
+        // A lease from the suspected view must not outlive it here:
+        // serving reads while the group re-elects could miss writes the
+        // new primary is about to re-order.
+        self.drop_lease_state();
         let vc = ViewChange {
             new_view: target,
             last_stable: self.checkpoints.stable_seq(),
@@ -2361,6 +2862,22 @@ impl<S: Service> Replica<S> {
                 );
             }
         }
+        // Lease state is view-scoped: epochs restart, old grants and
+        // leases are void. A new primary additionally waits out twice the
+        // lease duration before ordering — every lease the previous
+        // primary granted expires at its holder within grant-time +
+        // duration + one delay, and any grant sent before the install
+        // was sent more than one delay ago, so `2 × duration` measured
+        // from here covers them all. (Grants the deposed primary keeps
+        // sending *after* our install die within one round trip: holders
+        // in the new view answer them with the NEW-VIEW proof.)
+        self.drop_lease_state();
+        self.lease_epoch = 0;
+        self.lease_epoch_seen = 0;
+        self.lease_evidence_ns.clear();
+        if is_primary && self.cfg.read_leases {
+            self.lease_order_gate_ns = ctx.now().nanos() + 2 * self.cfg.read_lease_ns;
+        }
         ctx.metrics().incr("replica.views_installed");
         ctx.trace(
             SpanEdge::Close,
@@ -2502,6 +3019,12 @@ impl<S: Service> Replica<S> {
         );
         self.refresh_keys(ctx);
         self.rollback_tentative();
+        // A rebooting holder must not serve reads: its state is suspect
+        // until the audit passes, and it refuses new grants meanwhile.
+        // The primary's own outstanding grant is deliberately kept — the
+        // promise made to holders outlives the reboot within the view.
+        self.held_lease = None;
+        self.waiting_lease_ro.clear();
         self.recovery.begin(ctx.now().nanos());
         let rc = Recover {
             replica: self.id,
@@ -2587,8 +3110,28 @@ impl<S: Service> Replica<S> {
                 (seq, digest)
             }
         };
-        // The "reboot": drop everything above the attested checkpoint.
-        self.log.reset(seq);
+        // The "reboot": restart the window at the attested checkpoint but
+        // keep every slot above it that accepted a pre-prepare, with its
+        // certificates. Recovery must not forget certificate state — in
+        // either direction. A batch *we* executed with a commit
+        // certificate is client-visible finality; dropping it and
+        // re-fetching "eventually" loses the race against a concurrent
+        // view change (sequential recoveries can erase every honest copy
+        // of an un-checkpointed commit, and the new primary then legally
+        // re-orders those sequence numbers). And a batch we merely
+        // *prepared* may be the certificate protecting someone ELSE's
+        // commit: PBFT's commit safety counts on every honest preparer
+        // reporting its prepared certificate in the next view change —
+        // recoveries that drop prepared-but-uncommitted slots let a view
+        // change quorum legally re-order a sequence number a partitioned
+        // peer already finalized. Both were found as agreement violations
+        // by the lease chaos family, whose read-mostly traffic leaves
+        // commits un-checkpointed for long stretches. Retained batch
+        // bodies are digest-verified (corrupt bodies are stripped and
+        // re-fetched); the finalized suffix is replayed onto the audited
+        // checkpoint state below.
+        self.rollback_tentative();
+        self.log.reset_keep_certs(seq);
         self.pending_batch.clear();
         self.queued.clear();
         // `pending_requests` survives the reboot: it holds bare client
@@ -2616,6 +3159,12 @@ impl<S: Service> Replica<S> {
             self.vc_timeout_ns = self.cfg.view_change_timeout_ns;
         }
         self.waiting_ro.clear();
+        // Any lease accepted before the reboot covered pre-reboot state;
+        // the audit may replace that state wholesale, so the lease (and
+        // reads queued against it) must not survive. A fresh grant —
+        // refused while `in_progress()` — re-establishes serving.
+        self.held_lease = None;
+        self.waiting_lease_ro.clear();
         self.fetching = None;
         self.backfill.clear();
         self.tentative_ops = 0;
@@ -2629,6 +3178,11 @@ impl<S: Service> Replica<S> {
             .is_some_and(|own| CheckpointTracker::root_of(&own.leaves) == digest);
         if own_matches && self.restore_own_checkpoint(seq) {
             // Every partition verified against the attested root locally.
+            // Execution restarts from the restored checkpoint; the
+            // retained finalized suffix re-executes below (stale markers
+            // would wedge the loop), rebuilding the exact pre-recovery
+            // prefix on provably clean state.
+            self.log.clear_executed_above(seq);
             self.last_executed = seq;
             self.last_final = seq;
             self.next_seq = self.next_seq.max(seq);
@@ -2636,6 +3190,7 @@ impl<S: Service> Replica<S> {
             self.checkpoints.make_stable(seq, digest);
             self.service.release_checkpoints_below(seq);
             self.complete_recovery(ctx, seq, digest);
+            self.try_execute(ctx);
         } else {
             // Local copy is missing, stale, or corrupt: audit against the
             // group. Only mismatched partitions cross the network.
@@ -2855,6 +3410,26 @@ impl<S: Service> Node<Packet> for Replica<S> {
                 * (self.id as u64 + 1);
             ctx.set_timer(first, TIMER_RECOVERY);
         }
+        if self.cfg.read_leases {
+            // The lease tick runs on every replica: the primary grants
+            // and renews from it, holders use it for expiry hygiene.
+            ctx.set_timer(self.cfg.read_lease_ns / 2, TIMER_LEASE);
+            // Seed liveness evidence as of boot: all replicas start
+            // connected, so the primary may grant immediately instead of
+            // parking the first reads until status gossip (which rides
+            // the much slower resend timer) accumulates. A primary
+            // partitioned from birth still stops granting within one
+            // evidence window, exactly as in steady state.
+            if self.is_primary() {
+                let now = ctx.now().nanos();
+                for r in 0..self.cfg.n() {
+                    if r != self.id {
+                        self.lease_evidence_ns.insert(r, now);
+                    }
+                }
+                self.issue_lease_grant(ctx);
+            }
+        }
     }
 
     fn on_message(
@@ -2900,6 +3475,9 @@ impl<S: Service> Node<Packet> for Replica<S> {
             Msg::NewKey(nk) => self.handle_new_key(ctx, from, nk),
             Msg::Recover(rc) => self.handle_recover(ctx, from, rc),
             Msg::RecoverAttest(ra) => self.handle_recover_attest(ctx, from, ra),
+            Msg::Lease(l) => self.handle_lease(ctx, from, l),
+            Msg::LeaseRenew(lr) => self.handle_lease_renew(ctx, from, lr),
+            Msg::LeaseRevoke(rv) => self.handle_lease_revoke(ctx, from, rv),
             Msg::Reply(_) => { /* replicas do not consume replies */ }
         }
     }
@@ -2920,6 +3498,9 @@ impl<S: Service> Node<Packet> for Replica<S> {
                 }
                 TIMER_RECOVERY => {
                     ctx.set_timer(self.cfg.proactive_recovery_interval_ns, TIMER_RECOVERY);
+                }
+                TIMER_LEASE => {
+                    ctx.set_timer(self.cfg.read_lease_ns / 2, TIMER_LEASE);
                 }
                 TIMER_VIEW_CHANGE => {
                     self.vc_timer = None;
@@ -2954,6 +3535,10 @@ impl<S: Service> Node<Packet> for Replica<S> {
                 ctx.set_timer(self.cfg.key_refresh_interval_ns, TIMER_KEY_REFRESH);
             }
             TIMER_RECOVERY => self.on_recovery_timer(ctx),
+            TIMER_LEASE => {
+                self.on_lease_timer(ctx);
+                ctx.set_timer(self.cfg.read_lease_ns / 2, TIMER_LEASE);
+            }
             t if t >= TIMER_FASTPATH_BASE => {
                 self.on_fastpath_timer(ctx, t - TIMER_FASTPATH_BASE);
             }

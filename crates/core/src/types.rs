@@ -97,6 +97,34 @@ impl Quorums {
         self.n as usize
     }
 
+    /// Revoke acks the primary needs before the write fence lifts: all
+    /// `n − 1` backups (arXiv:2107.11144).
+    ///
+    /// The threshold is every holder, not a quorum: a lease is granted to
+    /// each backup individually, and any *one* un-revoked correct holder
+    /// could keep serving reads from pre-write state while the write
+    /// commits. Waiting for a mere quorum of acks would leave that
+    /// straggler leased. Unreachable holders cannot block writes forever,
+    /// though — the fence also lifts when the last grant's conservative
+    /// expiry passes, so `n − 1` acks is purely the fast lift.
+    pub fn lease_revoke_quorum(&self) -> usize {
+        self.n as usize - 1
+    }
+
+    /// Fresh liveness reports from distinct backups a primary needs
+    /// before granting (or renewing) a read lease: `2f`.
+    ///
+    /// With the primary's own vote that is a majority-intersecting
+    /// `2f + 1` view: any later view change's `2f + 1` quorum overlaps
+    /// it in a correct replica, so a deposed primary — which by
+    /// definition lost contact with some view-change participant —
+    /// stops meeting this bar within one evidence window and its
+    /// outstanding grants drain by expiry before the new view orders
+    /// writes.
+    pub fn lease_evidence_quorum(&self) -> usize {
+        2 * self.f as usize
+    }
+
     /// Matching assertions from `f + 1` *distinct* replicas are
     /// guaranteed to include one from a correct replica — the bound for
     /// joining an in-progress view change and for trusting peer claims
@@ -129,11 +157,13 @@ mod tests {
         assert_eq!(q.reply_quorum(), 2);
         assert_eq!(q.tentative_reply_quorum(), 3);
         assert_eq!(q.fast_quorum(), 4);
+        assert_eq!(q.lease_revoke_quorum(), 3);
 
         let q2 = Quorums::minimal(2);
         assert_eq!(q2.n, 7);
         assert_eq!(q2.commit_quorum(), 5);
         assert_eq!(q2.fast_quorum(), 7);
+        assert_eq!(q2.lease_revoke_quorum(), 6);
     }
 
     #[test]

@@ -55,6 +55,7 @@ proptest! {
             FetchBatch, FetchRequests, RequestData, BatchData,
             Status, CommittedBatch, NewKey,
             Recover, RecoverAttest,
+            Lease, LeaseRenew, LeaseRevoke,
             Msg,
         );
     }

@@ -66,6 +66,9 @@ pub enum TracePhase {
     ViewChange,
     /// Proactive recovery: watchdog fired → state audited and rejoined.
     Recovery,
+    /// A lease holder answered a read-only request locally (instant) —
+    /// the round the read lease saved from the ordering path.
+    LeaseRead,
 }
 
 impl TracePhase {
@@ -84,13 +87,14 @@ impl TracePhase {
             TracePhase::StateTransfer => "state-transfer",
             TracePhase::ViewChange => "view-change",
             TracePhase::Recovery => "recovery",
+            TracePhase::LeaseRead => "lease-read",
         }
     }
 
     /// Coarse category (Chrome trace `cat` field).
     pub fn category(self) -> &'static str {
         match self {
-            TracePhase::Request | TracePhase::RequestRecv => "request",
+            TracePhase::Request | TracePhase::RequestRecv | TracePhase::LeaseRead => "request",
             TracePhase::PrePrepare | TracePhase::Commit | TracePhase::FastCommit => "ordering",
             TracePhase::Execute | TracePhase::ExecuteTentative | TracePhase::ExecuteRequest => {
                 "execution"

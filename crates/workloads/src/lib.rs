@@ -12,13 +12,16 @@
 //! - [`postmark`]: the PostMark benchmark;
 //! - [`fsdriver`]: script drivers for BFS and the unreplicated baselines;
 //! - [`harness`]: ready-made latency/throughput/workload experiment
-//!   runners used by the benches and shape tests.
+//!   runners used by the benches and shape tests;
+//! - [`mix`]: read/write-mix clients for the read-lease experiments,
+//!   with per-kind latency collection.
 
 pub mod andrew;
 pub mod direct;
 pub mod fsdriver;
 pub mod harness;
 pub mod micro;
+pub mod mix;
 pub mod postmark;
 pub mod script;
 
@@ -30,5 +33,6 @@ pub use harness::{
     OpShape, Throughput,
 };
 pub use micro::{simple_op, MicroDriver, SimpleService};
+pub use mix::{read_mix_run, MixStats, ReadMixDriver};
 pub use postmark::{postmark_script, PostmarkConfig};
 pub use script::{Drive, Script, ScriptRunner, WorkItem};
