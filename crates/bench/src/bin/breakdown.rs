@@ -30,8 +30,10 @@
 
 use bft_core::cluster::Cluster;
 use bft_core::config::Config;
-use bft_sim::trace::{assemble, breakdown, Breakdown, CostKind, PHASE_LABELS};
-use bft_sim::{dur, NetConfig};
+use bft_sim::trace::{
+    assemble, breakdown, Breakdown, CostKind, SpanEdge, TracePhase, PHASE_LABELS,
+};
+use bft_sim::{dur, Counter, NetConfig};
 use bft_workloads::micro::{MicroDriver, SimpleService};
 use bft_workloads::mix::ReadMixDriver;
 
@@ -85,10 +87,21 @@ struct Report {
     cpu: Vec<CpuShare>,
 }
 
-/// One measured run: the report plus the exported Chrome trace JSON.
+/// One measured run: the report, the exported Chrome trace JSON, and
+/// the counter-vs-trace cross-check inputs (`--validate`): the health
+/// counter registry and the trace must agree on how many fast-path
+/// commits happened, or one of the two observers is lying.
 struct RunOutput {
     report: Report,
     chrome_json: String,
+    /// `fast-commit` spans closed in the trace (fault-free: one per
+    /// fast-path-committed batch; fallbacks would also close one, so
+    /// the cross-check first requires zero fallbacks).
+    fast_commit_closes: u64,
+    /// Cluster-wide [`Counter::FastCommits`] over the measured window.
+    fast_commits_counted: u64,
+    /// Cluster-wide [`Counter::FastFallbacks`] over the measured window.
+    fast_fallbacks_counted: u64,
 }
 
 fn run_workload(spec: &WorkloadSpec, samples: u64, fast_path: bool) -> RunOutput {
@@ -107,6 +120,9 @@ fn run_workload(spec: &WorkloadSpec, samples: u64, fast_path: bool) -> RunOutput
     while cluster.completed_ops() < WARMUP_OPS && cluster.sim.step() {}
     cluster.sim.metrics_mut().reset();
     cluster.sim.trace_mut().clear();
+    // Reset the health counters with the trace so the two observers
+    // cover exactly the same window and can be cross-checked.
+    cluster.sim.health_mut().reset();
 
     let mut guard = 0;
     while cluster.completed_ops() < samples && guard < 10_000 {
@@ -146,7 +162,16 @@ fn run_workload(spec: &WorkloadSpec, samples: u64, fast_path: bool) -> RunOutput
         })
         .collect();
 
+    let fast_commit_closes = sink
+        .events()
+        .filter(|e| e.phase == TracePhase::FastCommit && e.edge == SpanEdge::Close)
+        .count() as u64;
+    let health = cluster.sim.health();
+
     RunOutput {
+        fast_commit_closes,
+        fast_commits_counted: health.total(Counter::FastCommits),
+        fast_fallbacks_counted: health.total(Counter::FastFallbacks),
         report: Report {
             workload: spec.label.to_string(),
             fast_path,
@@ -296,7 +321,8 @@ fn validate_chrome_trace(json: &str, node_count: u64) -> Result<usize, String> {
 /// The read-lease path run: a read-mostly leased workload (1% counter
 /// writes) whose exported trace must carry `lease-read` instant events.
 /// Returns the Chrome trace JSON plus the lease-read and fallback
-/// counters.
+/// counters (the lease-read count comes from the health counter
+/// registry, so `--validate` cross-checks it against the trace).
 fn run_lease_workload(samples: u64) -> (String, u64, u64) {
     let mut cfg = Config::new(1);
     cfg.read_leases = true;
@@ -317,7 +343,12 @@ fn run_lease_workload(samples: u64) -> (String, u64, u64) {
         "lease workload stalled at {}/{samples} requests",
         cluster.completed_ops()
     );
-    let lease_reads = cluster.sim.metrics().counter("replica.lease_reads");
+    let lease_reads = cluster.sim.health().total(Counter::LeaseReads);
+    assert_eq!(
+        lease_reads,
+        cluster.sim.metrics().counter("replica.lease_reads"),
+        "health counter and metrics counter disagree on lease reads"
+    );
     let fallbacks = cluster.sim.metrics().counter("client.ro_fallbacks");
     (
         cluster.sim.trace().chrome_trace_json(),
@@ -390,6 +421,38 @@ fn main() {
                         spec.label, out.report.error_pct
                     ));
                 }
+                // Counter-vs-trace cross-check: the health registry and
+                // the trace are independent observers of the same run,
+                // so they must agree on the fast-path commit count. The
+                // equality is only exact when nothing fell back (a
+                // fallback closes the fast span without a fast commit),
+                // and these runs are fault-free, so fallbacks are a
+                // failure in their own right.
+                if fast_path {
+                    if out.fast_fallbacks_counted > 0 {
+                        failures.push(format!(
+                            "{} [{tag}]: {} fast-path fallbacks in a fault-free run",
+                            spec.label, out.fast_fallbacks_counted
+                        ));
+                    } else if out.fast_commit_closes != out.fast_commits_counted {
+                        failures.push(format!(
+                            "{} [{tag}]: counter/trace mismatch: {} fast commits counted vs {} \
+                             fast-commit spans closed",
+                            spec.label, out.fast_commits_counted, out.fast_commit_closes
+                        ));
+                    } else {
+                        eprintln!(
+                            "validate {} [{tag}]: {} fast commits agree between counters and trace",
+                            spec.label, out.fast_commits_counted
+                        );
+                    }
+                } else if out.fast_commits_counted != 0 || out.fast_commit_closes != 0 {
+                    failures.push(format!(
+                        "{} [{tag}]: fast-path activity ({} counted, {} spans) with the fast \
+                         path disabled",
+                        spec.label, out.fast_commits_counted, out.fast_commit_closes
+                    ));
+                }
             }
             if spec.label == "0/0" && !fast_path {
                 if let Some(path) = &export_path {
@@ -419,9 +482,16 @@ fn main() {
         match count_events(&lease_json, "lease-read") {
             Ok(0) => failures
                 .push("lease [read-mix]: no lease-read events in exported trace".to_string()),
+            // Counter-vs-trace cross-check: every lease-served read
+            // emits exactly one `lease-read` instant, so the health
+            // counter and the trace must agree on the count.
+            Ok(n) if n as u64 != lease_reads => failures.push(format!(
+                "lease [read-mix]: counter/trace mismatch: {lease_reads} lease reads counted \
+                 vs {n} lease-read events in the trace"
+            )),
             Ok(n) => eprintln!(
                 "validate lease [read-mix]: {n} lease-read events ({lease_reads} lease reads \
-                 served, {fallbacks} fallbacks)"
+                 served, {fallbacks} fallbacks) — counters and trace agree"
             ),
             Err(e) => failures.push(format!("lease [read-mix]: {e}")),
         }

@@ -6,6 +6,12 @@
 //! `harness = false`) under `benches/` that runs the corresponding
 //! experiment in the simulator and prints the same series the paper
 //! plots, next to the paper's qualitative claims.
+//!
+//! [`suite`] holds the machine-readable side: the `BENCH_*.json`
+//! document schema and the `--compare` regression gate used by the
+//! `suite` binary and CI.
+
+pub mod suite;
 
 /// Prints a section header for one reproduced figure or table.
 pub fn figure_header(id: &str, title: &str, paper_claim: &str) {

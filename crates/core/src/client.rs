@@ -12,7 +12,9 @@ use crate::types::{ClientId, ReplicaId, Timestamp, View};
 use crate::wire::Wire;
 use bft_crypto::keychain::KeyChain;
 use bft_crypto::md5::Digest;
-use bft_sim::{Context, CostKind, Node, NodeId, SimTime, SpanEdge, TimerId, TraceMeta, TracePhase};
+use bft_sim::{
+    Context, CostKind, Counter, Node, NodeId, SimTime, SpanEdge, TimerId, TraceMeta, TracePhase,
+};
 use std::any::Any;
 use std::collections::BTreeMap;
 
@@ -124,6 +126,7 @@ impl ClientCore {
         let packet = Packet::unauthenticated(Msg::Request(req));
         let wire = packet.wire_bytes();
         ctx.charge_kind(CostKind::Net, cost.send(wire));
+        ctx.count_sent(packet.body.tag());
         if multicast {
             let all: Vec<NodeId> = (0..self.cfg.n()).collect();
             ctx.multicast(&all, packet, wire);
@@ -350,6 +353,8 @@ impl ClientCore {
         ctx.metrics().incr("client.ro_retries");
         ctx.metrics().incr("client.ro_split_retries");
         ctx.metrics().incr("client.retransmissions");
+        ctx.count(Counter::RoRetries);
+        ctx.count(Counter::Retransmissions);
         self.send_request(ctx);
     }
 
@@ -372,6 +377,8 @@ impl ClientCore {
             p.replier = REPLIER_ALL;
             ctx.metrics().incr("client.ro_retries");
             ctx.metrics().incr("client.retransmissions");
+            ctx.count(Counter::RoRetries);
+            ctx.count(Counter::Retransmissions);
             self.send_request(ctx);
             return;
         }
@@ -383,10 +390,12 @@ impl ClientCore {
         // reach 2f+1 (arXiv:2107.11144).
         if p.read_only {
             ctx.metrics().incr("client.ro_fallbacks");
+            ctx.count(Counter::RoFallbacks);
         }
         p.read_only = false;
         p.replier = REPLIER_ALL;
         ctx.metrics().incr("client.retransmissions");
+        ctx.count(Counter::Retransmissions);
         self.send_request(ctx);
     }
 }
@@ -519,6 +528,7 @@ impl<D: ClientDriver> Node<Packet> for Client<D> {
         wire: usize,
     ) {
         ctx.charge_kind(CostKind::Net, self.core.cfg.cost.recv(wire));
+        ctx.count_received(packet.body.tag());
         // Exhaustive over Msg (lint rule `catch-all`): a client consumes
         // only REPLY; every replica-to-replica variant is named so adding
         // a message type forces an explicit decision here.

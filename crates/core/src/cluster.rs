@@ -10,7 +10,7 @@ use crate::replica::{Behavior, Replica};
 use crate::service::{CounterService, Service};
 use crate::types::ClientId;
 use bft_sim::chaos::{ByzMode, Fault, FaultPlan, NodeFault};
-use bft_sim::{NetConfig, NodeId, Simulation};
+use bft_sim::{HealthReport, HealthSnapshot, NetConfig, NodeId, Simulation};
 
 /// Mixes an index into a base seed (splitmix64), giving well-separated
 /// per-run seeds for fuzz loops and multi-cluster tests.
@@ -196,6 +196,23 @@ impl Cluster {
     /// Total completed client operations (from the metrics).
     pub fn completed_ops(&self) -> u64 {
         self.sim.metrics().counter("client.ops_completed")
+    }
+
+    /// Per-replica health snapshots at the current simulated time, in
+    /// replica-id order. Observer-only: taking snapshots never changes
+    /// the simulation.
+    pub fn health_snapshots<S: Service>(&self) -> Vec<HealthSnapshot> {
+        let now = self.sim.now().nanos();
+        self.replicas
+            .iter()
+            .map(|&i| self.replica::<S>(i).health_snapshot(now))
+            .collect()
+    }
+
+    /// A cluster-level [`HealthReport`] diffing the current per-replica
+    /// snapshots (laggards, view divergence, wedged nodes).
+    pub fn health_report<S: Service>(&self) -> HealthReport {
+        HealthReport::from_snapshots(self.health_snapshots::<S>())
     }
 
     /// Runs for `delta_ns` of simulated time while applying `plan`'s

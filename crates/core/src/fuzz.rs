@@ -272,9 +272,11 @@ pub fn run_fuzz_schedule(seed: u64, f: u32, plan: &FaultPlan) -> Result<(), Viol
 /// [`run_fuzz_schedule`] with the flight recorder armed: trace rings of
 /// [`FLIGHT_RING`] events per node. On a violation, returns the dump of
 /// each node's last [`FLIGHT_DUMP_LAST`] events — what every replica and
-/// client was doing right up to the failure. Tracing does not perturb
-/// the simulation, so the traced run reproduces the untraced failure
-/// event for event.
+/// client was doing right up to the failure — followed by the final
+/// per-replica health snapshot table ([`health_dump`]): view, role,
+/// execution watermarks, queue depths, and wedge status at the instant
+/// of the violation. Tracing does not perturb the simulation, so the
+/// traced run reproduces the untraced failure event for event.
 pub fn run_fuzz_schedule_traced(
     seed: u64,
     f: u32,
@@ -364,7 +366,11 @@ fn run_fuzz_schedule_inner(
     }
     let mut checker = InvariantChecker::new();
     checker.set_heal_deadline(heal_deadline_ns);
-    let flight = |cluster: &Cluster| cluster.sim.trace().flight_dump(FLIGHT_DUMP_LAST);
+    let flight = |cluster: &Cluster| {
+        let mut dump = cluster.sim.trace().flight_dump(FLIGHT_DUMP_LAST);
+        dump.push_str(&health_dump(cluster));
+        dump
+    };
     if let Err(v) = cluster.run_with_plan::<CounterService, ChaosDriver>(
         plan,
         FAULT_HORIZON_NS + dur::millis(1),
@@ -408,6 +414,19 @@ fn run_fuzz_schedule_inner(
         let dump = flight(&cluster);
         (v, dump)
     })
+}
+
+/// The per-replica health table appended to every flight-recorder dump:
+/// the final [`bft_sim::HealthSnapshot`] of each replica plus the
+/// cluster-level diff (laggards, view divergence, wedge status), so a
+/// failure report says what state each node was stuck in — not just its
+/// last events. Fuzz clusters run [`CounterService`], which is what the
+/// snapshot downcast expects.
+pub fn health_dump(cluster: &Cluster) -> String {
+    format!(
+        "  health at failure (per-replica snapshots):\n{}",
+        cluster.health_report::<CounterService>().render()
+    )
 }
 
 /// Formats a violation with everything needed to replay the run:

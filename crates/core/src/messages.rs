@@ -1170,6 +1170,38 @@ impl Msg {
             Msg::LeaseRevoke(_) => "msg.lease-revoke",
         }
     }
+
+    /// The wire tag byte (the discriminant [`Wire::encode`] writes).
+    /// Indexes the per-tag send/receive arrays in the health counter
+    /// registry (`bft_sim::health`).
+    pub fn tag(&self) -> u8 {
+        match self {
+            Msg::Request(_) => 0,
+            Msg::PrePrepare(_) => 1,
+            Msg::Prepare(_) => 2,
+            Msg::Commit(_) => 3,
+            Msg::Reply(_) => 4,
+            Msg::Checkpoint(_) => 5,
+            Msg::ViewChange(_) => 6,
+            Msg::NewView(_) => 7,
+            Msg::FetchState(_) => 8,
+            Msg::StateMeta(_) => 9,
+            Msg::FetchBatch(_) => 10,
+            Msg::BatchData(_) => 11,
+            Msg::FetchRequests(_) => 12,
+            Msg::RequestData(_) => 13,
+            Msg::Status(_) => 14,
+            Msg::CommittedBatch(_) => 15,
+            Msg::NewKey(_) => 16,
+            Msg::FetchParts(_) => 17,
+            Msg::PartData(_) => 18,
+            Msg::Recover(_) => 19,
+            Msg::RecoverAttest(_) => 20,
+            Msg::Lease(_) => 21,
+            Msg::LeaseRenew(_) => 22,
+            Msg::LeaseRevoke(_) => 23,
+        }
+    }
 }
 
 impl Wire for Msg {
@@ -1381,6 +1413,8 @@ mod tests {
 
     fn roundtrip(msg: Msg) {
         let bytes = msg.to_bytes();
+        assert_eq!(bytes[0], msg.tag(), "tag() must match the wire tag");
+        assert_ne!(bft_sim::health::tag_name(msg.tag()), "?", "tag unnamed");
         assert_eq!(Msg::from_bytes(&bytes).expect("decode"), msg);
     }
 

@@ -15,7 +15,10 @@ use crate::wire::Wire;
 use bft_crypto::keychain::KeyChain;
 use bft_crypto::md5::Digest;
 use bft_sim::time::dur;
-use bft_sim::{Context, CostKind, Node, NodeId, SpanEdge, TimerId, TraceMeta, TracePhase};
+use bft_sim::{
+    Context, CostKind, Counter, HealthSnapshot, Node, NodeId, Role, SpanEdge, TimerId, TraceMeta,
+    TracePhase,
+};
 use std::any::Any;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
@@ -396,6 +399,39 @@ impl<S: Service> Replica<S> {
         std::mem::take(&mut self.audit)
     }
 
+    /// An observer-only, typed snapshot of this replica's externally
+    /// observable state at simulated time `at_ns` — views, execution and
+    /// checkpoint watermarks, queue depths, lease/recovery status. Pure
+    /// read: taking a snapshot never changes protocol behaviour.
+    pub fn health_snapshot(&self, at_ns: u64) -> HealthSnapshot {
+        let lease = self.held_lease.as_ref().filter(|l| at_ns < l.expires_at_ns);
+        HealthSnapshot {
+            node: self.id,
+            at_ns,
+            view: self.view,
+            role: if self.is_primary() {
+                Role::Primary
+            } else {
+                Role::Backup
+            },
+            in_view_change: self.in_view_change,
+            recovering: self.recovery.in_progress(),
+            fetching_state: self.fetching.is_some(),
+            last_executed: self.last_executed,
+            last_final: self.last_final,
+            last_stable: self.checkpoints.stable_seq(),
+            next_seq: self.next_seq,
+            log_slots: self.log.len() as u64,
+            pending_batch: self.pending_batch.len() as u64,
+            pending_requests: self.pending_requests.len() as u64,
+            waiting_ro: self.waiting_ro.len() as u64,
+            waiting_lease_ro: self.waiting_lease_ro.len() as u64,
+            lease_held: lease.is_some(),
+            lease_expiry_ns: lease.map_or(0, |l| l.expires_at_ns),
+            fast_path: self.cfg.fast_path,
+        }
+    }
+
     // ------------------------------------------------------------------
     // Authentication and sending
     // ------------------------------------------------------------------
@@ -454,6 +490,7 @@ impl<S: Service> Replica<S> {
         let packet = Packet { body: msg, auth };
         let wire = packet.wire_bytes();
         ctx.charge_kind(CostKind::Net, cost.send(wire));
+        ctx.count_sent(packet.body.tag());
         ctx.multicast(&self.others(), packet, wire);
     }
 
@@ -472,6 +509,7 @@ impl<S: Service> Replica<S> {
         let packet = Packet { body: msg, auth };
         let wire = packet.wire_bytes();
         ctx.charge_kind(CostKind::Net, cost.send(wire));
+        ctx.count_sent(packet.body.tag());
         ctx.send(dst, packet, wire);
     }
 
@@ -769,6 +807,7 @@ impl<S: Service> Replica<S> {
                 result.clone(),
             );
             ctx.metrics().incr("replica.lease_reads");
+            ctx.count(Counter::LeaseReads);
             ctx.trace(
                 SpanEdge::Instant,
                 TracePhase::LeaseRead,
@@ -931,6 +970,7 @@ impl<S: Service> Replica<S> {
             acks: BTreeSet::new(),
         });
         ctx.metrics().incr("replica.lease_grants");
+        ctx.count(Counter::LeaseGrants);
         self.multicast(ctx, Msg::Lease(lease));
     }
 
@@ -983,6 +1023,7 @@ impl<S: Service> Replica<S> {
             g.revoking = true;
             g.revoke_epoch = epoch;
             ctx.metrics().incr("replica.lease_revokes");
+            ctx.count(Counter::LeaseRevokes);
             let rv = LeaseRevoke {
                 view: self.view,
                 epoch,
@@ -1483,6 +1524,7 @@ impl<S: Service> Replica<S> {
             let d = slot.digest.expect("prepared implies digest");
             self.log.slot_mut(seq).fast_committed = true;
             ctx.metrics().incr("replica.fast_commits");
+            ctx.count(Counter::FastCommits);
             self.audit.note_fast_committed(seq, d);
             self.try_execute(ctx);
         } else if slot.fast_quorum_unreachable(&q) {
@@ -1512,6 +1554,7 @@ impl<S: Service> Replica<S> {
             slot.commits.insert(me, d);
         }
         ctx.metrics().incr("replica.fast_fallbacks");
+        ctx.count(Counter::FastFallbacks);
         let meta = TraceMeta {
             view: self.view,
             seq,
@@ -1999,6 +2042,7 @@ impl<S: Service> Replica<S> {
                 self.log.collect_garbage(seq);
                 self.backfill.retain(|&(s, _), _| s > seq);
                 ctx.metrics().incr("replica.stable_checkpoints");
+                ctx.count(Counter::StableCheckpoints);
             }
             _ => {
                 // No local checkpoint at a quorum-stable sequence number.
@@ -2181,6 +2225,7 @@ impl<S: Service> Replica<S> {
         }
         ctx.metrics()
             .add("replica.state_bytes_fetched", fetched_bytes);
+        ctx.count_add(Counter::StateTransferBytes, fetched_bytes);
         let done = fetch.missing.is_empty();
         self.fetching = Some(fetch);
         if corrupt {
@@ -2252,6 +2297,7 @@ impl<S: Service> Replica<S> {
         self.service.release_checkpoints_below(seq);
         self.log.collect_garbage(seq);
         ctx.metrics().incr("replica.state_transfers_completed");
+        ctx.count(Counter::StateTransfers);
         ctx.trace(
             SpanEdge::Close,
             TracePhase::StateTransfer,
@@ -2604,6 +2650,7 @@ impl<S: Service> Replica<S> {
         };
         self.vc_set.add(vc.clone());
         ctx.metrics().incr("replica.view_changes_started");
+        ctx.count(Counter::ViewChanges);
         ctx.trace(
             SpanEdge::Open,
             TracePhase::ViewChange,
@@ -2648,6 +2695,7 @@ impl<S: Service> Replica<S> {
         *gate = now + self.cfg.resend_interval_ns.max(20_000_000);
         let nv = nv.clone();
         ctx.metrics().incr("replica.new_view_retransmits");
+        ctx.count(Counter::NewViewRetransmits);
         self.send_to(ctx, to, Msg::NewView(nv));
     }
 
@@ -2879,6 +2927,7 @@ impl<S: Service> Replica<S> {
             self.lease_order_gate_ns = ctx.now().nanos() + 2 * self.cfg.read_lease_ns;
         }
         ctx.metrics().incr("replica.views_installed");
+        ctx.count(Counter::ViewsInstalled);
         ctx.trace(
             SpanEdge::Close,
             TracePhase::ViewChange,
@@ -2904,6 +2953,7 @@ impl<S: Service> Replica<S> {
                 let packet = Packet::unauthenticated(Msg::Request(req));
                 let wire = packet.wire_bytes();
                 ctx.charge_kind(CostKind::Net, self.cfg.cost.send(wire));
+                ctx.count_sent(packet.body.tag());
                 ctx.send(primary, packet, wire);
             }
             if !self.pending_requests.is_empty() {
@@ -3218,6 +3268,7 @@ impl<S: Service> Replica<S> {
         let heal_ns = now.saturating_sub(self.recovery.since_ns().unwrap_or(now));
         ctx.metrics().add("replica.recovery_heal_ns", heal_ns);
         ctx.metrics().incr("replica.recoveries_completed");
+        ctx.count(Counter::Recoveries);
         self.recovery.finish();
         self.audit.note_recovery(seq, digest, ctx.now().nanos());
         ctx.trace(
@@ -3444,6 +3495,7 @@ impl<S: Service> Node<Packet> for Replica<S> {
         }
         ctx.charge_kind(CostKind::Net, self.cfg.cost.recv(wire));
         ctx.metrics().incr(packet.body.metric_name());
+        ctx.count_received(packet.body.tag());
         if !self.verify_packet(ctx, from, &packet) {
             ctx.metrics().incr("replica.bad_packet_auth");
             return;

@@ -395,6 +395,56 @@ fn injected_broken_quorum_check_is_caught() {
     assert!(report.contains("pre-prepare"), "{report}");
 }
 
+/// The traced fuzz failure path must append the per-replica health
+/// snapshot table to the flight dump, so a failure report says what
+/// state each node was wedged in — not just its last events.
+///
+/// Construction: a seeded plan crashes backups 1 and 2 at time zero and
+/// never restarts them. With two of four replicas down there is no
+/// quorum of three, no operation ever completes, and the liveness
+/// budget expires — the health table must then show every replica and
+/// the crashed pair pinned at `last_executed` 0.
+#[test]
+fn fuzz_failure_report_includes_health_snapshots() {
+    let seed = 0x8EA17;
+    let plan = FaultPlan {
+        events: vec![
+            FaultEvent {
+                at_ns: 0,
+                fault: Fault::Node {
+                    node: 1,
+                    fault: NodeFault::Crash,
+                },
+            },
+            FaultEvent {
+                at_ns: 0,
+                fault: Fault::Node {
+                    node: 2,
+                    fault: NodeFault::Crash,
+                },
+            },
+        ],
+    };
+    let (v, flight) = run_fuzz_schedule_traced(seed, 1, &plan)
+        .expect_err("two crashed replicas out of four must stall liveness");
+    assert!(matches!(v, Violation::Liveness { .. }), "{v}");
+    let report = failure_report(seed, 1, &plan, &v, Some(&flight));
+    assert!(
+        report.contains("health at failure (per-replica snapshots)"),
+        "report must embed the health table: {report}"
+    );
+    // One snapshot row per replica, plus the cluster-level diff line.
+    for node in 0..4 {
+        assert!(
+            report.contains(&format!("\n{node:>4}  ")),
+            "missing snapshot row for replica {node}: {report}"
+        );
+    }
+    assert!(report.contains("cluster: max_view="), "{report}");
+    // Nothing was ever ordered: the diff must agree nobody executed.
+    assert!(report.contains("max_executed=0"), "{report}");
+}
+
 /// Read-only operations that cannot assemble their 2f + 1 read-only
 /// quorum (here: the reader is partitioned from two replicas while
 /// writes commit concurrently) must be retried as read-write and must

@@ -12,7 +12,7 @@ use bft_core::fuzz::{fuzz_config, fuzz_plan, ChaosDriver, Workload};
 use bft_core::prelude::*;
 use bft_sim::dur;
 use bft_sim::trace::TraceEvent;
-use bft_sim::NodeId;
+use bft_sim::{Counters, HealthSnapshot, NodeId};
 
 const OPS_PER_CLIENT: u64 = 8;
 const TRACE_CAPACITY: usize = 8192;
@@ -33,11 +33,15 @@ fn run_once(seed: u64, plan: &FaultPlan, rounds: u32) -> RunFingerprint {
 
     let mut checker = InvariantChecker::new();
     let empty = FaultPlan::empty();
+    let mut health_seq: Vec<Vec<HealthSnapshot>> = Vec::new();
     for round in 0..rounds {
         let p = if round == 0 { plan } else { &empty };
         cluster
             .run_with_plan::<CounterService, ChaosDriver>(p, dur::millis(100), &mut checker)
             .expect("invariants hold in both runs");
+        // Snapshot after every round: the health observatory must be as
+        // deterministic as the protocol it observes.
+        health_seq.push(cluster.health_snapshots::<CounterService>());
     }
 
     let sink = cluster.sim.trace();
@@ -53,6 +57,8 @@ fn run_once(seed: u64, plan: &FaultPlan, rounds: u32) -> RunFingerprint {
         events_processed: cluster.sim.events_processed(),
         now_ns: cluster.sim.now().0,
         executed,
+        health_seq,
+        counters: cluster.sim.health().clone(),
     }
 }
 
@@ -62,6 +68,10 @@ struct RunFingerprint {
     events_processed: u64,
     now_ns: u64,
     executed: Vec<u64>,
+    /// Per-round health snapshots of every replica.
+    health_seq: Vec<Vec<HealthSnapshot>>,
+    /// Final health counter registry (messages by tag, protocol events).
+    counters: Counters,
 }
 
 /// Asserts two runs are indistinguishable, with a pinpointed diagnostic
@@ -87,6 +97,15 @@ fn assert_identical(a: &RunFingerprint, b: &RunFingerprint) {
             assert_eq!(ea, eb, "node {node}: traces diverge at ring index {i}");
         }
     }
+    assert_eq!(
+        a.health_seq.len(),
+        b.health_seq.len(),
+        "health snapshot round counts differ"
+    );
+    for (round, (sa, sb)) in a.health_seq.iter().zip(&b.health_seq).enumerate() {
+        assert_eq!(sa, sb, "health snapshots diverge after round {round}");
+    }
+    assert_eq!(a.counters, b.counters, "health counters diverge");
 }
 
 /// Fault-free: same seed, same schedule, identical traces.
@@ -97,6 +116,11 @@ fn identical_seeds_produce_identical_traces() {
     assert!(
         a.completed_ops >= OPS_PER_CLIENT,
         "run must make progress to be a meaningful comparison"
+    );
+    assert!(
+        a.counters.sent_by_tag().iter().sum::<u64>() > 0
+            && a.health_seq.last().is_some_and(|s| !s.is_empty()),
+        "health observatory must be populated, or the comparison is vacuous"
     );
     let b = run_once(0x0DE7_E121, &plan, 12);
     assert_identical(&a, &b);

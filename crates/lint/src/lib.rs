@@ -118,8 +118,8 @@ impl Scope {
 ///
 /// - `determinism`: the protocol paths — all of `crates/core/src` and
 ///   `crates/sim/src`, minus the observer-only subsystems (`trace.rs`,
-///   `metrics.rs`), which post-process events and never feed state back
-///   into the protocol.
+///   `metrics.rs`, `health.rs`), which post-process events and never
+///   feed state back into the protocol.
 /// - `quorum-math`: every `src/` file in the workspace except
 ///   `crates/core/src/types.rs`, the one blessed home of the
 ///   arithmetic.
@@ -137,7 +137,9 @@ pub fn scope_for(rel_path: &str) -> Scope {
         return Scope::default();
     }
 
-    let observer = path.ends_with("/trace.rs") || path.ends_with("/metrics.rs");
+    let observer = path.ends_with("/trace.rs")
+        || path.ends_with("/metrics.rs")
+        || path.ends_with("/health.rs");
     let protocol_crate =
         path.starts_with("crates/core/src/") || path.starts_with("crates/sim/src/");
 

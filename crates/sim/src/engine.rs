@@ -11,6 +11,7 @@
 //! randomness comes from one seeded RNG, so a run is a pure function of
 //! its inputs.
 
+use crate::health::{Counter, Counters};
 use crate::metrics::Metrics;
 use crate::network::{NetConfig, Network, NodeId};
 use crate::time::SimTime;
@@ -102,6 +103,7 @@ struct Kernel<M> {
     rng: StdRng,
     metrics: Metrics,
     trace: TraceSink,
+    health: Counters,
     cancelled: HashSet<u64>,
     next_timer: u64,
     stopped: bool,
@@ -302,6 +304,28 @@ impl<M> Context<'_, M> {
         &mut self.kernel.metrics
     }
 
+    /// Records one logical send of a message with wire tag `tag` in the
+    /// health counter registry (a multicast counts once).
+    pub fn count_sent(&mut self, tag: u8) {
+        self.kernel.health.count_sent(self.id, tag);
+    }
+
+    /// Records one delivery of a message with wire tag `tag` in the
+    /// health counter registry.
+    pub fn count_received(&mut self, tag: u8) {
+        self.kernel.health.count_received(self.id, tag);
+    }
+
+    /// Bumps a protocol event counter for this node.
+    pub fn count(&mut self, counter: Counter) {
+        self.kernel.health.count(self.id, counter);
+    }
+
+    /// Bumps a protocol event counter for this node by `delta`.
+    pub fn count_add(&mut self, counter: Counter, delta: u64) {
+        self.kernel.health.count_add(self.id, counter, delta);
+    }
+
     /// Whether trace-event recording is enabled (cheap; lets emitters
     /// skip building metadata when tracing is off).
     pub fn trace_enabled(&self) -> bool {
@@ -395,6 +419,7 @@ impl<M: 'static> Simulation<M> {
                 rng: StdRng::seed_from_u64(seed),
                 metrics: Metrics::new(),
                 trace: TraceSink::new(),
+                health: Counters::new(),
                 cancelled: HashSet::new(),
                 next_timer: 0,
                 stopped: false,
@@ -445,6 +470,17 @@ impl<M: 'static> Simulation<M> {
     /// [`TraceSink::set_capacity`] or clear between phases).
     pub fn trace_mut(&mut self) -> &mut TraceSink {
         &mut self.kernel.trace
+    }
+
+    /// The health counter registry (messages by tag, protocol events).
+    pub fn health(&self) -> &Counters {
+        &self.kernel.health
+    }
+
+    /// Mutable health-counter access (e.g. to reset between warmup and
+    /// measurement phases).
+    pub fn health_mut(&mut self) -> &mut Counters {
+        &mut self.kernel.health
     }
 
     /// The network, for fault injection.

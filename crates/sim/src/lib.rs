@@ -20,6 +20,10 @@
 //!   to the paper's hardware;
 //! - [`metrics`]: counters and log-bucketed latency histograms the
 //!   experiment harness reads;
+//! - [`health`]: observer-only cluster health — per-replica
+//!   [`HealthSnapshot`]s diffed into a [`HealthReport`], and the
+//!   always-on [`Counters`] registry (messages by wire tag, protocol
+//!   events) threaded through [`Context`];
 //! - [`trace`]: structured span tracing — bounded per-node event rings,
 //!   a per-request latency-breakdown assembler, a Chrome-trace exporter,
 //!   and the chaos flight recorder;
@@ -31,6 +35,7 @@
 pub mod chaos;
 pub mod cost;
 pub mod engine;
+pub mod health;
 pub mod metrics;
 pub mod network;
 pub mod time;
@@ -39,6 +44,7 @@ pub mod trace;
 pub use chaos::{ByzMode, ChaosConfig, Fault, FaultEvent, FaultPlan, NetFault, NodeFault};
 pub use cost::CostModel;
 pub use engine::{Context, Node, Simulation, TimerId};
+pub use health::{Counter, Counters, HealthReport, HealthSnapshot, NodeCounters, Role};
 pub use metrics::{Histogram, Metrics, Summary};
 pub use network::{DropReason, NetConfig, NetStats, Network, NodeId};
 pub use time::{dur, SimTime};

@@ -249,6 +249,31 @@ impl<T: Serialize> Serialize for &T {
     }
 }
 
+// String-keyed maps serialize as JSON objects. BTreeMap iterates in key
+// order, so the emitted JSON is deterministic — which is what lets
+// machine-readable benchmark files be diffed byte for byte.
+impl<V: Serialize> Serialize for std::collections::BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Map(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for std::collections::BTreeMap<String, V> {
+    fn from_value(v: &Value) -> Result<std::collections::BTreeMap<String, V>, Error> {
+        match v {
+            Value::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+                .collect(),
+            _ => Err(Error::msg("expected map")),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -271,5 +296,25 @@ mod tests {
         assert!(u8::from_value(&Value::U64(300)).is_err());
         assert!(bool::from_value(&Value::U64(1)).is_err());
         assert!(field::<u64>(&Value::Map(vec![]), "missing").is_err());
+    }
+
+    #[test]
+    fn string_keyed_btreemap_roundtrips_in_key_order() {
+        let mut m = std::collections::BTreeMap::new();
+        m.insert("zeta".to_string(), 1u64);
+        m.insert("alpha".to_string(), 2u64);
+        let v = m.to_value();
+        match &v {
+            Value::Map(entries) => {
+                let keys: Vec<&str> = entries.iter().map(|(k, _)| k.as_str()).collect();
+                assert_eq!(keys, vec!["alpha", "zeta"], "must serialize sorted");
+            }
+            _ => panic!("expected map"),
+        }
+        assert_eq!(
+            std::collections::BTreeMap::<String, u64>::from_value(&v),
+            Ok(m)
+        );
+        assert!(std::collections::BTreeMap::<String, u64>::from_value(&Value::U64(1)).is_err());
     }
 }
