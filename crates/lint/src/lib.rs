@@ -1,7 +1,10 @@
 //! `bft-lint`: protocol-aware static analysis for the BFT workspace.
 //!
 //! The correctness argument of the protocol (Castro & Liskov, DSN 2001)
-//! leans on invariants that ordinary type checking cannot see:
+//! leans on invariants that ordinary type checking cannot see. The
+//! linter enforces them in two phases.
+//!
+//! **Phase 1 — token rules** (per file, purely lexical):
 //!
 //! 1. **determinism** — replicas are deterministic state machines, and
 //!    the seed-replayable simulator assumes it; iterating a
@@ -10,14 +13,29 @@
 //! 2. **quorum-math** — every quorum threshold (`2f+1`, `3f+1`, `f+1`,
 //!    and participation bounds like `n - f`) must come from
 //!    `bft_core::types::Quorums`; inline re-derivations are where
-//!    off-by-one safety bugs hide (`n - f` as a fast quorum being the
-//!    canonical example — see `Quorums::fast_quorum`).
+//!    off-by-one safety bugs hide.
 //! 3. **catch-all** — replica/client dispatch over the `Msg` enum must
 //!    be exhaustive, so adding a message variant forces every handler
 //!    to make an explicit decision.
 //! 4. **decode-panic** — `wire.rs` decoders consume untrusted network
 //!    bytes; `unwrap`/`expect`/slice-indexing turn a Byzantine payload
 //!    into a crash instead of an `Err`.
+//!
+//! **Phase 2 — model rules** (cross-file, over the [`model`] item
+//! model):
+//!
+//! 5. **handler-coverage** — every `Msg` variant has a dispatch arm in
+//!    `replica.rs`/`client.rs`, and the wire tag byte is unique and
+//!    agrees between `Msg::tag()`, encode, and decode.
+//! 6. **timer-pairing** — every armed `TIMER_*` token has a fire
+//!    handler; stored one-shot timers have a cancel site.
+//! 7. **span-pairing** — every `TracePhase` opened is closed.
+//! 8. **invariant-coverage** — every `Violation` variant is constructed
+//!    by a checker and referenced by at least one test.
+//! 9. **counter-coverage** — every registered health counter has an
+//!    emission site.
+//! 10. **layering** — protocol modules in `crates/core` name only the
+//!     sanctioned `bft_sim` surface (the future `Host` boundary).
 //!
 //! A finding may be suppressed with a *justified* pragma on the same
 //! line or the line above:
@@ -27,12 +45,17 @@
 //! ```
 //!
 //! A pragma without a `-- reason` suppresses nothing and is itself
-//! reported, so every exemption in the tree carries its argument.
+//! reported; a justified pragma that suppresses zero findings is a
+//! *stale* pragma and also reported, so the exemption list can only
+//! shrink as code is fixed.
 
 pub mod lexer;
+pub mod model;
+pub mod rules;
 
-use lexer::{Comment, Kind, Lexed, Token};
-use std::collections::BTreeSet;
+use lexer::{Comment, Lexed, Token};
+use model::matching;
+use std::collections::BTreeMap;
 use std::fmt;
 use std::path::{Path, PathBuf};
 
@@ -41,28 +64,60 @@ pub const RULE_DETERMINISM: &str = "determinism";
 pub const RULE_QUORUM: &str = "quorum-math";
 pub const RULE_CATCHALL: &str = "catch-all";
 pub const RULE_DECODE: &str = "decode-panic";
+pub const RULE_HANDLER: &str = "handler-coverage";
+pub const RULE_TIMER: &str = "timer-pairing";
+pub const RULE_SPAN: &str = "span-pairing";
+pub const RULE_INVARIANT: &str = "invariant-coverage";
+pub const RULE_COUNTER: &str = "counter-coverage";
+pub const RULE_LAYERING: &str = "layering";
 pub const RULE_PRAGMA: &str = "pragma";
 
-/// All suppressible rules.
-pub const RULES: &[&str] = &[RULE_DETERMINISM, RULE_QUORUM, RULE_CATCHALL, RULE_DECODE];
+/// Phase-1 rules: per-file, token-level.
+pub const TOKEN_RULES: &[&str] = &[RULE_DETERMINISM, RULE_QUORUM, RULE_CATCHALL, RULE_DECODE];
 
-/// The enum whose dispatch must be exhaustive (rule 3).
-const DISPATCH_ENUM: &str = "Msg";
-
-/// Hash-ordered iteration methods flagged by rule 1. `retain`,
-/// `insert`, `get`, `contains_key`, and `len` are order-independent and
-/// deliberately not listed.
-const ITER_METHODS: &[&str] = &[
-    "iter",
-    "iter_mut",
-    "keys",
-    "values",
-    "values_mut",
-    "drain",
-    "into_iter",
-    "into_keys",
-    "into_values",
+/// Phase-2 rules: cross-file, over the item model.
+pub const MODEL_RULES: &[&str] = &[
+    RULE_HANDLER,
+    RULE_TIMER,
+    RULE_SPAN,
+    RULE_INVARIANT,
+    RULE_COUNTER,
+    RULE_LAYERING,
 ];
+
+/// All suppressible rules.
+pub const RULES: &[&str] = &[
+    RULE_DETERMINISM,
+    RULE_QUORUM,
+    RULE_CATCHALL,
+    RULE_DECODE,
+    RULE_HANDLER,
+    RULE_TIMER,
+    RULE_SPAN,
+    RULE_INVARIANT,
+    RULE_COUNTER,
+    RULE_LAYERING,
+];
+
+/// Which analysis phases to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Per-file token rules only.
+    Token,
+    /// Cross-file model rules only.
+    Model,
+    /// Both phases (the default).
+    All,
+}
+
+impl Phase {
+    fn token(self) -> bool {
+        matches!(self, Phase::Token | Phase::All)
+    }
+    fn model(self) -> bool {
+        matches!(self, Phase::Model | Phase::All)
+    }
+}
 
 /// One reported violation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -90,7 +145,7 @@ impl fmt::Display for Finding {
     }
 }
 
-/// Which rules apply to a given file.
+/// Which token rules apply to a given file.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Scope {
     pub determinism: bool,
@@ -114,7 +169,7 @@ impl Scope {
     }
 }
 
-/// Maps a workspace-relative path to the rules that apply there.
+/// Maps a workspace-relative path to the token rules that apply there.
 ///
 /// - `determinism`: the protocol paths — all of `crates/core/src` and
 ///   `crates/sim/src`, minus the observer-only subsystems (`trace.rs`,
@@ -127,6 +182,9 @@ impl Scope {
 ///   `client.rs`.
 /// - `decode-panic`: the untrusted-byte decoders, `wire.rs` and
 ///   `messages.rs`.
+///
+/// Model rules are not scoped per file: each anchors on the workspace
+/// files it names (see [`rules`]).
 pub fn scope_for(rel_path: &str) -> Scope {
     let path = rel_path.replace('\\', "/");
     if !path.ends_with(".rs") {
@@ -151,11 +209,12 @@ pub fn scope_for(rel_path: &str) -> Scope {
     }
 }
 
-/// Lints one file's source under the given scope. `rel_path` is used
-/// only for reporting.
+/// Lints one file's source under the given scope (token rules only —
+/// cross-file rules need [`check_sources`]). `rel_path` is used only
+/// for reporting.
 pub fn check_source(rel_path: &str, source: &str, scope: Scope) -> Vec<Finding> {
     let lexed = lexer::lex(source);
-    let toks = active_tokens(&lexed);
+    let (toks, _) = split_cfg_test(&lexed);
     let lines: Vec<&str> = source.lines().collect();
     let snippet = |line: u32| -> String {
         lines
@@ -165,64 +224,131 @@ pub fn check_source(rel_path: &str, source: &str, scope: Scope) -> Vec<Finding> 
     };
 
     let mut findings = Vec::new();
-    if scope.determinism {
-        rule_determinism(rel_path, &toks, &snippet, &mut findings);
-    }
-    if scope.quorum {
-        rule_quorum(rel_path, &toks, &snippet, &mut findings);
-    }
-    if scope.catchall {
-        rule_catchall(rel_path, &toks, &snippet, &mut findings);
-    }
-    if scope.decode {
-        rule_decode(rel_path, &toks, &snippet, &mut findings);
-    }
-
+    run_token_rules(rel_path, &toks, scope, &snippet, &mut findings);
     findings.sort_by_key(|fnd| (fnd.line, fnd.rule));
     findings.dedup_by_key(|fnd| (fnd.line, fnd.rule));
 
-    apply_pragmas(rel_path, &lexed.comments, findings, &snippet)
+    let executed = executed_rules(scope, true, false);
+    apply_pragmas(rel_path, &lexed.comments, findings, &snippet, &executed)
 }
 
-/// Lints every `src/` tree in the workspace rooted at `root`.
-pub fn check_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
+/// Lints a set of in-memory sources as one workspace: builds the item
+/// model over all of them, runs the requested phases, and applies
+/// pragmas per file. Paths containing a `tests/` component are test
+/// files: they feed the model's test-reference checks but no rules or
+/// pragma checks run on them.
+pub fn check_sources(files: &[(String, String)], phase: Phase) -> Vec<Finding> {
+    let mut work = model::WorkspaceModel::default();
+    for (path, source) in files {
+        let rel = path.replace('\\', "/");
+        let lexed = lexer::lex(source);
+        let is_test = rel.contains("/tests/") || rel.starts_with("tests/");
+        let (active, stripped) = if is_test {
+            (lexed.tokens.clone(), Vec::new())
+        } else {
+            split_cfg_test(&lexed)
+        };
+        let mut fm = model::FileModel::build(&rel, source, active, lexed.comments);
+        fm.cfg_test_tokens = stripped;
+        work.files.push(fm);
+    }
+    work.files.sort_by(|a, b| a.path.cmp(&b.path));
+
+    let mut findings: Vec<Finding> = Vec::new();
+    if phase.token() {
+        for fm in work.files.iter().filter(|f| !f.is_test) {
+            let scope = scope_for(&fm.path);
+            if scope.is_empty() {
+                continue;
+            }
+            let snippet = |line: u32| fm.snippet(line);
+            run_token_rules(&fm.path, &fm.tokens, scope, &snippet, &mut findings);
+        }
+    }
+    if phase.model() {
+        rules::handler::run(&work, &mut findings);
+        rules::timer::run(&work, &mut findings);
+        rules::span::run(&work, &mut findings);
+        rules::invariant::run(&work, &mut findings);
+        rules::counter::run(&work, &mut findings);
+        rules::layering::run(&work, &mut findings);
+    }
+
+    let mut by_file: BTreeMap<String, Vec<Finding>> = BTreeMap::new();
+    for fnd in findings {
+        by_file.entry(fnd.file.clone()).or_default().push(fnd);
+    }
+    let mut out = Vec::new();
+    for fm in work.files.iter().filter(|f| !f.is_test) {
+        let mut fnds = by_file.remove(&fm.path).unwrap_or_default();
+        fnds.sort_by_key(|f| (f.line, f.rule));
+        // Distinct defects can anchor on the same line (e.g. a variant
+        // both unconstructed and untested), so dedup on the message too.
+        fnds.dedup_by(|a, b| a.line == b.line && a.rule == b.rule && a.message == b.message);
+        let executed = executed_rules(scope_for(&fm.path), phase.token(), phase.model());
+        let snippet = |line: u32| fm.snippet(line);
+        out.extend(apply_pragmas(
+            &fm.path,
+            &fm.comments,
+            fnds,
+            &snippet,
+            &executed,
+        ));
+    }
+    // Findings attributed to unmodeled or test files pass through.
+    for fnds in by_file.into_values() {
+        out.extend(fnds);
+    }
+    out.sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
+    out
+}
+
+/// Lints the workspace rooted at `root`: every `src/` tree for the
+/// token rules, plus `tests/` trees (fixture directories excluded) for
+/// the model's test-reference checks.
+pub fn check_workspace(root: &Path, phase: Phase) -> std::io::Result<Vec<Finding>> {
     let mut files: Vec<PathBuf> = Vec::new();
     let crates_dir = root.join("crates");
     if crates_dir.is_dir() {
         for entry in std::fs::read_dir(&crates_dir)? {
-            let src = entry?.path().join("src");
-            if src.is_dir() {
-                collect_rs(&src, &mut files)?;
+            let krate = entry?.path();
+            for sub in ["src", "tests"] {
+                let dir = krate.join(sub);
+                if dir.is_dir() {
+                    collect_rs(&dir, &mut files)?;
+                }
             }
         }
     }
-    let root_src = root.join("src");
-    if root_src.is_dir() {
-        collect_rs(&root_src, &mut files)?;
+    for sub in ["src", "tests"] {
+        let dir = root.join(sub);
+        if dir.is_dir() {
+            collect_rs(&dir, &mut files)?;
+        }
     }
     files.sort();
 
-    let mut findings = Vec::new();
+    let mut sources = Vec::new();
     for file in &files {
         let rel = file
             .strip_prefix(root)
             .unwrap_or(file)
             .to_string_lossy()
             .replace('\\', "/");
-        let scope = scope_for(&rel);
-        if scope.is_empty() {
-            continue;
-        }
-        let source = std::fs::read_to_string(file)?;
-        findings.extend(check_source(&rel, &source, scope));
+        sources.push((rel, std::fs::read_to_string(file)?));
     }
-    Ok(findings)
+    Ok(check_sources(&sources, phase))
 }
 
 fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
     for entry in std::fs::read_dir(dir)? {
         let path = entry?.path();
         if path.is_dir() {
+            // Fixture trees hold deliberate violations and stand-in
+            // files; they are test data, not workspace code.
+            if path.file_name().is_some_and(|n| n == "fixtures") {
+                continue;
+            }
             collect_rs(&path, out)?;
         } else if path.extension().is_some_and(|ext| ext == "rs") {
             out.push(path);
@@ -231,14 +357,61 @@ fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
     Ok(())
 }
 
+fn run_token_rules(
+    file: &str,
+    toks: &[Token],
+    scope: Scope,
+    snippet: &dyn Fn(u32) -> String,
+    findings: &mut Vec<Finding>,
+) {
+    if scope.determinism {
+        rules::determinism::run(file, toks, snippet, findings);
+    }
+    if scope.quorum {
+        rules::quorum::run(file, toks, snippet, findings);
+    }
+    if scope.catchall {
+        rules::catchall::run(file, toks, snippet, findings);
+    }
+    if scope.decode {
+        rules::decode::run(file, toks, snippet, findings);
+    }
+}
+
+/// The rule ids actually executed against a file, for stale-pragma
+/// accounting: a pragma is only "stale" if every rule it names ran and
+/// still suppressed nothing.
+fn executed_rules(scope: Scope, token_phase: bool, model_phase: bool) -> Vec<&'static str> {
+    let mut out = Vec::new();
+    if token_phase {
+        if scope.determinism {
+            out.push(RULE_DETERMINISM);
+        }
+        if scope.quorum {
+            out.push(RULE_QUORUM);
+        }
+        if scope.catchall {
+            out.push(RULE_CATCHALL);
+        }
+        if scope.decode {
+            out.push(RULE_DECODE);
+        }
+    }
+    if model_phase {
+        out.extend(MODEL_RULES);
+    }
+    out
+}
+
 // ---------------------------------------------------------------------
 // Token preprocessing
 // ---------------------------------------------------------------------
 
-/// Returns the token stream with `#[cfg(test)]`-gated items removed.
-/// The lint targets production protocol code; test modules may build
-/// whatever scaffolding they like.
-fn active_tokens(lexed: &Lexed) -> Vec<Token> {
+/// Splits the token stream into (production tokens, `#[cfg(test)]`
+/// tokens). The lint targets production protocol code; test modules may
+/// build whatever scaffolding they like — but their tokens still count
+/// as test references for coverage rules.
+fn split_cfg_test(lexed: &Lexed) -> (Vec<Token>, Vec<Token>) {
     let toks = &lexed.tokens;
     let mut skip = vec![false; toks.len()];
     let mut i = 0usize;
@@ -275,524 +448,16 @@ fn active_tokens(lexed: &Lexed) -> Vec<Token> {
         }
         i += 1;
     }
-    toks.iter()
-        .zip(&skip)
-        .filter(|(_, skipped)| !**skipped)
-        .map(|(t, _)| t.clone())
-        .collect()
-}
-
-/// Index of the token matching the opener at `open` (which must hold
-/// `open_text`). Returns the last index if unbalanced.
-fn matching(toks: &[Token], open: usize, open_text: &str, close_text: &str) -> usize {
-    let mut depth = 0usize;
-    for (j, tok) in toks.iter().enumerate().skip(open) {
-        if tok.text == open_text {
-            depth += 1;
-        } else if tok.text == close_text {
-            depth -= 1;
-            if depth == 0 {
-                return j;
-            }
+    let mut active = Vec::new();
+    let mut stripped = Vec::new();
+    for (tok, skipped) in toks.iter().zip(&skip) {
+        if *skipped {
+            stripped.push(tok.clone());
+        } else {
+            active.push(tok.clone());
         }
     }
-    toks.len().saturating_sub(1)
-}
-
-// ---------------------------------------------------------------------
-// Rule 1: determinism — no hash-ordered iteration in protocol paths
-// ---------------------------------------------------------------------
-
-fn rule_determinism(
-    file: &str,
-    toks: &[Token],
-    snippet: &dyn Fn(u32) -> String,
-    findings: &mut Vec<Finding>,
-) {
-    let tracked = tracked_hash_names(toks);
-    if tracked.is_empty() {
-        return;
-    }
-
-    // Direct iteration-method calls: `name.keys()`, `self.name.iter()`, …
-    for i in 2..toks.len() {
-        if toks[i].kind == Kind::Ident
-            && ITER_METHODS.contains(&toks[i].text.as_str())
-            && toks[i - 1].text == "."
-            && toks.get(i + 1).map(|t| t.text.as_str()) == Some("(")
-            && toks[i - 2].kind == Kind::Ident
-            && tracked.contains(&toks[i - 2].text)
-        {
-            findings.push(Finding {
-                file: file.to_string(),
-                line: toks[i].line,
-                rule: RULE_DETERMINISM,
-                message: format!(
-                    "iteration over hash-ordered `{}` (`.{}()`); hasher randomness can reach \
-                     protocol order — use BTreeMap/BTreeSet or sort at emission",
-                    toks[i - 2].text,
-                    toks[i].text
-                ),
-                snippet: snippet(toks[i].line),
-            });
-        }
-    }
-
-    // `for … in <expr over a tracked container> { … }`
-    let mut i = 0usize;
-    while i < toks.len() {
-        if toks[i].text == "for" && toks[i].kind == Kind::Ident {
-            let mut depth = 0i32;
-            let mut j = i + 1;
-            let mut in_idx = None;
-            while j < toks.len() {
-                match toks[j].text.as_str() {
-                    "(" | "[" => depth += 1,
-                    ")" | "]" => depth -= 1,
-                    "{" if depth == 0 => break,
-                    ";" if depth == 0 => break,
-                    "in" if depth == 0 && toks[j].kind == Kind::Ident && in_idx.is_none() => {
-                        in_idx = Some(j);
-                    }
-                    _ => {}
-                }
-                j += 1;
-            }
-            if let Some(start) = in_idx {
-                for tok in &toks[start + 1..j.min(toks.len())] {
-                    if tok.kind == Kind::Ident && tracked.contains(&tok.text) {
-                        findings.push(Finding {
-                            file: file.to_string(),
-                            line: tok.line,
-                            rule: RULE_DETERMINISM,
-                            message: format!(
-                                "`for … in` over hash-ordered `{}`; iteration order is \
-                                 hasher-dependent — use BTreeMap/BTreeSet",
-                                tok.text
-                            ),
-                            snippet: snippet(tok.line),
-                        });
-                        break;
-                    }
-                }
-            }
-        }
-        i += 1;
-    }
-}
-
-/// Collects identifiers bound to a `HashMap`/`HashSet` type in this
-/// file: struct fields, fn params, `let` bindings (annotated or
-/// constructed via `HashMap::new()`-style calls).
-fn tracked_hash_names(toks: &[Token]) -> BTreeSet<String> {
-    let mut tracked = BTreeSet::new();
-    for (i, tok) in toks.iter().enumerate() {
-        if tok.kind != Kind::Ident || (tok.text != "HashMap" && tok.text != "HashSet") {
-            continue;
-        }
-        // Walk left across type-ish tokens to the binding site.
-        let mut j = i as isize - 1;
-        while j >= 0 {
-            let t = &toks[j as usize];
-            match t.text.as_str() {
-                ":" => {
-                    if j >= 1 && toks[j as usize - 1].kind == Kind::Ident {
-                        tracked.insert(toks[j as usize - 1].text.clone());
-                    }
-                    break;
-                }
-                "=" => {
-                    // `let [mut] name = HashMap::new()` — scan for the `let`.
-                    let mut k = j - 1;
-                    let floor = (j - 8).max(0);
-                    while k >= floor {
-                        let lt = &toks[k as usize];
-                        if lt.text == "let" {
-                            let mut name_idx = k as usize + 1;
-                            while name_idx < toks.len()
-                                && matches!(toks[name_idx].text.as_str(), "mut" | "ref")
-                            {
-                                name_idx += 1;
-                            }
-                            if toks[name_idx].kind == Kind::Ident {
-                                tracked.insert(toks[name_idx].text.clone());
-                            }
-                            break;
-                        }
-                        if matches!(lt.text.as_str(), ";" | "{" | "}") {
-                            break;
-                        }
-                        k -= 1;
-                    }
-                    break;
-                }
-                "::" | "<" | ">" | "," | "&" | "(" | ")" | "mut" => j -= 1,
-                _ if t.kind == Kind::Ident || t.kind == Kind::Lifetime => j -= 1,
-                _ => break,
-            }
-        }
-    }
-    tracked
-}
-
-// ---------------------------------------------------------------------
-// Rule 2: quorum-math — thresholds come from Quorums, nowhere else
-// ---------------------------------------------------------------------
-
-fn rule_quorum(
-    file: &str,
-    toks: &[Token],
-    snippet: &dyn Fn(u32) -> String,
-    findings: &mut Vec<Finding>,
-) {
-    let num_is = |tok: &Token, value: &[&str]| -> bool {
-        if tok.kind != Kind::Num {
-            return false;
-        }
-        let digits: String = tok
-            .text
-            .chars()
-            .take_while(|c| c.is_ascii_digit())
-            .collect();
-        value.contains(&digits.as_str())
-    };
-
-    let mut hit = |line: u32, shape: &str| {
-        findings.push(Finding {
-            file: file.to_string(),
-            line,
-            rule: RULE_QUORUM,
-            message: format!(
-                "inline quorum arithmetic ({shape}); thresholds must come from \
-                 `bft_core::types::Quorums`"
-            ),
-            snippet: snippet(line),
-        });
-    };
-
-    // `2 * f…`, `3 * f…` and `1 + f…` (forward forms).
-    for i in 0..toks.len() {
-        if num_is(&toks[i], &["2", "3"])
-            && toks.get(i + 1).map(|t| t.text.as_str()) == Some("*")
-            && f_path_forward(toks, i + 2).is_some()
-        {
-            hit(toks[i].line, "k * f");
-        }
-        if num_is(&toks[i], &["1"])
-            && toks.get(i + 1).map(|t| t.text.as_str()) == Some("+")
-            && f_path_forward(toks, i + 2).is_some()
-        {
-            hit(toks[i].line, "1 + f");
-        }
-    }
-
-    // Backward forms anchored on a terminal `f`: `f… * k`, `f… + 1`,
-    // allowing a call `()` and `as <ty>` casts in between.
-    for i in 0..toks.len() {
-        if !(toks[i].kind == Kind::Ident && toks[i].text == "f") {
-            continue;
-        }
-        // Terminal: not a path segment (`f.something`).
-        if toks.get(i + 1).map(|t| t.text.as_str()) == Some(".") {
-            continue;
-        }
-        let mut end = i;
-        if toks.get(end + 1).map(|t| t.text.as_str()) == Some("(")
-            && toks.get(end + 2).map(|t| t.text.as_str()) == Some(")")
-        {
-            end += 2;
-        }
-        while toks.get(end + 1).map(|t| t.text.as_str()) == Some("as")
-            && toks.get(end + 2).map(|t| t.kind) == Some(Kind::Ident)
-        {
-            end += 2;
-        }
-        let next = toks.get(end + 1).map(|t| t.text.as_str());
-        if next == Some("+") && toks.get(end + 2).is_some_and(|t| num_is(t, &["1"])) {
-            hit(toks[i].line, "f + 1");
-        }
-        if next == Some("*") && toks.get(end + 2).is_some_and(|t| num_is(t, &["2", "3"])) {
-            hit(toks[i].line, "f * k");
-        }
-    }
-
-    // `n… - f…`: a participation threshold derived by hand. `n - f` is
-    // the classic wrong fast quorum — its intersection with a 2f+1
-    // view-change quorum can be a single (possibly Byzantine) replica —
-    // and the correct value (`n`, see `Quorums::fast_quorum`) is easy to
-    // get wrong when rederived inline, so any `n - f` outside `Quorums`
-    // is a finding. Anchored on a terminal `n` (not a path segment),
-    // allowing a call `()` and `as <ty>` casts before the `-`.
-    for i in 0..toks.len() {
-        if !(toks[i].kind == Kind::Ident && toks[i].text == "n") {
-            continue;
-        }
-        if toks.get(i + 1).map(|t| t.text.as_str()) == Some(".") {
-            continue;
-        }
-        let mut end = i;
-        if toks.get(end + 1).map(|t| t.text.as_str()) == Some("(")
-            && toks.get(end + 2).map(|t| t.text.as_str()) == Some(")")
-        {
-            end += 2;
-        }
-        while toks.get(end + 1).map(|t| t.text.as_str()) == Some("as")
-            && toks.get(end + 2).map(|t| t.kind) == Some(Kind::Ident)
-        {
-            end += 2;
-        }
-        if toks.get(end + 1).map(|t| t.text.as_str()) == Some("-")
-            && f_path_forward(toks, end + 2).is_some()
-        {
-            hit(toks[i].line, "n - f");
-        }
-    }
-}
-
-/// If the tokens starting at `start` form a dotted path whose terminal
-/// identifier is `f` (e.g. `f`, `self.f`, `cfg.f()`), returns the index
-/// of that terminal token.
-fn f_path_forward(toks: &[Token], start: usize) -> Option<usize> {
-    let mut k = start;
-    loop {
-        let tok = toks.get(k)?;
-        if tok.kind != Kind::Ident {
-            return None;
-        }
-        if toks.get(k + 1).map(|t| t.text.as_str()) == Some(".") {
-            k += 2;
-            continue;
-        }
-        return if tok.text == "f" { Some(k) } else { None };
-    }
-}
-
-// ---------------------------------------------------------------------
-// Rule 3: catch-all — Msg dispatch must be exhaustive
-// ---------------------------------------------------------------------
-
-fn rule_catchall(
-    file: &str,
-    toks: &[Token],
-    snippet: &dyn Fn(u32) -> String,
-    findings: &mut Vec<Finding>,
-) {
-    for i in 0..toks.len() {
-        if !(toks[i].kind == Kind::Ident && toks[i].text == "match") {
-            continue;
-        }
-        if i > 0 && matches!(toks[i - 1].text.as_str(), "." | "::") {
-            continue; // a method or path segment named `match`, not the keyword
-        }
-        // Find the match body: the first `{` outside any scrutinee parens.
-        let mut depth = 0i32;
-        let mut open = None;
-        let mut j = i + 1;
-        while j < toks.len() {
-            match toks[j].text.as_str() {
-                "(" | "[" => depth += 1,
-                ")" | "]" => depth -= 1,
-                "{" if depth == 0 => {
-                    open = Some(j);
-                    break;
-                }
-                ";" if depth == 0 => break,
-                _ => {}
-            }
-            j += 1;
-        }
-        let Some(open) = open else { continue };
-        let close = matching(toks, open, "{", "}");
-
-        // Parse arms: pattern tokens up to each top-level `=>`.
-        let mut pos = open + 1;
-        let mut dispatches_enum = false;
-        let mut wildcard_lines: Vec<u32> = Vec::new();
-        while pos < close {
-            let pat_start = pos;
-            let mut depth = 0i32;
-            while pos < close {
-                match toks[pos].text.as_str() {
-                    "(" | "[" | "{" => depth += 1,
-                    ")" | "]" | "}" => depth -= 1,
-                    "=>" if depth == 0 => break,
-                    _ => {}
-                }
-                pos += 1;
-            }
-            if pos >= close {
-                break;
-            }
-            let pattern = &toks[pat_start..pos];
-            // Strip a trailing `if <guard>` for the wildcard check.
-            let guard_at = pattern
-                .iter()
-                .position(|t| t.text == "if" && t.kind == Kind::Ident)
-                .unwrap_or(pattern.len());
-            let head = &pattern[..guard_at];
-            if pattern
-                .windows(2)
-                .any(|w| w[0].text == DISPATCH_ENUM && w[1].text == "::")
-            {
-                dispatches_enum = true;
-            }
-            if head.len() == 1 && head[0].text == "_" {
-                wildcard_lines.push(head[0].line);
-            }
-
-            // Skip the arm body.
-            pos += 1; // past `=>`
-            if pos < close && toks[pos].text == "{" {
-                pos = matching(toks, pos, "{", "}") + 1;
-            } else {
-                let mut depth = 0i32;
-                while pos < close {
-                    match toks[pos].text.as_str() {
-                        "(" | "[" | "{" => depth += 1,
-                        ")" | "]" | "}" => depth -= 1,
-                        "," if depth == 0 => {
-                            pos += 1;
-                            break;
-                        }
-                        _ => {}
-                    }
-                    pos += 1;
-                }
-            }
-            // Consume a trailing comma after block bodies.
-            if pos < close && toks[pos].text == "," {
-                pos += 1;
-            }
-        }
-
-        if dispatches_enum {
-            for line in wildcard_lines {
-                findings.push(Finding {
-                    file: file.to_string(),
-                    line,
-                    rule: RULE_CATCHALL,
-                    message: format!(
-                        "`_ =>` catch-all in a `{DISPATCH_ENUM}` dispatch; handle every \
-                         variant explicitly so new messages cannot be silently dropped"
-                    ),
-                    snippet: snippet(line),
-                });
-            }
-        }
-    }
-}
-
-// ---------------------------------------------------------------------
-// Rule 4: decode-panic — decoders must be total over arbitrary bytes
-// ---------------------------------------------------------------------
-
-fn rule_decode(
-    file: &str,
-    toks: &[Token],
-    snippet: &dyn Fn(u32) -> String,
-    findings: &mut Vec<Finding>,
-) {
-    const PANIC_MACROS: &[&str] = &[
-        "panic",
-        "unreachable",
-        "todo",
-        "unimplemented",
-        "assert",
-        "assert_eq",
-        "assert_ne",
-        "debug_assert",
-        "debug_assert_eq",
-        "debug_assert_ne",
-    ];
-
-    for i in 0..toks.len() {
-        if !(toks[i].text == "fn"
-            && toks
-                .get(i + 1)
-                .is_some_and(|t| t.text == "decode" || t.text == "from_bytes"))
-        {
-            continue;
-        }
-        // Find the body block.
-        let mut depth = 0i32;
-        let mut open = None;
-        let mut j = i + 2;
-        while j < toks.len() {
-            match toks[j].text.as_str() {
-                "(" | "[" => depth += 1,
-                ")" | "]" => depth -= 1,
-                "{" if depth == 0 => {
-                    open = Some(j);
-                    break;
-                }
-                ";" if depth == 0 => break, // trait method without default body
-                _ => {}
-            }
-            j += 1;
-        }
-        let Some(open) = open else { continue };
-        let close = matching(toks, open, "{", "}");
-        let fn_name = &toks[i + 1].text;
-
-        for k in open + 1..close {
-            let tok = &toks[k];
-            if tok.kind == Kind::Ident
-                && matches!(tok.text.as_str(), "unwrap" | "expect" | "unwrap_unchecked")
-                && toks[k - 1].text == "."
-                && toks.get(k + 1).map(|t| t.text.as_str()) == Some("(")
-            {
-                findings.push(Finding {
-                    file: file.to_string(),
-                    line: tok.line,
-                    rule: RULE_DECODE,
-                    message: format!(
-                        "`.{}()` in `fn {fn_name}`; decoders consume untrusted bytes and \
-                         must return Err, never panic",
-                        tok.text
-                    ),
-                    snippet: snippet(tok.line),
-                });
-            }
-            if tok.kind == Kind::Ident
-                && PANIC_MACROS.contains(&tok.text.as_str())
-                && toks.get(k + 1).map(|t| t.text.as_str()) == Some("!")
-            {
-                findings.push(Finding {
-                    file: file.to_string(),
-                    line: tok.line,
-                    rule: RULE_DECODE,
-                    message: format!(
-                        "`{}!` in `fn {fn_name}`; decoders must be total over arbitrary input",
-                        tok.text
-                    ),
-                    snippet: snippet(tok.line),
-                });
-            }
-            // `expr[i]` / `expr?[0]` — indexing panics on short input.
-            // (`#[attr]` and type syntax `<[u8; 16]>` are preceded by `#`
-            // or `<` and never match; keywords before `[` are array
-            // literals or patterns, not indexing.)
-            const KEYWORDS: &[&str] = &[
-                "for", "in", "return", "as", "if", "else", "match", "let", "mut", "ref", "move",
-                "break", "continue", "where", "impl", "dyn", "box", "while", "loop", "yield",
-            ];
-            let prev = &toks[k - 1];
-            let prev_indexable = matches!(prev.text.as_str(), ")" | "]" | "?")
-                || (prev.kind == Kind::Ident && !KEYWORDS.contains(&prev.text.as_str()));
-            if tok.text == "[" && prev_indexable {
-                findings.push(Finding {
-                    file: file.to_string(),
-                    line: tok.line,
-                    rule: RULE_DECODE,
-                    message: format!(
-                        "slice indexing in `fn {fn_name}`; out-of-range access panics on \
-                         truncated input — use a checked take"
-                    ),
-                    snippet: snippet(tok.line),
-                });
-            }
-        }
-    }
+    (active, stripped)
 }
 
 // ---------------------------------------------------------------------
@@ -865,19 +530,24 @@ fn apply_pragmas(
     comments: &[Comment],
     findings: Vec<Finding>,
     snippet: &dyn Fn(u32) -> String,
+    executed: &[&'static str],
 ) -> Vec<Finding> {
     let (pragmas, malformed) = parse_pragmas(comments);
-    let mut out: Vec<Finding> = findings
-        .into_iter()
-        .filter(|fnd| {
-            !pragmas.iter().any(|p| {
-                p.justified
-                    && (p.line == fnd.line || p.line + 1 == fnd.line)
-                    && p.rules.iter().any(|r| r == fnd.rule)
-            })
-        })
-        .collect();
-    for pragma in &pragmas {
+    let mut used = vec![false; pragmas.len()];
+    let mut out: Vec<Finding> = Vec::new();
+    'next: for fnd in findings {
+        for (pi, p) in pragmas.iter().enumerate() {
+            if p.justified
+                && (p.line == fnd.line || p.line + 1 == fnd.line)
+                && p.rules.iter().any(|r| r == fnd.rule)
+            {
+                used[pi] = true;
+                continue 'next;
+            }
+        }
+        out.push(fnd);
+    }
+    for (pi, pragma) in pragmas.iter().enumerate() {
         if !pragma.justified {
             out.push(Finding {
                 file: file.to_string(),
@@ -885,6 +555,18 @@ fn apply_pragmas(
                 rule: RULE_PRAGMA,
                 message: format!(
                     "allow({}) pragma without a `-- <reason>` justification suppresses nothing",
+                    pragma.rules.join(", ")
+                ),
+                snippet: snippet(pragma.line),
+            });
+        } else if !used[pi] && pragma.rules.iter().all(|r| executed.iter().any(|e| e == r)) {
+            out.push(Finding {
+                file: file.to_string(),
+                line: pragma.line,
+                rule: RULE_PRAGMA,
+                message: format!(
+                    "stale pragma: allow({}) suppresses no findings — the code it excused \
+                     is fixed or gone, remove the pragma",
                     pragma.rules.join(", ")
                 ),
                 snippet: snippet(pragma.line),

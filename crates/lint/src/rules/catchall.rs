@@ -1,0 +1,121 @@
+//! Rule: catch-all — `Msg` dispatch must be exhaustive.
+//!
+//! Replica/client dispatch over the `Msg` enum must handle every
+//! variant explicitly, so adding a message variant forces every handler
+//! to make a decision instead of silently dropping the message.
+
+use crate::lexer::{Kind, Token};
+use crate::model::matching;
+use crate::rules::DISPATCH_ENUM;
+use crate::{Finding, RULE_CATCHALL};
+
+pub(crate) fn run(
+    file: &str,
+    toks: &[Token],
+    snippet: &dyn Fn(u32) -> String,
+    findings: &mut Vec<Finding>,
+) {
+    for i in 0..toks.len() {
+        if !(toks[i].kind == Kind::Ident && toks[i].text == "match") {
+            continue;
+        }
+        if i > 0 && matches!(toks[i - 1].text.as_str(), "." | "::") {
+            continue; // a method or path segment named `match`, not the keyword
+        }
+        // Find the match body: the first `{` outside any scrutinee parens.
+        let mut depth = 0i32;
+        let mut open = None;
+        let mut j = i + 1;
+        while j < toks.len() {
+            match toks[j].text.as_str() {
+                "(" | "[" => depth += 1,
+                ")" | "]" => depth -= 1,
+                "{" if depth == 0 => {
+                    open = Some(j);
+                    break;
+                }
+                ";" if depth == 0 => break,
+                _ => {}
+            }
+            j += 1;
+        }
+        let Some(open) = open else { continue };
+        let close = matching(toks, open, "{", "}");
+
+        // Parse arms: pattern tokens up to each top-level `=>`.
+        let mut pos = open + 1;
+        let mut dispatches_enum = false;
+        let mut wildcard_lines: Vec<u32> = Vec::new();
+        while pos < close {
+            let pat_start = pos;
+            let mut depth = 0i32;
+            while pos < close {
+                match toks[pos].text.as_str() {
+                    "(" | "[" | "{" => depth += 1,
+                    ")" | "]" | "}" => depth -= 1,
+                    "=>" if depth == 0 => break,
+                    _ => {}
+                }
+                pos += 1;
+            }
+            if pos >= close {
+                break;
+            }
+            let pattern = &toks[pat_start..pos];
+            // Strip a trailing `if <guard>` for the wildcard check.
+            let guard_at = pattern
+                .iter()
+                .position(|t| t.text == "if" && t.kind == Kind::Ident)
+                .unwrap_or(pattern.len());
+            let head = &pattern[..guard_at];
+            if pattern
+                .windows(2)
+                .any(|w| w[0].text == DISPATCH_ENUM && w[1].text == "::")
+            {
+                dispatches_enum = true;
+            }
+            if head.len() == 1 && head[0].text == "_" {
+                wildcard_lines.push(head[0].line);
+            }
+
+            // Skip the arm body.
+            pos += 1; // past `=>`
+            if pos < close && toks[pos].text == "{" {
+                pos = matching(toks, pos, "{", "}") + 1;
+            } else {
+                let mut depth = 0i32;
+                while pos < close {
+                    match toks[pos].text.as_str() {
+                        "(" | "[" | "{" => depth += 1,
+                        ")" | "]" | "}" => depth -= 1,
+                        "," if depth == 0 => {
+                            pos += 1;
+                            break;
+                        }
+                        _ => {}
+                    }
+                    pos += 1;
+                }
+            }
+            // Consume a trailing comma after block bodies.
+            if pos < close && toks[pos].text == "," {
+                pos += 1;
+            }
+        }
+
+        if dispatches_enum {
+            for line in wildcard_lines {
+                findings.push(Finding {
+                    file: file.to_string(),
+                    line,
+                    rule: RULE_CATCHALL,
+                    message: format!(
+                        "`_ =>` catch-all in a `{DISPATCH_ENUM}` dispatch; handle every \
+                         variant explicitly so new messages cannot be silently dropped"
+                    ),
+                    snippet: snippet(line),
+                });
+            }
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! Rule: counter-coverage — every health counter registered in
+//! `health.rs` has at least one emission site in the protocol crate.
+//!
+//! The health observatory reports whatever the registry declares; a
+//! `Counter` variant that no protocol path ever emits reads as a
+//! permanently-zero statistic, which is worse than no statistic — it
+//! looks like "this never happened" when the truth is "nothing counts
+//! it". Keeping the registry and the emission sites in lockstep makes
+//! a zero in a health report meaningful.
+
+use crate::model::WorkspaceModel;
+use crate::{Finding, RULE_COUNTER};
+use std::collections::BTreeSet;
+
+/// The file declaring the counter registry.
+const HEALTH: &str = "crates/sim/src/health.rs";
+/// The registry enum.
+const COUNTER_ENUM: &str = "Counter";
+
+pub(crate) fn run(model: &WorkspaceModel, findings: &mut Vec<Finding>) {
+    let Some(health) = model.file(HEALTH) else {
+        return;
+    };
+    let Some(def) = health.enum_def(COUNTER_ENUM) else {
+        return;
+    };
+    if model.src_files("crates/core/src/").next().is_none() {
+        return; // no protocol code in the model to search for emissions
+    }
+
+    let mut emitted: BTreeSet<String> = BTreeSet::new();
+    for file in model.src_files("crates/core/src/") {
+        emitted.extend(file.variant_ref_names(COUNTER_ENUM));
+    }
+
+    for variant in &def.variants {
+        if !emitted.contains(&variant.name) {
+            findings.push(Finding {
+                file: health.path.clone(),
+                line: variant.line,
+                rule: RULE_COUNTER,
+                message: format!(
+                    "`{COUNTER_ENUM}::{}` is registered in health.rs but nothing in \
+                     crates/core emits it; a permanently-zero counter misreports \
+                     \"never happened\"",
+                    variant.name
+                ),
+                snippet: health.snippet(variant.line),
+            });
+        }
+    }
+}

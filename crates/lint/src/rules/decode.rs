@@ -1,0 +1,118 @@
+//! Rule: decode-panic — decoders must be total over arbitrary bytes.
+//!
+//! `wire.rs` decoders consume untrusted network bytes;
+//! `unwrap`/`expect`/slice-indexing turn a Byzantine payload into a
+//! crash instead of an `Err`.
+
+use crate::lexer::{Kind, Token};
+use crate::model::matching;
+use crate::{Finding, RULE_DECODE};
+
+pub(crate) fn run(
+    file: &str,
+    toks: &[Token],
+    snippet: &dyn Fn(u32) -> String,
+    findings: &mut Vec<Finding>,
+) {
+    const PANIC_MACROS: &[&str] = &[
+        "panic",
+        "unreachable",
+        "todo",
+        "unimplemented",
+        "assert",
+        "assert_eq",
+        "assert_ne",
+        "debug_assert",
+        "debug_assert_eq",
+        "debug_assert_ne",
+    ];
+
+    for i in 0..toks.len() {
+        if !(toks[i].text == "fn"
+            && toks
+                .get(i + 1)
+                .is_some_and(|t| t.text == "decode" || t.text == "from_bytes"))
+        {
+            continue;
+        }
+        // Find the body block.
+        let mut depth = 0i32;
+        let mut open = None;
+        let mut j = i + 2;
+        while j < toks.len() {
+            match toks[j].text.as_str() {
+                "(" | "[" => depth += 1,
+                ")" | "]" => depth -= 1,
+                "{" if depth == 0 => {
+                    open = Some(j);
+                    break;
+                }
+                ";" if depth == 0 => break, // trait method without default body
+                _ => {}
+            }
+            j += 1;
+        }
+        let Some(open) = open else { continue };
+        let close = matching(toks, open, "{", "}");
+        let fn_name = &toks[i + 1].text;
+
+        for k in open + 1..close {
+            let tok = &toks[k];
+            if tok.kind == Kind::Ident
+                && matches!(tok.text.as_str(), "unwrap" | "expect" | "unwrap_unchecked")
+                && toks[k - 1].text == "."
+                && toks.get(k + 1).map(|t| t.text.as_str()) == Some("(")
+            {
+                findings.push(Finding {
+                    file: file.to_string(),
+                    line: tok.line,
+                    rule: RULE_DECODE,
+                    message: format!(
+                        "`.{}()` in `fn {fn_name}`; decoders consume untrusted bytes and \
+                         must return Err, never panic",
+                        tok.text
+                    ),
+                    snippet: snippet(tok.line),
+                });
+            }
+            if tok.kind == Kind::Ident
+                && PANIC_MACROS.contains(&tok.text.as_str())
+                && toks.get(k + 1).map(|t| t.text.as_str()) == Some("!")
+            {
+                findings.push(Finding {
+                    file: file.to_string(),
+                    line: tok.line,
+                    rule: RULE_DECODE,
+                    message: format!(
+                        "`{}!` in `fn {fn_name}`; decoders must be total over arbitrary input",
+                        tok.text
+                    ),
+                    snippet: snippet(tok.line),
+                });
+            }
+            // `expr[i]` / `expr?[0]` — indexing panics on short input.
+            // (`#[attr]` and type syntax `<[u8; 16]>` are preceded by `#`
+            // or `<` and never match; keywords before `[` are array
+            // literals or patterns, not indexing.)
+            const KEYWORDS: &[&str] = &[
+                "for", "in", "return", "as", "if", "else", "match", "let", "mut", "ref", "move",
+                "break", "continue", "where", "impl", "dyn", "box", "while", "loop", "yield",
+            ];
+            let prev = &toks[k - 1];
+            let prev_indexable = matches!(prev.text.as_str(), ")" | "]" | "?")
+                || (prev.kind == Kind::Ident && !KEYWORDS.contains(&prev.text.as_str()));
+            if tok.text == "[" && prev_indexable {
+                findings.push(Finding {
+                    file: file.to_string(),
+                    line: tok.line,
+                    rule: RULE_DECODE,
+                    message: format!(
+                        "slice indexing in `fn {fn_name}`; out-of-range access panics on \
+                         truncated input — use a checked take"
+                    ),
+                    snippet: snippet(tok.line),
+                });
+            }
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! Rule: invariant-coverage — every `Violation` variant is constructed
+//! by a checker and referenced by at least one test.
+//!
+//! The chaos battery's whole correctness argument is "the invariant
+//! checker would have caught it". A `Violation` variant that no checker
+//! constructs is an invariant the suite *claims* to enforce but cannot
+//! raise; one that no test references is an alarm that has never been
+//! heard — nothing pins its trigger conditions or its report format.
+//! References inside `impl Display for Violation` are formatting, not
+//! enforcement, and do not count as construction.
+
+use crate::model::{variant_refs_in, WorkspaceModel};
+use crate::{Finding, RULE_INVARIANT};
+use std::collections::BTreeSet;
+
+/// The file declaring `Violation` and its checkers.
+const INVARIANTS: &str = "crates/core/src/invariants.rs";
+/// The enum of checkable invariant violations.
+const VIOLATION_ENUM: &str = "Violation";
+
+pub(crate) fn run(model: &WorkspaceModel, findings: &mut Vec<Finding>) {
+    let Some(inv) = model.file(INVARIANTS) else {
+        return;
+    };
+    let Some(def) = inv.enum_def(VIOLATION_ENUM) else {
+        return;
+    };
+    let display_ranges = inv.impl_ranges("Display", VIOLATION_ENUM);
+
+    // Constructed: referenced from production code in crates/core,
+    // excluding the enum declaration and the Display formatter.
+    let mut constructed: BTreeSet<String> = BTreeSet::new();
+    for file in model.src_files("crates/core/src/") {
+        for (name, _, idx) in file.variant_refs(VIOLATION_ENUM) {
+            let excluded = file.path == INVARIANTS
+                && (display_ranges.iter().any(|&(a, b)| a <= idx && idx <= b)
+                    || (def.body.0 <= idx && idx <= def.body.1));
+            if !excluded {
+                constructed.insert(name);
+            }
+        }
+    }
+
+    // Tested: referenced from any test file or any `#[cfg(test)]`
+    // region of a src file.
+    let mut tested: BTreeSet<String> = BTreeSet::new();
+    let mut have_tests = false;
+    for file in model.test_files() {
+        have_tests = true;
+        tested.extend(
+            variant_refs_in(&file.tokens, VIOLATION_ENUM)
+                .into_iter()
+                .map(|(name, _, _)| name),
+        );
+    }
+    for file in &model.files {
+        if !file.cfg_test_tokens.is_empty() {
+            have_tests = true;
+            tested.extend(
+                variant_refs_in(&file.cfg_test_tokens, VIOLATION_ENUM)
+                    .into_iter()
+                    .map(|(name, _, _)| name),
+            );
+        }
+    }
+
+    for variant in &def.variants {
+        if !constructed.contains(&variant.name) {
+            findings.push(Finding {
+                file: inv.path.clone(),
+                line: variant.line,
+                rule: RULE_INVARIANT,
+                message: format!(
+                    "`{VIOLATION_ENUM}::{}` is never constructed by any checker in \
+                     crates/core; the suite claims an invariant it cannot raise",
+                    variant.name
+                ),
+                snippet: inv.snippet(variant.line),
+            });
+        }
+        if have_tests && !tested.contains(&variant.name) {
+            findings.push(Finding {
+                file: inv.path.clone(),
+                line: variant.line,
+                rule: RULE_INVARIANT,
+                message: format!(
+                    "`{VIOLATION_ENUM}::{}` is not referenced by any test; nothing pins \
+                     when this violation fires or what it reports",
+                    variant.name
+                ),
+                snippet: inv.snippet(variant.line),
+            });
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! Rule: span-pairing — every `TracePhase` opened is also closed.
+//!
+//! The trace assembler attributes request latency to phases by pairing
+//! `SpanEdge::Open` with `SpanEdge::Close` per `(phase, seq)`. A phase
+//! that protocol code opens but never closes leaks spans that silently
+//! corrupt the `breakdown` attribution (the open is dropped when the
+//! ring wraps, or the phase absorbs time until the end of the run); a
+//! close without any open is a stale emission left behind by a
+//! refactor. Spans whose phase is computed (`exec_phase`,
+//! `commit_close_phase(slot)`) are attributed to every `TracePhase`
+//! variant the enclosing function — or a function it directly calls —
+//! literally mentions, which keeps the rule exact on today's handoff
+//! patterns without a dataflow engine.
+
+use crate::lexer::Kind;
+use crate::model::{
+    called_names, fn_variant_mentions, leading_path_tail, matching, split_args, WorkspaceModel,
+};
+use crate::{Finding, RULE_SPAN};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The file declaring `TracePhase`.
+const TRACE: &str = "crates/sim/src/trace.rs";
+/// The enum whose open/close edges must pair.
+const PHASE_ENUM: &str = "TracePhase";
+
+pub(crate) fn run(model: &WorkspaceModel, findings: &mut Vec<Finding>) {
+    let Some(trace_file) = model.file(TRACE) else {
+        return;
+    };
+    let Some(def) = trace_file.enum_def(PHASE_ENUM) else {
+        return;
+    };
+
+    // fn name -> TracePhase variants its body literally mentions,
+    // unioned across all core files (for one-hop callee attribution).
+    let mut mentions_by_fn: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    for file in model.src_files("crates/core/src/") {
+        for (name, vars) in fn_variant_mentions(file, PHASE_ENUM) {
+            mentions_by_fn.entry(name).or_default().extend(vars);
+        }
+    }
+
+    // Per-variant first Open and first Close emission sites.
+    let mut opens: BTreeMap<String, (String, u32)> = BTreeMap::new();
+    let mut closes: BTreeMap<String, (String, u32)> = BTreeMap::new();
+
+    for file in model.src_files("crates/core/src/") {
+        let toks = &file.tokens;
+        for i in 0..toks.len() {
+            if toks[i].kind != Kind::Ident
+                || (toks[i].text != "trace" && toks[i].text != "trace_now")
+                || toks.get(i + 1).map(|t| t.text.as_str()) != Some("(")
+                || i == 0
+                || toks[i - 1].text != "."
+            {
+                continue;
+            }
+            let close = matching(toks, i + 1, "(", ")");
+            let args = split_args(toks, (i + 2, close));
+            if args.len() < 2 {
+                continue; // an accessor like `sim.trace()`, not an emission
+            }
+            let Some(edge) = leading_path_tail(toks, args[0], "SpanEdge") else {
+                continue; // edge passed as a variable: no static pairing claim
+            };
+            if edge == "Instant" {
+                continue;
+            }
+            let site = (file.path.clone(), toks[i].line);
+            let phases: BTreeSet<String> = match leading_path_tail(toks, args[1], PHASE_ENUM) {
+                Some(name) => BTreeSet::from([name]),
+                None => {
+                    // Computed phase: attribute to every variant the
+                    // enclosing fn (or a direct callee) mentions.
+                    let mut candidates = BTreeSet::new();
+                    for encl in file.enclosing_fns(i) {
+                        if let Some(vars) = fn_variant_mentions(file, PHASE_ENUM).get(&encl.name) {
+                            candidates.extend(vars.iter().cloned());
+                        }
+                        if let Some(body) = encl.body {
+                            for callee in called_names(toks, body) {
+                                if let Some(vars) = mentions_by_fn.get(&callee) {
+                                    candidates.extend(vars.iter().cloned());
+                                }
+                            }
+                        }
+                    }
+                    candidates
+                }
+            };
+            let book = if edge == "Open" {
+                &mut opens
+            } else {
+                &mut closes
+            };
+            for phase in phases {
+                book.entry(phase).or_insert_with(|| site.clone());
+            }
+        }
+    }
+
+    for variant in &def.variants {
+        match (opens.get(&variant.name), closes.get(&variant.name)) {
+            (Some((file, line)), None) => findings.push(Finding {
+                file: file.clone(),
+                line: *line,
+                rule: RULE_SPAN,
+                message: format!(
+                    "`{PHASE_ENUM}::{}` is opened here but never closed anywhere in \
+                     crates/core; leaked spans corrupt the latency breakdown",
+                    variant.name
+                ),
+                snippet: model
+                    .file(file)
+                    .map(|f| f.snippet(*line))
+                    .unwrap_or_default(),
+            }),
+            (None, Some((file, line))) => findings.push(Finding {
+                file: file.clone(),
+                line: *line,
+                rule: RULE_SPAN,
+                message: format!(
+                    "`{PHASE_ENUM}::{}` is closed here but never opened anywhere in \
+                     crates/core; a stale close is refactoring debris",
+                    variant.name
+                ),
+                snippet: model
+                    .file(file)
+                    .map(|f| f.snippet(*line))
+                    .unwrap_or_default(),
+            }),
+            _ => {}
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! Rule: timer-pairing — every armed `TIMER_*` token has a fire
+//! handler, and stored one-shot timers have a cancel site.
+//!
+//! A timer armed via `set_timer` whose token no other code inspects is
+//! a silent liveness bug: the `on_timer` dispatch falls through and the
+//! retransmission/view-change/lease refresh it was meant to drive never
+//! happens. Conversely, a `TIMER_*` constant that is never armed is
+//! dead protocol surface. When the `TimerId` returned by `set_timer`
+//! is stored (`x = Some(ctx.set_timer(…))`), the protocol intends to
+//! cancel it later — a file that stores timer ids but never calls
+//! `cancel_timer` leaks timers that fire into stale state.
+
+use crate::lexer::Kind;
+use crate::model::{call_arg_ranges, WorkspaceModel};
+use crate::{Finding, RULE_TIMER};
+
+pub(crate) fn run(model: &WorkspaceModel, findings: &mut Vec<Finding>) {
+    for file in model.src_files("crates/core/src/") {
+        let timers: Vec<_> = file
+            .consts
+            .iter()
+            .filter(|c| c.name.starts_with("TIMER_"))
+            .collect();
+        if timers.is_empty() {
+            continue;
+        }
+        let toks = &file.tokens;
+        let arm_ranges = call_arg_ranges(toks, "set_timer");
+        let has_cancel = toks
+            .iter()
+            .any(|t| t.kind == Kind::Ident && t.text == "cancel_timer");
+
+        for timer in &timers {
+            let mut armed_line = None;
+            let mut handled = false;
+            for (i, tok) in toks.iter().enumerate() {
+                if tok.kind != Kind::Ident || tok.text != timer.name {
+                    continue;
+                }
+                if i > 0 && toks[i - 1].text == "const" {
+                    continue; // the declaration itself
+                }
+                if arm_ranges.iter().any(|&(a, b)| a <= i && i < b) {
+                    armed_line.get_or_insert(tok.line);
+                } else {
+                    // Any non-arming reference counts as a handler: a
+                    // match arm, a `token == TIMER_X` comparison, or a
+                    // `t if t >= TIMER_BASE` guard.
+                    handled = true;
+                }
+            }
+            // A token referenced from another file (re-exported base
+            // constants) is outside this file-local pairing argument.
+            let used_elsewhere = model
+                .files
+                .iter()
+                .filter(|other| other.path != file.path)
+                .any(|other| {
+                    other
+                        .tokens
+                        .iter()
+                        .any(|t| t.kind == Kind::Ident && t.text == timer.name)
+                });
+            match armed_line {
+                None if !handled && !used_elsewhere => findings.push(Finding {
+                    file: file.path.clone(),
+                    line: timer.line,
+                    rule: RULE_TIMER,
+                    message: format!(
+                        "`{}` is declared but never armed via set_timer; dead timer tokens \
+                         hide protocol surface that no longer runs",
+                        timer.name
+                    ),
+                    snippet: file.snippet(timer.line),
+                }),
+                Some(line) if !handled && !used_elsewhere => findings.push(Finding {
+                    file: file.path.clone(),
+                    line,
+                    rule: RULE_TIMER,
+                    message: format!(
+                        "`{}` is armed via set_timer but no code inspects the token when it \
+                         fires; the timer's protocol action never runs",
+                        timer.name
+                    ),
+                    snippet: file.snippet(line),
+                }),
+                _ => {}
+            }
+        }
+
+        // Stored one-shot timers need a cancel site in the same file.
+        for &(args_start, _) in &arm_ranges {
+            // `set_timer` sits two tokens before its `(`: `ctx . set_timer (`.
+            let call = args_start.saturating_sub(2);
+            let stored = is_stored_call(toks, call);
+            if stored && !has_cancel {
+                let line = toks[call].line;
+                findings.push(Finding {
+                    file: file.path.clone(),
+                    line,
+                    rule: RULE_TIMER,
+                    message: "the TimerId from this set_timer is stored but the file never \
+                              calls cancel_timer; a superseded timer will fire into stale \
+                              state"
+                        .to_string(),
+                    snippet: file.snippet(line),
+                });
+            }
+        }
+    }
+}
+
+/// True when the call at token index `call` has its result bound:
+/// `x = recv.call(…)`, `x = Some(recv.call(…))`, or `let x = call(…)`.
+fn is_stored_call(toks: &[crate::lexer::Token], call: usize) -> bool {
+    // Walk back over the receiver (`ctx .` / `self . ctx .`).
+    let mut j = call;
+    while j >= 2 && toks[j - 1].text == "." && toks[j - 2].kind == Kind::Ident {
+        j -= 2;
+    }
+    if j == 0 {
+        return false;
+    }
+    match toks[j - 1].text.as_str() {
+        "=" => true,
+        "(" => j >= 3 && toks[j - 2].text == "Some" && toks[j - 3].text == "=",
+        _ => false,
+    }
+}

@@ -1,0 +1,9 @@
+//! Fixture (clean): every registered counter has an emission site.
+
+pub fn send(ctx: &mut Context) {
+    ctx.count(Counter::Sent);
+}
+
+pub fn retry(ctx: &mut Context) {
+    ctx.count(Counter::Retries);
+}

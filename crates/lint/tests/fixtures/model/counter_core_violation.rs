@@ -1,0 +1,5 @@
+//! Fixture (violation): protocol code emits `Sent` but never `Retries`.
+
+pub fn send(ctx: &mut Context) {
+    ctx.count(Counter::Sent);
+}

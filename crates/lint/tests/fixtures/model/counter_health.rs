@@ -1,0 +1,10 @@
+//! Fixture: the health counter registry.
+
+pub enum Counter {
+    Sent,
+    Retries,
+}
+
+impl Counter {
+    pub const ALL: [Counter; 2] = [Counter::Sent, Counter::Retries];
+}

@@ -1,0 +1,8 @@
+//! Fixture (clean): client dispatch covering every production variant.
+
+pub fn on_message(msg: Msg) {
+    match msg {
+        Msg::Ping(_) => {}
+        Msg::Pong(_) => {}
+    }
+}

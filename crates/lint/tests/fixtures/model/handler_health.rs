@@ -1,0 +1,3 @@
+//! Fixture: the per-tag array size in the health registry.
+
+pub const TAG_COUNT: usize = 2;

@@ -1,0 +1,48 @@
+//! Fixture (violations): skewed wire maps.
+//!
+//! Seeded defects: `Pong`'s encode tag disagrees with tag()/decode;
+//! `Gap` is missing from the encode table entirely; `Gap`'s decode tag
+//! collides with `Ping`'s.
+
+pub struct Ping;
+pub struct Pong;
+pub struct Gap;
+
+pub enum Msg {
+    Ping(Ping),
+    Pong(Pong),
+    Gap(Gap),
+}
+
+impl Msg {
+    pub fn tag(&self) -> u8 {
+        match self {
+            Msg::Ping(_) => 0,
+            Msg::Pong(_) => 1,
+            Msg::Gap(_) => 2,
+        }
+    }
+
+    pub fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            Msg::Ping(m) => {
+                buf.push(0);
+                m.encode(buf);
+            }
+            Msg::Pong(m) => {
+                buf.push(2);
+                m.encode(buf);
+            }
+            Msg::Gap(_) => {}
+        }
+    }
+
+    pub fn decode(tag: u8) -> Option<Msg> {
+        Some(match tag {
+            0 => Msg::Ping(Ping),
+            1 => Msg::Pong(Pong),
+            0 => Msg::Gap(Gap),
+            _ => return None,
+        })
+    }
+}

@@ -1,0 +1,7 @@
+//! Fixture (violation): replica dispatch with the `Pong` arm deleted.
+
+pub fn on_message(msg: Msg) {
+    match msg {
+        Msg::Ping(_) => {}
+    }
+}

@@ -1,0 +1,45 @@
+//! Fixture (clean): every `Violation` variant is constructed by a
+//! checker and referenced by a test.
+
+use std::fmt;
+
+pub enum Violation {
+    Alpha { seq: u64 },
+    Beta { detail: String },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::Alpha { seq } => write!(f, "alpha at {seq}"),
+            Violation::Beta { detail } => write!(f, "beta: {detail}"),
+        }
+    }
+}
+
+pub fn check(seq: u64, detail: &str) -> Result<(), Violation> {
+    if seq == 0 {
+        return Err(Violation::Alpha { seq });
+    }
+    if !detail.is_empty() {
+        return Err(Violation::Beta {
+            detail: detail.to_string(),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alpha_fires() {
+        assert!(matches!(check(0, ""), Err(Violation::Alpha { .. })));
+    }
+
+    #[test]
+    fn beta_fires() {
+        assert!(matches!(check(1, "bad"), Err(Violation::Beta { .. })));
+    }
+}

@@ -1,0 +1,41 @@
+//! Fixture (violations): a `Violation` enum with coverage holes.
+//!
+//! Seeded defects: `Beta` appears only in the Display formatter —
+//! never constructed, never tested; `Gamma` is never constructed by a
+//! checker (but a test file references it); `Alpha` is fully covered
+//! (constructed by `check`, referenced from the cfg(test) module).
+
+use std::fmt;
+
+pub enum Violation {
+    Alpha { seq: u64 },
+    Beta { detail: String },
+    Gamma { replica: u32 },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::Alpha { seq } => write!(f, "alpha at {seq}"),
+            Violation::Beta { detail } => write!(f, "beta: {detail}"),
+            Violation::Gamma { replica } => write!(f, "gamma on {replica}"),
+        }
+    }
+}
+
+pub fn check(seq: u64) -> Result<(), Violation> {
+    if seq == 0 {
+        return Err(Violation::Alpha { seq });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alpha_fires() {
+        assert!(matches!(check(0), Err(Violation::Alpha { .. })));
+    }
+}

@@ -1,0 +1,8 @@
+//! Fixture: an integration-test file whose `Violation` references count
+//! toward the invariant-coverage test side.
+
+#[test]
+fn gamma_report() {
+    let v = Violation::Gamma { replica: 1 };
+    assert_eq!(v.to_string(), "gamma on 1");
+}

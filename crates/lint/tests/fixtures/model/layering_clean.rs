@@ -1,0 +1,15 @@
+//! Fixture (clean): protocol code touching only the sanctioned
+//! simulator surface.
+
+use bft_sim::time::dur;
+use bft_sim::{Context, NodeId, TimerId};
+
+pub struct Widget {
+    timer: Option<TimerId>,
+}
+
+pub fn greet(ctx: &mut Context, peer: NodeId) -> Widget {
+    let t = ctx.set_timer(dur::ms(10), 0);
+    let _ = peer;
+    Widget { timer: Some(t) }
+}

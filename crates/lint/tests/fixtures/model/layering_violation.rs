@@ -1,0 +1,22 @@
+//! Fixture (violations): protocol code reaching into unsanctioned
+//! simulator internals.
+//!
+//! Seeded defects: a `use` of the network engine module, a `use` of the
+//! `Simulation` driver type, and an inline fully-qualified reference to
+//! `bft_sim::Network` — three layering findings. The `Context` import is
+//! sanctioned and must not fire.
+
+use bft_sim::network::NetConfig;
+use bft_sim::{Context, Simulation};
+
+pub fn attach(sim: &mut Simulation, cfg: NetConfig) {
+    let _ = (sim, cfg);
+}
+
+pub fn peek(net: &bft_sim::Network) {
+    let _ = net;
+}
+
+pub fn ok(ctx: &mut Context) {
+    let _ = ctx.now();
+}

@@ -1,0 +1,27 @@
+//! Fixture (clean): every opened phase is closed, including spans whose
+//! phase is computed by a helper (the `exec_phase` handoff pattern).
+
+pub struct R;
+
+impl R {
+    fn exec_phase(tentative: bool) -> TracePhase {
+        if tentative {
+            TracePhase::ExecuteTentative
+        } else {
+            TracePhase::Execute
+        }
+    }
+
+    pub fn run(&self, ctx: &mut Context, tentative: bool) {
+        ctx.trace(SpanEdge::Open, TracePhase::Request, TraceMeta::default());
+        let phase = Self::exec_phase(tentative);
+        ctx.trace(SpanEdge::Open, phase, TraceMeta::default());
+        ctx.trace(SpanEdge::Close, phase, TraceMeta::default());
+        ctx.trace(SpanEdge::Close, TracePhase::Request, TraceMeta::default());
+    }
+
+    pub fn also_commit(&self, ctx: &mut Context) {
+        ctx.trace(SpanEdge::Open, TracePhase::Commit, TraceMeta::default());
+        ctx.trace(SpanEdge::Close, TracePhase::Commit, TraceMeta::default());
+    }
+}

@@ -1,0 +1,8 @@
+//! Fixture: the `TracePhase` vocabulary the span rule pairs against.
+
+pub enum TracePhase {
+    Request,
+    Commit,
+    Execute,
+    ExecuteTentative,
+}

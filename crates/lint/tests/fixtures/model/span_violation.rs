@@ -1,0 +1,16 @@
+//! Fixture (violations): unpaired span edges.
+//!
+//! Seeded defects: `Request` is opened but never closed; `Commit` is
+//! closed but never opened.
+
+pub struct R;
+
+impl R {
+    pub fn open_only(&self, ctx: &mut Context) {
+        ctx.trace(SpanEdge::Open, TracePhase::Request, TraceMeta::default());
+    }
+
+    pub fn close_only(&self, ctx: &mut Context) {
+        ctx.trace(SpanEdge::Close, TracePhase::Commit, TraceMeta::default());
+    }
+}

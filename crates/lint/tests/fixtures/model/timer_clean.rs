@@ -1,0 +1,27 @@
+//! Fixture (clean): every armed timer is handled, and the stored
+//! one-shot id has a cancel site.
+
+const TIMER_RETRY: u64 = 0;
+const TIMER_VC: u64 = 1;
+
+pub struct Keeper {
+    vc_timer: Option<TimerId>,
+}
+
+impl Keeper {
+    pub fn arm(&mut self, ctx: &mut Context) {
+        ctx.set_timer(10, TIMER_RETRY);
+        if let Some(t) = self.vc_timer.take() {
+            ctx.cancel_timer(t);
+        }
+        self.vc_timer = Some(ctx.set_timer(50, TIMER_VC));
+    }
+
+    pub fn on_timer(&mut self, ctx: &mut Context, token: u64) {
+        match token {
+            TIMER_RETRY => {}
+            TIMER_VC => {}
+            _ => {}
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! Fixture (violations): timer tokens out of pairing.
+//!
+//! Seeded defects: `TIMER_ORPHAN` is armed but nothing inspects the
+//! token; `TIMER_DEAD` is declared but never armed; the stored
+//! `TIMER_VC` id has no cancel_timer anywhere in the file.
+
+const TIMER_RETRY: u64 = 0;
+const TIMER_ORPHAN: u64 = 1;
+const TIMER_DEAD: u64 = 2;
+const TIMER_VC: u64 = 3;
+
+pub struct Keeper {
+    vc_timer: Option<TimerId>,
+}
+
+impl Keeper {
+    pub fn arm(&mut self, ctx: &mut Context) {
+        ctx.set_timer(10, TIMER_RETRY);
+        ctx.set_timer(10, TIMER_ORPHAN);
+        self.vc_timer = Some(ctx.set_timer(50, TIMER_VC));
+    }
+
+    pub fn on_timer(&mut self, token: u64) {
+        if token == TIMER_RETRY {
+            // retry
+        }
+        if token == TIMER_VC {
+            // view change
+        }
+    }
+}
