@@ -1,5 +1,5 @@
 //! Machine-readable benchmark suite: runs a quick battery spanning the
-//! five experiment families the evaluation leans on and emits one
+//! six experiment families the evaluation leans on and emits one
 //! canonical versioned JSON document (`BENCH_*.json`, schema in
 //! [`bft_bench::suite`]):
 //!
@@ -11,7 +11,10 @@
 //! 4. `readmix` — leased vs unleased read latency under a 1% write mix
 //!    on a jittery network (the lease headline: zero fallbacks);
 //! 5. `recovery` — time to heal a silently corrupted replica via the
-//!    proactive recovery audit, and the throughput dip while healing.
+//!    proactive recovery audit, and the throughput dip while healing;
+//! 6. `overload` — the degradation curve: honest goodput and tail
+//!    latency with a Byzantine client flooding at 1×–16× the no-flood
+//!    goodput, admission control on.
 //!
 //! Everything runs in the deterministic simulator, so at fixed settings
 //! the emitted metrics are bit-for-bit reproducible; `--compare` is a
@@ -37,8 +40,9 @@ use bft_bench::suite::{compare, BenchDoc, BenchResult};
 use bft_core::prelude::*;
 use bft_sim::trace::{assemble, breakdown as trace_breakdown};
 use bft_workloads::harness::{bft_latency, OpShape, SEED};
-use bft_workloads::micro::{MicroDriver, SimpleService};
+use bft_workloads::micro::{simple_op, MicroDriver, SimpleService};
 use bft_workloads::read_mix_run;
+use bft_workloads::FloodDriver;
 
 const TRACE_CAPACITY: usize = 1 << 16;
 
@@ -262,6 +266,137 @@ fn recovery(quick: bool, out: &mut BenchDoc) {
     merge_counters(&mut out.counters, cluster.sim.health().flattened());
 }
 
+/// Closed-loop 0/0 client that records its latency under a private
+/// metric, so the overload family's honest-client numbers are not
+/// polluted by the flooder's completions in `client.latency`.
+struct HonestMicro;
+
+impl ClientDriver for HonestMicro {
+    fn on_start(&mut self, api: &mut ClientApi<'_, '_>) {
+        api.submit(simple_op(0, 0, false), false);
+    }
+    fn on_complete(&mut self, api: &mut ClientApi<'_, '_>, _result: &[u8], latency_ns: u64) {
+        api.metrics().record("bench.honest_latency", latency_ns);
+        api.submit(simple_op(0, 0, false), false);
+    }
+}
+
+/// Family 6: overload degradation curve. Four honest closed-loop
+/// clients share the cluster with one open-loop flooder offering
+/// 1×–16× the no-flood goodput; admission control (per-client quota,
+/// queue caps, BUSY pushback) is on. The interesting shape: honest
+/// goodput should degrade gracefully — not collapse — as offered junk
+/// load climbs past saturation, with the overflow absorbed by the shed
+/// counters instead of the queues.
+fn overload(quick: bool, out: &mut BenchDoc) {
+    let (warmup, window) = if quick {
+        (dur::millis(300), dur::millis(700))
+    } else {
+        (dur::secs(1), dur::secs(2))
+    };
+    let mut cfg = Config::new(1);
+    cfg.admission_control = true;
+    cfg.admission_client_quota = 4;
+    cfg.admission_queue_cap = 64;
+    cfg.busy_retry_after_ns = dur::millis(2);
+    cfg.client_retry_budget = 12;
+
+    /// The fifth client at each curve point.
+    enum Flooder {
+        /// No fifth client — the no-flood baseline.
+        None,
+        /// Open loop but well behaved: offers at the interval, drops the
+        /// offer at the source while its previous op is outstanding.
+        Polite(u64),
+        /// Byzantine: abandons the outstanding op every tick and issues a
+        /// fresh one, holding quota-busting work in flight.
+        Abusive(u64),
+    }
+
+    let mut run_point = |flooder: Flooder| -> (f64, f64, u64, u64) {
+        let mut cluster = Cluster::new(
+            0x0BE5_BEAC,
+            NetConfig::SWITCHED_100MBPS,
+            cfg.clone(),
+            |_| SimpleService,
+        );
+        for _ in 0..4 {
+            cluster.add_client(HonestMicro);
+        }
+        match flooder {
+            Flooder::None => {}
+            Flooder::Polite(interval) => {
+                cluster.add_client(FloodDriver::new(interval, simple_op(0, 0, false), false));
+            }
+            Flooder::Abusive(interval) => {
+                let id = cluster.add_client(MicroDriver::new(0, 0, false));
+                cluster.client_mut::<MicroDriver>(id).set_behavior(
+                    bft_core::ClientBehavior::Flood {
+                        interval_ns: interval,
+                    },
+                );
+            }
+        }
+        cluster.run_for(warmup);
+        cluster.sim.metrics_mut().reset();
+        cluster.run_for(window);
+        let window_s = window as f64 / 1e9;
+        let honest = cluster.sim.metrics().summary("bench.honest_latency");
+        let shed = cluster.sim.health().total(bft_sim::Counter::RequestsShed);
+        let busy = cluster.sim.health().total(bft_sim::Counter::BusySent);
+        merge_counters(&mut out.counters, cluster.sim.health().flattened());
+        (
+            honest.count as f64 / window_s,
+            honest.p99 as f64 / 1e3,
+            shed,
+            busy,
+        )
+    };
+
+    let (base_goodput, base_p99, _, _) = run_point(Flooder::None);
+    out.results.push(BenchResult {
+        bench: "overload".to_string(),
+        workload: "no-flood".to_string(),
+        metrics: metrics(&[
+            ("honest_goodput_ops_per_sec", base_goodput),
+            ("honest_p99_us", base_p99),
+        ]),
+    });
+    let point = |goodput: f64, p99: f64, shed: u64, busy: u64| {
+        metrics(&[
+            ("honest_goodput_ops_per_sec", goodput),
+            ("honest_p99_us", p99),
+            (
+                "goodput_retained_pct",
+                100.0 * goodput / base_goodput.max(1.0),
+            ),
+            ("requests_shed", shed as f64),
+            ("busy_sent", busy as f64),
+        ])
+    };
+    for mult in [1u64, 2, 4, 8, 16] {
+        let offered = base_goodput.max(1.0) * mult as f64;
+        let interval = ((1e9 / offered) as u64).max(1);
+        let (goodput, p99, shed, busy) = run_point(Flooder::Abusive(interval));
+        out.results.push(BenchResult {
+            bench: "overload".to_string(),
+            workload: format!("{mult}x-flood"),
+            metrics: point(goodput, p99, shed, busy),
+        });
+    }
+    // Contrast point: the same 16× offered load from a client that stays
+    // closed-loop (skips offers while one is outstanding) costs the
+    // cluster nothing — overload armor is about *abusive* concurrency,
+    // not raw offered rate.
+    let interval = ((1e9 / (base_goodput.max(1.0) * 16.0)) as u64).max(1);
+    let (goodput, p99, shed, busy) = run_point(Flooder::Polite(interval));
+    out.results.push(BenchResult {
+        bench: "overload".to_string(),
+        workload: "16x-polite".to_string(),
+        metrics: point(goodput, p99, shed, busy),
+    });
+}
+
 fn git_rev() -> String {
     std::process::Command::new("git")
         .args(["rev-parse", "--short=12", "HEAD"])
@@ -291,6 +426,8 @@ fn run_suite(quick: bool) -> BenchDoc {
     readmix(quick, &mut doc);
     eprintln!("suite: recovery ...");
     recovery(quick, &mut doc);
+    eprintln!("suite: overload ...");
+    overload(quick, &mut doc);
     doc
 }
 

@@ -88,10 +88,11 @@ impl BenchDoc {
 }
 
 /// Whether a larger value of `metric` is an improvement. Throughput-like
-/// metrics (rates) improve upward; everything else — latencies, heal
-/// times, fallback counts — improves downward.
+/// metrics (rates) and retained-goodput fractions improve upward;
+/// everything else — latencies, heal times, fallback counts — improves
+/// downward.
 pub fn higher_is_better(metric: &str) -> bool {
-    metric.contains("throughput") || metric.contains("per_sec")
+    metric.contains("throughput") || metric.contains("per_sec") || metric.contains("retained_pct")
 }
 
 /// One metric diffed between two documents.
@@ -369,6 +370,14 @@ mod tests {
         let mut new = doc();
         new.schema_version = SCHEMA_VERSION + 1;
         assert!(compare(&old, &new, 10.0).is_err());
+    }
+
+    #[test]
+    fn retained_goodput_improves_upward() {
+        assert!(higher_is_better("goodput_retained_pct"));
+        assert!(higher_is_better("honest_goodput_ops_per_sec"));
+        assert!(!higher_is_better("honest_p99_us"));
+        assert!(!higher_is_better("requests_shed"));
     }
 
     #[test]

@@ -7,7 +7,7 @@
 
 use crate::config::Config;
 use crate::invariants::OpEvent;
-use crate::messages::{AuthTag, Msg, Packet, Reply, Request, REPLIER_ALL};
+use crate::messages::{AuthTag, Busy, Msg, Packet, Reply, Request, REPLIER_ALL};
 use crate::types::{ClientId, ReplicaId, Timestamp, View};
 use crate::wire::Wire;
 use bft_crypto::keychain::KeyChain;
@@ -19,7 +19,59 @@ use std::any::Any;
 use std::collections::BTreeMap;
 
 const TIMER_RETRY: u64 = 0;
+/// Recurring fault-injection pacing timer ([`ClientBehavior`]); below
+/// `DRIVER_TOKEN_BASE` so it can never collide with a driver token.
+const TIMER_FAULT: u64 = 999;
 const DRIVER_TOKEN_BASE: u64 = 1_000;
+
+/// Cap on BUSY-driven backoff rounds per operation: a Byzantine replica
+/// holding valid keys can send BUSY too, and each acceptance re-arms the
+/// retry timer — unbounded acceptance would let one faulty replica delay
+/// a retransmission forever.
+const BUSY_ROUNDS_CAP: u32 = 16;
+
+/// Fault-injection behaviours for clients, the client-side counterpart
+/// of [`crate::replica::Behavior`]. A correct client is closed-loop (one
+/// outstanding operation); these make it misbehave in a specific,
+/// reproducible way. The flood operation is the counter workload's "get"
+/// (state-neutral), so chaos invariants over the replicated counter are
+/// unaffected by how many flood requests execute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ClientBehavior {
+    /// Follow the protocol.
+    #[default]
+    Correct,
+    /// Open-loop flood: abandon any outstanding operation and submit a
+    /// fresh one every `interval_ns`, ignoring the closed-loop
+    /// discipline entirely.
+    Flood {
+        /// Pacing interval between flood submissions.
+        interval_ns: u64,
+    },
+    /// Retransmission storm: re-send the outstanding request every
+    /// `interval_ns` (duplicate/replay pressure on dedup paths).
+    Replay {
+        /// Pacing interval between replays.
+        interval_ns: u64,
+    },
+    /// Send requests whose authenticator never verifies every
+    /// `interval_ns` (pure verification-cost flooding).
+    Malformed {
+        /// Pacing interval between malformed sends.
+        interval_ns: u64,
+    },
+}
+
+impl ClientBehavior {
+    fn interval_ns(self) -> Option<u64> {
+        match self {
+            ClientBehavior::Correct => None,
+            ClientBehavior::Flood { interval_ns }
+            | ClientBehavior::Replay { interval_ns }
+            | ClientBehavior::Malformed { interval_ns } => Some(interval_ns.max(1)),
+        }
+    }
+}
 
 /// Application logic driving a [`Client`].
 pub trait ClientDriver: 'static {
@@ -46,6 +98,12 @@ struct PendingOp {
     sent_at: SimTime,
     broadcast: bool,
     retries: u32,
+    /// BUSY pushbacks honored for this operation (each extends the
+    /// retry budget by one — backing off is not starvation).
+    busy_rounds: u32,
+    /// The retry budget was already flagged as exhausted for this
+    /// operation (count starvation once per op).
+    budget_flagged: bool,
     /// Per-replica (result digest, tentative) votes, in replica order so
     /// quorum evaluation is independent of reply arrival hashing.
     replies: BTreeMap<ReplicaId, (Digest, bool)>,
@@ -71,6 +129,13 @@ pub struct ClientCore {
     /// Invoke/complete events for the chaos linearizability checker;
     /// bounded when nobody drains it.
     audit: Vec<OpEvent>,
+    /// Fault-injection behavior (chaos testing); `Correct` in production.
+    behavior: ClientBehavior,
+    /// A `TIMER_FAULT` pacing timer is outstanding.
+    fault_timer_armed: bool,
+    /// Operations whose bounded retry budget ran out (each counted once);
+    /// the chaos `ClientStarvation` invariant watches this.
+    starved_ops: u64,
 }
 
 impl ClientCore {
@@ -89,7 +154,25 @@ impl ClientCore {
             latency_ewma: 0.0,
             completed_ops: 0,
             audit: Vec::new(),
+            behavior: ClientBehavior::Correct,
+            fault_timer_armed: false,
+            starved_ops: 0,
         }
+    }
+
+    /// Deterministic jitter in `0..bound`, splitmix64-hashed from the
+    /// client id and `salt` — NOT the simulation RNG, so two clusters fed
+    /// the same schedule stay bit-identical and replays are stable, while
+    /// clients that timed out in the same instant still retransmit apart
+    /// instead of re-synchronizing into the same burst.
+    fn jitter(&self, salt: u64, bound: u64) -> u64 {
+        if bound == 0 {
+            return 0;
+        }
+        let mut z = (u64::from(self.id) << 32) ^ salt ^ 0x9e37_79b9_7f4a_7c15;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        (z ^ (z >> 31)) % bound
     }
 
     /// Retention bound for undrained audit events (long benchmark runs
@@ -143,6 +226,16 @@ impl ClientCore {
         // past the cluster's recovery (see `client_retry_timeout_max_ns`).
         let timeout = (self.cfg.client_retry_timeout_ns.max(adaptive) << p.retries.min(4))
             .min(self.cfg.client_retry_timeout_max_ns);
+        // Desynchronize retransmissions: clients whose timeouts expire in
+        // the same instant (a batch completing late, a primary failing)
+        // would otherwise retransmit in lockstep forever. Part of the
+        // overload armor, and gated with it so pre-armor seeds replay
+        // byte-identically.
+        let timeout = if self.cfg.admission_control {
+            timeout + self.jitter(p.timestamp ^ (u64::from(p.retries) << 48), timeout / 8 + 1)
+        } else {
+            timeout
+        };
         if let Some(t) = self.retry_timer.take() {
             ctx.cancel_timer(t);
         }
@@ -183,6 +276,8 @@ impl ClientCore {
             sent_at: ctx.now(),
             broadcast: false,
             retries: 0,
+            busy_rounds: 0,
+            budget_flagged: false,
             replies: BTreeMap::new(),
             full: BTreeMap::new(),
         });
@@ -358,11 +453,81 @@ impl ClientCore {
         self.send_request(ctx);
     }
 
+    /// Handles a BUSY pushback from a replica: back off with exponential
+    /// delay plus deterministic jitter instead of retransmitting on the
+    /// normal schedule, and under persistent pushback give up the
+    /// optimistic read-only path (admission sheds read-only parking
+    /// queues first, so the classic path is the one with headroom).
+    fn handle_busy(
+        &mut self,
+        ctx: &mut Context<'_, Packet>,
+        from: NodeId,
+        busy: Busy,
+        auth: &AuthTag,
+    ) {
+        if from >= self.cfg.n() || busy.client != self.id {
+            return;
+        }
+        // Verify the point-to-point MAC — an unauthenticated BUSY would
+        // let any network party stall arbitrary clients for free.
+        let AuthTag::Mac(mac) = auth else { return };
+        ctx.charge_kind(CostKind::Mac, self.cfg.cost.mac(16));
+        let mut body_buf = Vec::new();
+        Msg::Busy(busy).encode(&mut body_buf);
+        let d = bft_crypto::digest(&body_buf);
+        if !self.keychain.verify_from(from, d.as_bytes(), mac) {
+            ctx.metrics().incr("client.bad_busy_auth");
+            return;
+        }
+        let (rounds, salt) = {
+            let Some(p) = &mut self.pending else { return };
+            if busy.timestamp != p.timestamp || p.busy_rounds >= BUSY_ROUNDS_CAP {
+                return;
+            }
+            p.busy_rounds += 1;
+            ctx.metrics().incr("client.busy_received");
+            if p.busy_rounds >= 2 && p.read_only {
+                // Persistent pushback: fall back from the optimistic
+                // one-round read to classic ordering.
+                p.read_only = false;
+                p.replier = REPLIER_ALL;
+                ctx.metrics().incr("client.busy_ro_fallbacks");
+                ctx.count(Counter::RoFallbacks);
+            }
+            (p.busy_rounds, p.timestamp)
+        };
+        let max = self.cfg.client_retry_timeout_max_ns;
+        let hint = busy.retry_after_ns.clamp(1, max);
+        let backoff = (hint << (rounds - 1).min(4)).min(max);
+        let delay = backoff + self.jitter(salt ^ (u64::from(rounds) << 40), backoff / 4 + 1);
+        if let Some(t) = self.retry_timer.take() {
+            ctx.cancel_timer(t);
+        }
+        self.retry_timer = Some(ctx.set_timer(delay, TIMER_RETRY));
+    }
+
     fn on_retry_timer(&mut self, ctx: &mut Context<'_, Packet>) {
         self.retry_timer = None;
+        let budget = self.cfg.client_retry_budget;
+        let over = {
+            let Some(p) = &mut self.pending else { return };
+            p.retries += 1;
+            p.broadcast = true;
+            // Each honored BUSY extends the allowance by one round:
+            // backing off on request is cooperation, not starvation.
+            budget > 0 && !p.budget_flagged && p.retries > budget + p.busy_rounds
+        };
+        if over {
+            // The budget is an observability boundary, not a liveness
+            // one: flag the op as starved (once) and keep retrying.
+            self.starved_ops += 1;
+            ctx.metrics().incr("client.retry_budget_exhausted");
+            ctx.count(Counter::RetryBudgetExhausted);
+        }
         let Some(p) = &mut self.pending else { return };
-        p.retries += 1;
-        p.broadcast = true;
+        if over {
+            p.budget_flagged = true;
+        }
         // With read leases, a timed-out read retries read-only first:
         // a write burst that held replies back lifts within a lease
         // revocation round, and falling straight back to read-write
@@ -397,6 +562,81 @@ impl ClientCore {
         ctx.metrics().incr("client.retransmissions");
         ctx.count(Counter::Retransmissions);
         self.send_request(ctx);
+    }
+
+    /// Arms the fault pacing timer if the behavior needs one and none is
+    /// outstanding. Called on every event so `set_behavior` (which has no
+    /// simulation context) takes effect at the next event the client
+    /// processes.
+    fn ensure_fault_timer(&mut self, ctx: &mut Context<'_, Packet>) {
+        if self.fault_timer_armed {
+            return;
+        }
+        let Some(interval) = self.behavior.interval_ns() else {
+            return;
+        };
+        self.fault_timer_armed = true;
+        ctx.set_timer(interval, TIMER_FAULT);
+    }
+
+    /// One tick of the configured misbehavior. Does nothing (and stops
+    /// re-arming) once the behavior is back to `Correct`.
+    fn on_fault_tick(&mut self, ctx: &mut Context<'_, Packet>) {
+        match self.behavior {
+            ClientBehavior::Correct => {}
+            ClientBehavior::Flood { .. } => {
+                // Abandon the outstanding op and fire a fresh one: an
+                // open-loop firehose that keeps timestamps monotone, so
+                // the reply cache stays coherent and the final flood op
+                // completes normally once the behavior is restored —
+                // which re-enters the driver's closed loop.
+                if self.pending.take().is_some() {
+                    if let Some(t) = self.retry_timer.take() {
+                        ctx.cancel_timer(t);
+                    }
+                    ctx.metrics().incr("client.flood_abandoned");
+                }
+                ctx.metrics().incr("client.flood_requests");
+                self.submit_inner(ctx, vec![1], false);
+            }
+            ClientBehavior::Replay { .. } => {
+                if self.pending.is_some() {
+                    ctx.metrics().incr("client.replayed_requests");
+                    self.send_request(ctx);
+                }
+            }
+            ClientBehavior::Malformed { .. } => {
+                // A request whose every MAC is corrupt: pure
+                // verification-cost pressure. The timestamp is past the
+                // reply cache but never reserved via `self.ts`, so no
+                // real op is ever shadowed by it.
+                ctx.metrics().incr("client.malformed_requests");
+                let req = Request {
+                    client: self.id,
+                    timestamp: self.ts + 1,
+                    op: vec![1],
+                    read_only: false,
+                    replier: REPLIER_ALL,
+                    auth: AuthTag::None,
+                };
+                let d = req.digest();
+                let mut auth = self.keychain.authenticate(d.as_bytes());
+                for (_, mac) in &mut auth.entries {
+                    mac.tag[0] ^= 0xff;
+                }
+                let req = Request {
+                    auth: AuthTag::Vector(auth),
+                    ..req
+                };
+                let packet = Packet::unauthenticated(Msg::Request(req));
+                let wire = packet.wire_bytes();
+                ctx.charge_kind(CostKind::Net, self.cfg.cost.send(wire));
+                ctx.count_sent(packet.body.tag());
+                let all: Vec<NodeId> = (0..self.cfg.n()).collect();
+                ctx.multicast(&all, packet, wire);
+            }
+        }
+        self.ensure_fault_timer(ctx);
     }
 }
 
@@ -495,6 +735,25 @@ impl<D: ClientDriver> Client<D> {
         std::mem::take(&mut self.core.audit)
     }
 
+    /// Overrides the client's behavior (chaos fault injection). The
+    /// pacing timer arms on the next event this client processes — the
+    /// chaos harness injects a no-op message right after to bound that.
+    pub fn set_behavior(&mut self, behavior: ClientBehavior) {
+        self.core.behavior = behavior;
+    }
+
+    /// The current (possibly faulty) behavior.
+    pub fn behavior(&self) -> ClientBehavior {
+        self.core.behavior
+    }
+
+    /// Operations whose bounded retry budget ran out, counted once per
+    /// operation. The chaos `ClientStarvation` invariant watches this on
+    /// honest clients.
+    pub fn starvation_events(&self) -> u64 {
+        self.core.starved_ops
+    }
+
     /// Access to the driver (e.g. to read workload statistics).
     pub fn driver(&self) -> &D {
         &self.driver
@@ -529,11 +788,16 @@ impl<D: ClientDriver> Node<Packet> for Client<D> {
     ) {
         ctx.charge_kind(CostKind::Net, self.core.cfg.cost.recv(wire));
         ctx.count_received(packet.body.tag());
+        self.core.ensure_fault_timer(ctx);
         // Exhaustive over Msg (lint rule `catch-all`): a client consumes
-        // only REPLY; every replica-to-replica variant is named so adding
-        // a message type forces an explicit decision here.
+        // only REPLY and BUSY; every replica-to-replica variant is named
+        // so adding a message type forces an explicit decision here.
         let reply = match packet.body {
             Msg::Reply(reply) => reply,
+            Msg::Busy(busy) => {
+                self.core.handle_busy(ctx, from, busy, &packet.auth);
+                return;
+            }
             Msg::Request(_)
             | Msg::PrePrepare(_)
             | Msg::Prepare(_)
@@ -574,6 +838,9 @@ impl<D: ClientDriver> Node<Packet> for Client<D> {
     fn on_timer(&mut self, ctx: &mut Context<'_, Packet>, token: u64) {
         if token == TIMER_RETRY {
             self.core.on_retry_timer(ctx);
+        } else if token == TIMER_FAULT {
+            self.core.fault_timer_armed = false;
+            self.core.on_fault_tick(ctx);
         } else if token >= DRIVER_TOKEN_BASE {
             let mut api = ClientApi {
                 core: &mut self.core,

@@ -2,14 +2,14 @@
 //! followed by any number of clients, with node ids equal to principal
 //! ids. Used by the test suite, the examples, and the benchmark drivers.
 
-use crate::client::{Client, ClientDriver};
+use crate::client::{Client, ClientBehavior, ClientDriver};
 use crate::config::Config;
 use crate::invariants::{InvariantChecker, Violation};
-use crate::messages::Packet;
+use crate::messages::{Msg, Packet, Request};
 use crate::replica::{Behavior, Replica};
 use crate::service::{CounterService, Service};
 use crate::types::ClientId;
-use bft_sim::chaos::{ByzMode, Fault, FaultPlan, NodeFault};
+use bft_sim::chaos::{ByzMode, ClientFault, Fault, FaultPlan, NodeFault};
 use bft_sim::{HealthReport, HealthSnapshot, NetConfig, NodeId, Simulation};
 
 /// Mixes an index into a base seed (splitmix64), giving well-separated
@@ -240,7 +240,7 @@ impl Cluster {
             // exact).
             let fault_horizon = next_event.unwrap_or(deadline).nanos();
             while next_fault < plan.events.len() && plan.events[next_fault].at_ns <= fault_horizon {
-                self.apply_fault::<S>(&plan.events[next_fault].fault, checker);
+                self.apply_fault::<S, D>(&plan.events[next_fault].fault, checker);
                 next_fault += 1;
             }
             if next_event.is_none() {
@@ -254,9 +254,52 @@ impl Cluster {
         Ok(())
     }
 
-    fn apply_fault<S: Service>(&mut self, fault: &Fault, checker: &mut InvariantChecker) {
+    fn apply_fault<S: Service, D: ClientDriver>(
+        &mut self,
+        fault: &Fault,
+        checker: &mut InvariantChecker,
+    ) {
         match fault {
             Fault::Net(nf) => nf.apply(self.sim.network_mut()),
+            Fault::Client { client, fault } => {
+                if *client < self.cfg.n() || *client >= self.sim.node_count() as u32 {
+                    return;
+                }
+                let behavior = match fault {
+                    ClientFault::Flood { interval_ns } => ClientBehavior::Flood {
+                        interval_ns: *interval_ns,
+                    },
+                    ClientFault::Replay { interval_ns } => ClientBehavior::Replay {
+                        interval_ns: *interval_ns,
+                    },
+                    ClientFault::Malformed { interval_ns } => ClientBehavior::Malformed {
+                        interval_ns: *interval_ns,
+                    },
+                    ClientFault::Restore => ClientBehavior::Correct,
+                };
+                if *fault == ClientFault::Restore {
+                    checker.restore_client(*client);
+                } else {
+                    // A misbehaving client's ops may never complete;
+                    // exempt it from the starvation audit.
+                    checker.mark_client_tainted(*client);
+                }
+                self.client_mut::<D>(*client).set_behavior(behavior);
+                // The behavior's pacing timer arms on the client's next
+                // event. A flooding client may have nothing scheduled
+                // (e.g. parked on a long retransmission backoff), so
+                // kick it with a harmless message — clients ignore
+                // REQUEST bodies — to bound the arming delay.
+                let kick = Packet::unauthenticated(Msg::Request(Request {
+                    client: *client,
+                    timestamp: 0,
+                    op: Vec::new(),
+                    read_only: false,
+                    replier: 0,
+                    auth: crate::messages::AuthTag::None,
+                }));
+                self.sim.inject(*client, *client, kick, 0);
+            }
             Fault::Node { node, fault } => {
                 if *node >= self.cfg.n() {
                     return;

@@ -156,6 +156,7 @@ pub fn fuzz_plan(seed: u64, f: u32) -> FaultPlan {
             horizon_ns: FAULT_HORIZON_NS,
             events: 12,
             recovery_faults: false,
+            client_faults: false,
         },
     )
 }
@@ -189,6 +190,7 @@ pub fn recovery_fuzz_plan(seed: u64, f: u32) -> FaultPlan {
             horizon_ns: FAULT_HORIZON_NS,
             events: 12,
             recovery_faults: true,
+            client_faults: false,
         },
     )
 }
@@ -218,6 +220,7 @@ pub fn fastpath_fuzz_plan(seed: u64, f: u32) -> FaultPlan {
             horizon_ns: FAULT_HORIZON_NS,
             events: 12,
             recovery_faults: false,
+            client_faults: false,
         },
     )
 }
@@ -252,6 +255,44 @@ pub fn lease_fuzz_plan(seed: u64, f: u32) -> FaultPlan {
             horizon_ns: FAULT_HORIZON_NS,
             events: 12,
             recovery_faults: true,
+            client_faults: false,
+        },
+    )
+}
+
+/// [`fuzz_config`] with overload armor armed: admission control with a
+/// small per-client quota and backlog cap (so a flooding client hits
+/// both gates many times over), BUSY pushback with a short retry-after
+/// hint, a bounded client retry budget (the `ClientStarvation` invariant
+/// watches honest clients), and read leases on so persistent pushback
+/// also exercises the optimistic-read → classic fallback.
+pub fn overload_fuzz_config(f: u32) -> Config {
+    let mut cfg = fuzz_config(f);
+    cfg.admission_control = true;
+    cfg.admission_client_quota = 4;
+    cfg.admission_queue_cap = 64;
+    cfg.busy_retry_after_ns = dur::millis(2);
+    cfg.client_retry_budget = 12;
+    cfg.read_leases = true;
+    cfg.read_lease_ns = dur::millis(60);
+    cfg
+}
+
+/// The fault schedule for one overload-fuzz iteration: the regular chaos
+/// vocabulary plus client faults — floods, replay storms, and malformed
+/// requests from at most one client at a time, restored by cleanup.
+pub fn overload_fuzz_plan(seed: u64, f: u32) -> FaultPlan {
+    let cfg = overload_fuzz_config(f);
+    FaultPlan::generate(
+        seed,
+        &ChaosConfig {
+            replicas: cfg.n(),
+            clients: FUZZ_CLIENTS as u32,
+            max_faulty: cfg.f(),
+            horizon_ns: FAULT_HORIZON_NS,
+            events: 12,
+            recovery_faults: false,
+            client_faults: true,
         },
     )
 }
@@ -266,7 +307,7 @@ pub const FLIGHT_DUMP_LAST: usize = 24;
 /// lockstep with [`Cluster::with_seed_iter`]: a builder with the same
 /// seed, so `CHAOS_SEED=<seed>` reconstructs the identical run.
 pub fn run_fuzz_schedule(seed: u64, f: u32, plan: &FaultPlan) -> Result<(), Violation> {
-    run_fuzz_schedule_inner(seed, fuzz_config(f), 0, plan, 0).map_err(|(v, _)| v)
+    run_fuzz_schedule_inner(seed, fuzz_config(f), 0, plan, 0, false).map_err(|(v, _)| v)
 }
 
 /// [`run_fuzz_schedule`] with the flight recorder armed: trace rings of
@@ -282,15 +323,22 @@ pub fn run_fuzz_schedule_traced(
     f: u32,
     plan: &FaultPlan,
 ) -> Result<(), (Violation, String)> {
-    run_fuzz_schedule_inner(seed, fuzz_config(f), 0, plan, FLIGHT_RING)
+    run_fuzz_schedule_inner(seed, fuzz_config(f), 0, plan, FLIGHT_RING, false)
 }
 
 /// One recovery-fuzz iteration: [`recovery_fuzz_config`] (watchdogs on),
 /// the bounded-heal deadline armed, and the run extended past workload
 /// completion until every corrupted replica has provably healed.
 pub fn run_recovery_fuzz_schedule(seed: u64, f: u32, plan: &FaultPlan) -> Result<(), Violation> {
-    run_fuzz_schedule_inner(seed, recovery_fuzz_config(f), HEAL_DEADLINE_NS, plan, 0)
-        .map_err(|(v, _)| v)
+    run_fuzz_schedule_inner(
+        seed,
+        recovery_fuzz_config(f),
+        HEAL_DEADLINE_NS,
+        plan,
+        0,
+        false,
+    )
+    .map_err(|(v, _)| v)
 }
 
 /// [`run_recovery_fuzz_schedule`] with the flight recorder armed.
@@ -305,13 +353,14 @@ pub fn run_recovery_fuzz_schedule_traced(
         HEAL_DEADLINE_NS,
         plan,
         FLIGHT_RING,
+        false,
     )
 }
 
 /// One fast-path fuzz iteration: [`fastpath_fuzz_config`] (fast path
 /// on, short fallback window) against the standard chaos vocabulary.
 pub fn run_fastpath_fuzz_schedule(seed: u64, f: u32, plan: &FaultPlan) -> Result<(), Violation> {
-    run_fuzz_schedule_inner(seed, fastpath_fuzz_config(f), 0, plan, 0).map_err(|(v, _)| v)
+    run_fuzz_schedule_inner(seed, fastpath_fuzz_config(f), 0, plan, 0, false).map_err(|(v, _)| v)
 }
 
 /// [`run_fastpath_fuzz_schedule`] with the flight recorder armed.
@@ -320,14 +369,14 @@ pub fn run_fastpath_fuzz_schedule_traced(
     f: u32,
     plan: &FaultPlan,
 ) -> Result<(), (Violation, String)> {
-    run_fuzz_schedule_inner(seed, fastpath_fuzz_config(f), 0, plan, FLIGHT_RING)
+    run_fuzz_schedule_inner(seed, fastpath_fuzz_config(f), 0, plan, FLIGHT_RING, false)
 }
 
 /// One lease-fuzz iteration: [`lease_fuzz_config`] (read leases on,
 /// watchdogs on) with the bounded-heal deadline armed, against the full
 /// recovery-fault chaos vocabulary.
 pub fn run_lease_fuzz_schedule(seed: u64, f: u32, plan: &FaultPlan) -> Result<(), Violation> {
-    run_fuzz_schedule_inner(seed, lease_fuzz_config(f), HEAL_DEADLINE_NS, plan, 0)
+    run_fuzz_schedule_inner(seed, lease_fuzz_config(f), HEAL_DEADLINE_NS, plan, 0, false)
         .map_err(|(v, _)| v)
 }
 
@@ -343,6 +392,7 @@ pub fn run_lease_fuzz_schedule_traced(
         HEAL_DEADLINE_NS,
         plan,
         FLIGHT_RING,
+        false,
     )
 }
 
@@ -352,6 +402,7 @@ fn run_fuzz_schedule_inner(
     heal_deadline_ns: u64,
     plan: &FaultPlan,
     trace_capacity: usize,
+    per_client_liveness: bool,
 ) -> Result<(), (Violation, String)> {
     let mut cluster = Cluster::builder(cfg)
         .seed(seed)
@@ -387,7 +438,20 @@ fn run_fuzz_schedule_inner(
     let target = FUZZ_CLIENTS * FUZZ_OPS_PER_CLIENT;
     let empty = FaultPlan::empty();
     let mut rounds = 0;
-    while cluster.completed_ops() < target || checker.corrupted_replicas().next().is_some() {
+    // Overload runs count a flooder's own junk completions in the global
+    // metric, which could mask a stuck honest client; they assert
+    // per-client progress instead.
+    let workload_done = |cluster: &Cluster| {
+        if per_client_liveness {
+            cluster
+                .clients
+                .iter()
+                .all(|&id| cluster.client::<ChaosDriver>(id).completed_ops() >= FUZZ_OPS_PER_CLIENT)
+        } else {
+            cluster.completed_ops() >= target
+        }
+    };
+    while !workload_done(&cluster) || checker.corrupted_replicas().next().is_some() {
         if rounds == LIVENESS_ROUNDS {
             let v = Violation::Liveness {
                 detail: format!(
@@ -606,6 +670,61 @@ pub fn check_lease_schedules(base: u64, total: u64, offset: u64, stride: u64, f:
     {
         if i as u64 % stride == offset {
             check_lease_schedule(builder.seed_value(), f);
+        }
+    }
+}
+
+/// One overload-fuzz iteration: [`overload_fuzz_config`] (admission
+/// control, BUSY pushback, bounded retry budgets, read leases) against
+/// chaos plans that include client floods, replay storms, and malformed
+/// requests. Liveness is asserted per client — a flooder's junk
+/// completions must not mask a starved honest client — and the
+/// `UnboundedGrowth` and `ClientStarvation` invariants are checked after
+/// every event alongside every existing one.
+pub fn run_overload_fuzz_schedule(seed: u64, f: u32, plan: &FaultPlan) -> Result<(), Violation> {
+    run_fuzz_schedule_inner(seed, overload_fuzz_config(f), 0, plan, 0, true).map_err(|(v, _)| v)
+}
+
+/// [`run_overload_fuzz_schedule`] with the flight recorder armed.
+pub fn run_overload_fuzz_schedule_traced(
+    seed: u64,
+    f: u32,
+    plan: &FaultPlan,
+) -> Result<(), (Violation, String)> {
+    run_fuzz_schedule_inner(seed, overload_fuzz_config(f), 0, plan, FLIGHT_RING, true)
+}
+
+/// [`check_schedule`] for the overload family: Byzantine client floods
+/// against an admission-controlled cluster, with bounded queues and
+/// honest-client starvation checked alongside every existing invariant.
+pub fn check_overload_schedule(seed: u64, f: u32) {
+    let plan = overload_fuzz_plan(seed, f);
+    if let Err(v) = run_overload_fuzz_schedule(seed, f, &plan) {
+        let kind = std::mem::discriminant(&v);
+        let min = plan.minimize(|p| {
+            run_overload_fuzz_schedule(seed, f, p)
+                .err()
+                .is_some_and(|e| std::mem::discriminant(&e) == kind)
+        });
+        let (v, flight) = match run_overload_fuzz_schedule_traced(seed, f, &min) {
+            Err((v, dump)) => (v, Some(dump)),
+            Ok(()) => (v, None),
+        };
+        panic!(
+            "{}",
+            failure_report_for(seed, f, &min, &v, flight.as_deref(), "replay_overload_one")
+        );
+    }
+}
+
+/// Strided sweep over overload schedules (see [`check_schedules`]).
+pub fn check_overload_schedules(base: u64, total: u64, offset: u64, stride: u64, f: u32) {
+    for (i, builder) in Cluster::with_seed_iter(base, overload_fuzz_config(f))
+        .enumerate()
+        .take(total as usize)
+    {
+        if i as u64 % stride == offset {
+            check_overload_schedule(builder.seed_value(), f);
         }
     }
 }

@@ -249,6 +249,29 @@ pub enum Violation {
         /// The deadline it missed (ns).
         deadline_ns: u64,
     },
+    /// *Bounded queues*: a replica collection guarded by admission
+    /// control grew past its configured cap — overload armor leaked.
+    UnboundedGrowth {
+        /// The replica whose queue overflowed.
+        replica: ReplicaId,
+        /// Which collection (see [`Replica::queue_bounds`]).
+        ///
+        /// [`Replica::queue_bounds`]: crate::replica::Replica::queue_bounds
+        queue: &'static str,
+        /// Its observed length.
+        len: usize,
+        /// The cap it was supposed to respect.
+        cap: usize,
+    },
+    /// *Overload fairness*: an honest client's operation ran out of its
+    /// bounded retry budget — admission control starved a well-behaved
+    /// client instead of shedding the misbehaving load.
+    ClientStarvation {
+        /// The starved honest client.
+        client: ClientId,
+        /// Its total budget-exhausted operations so far.
+        starved_ops: u64,
+    },
 }
 
 impl fmt::Display for Violation {
@@ -309,6 +332,23 @@ impl fmt::Display for Violation {
                 f,
                 "unhealed corruption: replica {replica} corrupted at {corrupted_at_ns}ns had not \
                  completed a clean recovery by {deadline_ns}ns"
+            ),
+            Violation::UnboundedGrowth {
+                replica,
+                queue,
+                len,
+                cap,
+            } => write!(
+                f,
+                "unbounded growth: replica {replica} queue {queue} holds {len} entries, cap {cap}"
+            ),
+            Violation::ClientStarvation {
+                client,
+                starved_ops,
+            } => write!(
+                f,
+                "client starvation: honest client {client} exhausted its retry budget \
+                 ({starved_ops} starved ops)"
             ),
         }
     }
@@ -564,6 +604,12 @@ pub struct InvariantChecker {
     /// *Bounded heal* deadline: a corrupted replica must complete a clean
     /// recovery within this many ns of the corruption. 0 disables.
     heal_deadline_ns: u64,
+    /// Clients currently misbehaving under a chaos plan: their operations
+    /// may legitimately never complete, so the starvation audit absorbs
+    /// (rather than reports) their budget exhaustions.
+    tainted_clients: BTreeSet<ClientId>,
+    /// Last observed per-client starvation counter, for delta detection.
+    starved_seen: BTreeMap<ClientId, u64>,
     lin: CounterLinearizability,
 }
 
@@ -598,6 +644,20 @@ impl InvariantChecker {
         self.corrupted.entry(replica).or_insert(at_ns);
     }
 
+    /// Marks a client as misbehaving (chaos client faults): its retry
+    /// budget exhaustions are absorbed instead of reported, since a
+    /// flooding client abandons its own operations by design.
+    pub fn mark_client_tainted(&mut self, client: ClientId) {
+        self.tainted_clients.insert(client);
+    }
+
+    /// Lifts a client's taint after a chaos `Restore`: from the next
+    /// observation on, the client is held to the starvation invariant
+    /// again (exhaustions while misbehaving were already absorbed).
+    pub fn restore_client(&mut self, client: ClientId) {
+        self.tainted_clients.remove(&client);
+    }
+
     /// Sets the *bounded heal* deadline (0 disables). With a deadline,
     /// [`InvariantChecker::observe`] reports a violation for any replica
     /// still corrupt `deadline` ns after its corruption was injected.
@@ -624,6 +684,20 @@ impl InvariantChecker {
             let replica: &mut Replica<S> = cluster.replica_mut(i);
             let view = replica.view();
             let audit = replica.drain_audit();
+            // *Bounded queues*: every request-holding collection must
+            // respect its cap at every observable instant — checked even
+            // on tainted replicas, since admission control is local code
+            // that runs regardless of the protocol-level behavior mode.
+            for (queue, len, cap) in replica.queue_bounds() {
+                if len > cap {
+                    return Err(Violation::UnboundedGrowth {
+                        replica: i,
+                        queue,
+                        len,
+                        cap,
+                    });
+                }
+            }
             if self.tainted.contains(&i) {
                 continue;
             }
@@ -779,6 +853,20 @@ impl InvariantChecker {
         for id in cluster.clients.clone() {
             let client: &mut Client<D> = cluster.client_mut(id);
             events.extend(client.drain_audit());
+            // *Overload fairness*: an honest client must never exhaust
+            // its retry budget. Misbehaving clients have their deltas
+            // absorbed so only post-restore exhaustions can fire.
+            let starved = client.starvation_events();
+            let seen = self.starved_seen.entry(id).or_insert(0);
+            if starved > *seen {
+                *seen = starved;
+                if !self.tainted_clients.contains(&id) {
+                    return Err(Violation::ClientStarvation {
+                        client: id,
+                        starved_ops: starved,
+                    });
+                }
+            }
         }
         // Drains may interleave clients; feed the checker in time order.
         events.sort_by_key(OpEvent::at_ns);

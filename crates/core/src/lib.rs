@@ -66,7 +66,7 @@ pub mod types;
 pub mod viewchange;
 pub mod wire;
 
-pub use client::{Client, ClientApi, ClientDriver};
+pub use client::{Client, ClientApi, ClientBehavior, ClientDriver};
 pub use cluster::{derive_seed, Cluster, ClusterBuilder};
 pub use config::{Config, Optimizations};
 pub use invariants::{InvariantChecker, OpEvent, ReplicaAudit, Violation};

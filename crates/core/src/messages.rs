@@ -1056,6 +1056,45 @@ impl Wire for LeaseRevoke {
     }
 }
 
+/// BUSY: a replica's overload pushback to a client. Sent instead of
+/// silently dropping a request when admission control sheds it — the
+/// per-client in-flight quota is exhausted or a request queue is at its
+/// high watermark. The client backs off for at least `retry_after_ns`
+/// (with deterministic per-client jitter) before retransmitting, and
+/// under persistent pushback degrades from optimistic paths back to the
+/// classic ordered path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Busy {
+    /// The client whose request was shed.
+    pub client: ClientId,
+    /// The shed request's client timestamp.
+    pub timestamp: Timestamp,
+    /// The overloaded replica.
+    pub replica: ReplicaId,
+    /// Minimum back-off the client should apply before retrying.
+    pub retry_after_ns: u64,
+}
+
+impl Wire for Busy {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.client.encode(buf);
+        self.timestamp.encode(buf);
+        self.replica.encode(buf);
+        self.retry_after_ns.encode(buf);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(Busy {
+            client: u32::decode(r)?,
+            timestamp: u64::decode(r)?,
+            replica: u32::decode(r)?,
+            retry_after_ns: u64::decode(r)?,
+        })
+    }
+    fn wire_len(&self) -> usize {
+        4 + 8 + 4 + 8
+    }
+}
+
 /// All protocol messages.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Msg {
@@ -1107,6 +1146,9 @@ pub enum Msg {
     LeaseRenew(LeaseRenew),
     /// Read-lease revocation (request or ack).
     LeaseRevoke(LeaseRevoke),
+    /// Overload pushback: a replica shed a request under admission
+    /// control and asks the client to back off before retrying.
+    Busy(Busy),
 }
 
 impl Msg {
@@ -1137,6 +1179,7 @@ impl Msg {
             Msg::Lease(_) => "lease",
             Msg::LeaseRenew(_) => "lease-renew",
             Msg::LeaseRevoke(_) => "lease-revoke",
+            Msg::Busy(_) => "busy",
         }
     }
 
@@ -1168,6 +1211,7 @@ impl Msg {
             Msg::Lease(_) => "msg.lease",
             Msg::LeaseRenew(_) => "msg.lease-renew",
             Msg::LeaseRevoke(_) => "msg.lease-revoke",
+            Msg::Busy(_) => "msg.busy",
         }
     }
 
@@ -1200,6 +1244,7 @@ impl Msg {
             Msg::Lease(_) => 21,
             Msg::LeaseRenew(_) => 22,
             Msg::LeaseRevoke(_) => 23,
+            Msg::Busy(_) => 24,
         }
     }
 }
@@ -1303,6 +1348,10 @@ impl Wire for Msg {
                 buf.push(23);
                 m.encode(buf);
             }
+            Msg::Busy(m) => {
+                buf.push(24);
+                m.encode(buf);
+            }
         }
     }
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
@@ -1331,6 +1380,7 @@ impl Wire for Msg {
             21 => Msg::Lease(Lease::decode(r)?),
             22 => Msg::LeaseRenew(LeaseRenew::decode(r)?),
             23 => Msg::LeaseRevoke(LeaseRevoke::decode(r)?),
+            24 => Msg::Busy(Busy::decode(r)?),
             t => return Err(WireError::BadTag(t)),
         })
     }
@@ -1360,6 +1410,7 @@ impl Wire for Msg {
             Msg::Lease(m) => m.wire_len(),
             Msg::LeaseRenew(m) => m.wire_len(),
             Msg::LeaseRevoke(m) => m.wire_len(),
+            Msg::Busy(m) => m.wire_len(),
         }
     }
 }
@@ -1574,6 +1625,12 @@ mod tests {
             epoch: 11,
             replica: 3,
             ack: true,
+        }));
+        roundtrip(Msg::Busy(Busy {
+            client: 7,
+            timestamp: 42,
+            replica: 1,
+            retry_after_ns: 5_000_000,
         }));
     }
 

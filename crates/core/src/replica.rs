@@ -35,8 +35,13 @@ const TIMER_FASTPATH_BASE: u64 = 1 << 32;
 
 /// Bound on reads queued at a lease holder waiting for the next servable
 /// window (lease handoff or state catch-up). Beyond it the oldest queued
-/// read is dropped — the client's retransmission covers the loss.
+/// read is evicted — counted, and its client told via BUSY so it backs
+/// off instead of waiting out a retransmission timeout.
 const LEASE_RO_CAP: usize = 256;
+
+/// Bound on request bodies retained for batch resolution and recovery
+/// serving ([`Replica::store_request`] evicts in insertion order).
+const STORE_CAP: usize = 20_000;
 
 /// Fault-injection behaviours for testing. A correct deployment uses
 /// [`Behavior::Correct`]; the others make this replica Byzantine in a
@@ -87,6 +92,41 @@ struct WaitingRo {
     client: ClientId,
     reply: Reply,
 }
+
+/// Per-client admission-control state. Client timestamps are issued
+/// consecutively, so `admitted_hw - served_hw` counts requests this
+/// replica let past the gate that no reply has settled yet — including
+/// work deep in the ordering pipeline that a queue-depth count misses
+/// the moment a batch is proposed. A flooding client that abandons ops
+/// faster than they execute drives the difference over
+/// [`Config::admission_client_quota`] and trips a penalty window; a
+/// correct closed-loop client never holds more than one.
+#[derive(Debug, Clone, Copy, Default)]
+struct ClientGate {
+    /// Highest timestamp admitted past the gate (post-authentication).
+    admitted_hw: Timestamp,
+    /// Highest timestamp this replica replied to (execution, read-only
+    /// or reply-cache). Serving ts settles every lower one too: a gap
+    /// means the client abandoned or other replicas served those reads.
+    served_hw: Timestamp,
+    /// When the last admission happened. A watermark gap older than
+    /// [`ADMIT_FORGIVE_MULT`] retry windows is forgiven: the admitted
+    /// work was lost (e.g. discarded by a view change) and will never
+    /// execute here, and holding the client to it would wedge it.
+    last_admit_ns: u64,
+    /// Requests are shed without further accounting until this instant.
+    /// Armed when the quota first trips, not refreshed by further sheds,
+    /// so a recovered client drains out of it in one window.
+    penalty_until_ns: u64,
+    /// BUSY send throttle: at most one per retry window, so a flood of
+    /// shed requests cannot turn the pushback channel itself into load.
+    last_busy_ns: u64,
+}
+
+/// Staleness bound on the admission watermarks, in units of
+/// [`Config::busy_retry_after_ns`]: past this the admitted-but-unserved
+/// gap is treated as abandoned rather than in flight.
+const ADMIT_FORGIVE_MULT: u64 = 8;
 
 /// Primary-side record of the outstanding read-lease grant round
 /// (arXiv:2107.11144). One record covers all backups: grants are
@@ -181,8 +221,16 @@ pub struct Replica<S: Service> {
     reply_cache: BTreeMap<ClientId, CachedReply>,
     /// Primary: last assigned sequence number.
     next_seq: SeqNum,
-    /// Primary: requests waiting for a batch slot.
-    pending_batch: VecDeque<Request>,
+    /// Primary: requests waiting for a batch slot, kept per client so
+    /// draining can round-robin across senders — one flooding client
+    /// fills only its own lane and cannot starve the others. Keys with
+    /// empty lanes are removed eagerly.
+    pending_batch: BTreeMap<ClientId, VecDeque<Request>>,
+    /// Total requests across all `pending_batch` lanes.
+    pending_batch_len: usize,
+    /// Round-robin drain position: the last client a request was taken
+    /// from; the next drain starts strictly after it (wrapping).
+    rr_cursor: ClientId,
     /// Identities already queued or proposed, to drop duplicates cheaply.
     queued: BTreeSet<(ClientId, Timestamp)>,
     /// Request bodies known by digest (separate request transmission and
@@ -251,6 +299,18 @@ pub struct Replica<S: Service> {
     waiting_lease_ro: Vec<Request>,
     /// Proactive-recovery state: our own recovery stage plus peer leases.
     recovery: RecoveryManager,
+    /// Per-client admission bookkeeping: timestamp watermarks whose
+    /// difference measures work admitted but not yet served (robust to
+    /// the ordering pipeline draining quickly, unlike a queue count),
+    /// plus the shed penalty window and BUSY send throttle. One entry
+    /// per authenticated client — bounded by the principal set.
+    gate: BTreeMap<ClientId, ClientGate>,
+    /// Requests shed by admission control since startup (observer-only).
+    requests_shed: u64,
+    /// BUSY pushbacks sent since startup (observer-only).
+    busy_sent: u64,
+    /// Peak ingest-backlog depth ever reached (observer-only).
+    backlog_high_watermark: u64,
     behavior: Behavior,
     /// Safety events (finalized batches, announced checkpoints) for the
     /// chaos invariant checker; drained via [`Replica::drain_audit`].
@@ -300,7 +360,9 @@ impl<S: Service> Replica<S> {
             tentative_cache_undo: Vec::new(),
             reply_cache: BTreeMap::new(),
             next_seq: 0,
-            pending_batch: VecDeque::new(),
+            pending_batch: BTreeMap::new(),
+            pending_batch_len: 0,
+            rr_cursor: 0,
             queued: BTreeSet::new(),
             request_store: BTreeMap::new(),
             store_order: VecDeque::new(),
@@ -328,6 +390,10 @@ impl<S: Service> Replica<S> {
             held_lease: None,
             waiting_lease_ro: Vec::new(),
             recovery: RecoveryManager::new(),
+            gate: BTreeMap::new(),
+            requests_shed: 0,
+            busy_sent: 0,
+            backlog_high_watermark: 0,
             behavior: Behavior::Correct,
             audit: ReplicaAudit::default(),
         }
@@ -422,14 +488,47 @@ impl<S: Service> Replica<S> {
             last_stable: self.checkpoints.stable_seq(),
             next_seq: self.next_seq,
             log_slots: self.log.len() as u64,
-            pending_batch: self.pending_batch.len() as u64,
+            pending_batch: self.pending_batch_len as u64,
             pending_requests: self.pending_requests.len() as u64,
             waiting_ro: self.waiting_ro.len() as u64,
             waiting_lease_ro: self.waiting_lease_ro.len() as u64,
             lease_held: lease.is_some(),
             lease_expiry_ns: lease.map_or(0, |l| l.expires_at_ns),
             fast_path: self.cfg.fast_path,
+            requests_shed: self.requests_shed,
+            busy_sent: self.busy_sent,
+            backlog_high_watermark: self.backlog_high_watermark,
         }
+    }
+
+    /// The armed bounds of every capped request-holding collection, as
+    /// `(name, len, cap)` — what the chaos checker's `UnboundedGrowth`
+    /// invariant audits after every event. The ingest backlog's cap has
+    /// window slack on top of [`Config::admission_queue_cap`]: requests
+    /// arriving inside already-ordered batches (pre-prepares, new-view
+    /// requeues) were admitted upstream and bypass the local gate, but
+    /// the log window bounds how many of those can be in flight.
+    pub fn queue_bounds(&self) -> Vec<(&'static str, usize, usize)> {
+        let mut out = vec![
+            ("request_store", self.request_store.len(), STORE_CAP),
+            (
+                "waiting_lease_ro",
+                self.waiting_lease_ro.len(),
+                LEASE_RO_CAP,
+            ),
+        ];
+        if self.cfg.admission_control {
+            let slack = self.cfg.log_window as usize * self.cfg.max_batch_requests;
+            let cap = self.cfg.admission_queue_cap + slack;
+            out.push((
+                "ingest_backlog",
+                self.pending_batch_len + self.pending_requests.len(),
+                cap,
+            ));
+            out.push(("queued", self.queued.len(), cap));
+            out.push(("waiting_ro", self.waiting_ro.len(), cap));
+        }
+        out
     }
 
     // ------------------------------------------------------------------
@@ -443,7 +542,6 @@ impl<S: Service> Replica<S> {
     /// Remembers a request body for batch resolution and recovery
     /// serving, with bounded memory.
     fn store_request(&mut self, req: Request) {
-        const STORE_CAP: usize = 20_000;
         let d = req.digest();
         if self.request_store.insert(d, req).is_none() {
             self.store_order.push_back(d);
@@ -706,7 +804,167 @@ impl<S: Service> Replica<S> {
     // Request handling and batching (primary)
     // ------------------------------------------------------------------
 
+    /// Appends a request to its client's backlog lane and tracks the
+    /// high-watermark. The caller is responsible for `queued` dedup.
+    fn enqueue_pending(&mut self, req: Request) {
+        self.pending_batch
+            .entry(req.client)
+            .or_default()
+            .push_back(req);
+        self.pending_batch_len += 1;
+        self.note_backlog_hw();
+    }
+
+    fn note_backlog_hw(&mut self) {
+        let depth = (self.pending_batch_len + self.pending_requests.len()) as u64;
+        if depth > self.backlog_high_watermark {
+            self.backlog_high_watermark = depth;
+        }
+    }
+
+    /// The next backlog request in round-robin order without removing
+    /// it: front of the first lane strictly after the cursor, wrapping.
+    fn rr_peek(&self) -> Option<&Request> {
+        self.rr_next_client()
+            .and_then(|c| self.pending_batch.get(&c))
+            .and_then(|lane| lane.front())
+    }
+
+    /// Removes and returns the request [`Self::rr_peek`] would see,
+    /// advancing the cursor past its client.
+    fn rr_pop(&mut self) -> Option<Request> {
+        let client = self.rr_next_client()?;
+        let lane = self.pending_batch.get_mut(&client)?;
+        let req = lane.pop_front()?;
+        if lane.is_empty() {
+            self.pending_batch.remove(&client);
+        }
+        self.rr_cursor = client;
+        self.pending_batch_len -= 1;
+        Some(req)
+    }
+
+    fn rr_next_client(&self) -> Option<ClientId> {
+        use std::ops::Bound;
+        self.pending_batch
+            .range((Bound::Excluded(self.rr_cursor), Bound::Unbounded))
+            .next()
+            .or_else(|| self.pending_batch.iter().next())
+            .map(|(c, _)| *c)
+    }
+
+    /// Count of this client's requests admitted but not yet served —
+    /// what [`Config::admission_client_quota`] bounds. The timestamp
+    /// watermark difference sees work anywhere in the pipeline (backlog
+    /// lanes, proposed batches awaiting execution); the explicit queue
+    /// count backstops it against non-consecutive Byzantine timestamps.
+    fn client_in_flight(&self, client: ClientId, now: u64) -> usize {
+        let watermark = match self.gate.get(&client) {
+            Some(g)
+                if now.saturating_sub(g.last_admit_ns)
+                    <= self
+                        .cfg
+                        .busy_retry_after_ns
+                        .saturating_mul(ADMIT_FORGIVE_MULT) =>
+            {
+                g.admitted_hw.saturating_sub(g.served_hw) as usize
+            }
+            _ => 0,
+        };
+        let range = (client, Timestamp::MIN)..=(client, Timestamp::MAX);
+        let held =
+            self.queued.range(range.clone()).count() + self.pending_requests.range(range).count();
+        watermark.max(held)
+    }
+
+    /// True while the client sits in the shed penalty window.
+    fn client_penalized(&self, client: ClientId, now: u64) -> bool {
+        self.gate
+            .get(&client)
+            .is_some_and(|g| now < g.penalty_until_ns)
+    }
+
+    /// Opens the penalty window on a quota trip. Not refreshed while
+    /// already armed: a client that keeps flooding re-trips the quota
+    /// after each window instead of being locked out forever.
+    fn penalize(&mut self, client: ClientId, now: u64) {
+        let window = self.cfg.busy_retry_after_ns;
+        let g = self.gate.entry(client).or_default();
+        if now >= g.penalty_until_ns {
+            g.penalty_until_ns = now + window;
+        }
+    }
+
+    /// Records an admission past the gate.
+    fn note_admitted(&mut self, client: ClientId, ts: Timestamp, now: u64) {
+        if !self.cfg.admission_control {
+            return;
+        }
+        let g = self.gate.entry(client).or_default();
+        if ts > g.admitted_hw {
+            g.admitted_hw = ts;
+        }
+        g.last_admit_ns = now;
+    }
+
+    /// Records a reply at `ts`: everything at or below it is settled.
+    fn note_served(&mut self, client: ClientId, ts: Timestamp) {
+        if let Some(g) = self.gate.get_mut(&client) {
+            if ts > g.served_hw {
+                g.served_hw = ts;
+            }
+        }
+    }
+
+    /// Sheds an over-limit request: counted, never silently — the
+    /// client hears BUSY and backs off instead of retransmitting into
+    /// the same wall.
+    fn shed_request(&mut self, ctx: &mut Context<'_, Packet>, client: ClientId, ts: Timestamp) {
+        self.requests_shed += 1;
+        ctx.metrics().incr("replica.requests_shed");
+        ctx.count(Counter::RequestsShed);
+        self.send_busy(ctx, client, ts);
+    }
+
+    fn send_busy(&mut self, ctx: &mut Context<'_, Packet>, client: ClientId, ts: Timestamp) {
+        // One BUSY per retry window per client is enough to trigger the
+        // backoff; answering every shed request of a flood would spend
+        // the CPU and downlink the shed was supposed to protect.
+        let now = ctx.now().nanos();
+        let g = self.gate.entry(client).or_default();
+        if g.last_busy_ns != 0 && now.saturating_sub(g.last_busy_ns) < self.cfg.busy_retry_after_ns
+        {
+            return;
+        }
+        g.last_busy_ns = now;
+        self.busy_sent += 1;
+        ctx.metrics().incr("replica.busy_sent");
+        ctx.count(Counter::BusySent);
+        let busy = Busy {
+            client,
+            timestamp: ts,
+            replica: self.id,
+            retry_after_ns: self.cfg.busy_retry_after_ns,
+        };
+        self.send_to(ctx, client, Msg::Busy(busy));
+    }
+
     fn handle_request(&mut self, ctx: &mut Context<'_, Packet>, req: Request) {
+        // Penalty-box fast path, deliberately *before* MAC verification:
+        // under a flood the verify itself is the cost the shed exists to
+        // avoid. Safe unverified because a penalty is only ever earned by
+        // authenticated over-quota traffic — a spoofer reusing an honest
+        // client's id finds it unpenalized, so this cannot be used to
+        // starve anyone else. Work already admitted still passes through
+        // to the dedup/retransmission handling below.
+        if self.cfg.admission_control
+            && self.client_penalized(req.client, ctx.now().nanos())
+            && !self.queued.contains(&(req.client, req.timestamp))
+            && !self.pending_requests.contains(&(req.client, req.timestamp))
+        {
+            self.shed_request(ctx, req.client, req.timestamp);
+            return;
+        }
         if !self.verify_request(ctx, &req) {
             ctx.metrics().incr("replica.bad_request_auth");
             return;
@@ -737,6 +995,7 @@ impl<S: Service> Replica<S> {
                     body: ReplyBody::Full(cached.result.clone()),
                 };
                 let client = req.client;
+                self.note_served(client, req.timestamp);
                 self.send_to(ctx, client, Msg::Reply(reply));
                 return;
             }
@@ -764,7 +1023,13 @@ impl<S: Service> Replica<S> {
                     self.execute_read_only(ctx, req, true);
                 } else {
                     if self.waiting_lease_ro.len() >= LEASE_RO_CAP {
-                        self.waiting_lease_ro.remove(0);
+                        // Evict the oldest parked read — but never
+                        // silently: count it and push its client back
+                        // with BUSY so it re-issues after a backoff
+                        // instead of waiting out a full retry timeout.
+                        let evicted = self.waiting_lease_ro.remove(0);
+                        ctx.metrics().incr("replica.lease_reads_evicted");
+                        self.shed_request(ctx, evicted.client, evicted.timestamp);
                     }
                     self.waiting_lease_ro.push(req);
                     ctx.metrics().incr("replica.lease_reads_queued");
@@ -775,21 +1040,44 @@ impl<S: Service> Replica<S> {
             return;
         }
         let identity = (req.client, req.timestamp);
+        // Admission control: shed before admitting anything new. A
+        // retransmission of work already held passes through (it is
+        // deduplicated below, and shedding it would only delay the
+        // client's reply), so the gate binds exactly the quantity the
+        // quota describes — distinct in-flight requests per client.
+        if self.cfg.admission_control
+            && !self.queued.contains(&identity)
+            && !self.pending_requests.contains(&identity)
+        {
+            let now = ctx.now().nanos();
+            let backlog = self.pending_batch_len + self.pending_requests.len();
+            if backlog >= self.cfg.admission_queue_cap
+                || self.client_penalized(req.client, now)
+                || self.client_in_flight(req.client, now) >= self.cfg.admission_client_quota
+            {
+                self.penalize(req.client, now);
+                self.shed_request(ctx, req.client, req.timestamp);
+                return;
+            }
+            self.note_admitted(req.client, req.timestamp, now);
+        }
         self.store_request(req.clone());
         if self.is_primary() && !self.in_view_change {
             if self.queued.insert(identity) {
-                self.pending_batch.push_back(req);
+                self.enqueue_pending(req);
                 self.try_propose(ctx);
             }
         } else {
             // Backup: remember the request and make sure the primary
             // eventually orders it.
             self.pending_requests.insert(identity);
+            self.note_backlog_hw();
             self.ensure_vc_timer(ctx);
         }
     }
 
     fn execute_read_only(&mut self, ctx: &mut Context<'_, Packet>, req: Request, leased: bool) {
+        self.note_served(req.client, req.timestamp);
         let mut result = self.service.execute_read_only(req.client, &req.op);
         ctx.charge_kind(CostKind::Exec, self.service.exec_cost_ns(&req.op, &result));
         if self.behavior == Behavior::WrongResult {
@@ -841,6 +1129,11 @@ impl<S: Service> Replica<S> {
         } else {
             // Delay until everything executed so far has committed
             // (required for linearizability, Section 3.1).
+            if self.cfg.admission_control && self.waiting_ro.len() >= self.cfg.admission_queue_cap {
+                let evicted = self.waiting_ro.remove(0);
+                let ts = evicted.reply.timestamp;
+                self.shed_request(ctx, evicted.client, ts);
+            }
             self.waiting_ro.push(WaitingRo {
                 client: req.client,
                 reply,
@@ -1185,6 +1478,18 @@ impl<S: Service> Replica<S> {
             // commits — a linearizability violation.
             return;
         }
+        // Load-aware batching: past half the admission cap, pack more
+        // requests into each pre-prepare so the backlog drains in fewer
+        // protocol rounds (the byte bound still applies, so individual
+        // messages stay bounded).
+        let max_batch_requests = if self.cfg.admission_control
+            && self.pending_batch_len + self.pending_requests.len()
+                > self.cfg.admission_queue_cap / 2
+        {
+            self.cfg.max_batch_requests * 4
+        } else {
+            self.cfg.max_batch_requests
+        };
         loop {
             if self.pending_batch.is_empty() {
                 break;
@@ -1198,13 +1503,13 @@ impl<S: Service> Replica<S> {
             }
             // Drop stale duplicates (already-executed requests re-queued
             // by retransmissions or view changes) before forming a batch.
-            while let Some(front) = self.pending_batch.front() {
+            while let Some(front) = self.rr_peek() {
                 let stale = self
                     .reply_cache
                     .get(&front.client)
                     .is_some_and(|c| c.timestamp >= front.timestamp);
                 if stale {
-                    self.pending_batch.pop_front();
+                    self.rr_pop();
                 } else {
                     break;
                 }
@@ -1212,24 +1517,26 @@ impl<S: Service> Replica<S> {
             if self.pending_batch.is_empty() {
                 break;
             }
-            // Form a batch. The byte bound applies to what travels in the
+            // Form a batch, taking one request per client in round-robin
+            // order so a flooding client fills at most its fair share of
+            // each batch. The byte bound applies to what travels in the
             // pre-prepare: separate request transmission replaces large
             // bodies with digest references, which is exactly why it
             // "enables more requests per batch" (Section 4.4).
             let mut batch: Vec<Request> = Vec::new();
             let mut bytes = 0usize;
-            while let Some(front) = self.pending_batch.front() {
+            while let Some(front) = self.rr_peek() {
                 let separate = self.cfg.opts.separate_request_transmission
                     && front.op.len() > self.cfg.inline_threshold;
                 let sz = if separate { 48 } else { front.op.len() + 32 };
                 if !batch.is_empty()
                     && (!self.cfg.opts.batching
                         || bytes + sz > self.cfg.max_batch_bytes
-                        || batch.len() >= self.cfg.max_batch_requests)
+                        || batch.len() >= max_batch_requests)
                 {
                     break;
                 }
-                let req = self.pending_batch.pop_front().expect("front exists");
+                let req = self.rr_pop().expect("peeked request exists");
                 let stale = self
                     .reply_cache
                     .get(&req.client)
@@ -1854,6 +2161,7 @@ impl<S: Service> Replica<S> {
                 break;
             }
             let identity = (req.client, req.timestamp);
+            self.note_served(req.client, req.timestamp);
             // Only FINAL execution settles outstanding work. A tentative
             // execution may never commit (its certificate can stall when
             // peers recover or fall behind), leaving the client one reply
@@ -2823,6 +3131,7 @@ impl<S: Service> Replica<S> {
         // resubmit anything that did not survive into the new view.
         self.queued.clear();
         self.pending_batch.clear();
+        self.pending_batch_len = 0;
         // Absorb batch bodies shipped with the new view.
         let mut shipped: BTreeMap<SeqNum, Vec<BatchEntry>> = batches.into_iter().collect();
         // If the group's stable point is ahead of us, transfer state.
@@ -2973,7 +3282,7 @@ impl<S: Service> Replica<S> {
                 .collect();
             for req in pending {
                 if self.queued.insert((req.client, req.timestamp)) {
-                    self.pending_batch.push_back(req);
+                    self.enqueue_pending(req);
                 }
             }
         }
@@ -3183,6 +3492,7 @@ impl<S: Service> Replica<S> {
         self.rollback_tentative();
         self.log.reset_keep_certs(seq);
         self.pending_batch.clear();
+        self.pending_batch_len = 0;
         self.queued.clear();
         // `pending_requests` survives the reboot: it holds bare client
         // identities (no protocol state to distrust), and it is what the
@@ -3530,6 +3840,7 @@ impl<S: Service> Node<Packet> for Replica<S> {
             Msg::Lease(l) => self.handle_lease(ctx, from, l),
             Msg::LeaseRenew(lr) => self.handle_lease_renew(ctx, from, lr),
             Msg::LeaseRevoke(rv) => self.handle_lease_revoke(ctx, from, rv),
+            Msg::Busy(_) => { /* replica-to-client pushback; replicas ignore it */ }
             Msg::Reply(_) => { /* replicas do not consume replies */ }
         }
     }
@@ -3617,7 +3928,7 @@ impl<S: Service> std::fmt::Debug for Replica<S> {
             .field("stable", &self.checkpoints.stable_seq())
             .field("in_view_change", &self.in_view_change)
             .field("next_seq", &self.next_seq)
-            .field("pending_batch", &self.pending_batch.len())
+            .field("pending_batch", &self.pending_batch_len)
             .field("queued", &self.queued.len())
             .field("pending_reqs", &self.pending_requests.len())
             .finish()

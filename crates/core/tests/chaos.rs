@@ -20,16 +20,22 @@
 //! - `CHAOS_LEASE_SCHEDULES` — seeded schedules for the read-lease
 //!   family (`fuzz_smoke_lease`, default 24; nightly raises it), with
 //!   `replay_lease_one` as the matching replay entry point.
+//! - `CHAOS_OVERLOAD_SCHEDULES` — seeded schedules for the overload
+//!   family (`fuzz_smoke_overload`, default 24; nightly raises it):
+//!   client floods, replay storms, and malformed requests against an
+//!   admission-controlled cluster, with `replay_overload_one` as the
+//!   matching replay entry point.
 
 use bft_core::fuzz::{
     check_schedule, env_u64, failure_report, fastpath_fuzz_config, fastpath_fuzz_plan, fuzz_config,
-    fuzz_plan, lease_fuzz_config, lease_fuzz_plan, recovery_fuzz_config, recovery_fuzz_plan,
-    run_fastpath_fuzz_schedule_traced, run_fuzz_schedule_traced, run_lease_fuzz_schedule_traced,
+    fuzz_plan, lease_fuzz_config, lease_fuzz_plan, overload_fuzz_config, overload_fuzz_plan,
+    recovery_fuzz_config, recovery_fuzz_plan, run_fastpath_fuzz_schedule_traced,
+    run_fuzz_schedule_traced, run_lease_fuzz_schedule_traced, run_overload_fuzz_schedule_traced,
     run_recovery_fuzz_schedule, run_recovery_fuzz_schedule_traced, ChaosDriver, Workload,
     FLIGHT_DUMP_LAST, FLIGHT_RING, HEAL_DEADLINE_NS,
 };
 use bft_core::prelude::*;
-use bft_sim::chaos::{ByzMode, Fault, FaultEvent, NetFault, NodeFault};
+use bft_sim::chaos::{ByzMode, ClientFault, Fault, FaultEvent, NetFault, NodeFault};
 use bft_sim::dur;
 
 /// Fixed default base seed so a plain `cargo test` run is reproducible.
@@ -177,9 +183,140 @@ fn replay_lease_one() {
     }
 }
 
+/// Seeded schedules drawing from the overload family: the regular chaos
+/// vocabulary plus client floods, replay storms, and malformed requests
+/// against a cluster with admission control, BUSY pushback, and bounded
+/// retry budgets armed — checked by the bounded-queue and honest-client
+/// starvation invariants on top of every existing one, with per-client
+/// liveness (a flooder's junk completions must not mask a stuck honest
+/// client).
+#[test]
+fn fuzz_smoke_overload() {
+    let total = env_u64("CHAOS_OVERLOAD_SCHEDULES", 24);
+    let base = env_u64("CHAOS_BASE_SEED", DEFAULT_BASE_SEED);
+    bft_core::fuzz::check_overload_schedules(base ^ 0x0BE5, total, 0, 1, 1);
+}
+
+/// Replays one run printed by a failing overload fuzz test:
+/// `CHAOS_SEED=<seed> [CHAOS_F=<f>] cargo test -p bft-core --test chaos replay_overload_one -- --nocapture`
+#[test]
+fn replay_overload_one() {
+    let Ok(seed) = std::env::var("CHAOS_SEED") else {
+        return; // nothing to replay; the fuzz tests are the default path
+    };
+    let seed: u64 = seed.parse().expect("CHAOS_SEED must be a u64");
+    let f = env_u64("CHAOS_F", 1) as u32;
+    let plan = overload_fuzz_plan(seed, f);
+    println!("replaying seed {seed} (f = {f}) with plan:\n{plan}");
+    match run_overload_fuzz_schedule_traced(seed, f, &plan) {
+        Ok(()) => println!("seed {seed}: all invariants held"),
+        Err((v, flight)) => panic!("{}", failure_report(seed, f, &plan, &v, Some(&flight))),
+    }
+}
+
 // ---------------------------------------------------------------------
 // Directed tests
 // ---------------------------------------------------------------------
+
+/// Runs four clients (the last optionally flooding from 300 ms on) for a
+/// fixed window under the overload configuration and returns the honest
+/// clients' combined completed-op count plus the metric counters the
+/// fairness test asserts on.
+fn overload_goodput(seed: u64, flood_interval_ns: Option<u64>) -> (u64, u64, u64) {
+    let cfg = overload_fuzz_config(1);
+    let mut cluster = Cluster::builder(cfg).seed(seed).build_counter();
+    // Targets far beyond what the window allows: goodput is whatever
+    // completes in the fixed window, not a fixed op count.
+    let honest: Vec<_> = (0..3)
+        .map(|i| cluster.add_client(ChaosDriver::new(seed ^ (i + 1), 100_000, Workload::Mixed)))
+        .collect();
+    let flooder = cluster.add_client(ChaosDriver::new(seed ^ 9, 100_000, Workload::Mixed));
+    let mut events = Vec::new();
+    if let Some(interval_ns) = flood_interval_ns {
+        events.push(FaultEvent {
+            at_ns: dur::millis(300),
+            fault: Fault::Client {
+                client: flooder,
+                fault: ClientFault::Flood { interval_ns },
+            },
+        });
+    }
+    let plan = FaultPlan { events };
+    let mut checker = InvariantChecker::new();
+    cluster
+        .run_with_plan::<CounterService, ChaosDriver>(&plan, dur::secs(3), &mut checker)
+        .expect("no invariant may break (incl. bounded queues and starvation)");
+    let goodput: u64 = honest
+        .iter()
+        .map(|&id| cluster.client::<ChaosDriver>(id).completed_ops())
+        .sum();
+    let metrics = cluster.sim.metrics();
+    if std::env::var("CHAOS_DEBUG").is_ok() {
+        for c in [
+            "replica.requests_shed",
+            "replica.busy_sent",
+            "replica.batches_proposed",
+            "replica.view_changes_started",
+            "replica.lease_reads",
+            "replica.lease_revokes",
+            "replica.lease_reads_evicted",
+            "client.flood_requests",
+            "client.flood_abandoned",
+            "client.busy_received",
+            "client.busy_ro_fallbacks",
+            "client.retransmissions",
+            "client.ro_fallbacks",
+            "client.ops_completed",
+            "client.retry_budget_exhausted",
+        ] {
+            println!("  {c}: {}", metrics.counter(c));
+        }
+    }
+    (
+        goodput,
+        metrics.counter("replica.requests_shed"),
+        metrics.counter("replica.busy_sent"),
+    )
+}
+
+/// Overload fairness: one client flooding at ~25k req/s (a saturating
+/// multiple of the cluster's ordered throughput) must not collapse the
+/// three honest clients' goodput — per-client quotas shed the flood at
+/// the door, round-robin draining keeps honest lanes moving, and honest
+/// goodput stays within 20% of the no-flood baseline. The shed path must
+/// actually fire (requests shed, BUSY sent) and every bounded queue must
+/// stay at or under its cap (the checker enforces `UnboundedGrowth`
+/// after every event).
+#[test]
+fn flooding_client_cannot_starve_honest_clients() {
+    let (baseline, _, _) = overload_goodput(0x0F_A1, None);
+    let (flooded, shed, busy) = overload_goodput(0x0F_A1, Some(dur::micros(40)));
+    assert!(baseline > 100, "baseline must do real work, got {baseline}");
+    assert!(shed > 0, "the admission gate must have shed flood requests");
+    assert!(busy > 0, "sheds must be answered with BUSY, not dropped");
+    assert!(
+        flooded * 10 >= baseline * 8,
+        "honest goodput under flood ({flooded}) fell more than 20% below baseline ({baseline})"
+    );
+}
+
+/// The headline acceptance bar: a flood offered at ~10× the cluster's
+/// no-flood ordered throughput (~75k req/s against ~7.5k ops/s) may cost
+/// honest clients at most half their goodput. At this rate the penalty
+/// box does the heavy lifting — over-quota requests are shed before MAC
+/// verification — and the bounded-queue/starvation invariants run after
+/// every event throughout.
+#[test]
+fn ten_x_saturating_flood_keeps_half_of_honest_goodput() {
+    let (baseline, _, _) = overload_goodput(0x0F_A2, None);
+    let (flooded, shed, _) = overload_goodput(0x0F_A2, Some(dur::micros(13)));
+    assert!(baseline > 100, "baseline must do real work, got {baseline}");
+    assert!(shed > 0, "the admission gate must have shed flood requests");
+    assert!(
+        flooded * 2 >= baseline,
+        "honest goodput under a 10x flood ({flooded}) fell below 50% of baseline ({baseline})"
+    );
+}
 
 /// Fault-free fast path: with no faults every slot should assemble its
 /// fast quorum (all n prepare votes) and commit in two rounds — no

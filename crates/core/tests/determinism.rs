@@ -8,7 +8,9 @@
 //! node (replicas and clients), element-wise. A divergence anywhere in
 //! timing, view, sequence assignment, or batching shows up here.
 
-use bft_core::fuzz::{fuzz_config, fuzz_plan, ChaosDriver, Workload};
+use bft_core::fuzz::{
+    fuzz_config, fuzz_plan, overload_fuzz_config, overload_fuzz_plan, ChaosDriver, Workload,
+};
 use bft_core::prelude::*;
 use bft_sim::dur;
 use bft_sim::trace::TraceEvent;
@@ -135,6 +137,63 @@ fn identical_seeds_identical_traces_under_chaos() {
         let plan = fuzz_plan(seed, 1);
         let a = run_once(seed, &plan, 16);
         let b = run_once(seed, &plan, 16);
+        assert_identical(&a, &b);
+    }
+}
+
+/// Builds an admission-controlled cluster under a client-fault plan
+/// (floods, replays, malformed MACs) and fingerprints it — the overload
+/// analogue of [`run_once`].
+fn run_overload_once(seed: u64, plan: &FaultPlan, rounds: u32) -> RunFingerprint {
+    let cfg = overload_fuzz_config(1);
+    let n = cfg.n();
+    let mut cluster = Cluster::builder(cfg)
+        .seed(seed)
+        .trace_capacity(TRACE_CAPACITY)
+        .build_counter();
+    cluster.add_client(ChaosDriver::new(seed ^ 1, OPS_PER_CLIENT, Workload::Adds));
+    cluster.add_client(ChaosDriver::new(seed ^ 2, OPS_PER_CLIENT, Workload::Mixed));
+
+    let mut checker = InvariantChecker::new();
+    let empty = FaultPlan::empty();
+    let mut health_seq: Vec<Vec<HealthSnapshot>> = Vec::new();
+    for round in 0..rounds {
+        let p = if round == 0 { plan } else { &empty };
+        cluster
+            .run_with_plan::<CounterService, ChaosDriver>(p, dur::millis(100), &mut checker)
+            .expect("invariants hold in both runs");
+        health_seq.push(cluster.health_snapshots::<CounterService>());
+    }
+
+    let sink = cluster.sim.trace();
+    let rings: Vec<Vec<TraceEvent>> = (0..sink.node_count() as NodeId)
+        .map(|node| sink.node_events(node).copied().collect())
+        .collect();
+    let executed: Vec<u64> = (0..n)
+        .map(|r| cluster.replica::<CounterService>(r).last_executed())
+        .collect();
+    RunFingerprint {
+        rings,
+        completed_ops: cluster.completed_ops(),
+        events_processed: cluster.sim.events_processed(),
+        now_ns: cluster.sim.now().0,
+        executed,
+        health_seq,
+        counters: cluster.sim.health().clone(),
+    }
+}
+
+/// Overload armor end to end: admission gates, BUSY pushback, the
+/// client's jittered backoff, and injected client floods. The backoff
+/// jitter is hashed from the client id and retry state — never drawn
+/// from a shared RNG — so two clusters stay bit-identical. A `rand`
+/// call sneaking into that path shows up here as a trace divergence.
+#[test]
+fn identical_seeds_identical_traces_under_overload() {
+    for seed in [0x0BE5_0001u64, 0x0BE5_0002] {
+        let plan = overload_fuzz_plan(seed, 1);
+        let a = run_overload_once(seed, &plan, 16);
+        let b = run_overload_once(seed, &plan, 16);
         assert_identical(&a, &b);
     }
 }

@@ -141,6 +141,32 @@ fn unhealed_corruption_report_shows_the_missed_deadline() {
 }
 
 #[test]
+fn unbounded_growth_report_names_queue_and_cap() {
+    let v = Violation::UnboundedGrowth {
+        replica: 1,
+        queue: "ingest_backlog",
+        len: 5000,
+        cap: 4096,
+    };
+    assert_eq!(
+        v.to_string(),
+        "unbounded growth: replica 1 queue ingest_backlog holds 5000 entries, cap 4096"
+    );
+}
+
+#[test]
+fn client_starvation_report_counts_starved_ops() {
+    let v = Violation::ClientStarvation {
+        client: 6,
+        starved_ops: 3,
+    };
+    assert_eq!(
+        v.to_string(),
+        "client starvation: honest client 6 exhausted its retry budget (3 starved ops)"
+    );
+}
+
+#[test]
 fn violations_are_distinguishable_by_equality() {
     // The chaos minimizer dedups violations by equality; two different
     // variants over the same ids must never compare equal.

@@ -55,7 +55,7 @@ proptest! {
             FetchBatch, FetchRequests, RequestData, BatchData,
             Status, CommittedBatch, NewKey,
             Recover, RecoverAttest,
-            Lease, LeaseRenew, LeaseRevoke,
+            Lease, LeaseRenew, LeaseRevoke, Busy,
             Msg,
         );
     }

@@ -58,6 +58,32 @@ pub enum NodeFault {
     StaleState,
 }
 
+/// A client-level intervention, mirrored onto the protocol crate's
+/// client fault-injection behaviours by the harness applying the plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClientFault {
+    /// Open-loop flood: abandon the closed loop and fire a fresh request
+    /// every `interval_ns` (admission-control pressure).
+    Flood {
+        /// Pacing interval between flood submissions.
+        interval_ns: u64,
+    },
+    /// Retransmission storm: re-send the outstanding request every
+    /// `interval_ns` (duplicate-suppression pressure).
+    Replay {
+        /// Pacing interval between replays.
+        interval_ns: u64,
+    },
+    /// Send a request whose every MAC is corrupt every `interval_ns`
+    /// (verification-cost pressure).
+    Malformed {
+        /// Pacing interval between malformed sends.
+        interval_ns: u64,
+    },
+    /// Resume correct closed-loop operation.
+    Restore,
+}
+
 /// A network-level intervention, applied via [`NetFault::apply`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum NetFault {
@@ -127,6 +153,13 @@ pub enum Fault {
         /// What happens to it.
         fault: NodeFault,
     },
+    /// A client intervention.
+    Client {
+        /// The target client (node id, i.e. `>= replicas`).
+        client: NodeId,
+        /// What happens to it.
+        fault: ClientFault,
+    },
 }
 
 /// A fault scheduled at an absolute simulated time.
@@ -165,6 +198,12 @@ pub struct ChaosConfig {
     /// (healing it is the recovery subsystem's job, which the harness
     /// asserts via the bounded-heal invariant).
     pub recovery_faults: bool,
+    /// Also draw client faults ([`ClientFault`]: floods, replay storms,
+    /// malformed requests). Off by default so plans generated by earlier
+    /// seeds stay byte-identical. At most one client misbehaves at a
+    /// time — honest-client starvation is only a meaningful invariant
+    /// while some clients stay honest — and cleanup restores it.
+    pub client_faults: bool,
 }
 
 /// A deterministic, replayable schedule of faults.
@@ -197,9 +236,18 @@ impl FaultPlan {
         // and replicas silently corrupted (budgeted but not restartable).
         let mut faulty: BTreeSet<NodeId> = BTreeSet::new();
         let mut corrupted: BTreeSet<NodeId> = BTreeSet::new();
+        // Clients currently misbehaving (at most one at a time).
+        let mut bad_clients: BTreeSet<NodeId> = BTreeSet::new();
         let mut events = Vec::with_capacity(cfg.events + 8);
         for at_ns in times {
-            let fault = Self::random_fault(&mut rng, cfg, n_hosts, &mut faulty, &mut corrupted);
+            let fault = Self::random_fault(
+                &mut rng,
+                cfg,
+                n_hosts,
+                &mut faulty,
+                &mut corrupted,
+                &mut bad_clients,
+            );
             events.push(FaultEvent { at_ns, fault });
         }
         // Cleanup: the run must be able to become live again.
@@ -225,6 +273,15 @@ impl FaultPlan {
                 },
             });
         }
+        for client in bad_clients {
+            events.push(FaultEvent {
+                at_ns,
+                fault: Fault::Client {
+                    client,
+                    fault: ClientFault::Restore,
+                },
+            });
+        }
         FaultPlan { events }
     }
 
@@ -234,6 +291,7 @@ impl FaultPlan {
         n_hosts: u32,
         faulty: &mut BTreeSet<NodeId>,
         corrupted: &mut BTreeSet<NodeId>,
+        bad_clients: &mut BTreeSet<NodeId>,
     ) -> Fault {
         // Weighted action table; node faults appear only while the budget
         // (or, for restarts, the faulty set) allows them. Corrupted
@@ -261,6 +319,13 @@ impl FaultPlan {
         if cfg.recovery_faults && budget_free {
             actions.push((2, 12)); // silent corruption
             actions.push((1, 13)); // stale state
+        }
+        if cfg.client_faults && cfg.clients > 0 {
+            if bad_clients.is_empty() {
+                actions.push((4, 14)); // client misbehaves
+            } else {
+                actions.push((2, 15)); // client restored
+            }
         }
         let total: u32 = actions.iter().map(|&(w, _)| w).sum();
         let mut roll = rng.gen_range(0..total);
@@ -350,12 +415,40 @@ impl FaultPlan {
                     fault: NodeFault::SilentCorruption { salt: rng.gen() },
                 }
             }
-            _ => {
+            13 => {
                 let node = correct_replica(rng, faulty, corrupted);
                 faulty.insert(node);
                 Fault::Node {
                     node,
                     fault: NodeFault::StaleState,
+                }
+            }
+            14 => {
+                let client = cfg.replicas + rng.gen_range(0..cfg.clients);
+                bad_clients.insert(client);
+                // Intervals are drawn aggressive enough to saturate the
+                // admission gate many times over (a handful of µs per
+                // request against multi-ms ordering latencies).
+                let fault = match rng.gen_range(0..4u32) {
+                    0 | 1 => ClientFault::Flood {
+                        interval_ns: rng.gen_range(20_000..400_000),
+                    },
+                    2 => ClientFault::Replay {
+                        interval_ns: rng.gen_range(20_000..400_000),
+                    },
+                    _ => ClientFault::Malformed {
+                        interval_ns: rng.gen_range(20_000..400_000),
+                    },
+                };
+                Fault::Client { client, fault }
+            }
+            _ => {
+                let pool: Vec<NodeId> = bad_clients.iter().copied().collect();
+                let client = pool[rng.gen_range(0..pool.len())];
+                bad_clients.remove(&client);
+                Fault::Client {
+                    client,
+                    fault: ClientFault::Restore,
                 }
             }
         }
@@ -412,6 +505,7 @@ mod tests {
             horizon_ns: 1_000_000_000,
             events: 12,
             recovery_faults: false,
+            client_faults: false,
         }
     }
 
@@ -511,6 +605,60 @@ mod tests {
         }
         assert!(saw_corruption, "200 seeds never drew a corruption");
         assert!(saw_stale, "200 seeds never drew a stale-state fault");
+    }
+
+    #[test]
+    fn client_faults_are_gated_and_bounded() {
+        // Gating: with the flag off, no plan ever touches a client.
+        for seed in 0..50 {
+            let plan = FaultPlan::generate(seed, &cfg());
+            assert!(plan
+                .events
+                .iter()
+                .all(|e| !matches!(e.fault, Fault::Client { .. })));
+        }
+        // Bound: with it on, at most one client misbehaves at a time,
+        // targets are valid client ids, and cleanup restores every one.
+        let ccfg = ChaosConfig {
+            client_faults: true,
+            ..cfg()
+        };
+        let mut saw_flood = false;
+        let mut saw_replay = false;
+        let mut saw_malformed = false;
+        for seed in 0..200 {
+            let plan = FaultPlan::generate(seed, &ccfg);
+            let mut bad: BTreeSet<NodeId> = BTreeSet::new();
+            for ev in &plan.events {
+                if let Fault::Client { client, fault } = ev.fault {
+                    assert!(
+                        (ccfg.replicas..ccfg.replicas + ccfg.clients).contains(&client),
+                        "fault targets a non-client node in seed {seed}"
+                    );
+                    match fault {
+                        ClientFault::Restore => {
+                            bad.remove(&client);
+                        }
+                        ClientFault::Flood { interval_ns }
+                        | ClientFault::Replay { interval_ns }
+                        | ClientFault::Malformed { interval_ns } => {
+                            assert!(interval_ns > 0);
+                            match fault {
+                                ClientFault::Flood { .. } => saw_flood = true,
+                                ClientFault::Replay { .. } => saw_replay = true,
+                                _ => saw_malformed = true,
+                            }
+                            bad.insert(client);
+                        }
+                    }
+                    assert!(bad.len() <= 1, "two clients misbehaving in seed {seed}");
+                }
+            }
+            assert!(bad.is_empty(), "cleanup must restore every client");
+        }
+        assert!(saw_flood, "200 seeds never drew a flood");
+        assert!(saw_replay, "200 seeds never drew a replay storm");
+        assert!(saw_malformed, "200 seeds never drew a malformed flood");
     }
 
     #[test]

@@ -32,8 +32,8 @@ use crate::network::NodeId;
 use std::fmt::Write as _;
 
 /// Number of distinct wire tags ([`Counters`] arrays are indexed by
-/// tag byte). Matches `Msg`'s encode tags `0..=23` in `bft-core`.
-pub const TAG_COUNT: usize = 24;
+/// tag byte). Matches `Msg`'s encode tags `0..=24` in `bft-core`.
+pub const TAG_COUNT: usize = 25;
 
 /// Human name for a wire tag byte (mirrors `Msg::kind()` in
 /// `bft-core`; unknown tags render as `"?"`).
@@ -63,6 +63,7 @@ pub fn tag_name(tag: u8) -> &'static str {
         21 => "lease",
         22 => "lease-renew",
         23 => "lease-revoke",
+        24 => "busy",
         _ => "?",
     }
 }
@@ -104,11 +105,17 @@ pub enum Counter {
     StateTransferBytes,
     /// Proactive recoveries completed.
     Recoveries,
+    /// Requests shed by replica admission control (over quota or cap).
+    RequestsShed,
+    /// BUSY pushback messages sent to clients.
+    BusySent,
+    /// Client operations whose bounded retry budget ran out.
+    RetryBudgetExhausted,
 }
 
 impl Counter {
     /// Number of variants (sizes the per-node array).
-    pub const COUNT: usize = 15;
+    pub const COUNT: usize = 18;
 
     /// All variants in index order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -127,6 +134,9 @@ impl Counter {
         Counter::StateTransfers,
         Counter::StateTransferBytes,
         Counter::Recoveries,
+        Counter::RequestsShed,
+        Counter::BusySent,
+        Counter::RetryBudgetExhausted,
     ];
 
     /// Stable snake_case name (used as a JSON key in `BENCH_*.json`).
@@ -147,6 +157,9 @@ impl Counter {
             Counter::StateTransfers => "state_transfers",
             Counter::StateTransferBytes => "state_transfer_bytes",
             Counter::Recoveries => "recoveries",
+            Counter::RequestsShed => "requests_shed",
+            Counter::BusySent => "busy_sent",
+            Counter::RetryBudgetExhausted => "retry_budget_exhausted",
         }
     }
 
@@ -378,6 +391,14 @@ pub struct HealthSnapshot {
     pub lease_expiry_ns: u64,
     /// Fast-path commit enabled in this replica's config.
     pub fast_path: bool,
+    /// Requests shed by admission control since startup.
+    pub requests_shed: u64,
+    /// BUSY pushback messages sent since startup.
+    pub busy_sent: u64,
+    /// Peak depth the ingest backlog (pending batch + pending
+    /// requests) ever reached — the high-watermark admission control
+    /// is judged against.
+    pub backlog_high_watermark: u64,
 }
 
 impl HealthSnapshot {
@@ -454,7 +475,7 @@ impl HealthReport {
     pub fn render(&self) -> String {
         let mut out = String::new();
         out.push_str(
-            "node  view  role     status          exec   final  stable  next  log  pb/pr/ro/lro  lease\n",
+            "node  view  role     status          exec   final  stable  next  log  pb/pr/ro/lro  shed/busy/hw  lease\n",
         );
         for s in &self.snapshots {
             let lease = if s.lease_held {
@@ -464,7 +485,7 @@ impl HealthReport {
             };
             let _ = writeln!(
                 out,
-                "{:>4}  {:>4}  {:<7}  {:<14}  {:>5}  {:>5}  {:>6}  {:>4}  {:>3}  {:>2}/{}/{}/{}  {}",
+                "{:>4}  {:>4}  {:<7}  {:<14}  {:>5}  {:>5}  {:>6}  {:>4}  {:>3}  {:>2}/{}/{}/{}  {:>4}/{}/{}  {}",
                 s.node,
                 s.view,
                 s.role.name(),
@@ -478,6 +499,9 @@ impl HealthReport {
                 s.pending_requests,
                 s.waiting_ro,
                 s.waiting_lease_ro,
+                s.requests_shed,
+                s.busy_sent,
+                s.backlog_high_watermark,
                 lease,
             );
         }
@@ -519,6 +543,9 @@ mod tests {
             lease_held: false,
             lease_expiry_ns: 0,
             fast_path: true,
+            requests_shed: 0,
+            busy_sent: 0,
+            backlog_high_watermark: 1,
         }
     }
 

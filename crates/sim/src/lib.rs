@@ -41,7 +41,9 @@ pub mod network;
 pub mod time;
 pub mod trace;
 
-pub use chaos::{ByzMode, ChaosConfig, Fault, FaultEvent, FaultPlan, NetFault, NodeFault};
+pub use chaos::{
+    ByzMode, ChaosConfig, ClientFault, Fault, FaultEvent, FaultPlan, NetFault, NodeFault,
+};
 pub use cost::CostModel;
 pub use engine::{Context, Node, Simulation, TimerId};
 pub use health::{Counter, Counters, HealthReport, HealthSnapshot, NodeCounters, Role};

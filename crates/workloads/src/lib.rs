@@ -14,10 +14,13 @@
 //! - [`harness`]: ready-made latency/throughput/workload experiment
 //!   runners used by the benches and shape tests;
 //! - [`mix`]: read/write-mix clients for the read-lease experiments,
-//!   with per-kind latency collection.
+//!   with per-kind latency collection;
+//! - [`flood`]: the open-loop paced driver for the overload
+//!   degradation-curve experiments.
 
 pub mod andrew;
 pub mod direct;
+pub mod flood;
 pub mod fsdriver;
 pub mod harness;
 pub mod micro;
@@ -27,6 +30,7 @@ pub mod script;
 
 pub use andrew::{andrew_script, AndrewTimings};
 pub use direct::{DirectClient, DirectDriver, DirectMicroDriver, DirectMsg, DirectServer};
+pub use flood::FloodDriver;
 pub use fsdriver::{BfsScriptDriver, DirectScriptDriver};
 pub use harness::{
     bft_latency, bft_throughput, norep_latency, norep_throughput, run_bfs, run_direct_fs, FsRun,
